@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench experiments fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	go run ./cmd/dpurpc-bench -experiment all
+
+# Short fuzz pass over the three untrusted-input surfaces.
+fuzz:
+	go test -fuzz FuzzDeserialize -fuzztime 30s ./internal/deser
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/protodsl
+	go test -fuzz FuzzDecode -fuzztime 30s ./internal/adt
+
+clean:
+	go clean ./...

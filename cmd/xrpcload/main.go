@@ -1,0 +1,183 @@
+// Command xrpcload serves and drives the benchmark service over real TCP —
+// the xRPC clients of Fig. 1. It can start either deployment (the DPU
+// termination is simulated in-process) and generate pipelined load against
+// any xRPC address.
+//
+// Serve the offloaded stack:
+//
+//	xrpcload -serve -mode offload -addr 127.0.0.1:7788
+//
+// Drive load against it from another terminal:
+//
+//	xrpcload -addr 127.0.0.1:7788 -scenario small -n 200000 -pipeline 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"dpurpc"
+	"dpurpc/internal/mt19937"
+	"dpurpc/internal/workload"
+	"dpurpc/internal/xrpc"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run a server instead of generating load")
+	mode := flag.String("mode", "offload", "server mode: offload | baseline")
+	addr := flag.String("addr", "127.0.0.1:7788", "xRPC address")
+	scenario := flag.String("scenario", "small", "workload: small | ints | chars")
+	n := flag.Int("n", 100000, "requests to send")
+	pipeline := flag.Int("pipeline", 256, "in-flight requests per connection")
+	conns := flag.Int("conns", 1, "client connections")
+	flag.Parse()
+
+	if *serve {
+		runServer(*mode, *addr)
+		return
+	}
+	runClient(*addr, *scenario, *n, *pipeline, *conns)
+}
+
+func benchSchema() *dpurpc.Schema {
+	schema, err := dpurpc.ParseSchema("bench.proto", workload.Schema)
+	if err != nil {
+		fatal(err)
+	}
+	return schema
+}
+
+func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
+	empty := func(req dpurpc.View) (*dpurpc.Message, uint16) { return nil, 0 }
+	return map[string]dpurpc.Impl{
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty},
+	}
+}
+
+func runServer(mode, addr string) {
+	schema := benchSchema()
+	var stack *dpurpc.Stack
+	var err error
+	switch mode {
+	case "offload":
+		stack, err = dpurpc.NewOffloadedStack(schema, emptyImpls(schema), dpurpc.StackOptions{})
+	case "baseline":
+		stack, err = dpurpc.NewBaselineStack(schema, emptyImpls(schema), dpurpc.StackOptions{})
+	default:
+		fatal(fmt.Errorf("unknown mode %q", mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer stack.Close()
+	bound, err := stack.ListenAndServe(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("xrpcload: %s server on %s (benchpb.Bench, empty business logic)\n", mode, bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("xrpcload: shutting down")
+}
+
+func scenarioOf(name string) workload.Scenario {
+	switch name {
+	case "small":
+		return workload.ScenarioSmall
+	case "ints":
+		return workload.ScenarioInts
+	case "chars":
+		return workload.ScenarioChars
+	}
+	fatal(fmt.Errorf("unknown scenario %q", name))
+	return 0
+}
+
+func runClient(addr, scenarioName string, n, pipeline, conns int) {
+	env := workload.NewEnv()
+	s := scenarioOf(scenarioName)
+	method := xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[s.Method()].Name)
+
+	// Pre-generate distinct payloads per connection.
+	perConn := n / conns
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := mt19937.New(uint32(mt19937.DefaultSeed + c))
+			payloads := make([][]byte, 32)
+			for i := range payloads {
+				payloads[i] = env.Gen(s, rng).Marshal(nil)
+			}
+			client, err := xrpc.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			var mu sync.Mutex
+			done := 0
+			cond := sync.NewCond(&mu)
+			inflight := 0
+			for i := 0; i < perConn; i++ {
+				mu.Lock()
+				for inflight >= pipeline {
+					cond.Wait()
+				}
+				inflight++
+				mu.Unlock()
+				err := client.Go(method, payloads[i%len(payloads)],
+					func(status uint16, _ []byte, err error) {
+						mu.Lock()
+						inflight--
+						done++
+						cond.Signal()
+						mu.Unlock()
+						if err != nil || status != xrpc.StatusOK {
+							select {
+							case errs <- fmt.Errorf("call failed: status=%d err=%v", status, err):
+							default:
+							}
+						}
+					})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%64 == 63 {
+					client.Flush()
+				}
+			}
+			client.Flush()
+			mu.Lock()
+			for done < perConn {
+				cond.Wait()
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		fatal(err)
+	default:
+	}
+	total := perConn * conns
+	fmt.Printf("xrpcload: %d %s requests over %d conn(s) in %v: %.0f req/s (wall-clock, this machine)\n",
+		total, scenarioName, conns, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xrpcload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+package dpurpc_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpurpc"
+)
+
+const greeterProto = `
+syntax = "proto3";
+package demo;
+
+message HelloRequest {
+  string name = 1;
+  uint32 times = 2;
+}
+
+message HelloReply {
+  string text = 1;
+  repeated uint32 echoes = 2;
+}
+
+service Greeter {
+  rpc Hello (HelloRequest) returns (HelloReply);
+}
+`
+
+func greeterImpls(t testing.TB, schema *dpurpc.Schema) map[string]dpurpc.Impl {
+	t.Helper()
+	return map[string]dpurpc.Impl{
+		"demo.Greeter": {
+			"Hello": func(req dpurpc.View) (*dpurpc.Message, uint16) {
+				out := schema.NewMessage("demo.HelloReply")
+				out.SetString("text", "hello "+string(req.StrName("name")))
+				for i := uint32(0); i < req.U32Name("times"); i++ {
+					out.AppendNum("echoes", uint64(i))
+				}
+				return out, 0
+			},
+		},
+	}
+}
+
+func runStackTest(t *testing.T, newStack func(*dpurpc.Schema, map[string]dpurpc.Impl, dpurpc.StackOptions) (*dpurpc.Stack, error)) {
+	t.Helper()
+	schema, err := dpurpc.ParseSchema("greeter.proto", greeterProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := newStack(schema, greeterImpls(t, schema), dpurpc.StackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	addr, err := stack.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dpurpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	req := schema.NewMessage("demo.HelloRequest")
+	req.SetString("name", "world")
+	req.SetUint32("times", 3)
+	resp, err := client.Call(schema, "demo.Greeter", "Hello", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GetString("text") != "hello world" {
+		t.Errorf("text = %q", resp.GetString("text"))
+	}
+	if n := resp.Nums("echoes"); len(n) != 3 || n[2] != 2 {
+		t.Errorf("echoes = %v", n)
+	}
+
+	// Error surfaces: unknown service/method, wrong request type.
+	if _, err := client.Call(schema, "demo.Nope", "Hello", req); err == nil {
+		t.Error("unknown service accepted")
+	}
+	if _, err := client.Call(schema, "demo.Greeter", "Nope", req); err == nil {
+		t.Error("unknown method accepted")
+	}
+	wrong := schema.NewMessage("demo.HelloReply")
+	if _, err := client.Call(schema, "demo.Greeter", "Hello", wrong); err == nil {
+		t.Error("wrong request type accepted")
+	}
+}
+
+func TestOffloadedStackEndToEnd(t *testing.T) {
+	runStackTest(t, dpurpc.NewOffloadedStack)
+}
+
+func TestBaselineStackEndToEnd(t *testing.T) {
+	runStackTest(t, dpurpc.NewBaselineStack)
+}
+
+func TestStacksAreInterchangeable(t *testing.T) {
+	// The paper's "only configuration change is the server address": the
+	// same client code works against both stacks and observes identical
+	// responses.
+	schema, err := dpurpc.ParseSchema("greeter.proto", greeterProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := map[string]string{}
+	for name, build := range map[string]func(*dpurpc.Schema, map[string]dpurpc.Impl, dpurpc.StackOptions) (*dpurpc.Stack, error){
+		"offload":  dpurpc.NewOffloadedStack,
+		"baseline": dpurpc.NewBaselineStack,
+	} {
+		stack, err := build(schema, greeterImpls(t, schema), dpurpc.StackOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := stack.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := dpurpc.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := schema.NewMessage("demo.HelloRequest")
+		req.SetString("name", strings.Repeat("x", 100)) // spilled string
+		resp, err := client.Call(schema, "demo.Greeter", "Hello", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses[name] = resp.GetString("text")
+		client.Close()
+		stack.Close()
+	}
+	if responses["offload"] != responses["baseline"] {
+		t.Errorf("stacks diverge: %q vs %q", responses["offload"], responses["baseline"])
+	}
+}
+
+func TestOffloadedStackMultiConnConcurrentClients(t *testing.T) {
+	schema, err := dpurpc.ParseSchema("greeter.proto", greeterProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := dpurpc.NewOffloadedStack(schema, greeterImpls(t, schema),
+		dpurpc.StackOptions{Connections: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	addr, err := stack.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client, err := dpurpc.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 25; i++ {
+				req := schema.NewMessage("demo.HelloRequest")
+				req.SetString("name", fmt.Sprintf("g%d-%d", g, i))
+				resp, err := client.Call(schema, "demo.Greeter", "Hello", req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("hello g%d-%d", g, i); resp.GetString("text") != want {
+					errs <- fmt.Errorf("got %q want %q", resp.GetString("text"), want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	schema, err := dpurpc.ParseSchema("greeter.proto", greeterProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.HasMessage("demo.HelloRequest") || schema.HasMessage("demo.Missing") {
+		t.Error("HasMessage broken")
+	}
+	if len(schema.EncodeADT()) == 0 {
+		t.Error("EncodeADT empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMessage of unknown type should panic")
+		}
+	}()
+	schema.NewMessage("demo.Missing")
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	if _, err := dpurpc.ParseSchema("bad.proto", "not a proto"); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}

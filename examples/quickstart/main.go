@@ -1,0 +1,83 @@
+// Quickstart: define a proto3 service, run it with the RPC stack offloaded
+// to the (simulated) DPU, and make a call — the host handler receives a
+// ready-built, zero-copy request object and never runs a deserializer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpurpc"
+)
+
+const schema = `
+syntax = "proto3";
+package demo;
+
+message HelloRequest {
+  string name = 1;
+}
+
+message HelloReply {
+  string text = 1;
+}
+
+service Greeter {
+  rpc Hello (HelloRequest) returns (HelloReply);
+}
+`
+
+func main() {
+	// 1. Parse the schema; this also builds the Accelerator Description
+	//    Table that the host transmits to the DPU at startup.
+	s, err := dpurpc.ParseSchema("greeter.proto", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Register the business logic. The handler gets a dpurpc.View: a
+	//    zero-copy window onto the object the DPU deserialized straight
+	//    into the shared host/DPU region.
+	impls := map[string]dpurpc.Impl{
+		"demo.Greeter": {
+			"Hello": func(req dpurpc.View) (*dpurpc.Message, uint16) {
+				out := s.NewMessage("demo.HelloReply")
+				out.SetString("text", "hello "+string(req.StrName("name")))
+				return out, 0
+			},
+		},
+	}
+
+	// 3. Start the offloaded deployment: the DPU terminates client
+	//    connections and runs all deserialization; only the handler above
+	//    runs on "host" cores.
+	stack, err := dpurpc.NewOffloadedStack(s, impls, dpurpc.StackOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+	addr, err := stack.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("offloaded gRPC-style server listening on", addr)
+
+	// 4. Call it like any RPC service.
+	client, err := dpurpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	req := s.NewMessage("demo.HelloRequest")
+	req.SetString("name", "world")
+	resp, err := client.Call(s, "demo.Greeter", "Hello", req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("response:", resp.GetString("text"))
+
+	// 5. Show where the work happened.
+	d := stack.Deployment()
+	fmt.Printf("DPU deserialized %d message(s); host deserialized 0\n",
+		d.DPUs[0].Stats().Deser.Messages)
+}

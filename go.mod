@@ -1,0 +1,3 @@
+module dpurpc
+
+go 1.22

@@ -1,0 +1,489 @@
+package abi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"dpurpc/internal/arena"
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+)
+
+const testSchema = `
+syntax = "proto3";
+package t;
+
+message Small {
+  uint32 id = 1;
+  bool flag = 2;
+  sint32 delta = 3;
+  float ratio = 4;
+}
+
+message Mixed {
+  bool b = 1;
+  uint32 u = 2;
+  double d = 3;
+  string s = 4;
+  bytes raw = 5;
+  Small child = 6;
+  repeated uint32 nums = 7;
+  repeated string names = 8;
+  repeated Small kids = 9;
+  repeated bool flags = 10;
+  repeated double weights = 11;
+}
+
+message Recur {
+  uint64 n = 1;
+  Recur next = 2;
+}
+
+message Empty {}
+`
+
+var (
+	smallDesc *protodesc.Message
+	mixedDesc *protodesc.Message
+	recurDesc *protodesc.Message
+	emptyDesc *protodesc.Message
+)
+
+func init() {
+	f, err := protodsl.Parse("abi_test.proto", testSchema)
+	if err != nil {
+		panic(err)
+	}
+	r := protodesc.NewRegistry()
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+	smallDesc = r.Message("t.Small")
+	mixedDesc = r.Message("t.Mixed")
+	recurDesc = r.Message("t.Recur")
+	emptyDesc = r.Message("t.Empty")
+}
+
+func TestLayoutSmall(t *testing.T) {
+	l := Compute(smallDesc)
+	// 8 (classID) + 4 (1 presence word) = 12; id@12, flag@16(1B),
+	// delta@20, ratio@24 -> size 28 -> aligned 32.
+	if l.PresenceOff != 8 || l.PresenceWords != 1 {
+		t.Errorf("presence: off=%d words=%d", l.PresenceOff, l.PresenceWords)
+	}
+	wantOffsets := map[string]uint32{"id": 12, "flag": 16, "delta": 20, "ratio": 24}
+	for name, want := range wantOffsets {
+		if got := l.FieldByName(name).Offset; got != want {
+			t.Errorf("%s offset = %d, want %d", name, got, want)
+		}
+	}
+	if l.Size != 32 {
+		t.Errorf("size = %d, want 32", l.Size)
+	}
+	if l.Size%ObjectAlign != 0 {
+		t.Error("size not aligned")
+	}
+}
+
+func TestLayoutFieldAlignment(t *testing.T) {
+	l := Compute(mixedDesc)
+	for i, f := range l.Fields {
+		var alignment uint32 = f.Size
+		if f.Repeated || f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes ||
+			f.Kind == protodesc.KindMessage {
+			alignment = 8
+		}
+		if f.Offset%alignment != 0 {
+			t.Errorf("field %d (%s) offset %d violates alignment %d",
+				i, f.Desc.Name, f.Offset, alignment)
+		}
+	}
+	if l.FieldByName("s").Size != StringRecordSize {
+		t.Error("string record size wrong")
+	}
+	if l.FieldByName("nums").Size != RepeatedHdrSize || l.FieldByName("nums").ElemSize != 4 {
+		t.Error("repeated u32 layout wrong")
+	}
+	if l.FieldByName("flags").ElemSize != 1 || l.FieldByName("weights").ElemSize != 8 {
+		t.Error("repeated elem sizes wrong")
+	}
+	if l.FieldByName("child").Size != RefSize {
+		t.Error("message ref size wrong")
+	}
+}
+
+func TestLayoutRecursive(t *testing.T) {
+	l := Compute(recurDesc)
+	if l.FieldByName("next").Child != l {
+		t.Error("recursive type should reuse its own layout")
+	}
+}
+
+func TestLayoutEmptyMessage(t *testing.T) {
+	l := Compute(emptyDesc)
+	if l.Size < ClassIDSize || l.Size%ObjectAlign != 0 {
+		t.Errorf("empty message size = %d", l.Size)
+	}
+	if l.PresenceWords != 0 {
+		t.Errorf("empty message has %d presence words", l.PresenceWords)
+	}
+}
+
+func TestDefaultInstanceCarriesClassID(t *testing.T) {
+	l := Compute(smallDesc)
+	l.SetClassID(77)
+	if binary.LittleEndian.Uint64(l.Default[0:8]) != 77 {
+		t.Error("default instance classID not set")
+	}
+	for _, b := range l.Default[8:] {
+		if b != 0 {
+			t.Error("default instance has non-zero field bytes")
+		}
+	}
+	if len(l.Default) != int(l.Size) {
+		t.Error("default instance size mismatch")
+	}
+}
+
+func TestDeterministicLayouts(t *testing.T) {
+	a := Compute(mixedDesc)
+	b := Compute(mixedDesc)
+	if err := CheckCompatible(a, b); err != nil {
+		t.Fatalf("identical descriptors incompatible: %v", err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ for identical descriptors")
+	}
+}
+
+func TestCheckCompatibleDetectsDrift(t *testing.T) {
+	// Simulate an ABI drift: same type name, different field set — the
+	// scenario the paper's binary-compatibility assumption (Sec. V-A) guards
+	// against.
+	f1, err := protodsl.Parse("a.proto", `syntax="proto3"; package t; message M { uint32 a = 1; uint64 b = 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := protodsl.Parse("b.proto", `syntax="proto3"; package t; message M { uint64 a = 1; uint64 b = 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := Compute(f1.Messages[0])
+	lb := Compute(f2.Messages[0])
+	if err := CheckCompatible(la, lb); err == nil {
+		t.Error("layout drift not detected")
+	}
+	if la.Fingerprint() == lb.Fingerprint() {
+		t.Error("fingerprints match for different layouts")
+	}
+	// Different type names.
+	f3, _ := protodsl.Parse("c.proto", `syntax="proto3"; package t; message N { uint32 a = 1; uint64 b = 2; }`)
+	if err := CheckCompatible(la, Compute(f3.Messages[0])); err == nil {
+		t.Error("name drift not detected")
+	}
+}
+
+func TestComputeAllSharesLayouts(t *testing.T) {
+	ls := ComputeAll([]*protodesc.Message{mixedDesc, smallDesc})
+	if ls[0].FieldByName("child").Child != ls[1] {
+		t.Error("ComputeAll did not share the nested layout")
+	}
+}
+
+func newBuilder(t *testing.T, size int) *Builder {
+	t.Helper()
+	return NewBuilder(arena.NewBump(make([]byte, size)), 0)
+}
+
+func TestBuilderGuardReservesOffsetZero(t *testing.T) {
+	b := newBuilder(t, 1024)
+	o, err := b.NewObject(Compute(smallDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Off() == 0 {
+		t.Error("object placed at region offset 0 (NullRef)")
+	}
+}
+
+func TestBuildAndViewScalars(t *testing.T) {
+	lay := Compute(smallDesc)
+	lay.SetClassID(3)
+	b := newBuilder(t, 1024)
+	o, err := b.NewObject(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetBits("id", 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetBits("flag", 1); err != nil {
+		t.Fatal(err)
+	}
+	delta := int32(-7)
+	if err := o.SetBits("delta", uint64(uint32(delta))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetBits("ratio", uint64(math.Float32bits(2.5))); err != nil {
+		t.Fatal(err)
+	}
+	v := o.View()
+	if !v.Valid() {
+		t.Fatal("view invalid")
+	}
+	if v.U32Name("id") != 12345 || !v.BoolName("flag") ||
+		v.I32Name("delta") != -7 || v.F32Name("ratio") != 2.5 {
+		t.Error("scalar values wrong")
+	}
+	for _, name := range []string{"id", "flag", "delta", "ratio"} {
+		if !v.HasName(name) {
+			t.Errorf("%s not present", name)
+		}
+	}
+}
+
+func TestBuildStringsSSOAndSpill(t *testing.T) {
+	lay := Compute(mixedDesc)
+	b := newBuilder(t, 4096)
+	o, err := b.NewObject(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []byte("short")              // 5 bytes -> SSO
+	exact := []byte("123456789012345")    // 15 bytes -> SSO boundary
+	long := bytes.Repeat([]byte("x"), 16) // 16 bytes -> spill
+	if err := o.SetStr("s", short); err != nil {
+		t.Fatal(err)
+	}
+	v := o.View()
+	if string(v.StrName("s")) != "short" {
+		t.Errorf("sso read = %q", v.StrName("s"))
+	}
+	if !v.IsSSO(v.Lay.Msg.FieldByName("s").Index) {
+		t.Error("5-byte string should be SSO")
+	}
+	if err := o.SetStr("s", exact); err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsSSO(v.Lay.Msg.FieldByName("s").Index) || string(v.StrName("s")) != string(exact) {
+		t.Error("15-byte string should be SSO")
+	}
+	if err := o.SetStr("raw", long); err != nil {
+		t.Fatal(err)
+	}
+	if v.IsSSO(v.Lay.Msg.FieldByName("raw").Index) {
+		t.Error("16-byte value must spill")
+	}
+	if !bytes.Equal(v.StrName("raw"), long) {
+		t.Error("spilled read wrong")
+	}
+	// Empty string: zero length, still readable.
+	if err := o.SetStr("s", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.StrName("s"); got == nil || len(got) != 0 {
+		t.Errorf("empty string read = %v", got)
+	}
+}
+
+func TestBuildNestedAndRepeated(t *testing.T) {
+	lays := ComputeAll([]*protodesc.Message{mixedDesc, smallDesc})
+	mixedLay, smallLay := lays[0], lays[1]
+	b := newBuilder(t, 1<<16)
+	child, err := b.NewObject(smallLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.SetBits("id", 99)
+	o, err := b.NewObject(mixedLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetMsg("child", child); err != nil {
+		t.Fatal(err)
+	}
+	nums := []uint64{1, 2, 3, 1 << 31}
+	if err := o.SetNums("nums", nums); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetStrs("names", [][]byte{[]byte("a"), bytes.Repeat([]byte("b"), 40), nil}); err != nil {
+		t.Fatal(err)
+	}
+	kid1, _ := b.NewObject(smallLay)
+	kid1.SetBits("id", 1)
+	kid2, _ := b.NewObject(smallLay)
+	kid2.SetBits("id", 2)
+	if err := o.SetMsgs("kids", []Obj{kid1, kid2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetNums("flags", []uint64{1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetNums("weights", []uint64{math.Float64bits(0.5), math.Float64bits(-1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	v := o.View()
+	cv, ok := v.MsgName("child")
+	if !ok || cv.U32Name("id") != 99 {
+		t.Error("nested message read failed")
+	}
+	if v.LenName("nums") != 4 || v.NumAtName("nums", 3) != 1<<31 {
+		t.Error("repeated nums wrong")
+	}
+	if string(v.StrAtName("names", 0)) != "a" || len(v.StrAtName("names", 1)) != 40 {
+		t.Error("repeated strings wrong")
+	}
+	if got := v.StrAtName("names", 2); got == nil || len(got) != 0 {
+		t.Error("empty repeated string wrong")
+	}
+	k2, ok := v.MsgAtName("kids", 1)
+	if !ok || k2.U32Name("id") != 2 {
+		t.Error("repeated message wrong")
+	}
+	if v.LenName("flags") != 3 || v.NumAtName("flags", 0) != 1 || v.NumAtName("flags", 1) != 0 {
+		t.Error("repeated bools wrong")
+	}
+	if math.Float64frombits(v.NumAtName("weights", 1)) != -1 {
+		t.Error("repeated doubles wrong")
+	}
+	// Raw bulk access covers count*elem bytes.
+	if raw := v.NumsRaw(v.Lay.Msg.FieldByName("nums").Index); len(raw) != 16 {
+		t.Errorf("NumsRaw len = %d", len(raw))
+	}
+}
+
+func TestViewUnsetAndOutOfRange(t *testing.T) {
+	lay := Compute(mixedDesc)
+	b := newBuilder(t, 4096)
+	o, _ := b.NewObject(lay)
+	v := o.View()
+	if v.HasName("b") || v.BoolName("b") || v.U32Name("u") != 0 {
+		t.Error("unset scalars should read zero")
+	}
+	if _, ok := v.MsgName("child"); ok {
+		t.Error("unset message should be absent")
+	}
+	if v.LenName("nums") != 0 || v.NumAtName("nums", 0) != 0 {
+		t.Error("unset repeated should be empty")
+	}
+	if v.StrAtName("names", 5) != nil {
+		t.Error("out-of-range StrAt should be nil")
+	}
+	if _, ok := v.MsgAtName("kids", 0); ok {
+		t.Error("out-of-range MsgAt should be absent")
+	}
+	if v.Has(-1) || v.Has(999) {
+		t.Error("out-of-range Has should be false")
+	}
+	if v.U32Name("no_such") != 0 || v.HasName("no_such") {
+		t.Error("unknown names should read zero")
+	}
+	// Unset string field: record is all zeros -> empty read.
+	if got := v.StrName("s"); len(got) != 0 {
+		t.Errorf("unset string = %q", got)
+	}
+}
+
+func TestViewValidRejectsWrongClass(t *testing.T) {
+	lay := Compute(smallDesc)
+	lay.SetClassID(5)
+	other := Compute(mixedDesc)
+	other.SetClassID(6)
+	b := newBuilder(t, 4096)
+	o, _ := b.NewObject(lay)
+	bad := MakeView(b.Region(), o.Off(), other)
+	if bad.Valid() {
+		t.Error("view with wrong layout validated")
+	}
+	if o.View().Valid() != true {
+		t.Error("correct view did not validate")
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	r := &Region{Buf: make([]byte, 100), Base: 1000}
+	if r.Slice(999, 1) != nil {
+		t.Error("below-base slice allowed")
+	}
+	if r.Slice(1000, 101) != nil {
+		t.Error("over-length slice allowed")
+	}
+	if len(r.Slice(1050, 50)) != 50 {
+		t.Error("valid slice failed")
+	}
+	if r.Slice(1100, 1) != nil {
+		t.Error("past-end slice allowed")
+	}
+	// Overflow attempt.
+	if r.Slice(^uint64(0), 8) != nil {
+		t.Error("overflowing offset allowed")
+	}
+	if !r.Contains(1000, 100) || r.Contains(1000, 101) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	lays := ComputeAll([]*protodesc.Message{mixedDesc, smallDesc})
+	b := newBuilder(t, 1<<16)
+	o, _ := b.NewObject(lays[0])
+	if err := o.SetBits("no_field", 1); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := o.SetBits("s", 1); err == nil {
+		t.Error("SetBits on string accepted")
+	}
+	if err := o.SetStr("u", nil); err == nil {
+		t.Error("SetStr on scalar accepted")
+	}
+	if err := o.SetMsg("u", Obj{}); err == nil {
+		t.Error("SetMsg on scalar accepted")
+	}
+	small, _ := b.NewObject(lays[1])
+	if err := o.SetMsg("child", o); err == nil {
+		t.Error("wrong child type accepted")
+	}
+	if err := o.SetNums("names", nil); err == nil {
+		t.Error("SetNums on strings accepted")
+	}
+	if err := o.SetStrs("nums", nil); err == nil {
+		t.Error("SetStrs on nums accepted")
+	}
+	if err := o.SetMsgs("kids", []Obj{o}); err == nil {
+		t.Error("wrong element type accepted")
+	}
+	_ = small
+	// Exhaustion.
+	tiny := NewBuilder(arena.NewBump(make([]byte, 16)), 0)
+	if _, err := tiny.NewObject(lays[0]); err == nil {
+		t.Error("allocation beyond capacity accepted")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	s := Compute(mixedDesc).String()
+	for _, want := range []string{"class t.Mixed", "hasbits", "repeated", "string s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("layout dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestObjIsZero(t *testing.T) {
+	var o Obj
+	if !o.IsZero() {
+		t.Error("zero Obj not IsZero")
+	}
+	b := newBuilder(t, 1024)
+	o2, _ := b.NewObject(Compute(smallDesc))
+	if o2.IsZero() {
+		t.Error("real Obj IsZero")
+	}
+	if o2.Layout().Msg != smallDesc {
+		t.Error("Layout accessor wrong")
+	}
+}

@@ -1,0 +1,308 @@
+// Package abi defines the binary object layout shared between the DPU and
+// the host — the Go analogue of the C++ ABI compatibility contract in
+// Sec. V-A of the paper.
+//
+// The DPU deserializes protobuf wire bytes directly into this layout inside
+// a block of the shared (mirrored) buffer region; the host then reads the
+// object in place with zero further copies. All cross-object references are
+// *region-relative offsets*: because both sides map the same region, an
+// offset written by the DPU is meaningful to the host verbatim, which is the
+// paper's "a request's pointer x on the client side will have the value x on
+// the server side" property without any pointer-adjustment pass.
+//
+// Object layout (all little-endian, 8-byte aligned, mirroring an
+// Itanium-ABI C++ protobuf message):
+//
+//	+0              classID word  — stands in for the C++ vptr. Like the
+//	                vptr, it is baked into the default instance bytes.
+//	+8              presence bitfield, one bit per field, in uint32 words
+//	                (the protobuf "hasbits").
+//	...             fields in field-number order at natural alignment.
+//
+// Field representations:
+//
+//	bool                      1 byte
+//	32-bit scalars/enum/float 4 bytes
+//	64-bit scalars/double     8 bytes
+//	string/bytes              32-byte record emulating libstdc++
+//	                          std::string (Fig. 6): {data Ref, size u64,
+//	                          union{sso [16]byte | capacity u64}}. Small
+//	                          strings (<= 15 bytes) live in the sso buffer
+//	                          and data points *at that buffer*, exactly like
+//	                          libstdc++'s self-referential SSO pointer.
+//	message                   8-byte Ref to the child object (NullRef if unset)
+//	repeated scalar           16-byte {data Ref, count u64}; packed elements
+//	repeated string/bytes     16-byte {data Ref, count u64}; array of 32-byte
+//	                          string records
+//	repeated message          16-byte {data Ref, count u64}; array of Refs
+package abi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"dpurpc/internal/protodesc"
+)
+
+// Sizes of the fixed ABI building blocks.
+const (
+	ClassIDSize      = 8  // the "vptr" slot
+	StringRecordSize = 32 // mirrors sizeof(std::string) in libstdc++
+	SSOCapacity      = 15 // max chars stored inline, as in libstdc++
+	RepeatedHdrSize  = 16 // {data Ref, count}
+	RefSize          = 8
+	ObjectAlign      = 8
+)
+
+// NullRef marks an unset message reference. Offset 0 is reserved in every
+// region (see Region) so 0 can never address a real object.
+const NullRef uint64 = 0
+
+// FieldLayout is the placement of one field within the object.
+type FieldLayout struct {
+	// Offset of the field slot from the object start.
+	Offset uint32
+	// Size of the field slot in bytes.
+	Size uint32
+	// ElemSize is the element width for repeated scalar fields
+	// (1 for bool, 4 for 32-bit kinds, 8 for 64-bit kinds); 0 otherwise.
+	ElemSize uint32
+	Kind     protodesc.Kind
+	Repeated bool
+	// Child is the layout of the nested message type for KindMessage.
+	Child *Layout
+	// Desc is the field descriptor (for names and numbers).
+	Desc *protodesc.Field
+}
+
+// Layout is the complete ABI description of one message class. It is the
+// per-class entry of the Accelerator Description Table.
+type Layout struct {
+	Msg *protodesc.Message
+	// ClassID identifies the class across the host/DPU boundary. IDs are
+	// assigned deterministically by the ADT builder.
+	ClassID uint32
+	// Size of the object, rounded up to ObjectAlign.
+	Size uint32
+	// PresenceOff/PresenceWords locate the hasbit words.
+	PresenceOff   uint32
+	PresenceWords uint32
+	// Fields is indexed by protodesc.Field.Index.
+	Fields []FieldLayout
+	// Default is the default-instance byte image: classID word set,
+	// everything else zero. Copying it into fresh storage constructs an
+	// empty object, vptr included — the paper's trick for initializing the
+	// C++ vptr without running a constructor on the DPU.
+	Default []byte
+}
+
+// scalarSlotSize returns the in-object width of a singular scalar kind.
+func scalarSlotSize(k protodesc.Kind) uint32 {
+	switch k {
+	case protodesc.KindBool:
+		return 1
+	case protodesc.KindInt32, protodesc.KindSint32, protodesc.KindUint32,
+		protodesc.KindFixed32, protodesc.KindSfixed32, protodesc.KindFloat,
+		protodesc.KindEnum:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// align rounds v up to a multiple of a (a power of two).
+func align(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
+
+// Compute builds the layout for msg. Nested message layouts are computed
+// recursively and shared via the seen map, so recursive types (trees, lists)
+// terminate. Compute is deterministic: identical descriptors yield identical
+// layouts on both sides, which is the binary-compatibility assumption the
+// offload relies on.
+func Compute(msg *protodesc.Message) *Layout {
+	return computeInto(msg, map[*protodesc.Message]*Layout{})
+}
+
+// ComputeAll builds layouts for several (possibly mutually recursive)
+// messages with a shared cache, returning them in input order.
+func ComputeAll(msgs []*protodesc.Message) []*Layout {
+	seen := map[*protodesc.Message]*Layout{}
+	out := make([]*Layout, len(msgs))
+	for i, m := range msgs {
+		out[i] = computeInto(m, seen)
+	}
+	return out
+}
+
+func computeInto(msg *protodesc.Message, seen map[*protodesc.Message]*Layout) *Layout {
+	if l, ok := seen[msg]; ok {
+		return l
+	}
+	l := &Layout{Msg: msg}
+	seen[msg] = l // placed before recursion so recursive types resolve
+
+	nf := uint32(len(msg.Fields))
+	l.PresenceOff = ClassIDSize
+	l.PresenceWords = (nf + 31) / 32
+	off := l.PresenceOff + l.PresenceWords*4
+
+	l.Fields = make([]FieldLayout, nf)
+	for i, f := range msg.Fields {
+		fl := FieldLayout{Kind: f.Kind, Repeated: f.Repeated, Desc: f}
+		var size, alignment uint32
+		switch {
+		case f.Repeated:
+			size, alignment = RepeatedHdrSize, 8
+			if f.Kind.IsPackable() {
+				fl.ElemSize = scalarSlotSize(f.Kind)
+			}
+		case f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes:
+			size, alignment = StringRecordSize, 8
+		case f.Kind == protodesc.KindMessage:
+			size, alignment = RefSize, 8
+		default:
+			size = scalarSlotSize(f.Kind)
+			alignment = size
+		}
+		off = align(off, alignment)
+		fl.Offset = off
+		fl.Size = size
+		off += size
+		if f.Kind == protodesc.KindMessage {
+			fl.Child = computeInto(f.Message, seen)
+		}
+		l.Fields[i] = fl
+	}
+	l.Size = align(off, ObjectAlign)
+	if l.Size == 0 {
+		l.Size = ObjectAlign
+	}
+	l.rebuildDefault()
+	return l
+}
+
+// rebuildDefault regenerates the default-instance image (call after
+// assigning ClassID).
+func (l *Layout) rebuildDefault() {
+	l.Default = make([]byte, l.Size)
+	binary.LittleEndian.PutUint64(l.Default[0:8], uint64(l.ClassID))
+}
+
+// SetClassID assigns the class identifier and refreshes the default
+// instance.
+func (l *Layout) SetClassID(id uint32) {
+	l.ClassID = id
+	l.rebuildDefault()
+}
+
+// FieldByName returns the layout of the named field, or nil.
+func (l *Layout) FieldByName(name string) *FieldLayout {
+	f := l.Msg.FieldByName(name)
+	if f == nil {
+		return nil
+	}
+	return &l.Fields[f.Index]
+}
+
+// Fingerprint returns a hash covering every sizeof/alignof/offsetof-visible
+// aspect of the layout, recursively. Two sides with equal fingerprints are
+// binary-compatible in the paper's sense; the handshake compares
+// fingerprints before enabling offload.
+func (l *Layout) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var walk func(*Layout, map[*Layout]bool)
+	walk = func(x *Layout, seen map[*Layout]bool) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		fmt.Fprintf(h, "%s|%d|%d|%d;", x.Msg.Name, x.Size, x.PresenceOff, x.PresenceWords)
+		for _, f := range x.Fields {
+			fmt.Fprintf(h, "%s:%d:%d:%d:%d:%v:%v;", f.Desc.Name, f.Desc.Number,
+				f.Offset, f.Size, f.ElemSize, f.Kind, f.Repeated)
+		}
+		for _, f := range x.Fields {
+			if f.Child != nil {
+				walk(f.Child, seen)
+			}
+		}
+	}
+	walk(l, map[*Layout]bool{})
+	return h.Sum64()
+}
+
+// CheckCompatible verifies that a and b describe the same binary layout —
+// the sizeof/alignof/offsetof equalities of Sec. V-A — and returns a
+// descriptive error at the first divergence.
+func CheckCompatible(a, b *Layout) error {
+	type pair struct{ a, b *Layout }
+	seen := map[pair]bool{}
+	var check func(a, b *Layout) error
+	check = func(a, b *Layout) error {
+		p := pair{a, b}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if a.Msg.Name != b.Msg.Name {
+			return fmt.Errorf("abi: type name mismatch: %s vs %s", a.Msg.Name, b.Msg.Name)
+		}
+		if a.Size != b.Size {
+			return fmt.Errorf("abi: %s: sizeof mismatch: %d vs %d", a.Msg.Name, a.Size, b.Size)
+		}
+		if a.PresenceOff != b.PresenceOff || a.PresenceWords != b.PresenceWords {
+			return fmt.Errorf("abi: %s: presence bitfield mismatch", a.Msg.Name)
+		}
+		if len(a.Fields) != len(b.Fields) {
+			return fmt.Errorf("abi: %s: field count mismatch: %d vs %d", a.Msg.Name, len(a.Fields), len(b.Fields))
+		}
+		for i := range a.Fields {
+			fa, fb := &a.Fields[i], &b.Fields[i]
+			if fa.Desc.Name != fb.Desc.Name || fa.Desc.Number != fb.Desc.Number {
+				return fmt.Errorf("abi: %s: field %d identity mismatch", a.Msg.Name, i)
+			}
+			if fa.Offset != fb.Offset {
+				return fmt.Errorf("abi: %s.%s: offsetof mismatch: %d vs %d",
+					a.Msg.Name, fa.Desc.Name, fa.Offset, fb.Offset)
+			}
+			if fa.Size != fb.Size || fa.ElemSize != fb.ElemSize ||
+				fa.Kind != fb.Kind || fa.Repeated != fb.Repeated {
+				return fmt.Errorf("abi: %s.%s: representation mismatch", a.Msg.Name, fa.Desc.Name)
+			}
+			if (fa.Child == nil) != (fb.Child == nil) {
+				return fmt.Errorf("abi: %s.%s: child presence mismatch", a.Msg.Name, fa.Desc.Name)
+			}
+			if fa.Child != nil {
+				if err := check(fa.Child, fb.Child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return check(a, b)
+}
+
+// String renders the layout like a pahole dump, for adtgen output and
+// debugging.
+func (l *Layout) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "class %s // classID=%d size=%d align=%d\n", l.Msg.Name, l.ClassID, l.Size, ObjectAlign)
+	fmt.Fprintf(&sb, "  +0   vptr/classID (8)\n")
+	fmt.Fprintf(&sb, "  +%-3d hasbits (%d words)\n", l.PresenceOff, l.PresenceWords)
+	fields := make([]*FieldLayout, len(l.Fields))
+	for i := range l.Fields {
+		fields[i] = &l.Fields[i]
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Offset < fields[j].Offset })
+	for _, f := range fields {
+		rep := ""
+		if f.Repeated {
+			rep = "repeated "
+		}
+		fmt.Fprintf(&sb, "  +%-3d %s%v %s (%d)\n", f.Offset, rep, f.Kind, f.Desc.Name, f.Size)
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package abi
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"dpurpc/internal/arena"
+)
+
+func TestVerifyValidGraph(t *testing.T) {
+	mixedLay := Compute(mixedDesc)
+	smallLay := mixedLay.FieldByName("child").Child
+	b := NewBuilder(arena.NewBump(make([]byte, 1<<16)), 0)
+	child, _ := b.NewObject(smallLay)
+	child.SetBits("id", 4)
+	o, err := b.NewObject(mixedLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetMsg("child", child)
+	o.SetStr("s", []byte("tiny"))
+	o.SetStr("raw", []byte(strings.Repeat("x", 64)))
+	o.SetNums("nums", []uint64{1, 2, 3})
+	o.SetStrs("names", [][]byte{[]byte("a"), []byte(strings.Repeat("b", 30))})
+	k1, _ := b.NewObject(smallLay)
+	o.SetMsgs("kids", []Obj{k1})
+	if err := Verify(o.View()); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// An empty object verifies too.
+	empty, _ := b.NewObject(mixedLay)
+	if err := Verify(empty.View()); err != nil {
+		t.Fatalf("empty object rejected: %v", err)
+	}
+}
+
+// mkCorruptible builds an object with a spilled string and an array.
+func mkCorruptible(t *testing.T) (Obj, *Builder) {
+	t.Helper()
+	mixedLay := Compute(mixedDesc)
+	b := NewBuilder(arena.NewBump(make([]byte, 1<<16)), 0)
+	o, err := b.NewObject(mixedLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetStr("raw", []byte(strings.Repeat("x", 64)))
+	o.SetNums("nums", []uint64{1, 2, 3})
+	return o, b
+}
+
+func TestVerifyCatchesOutOfRegionStringRef(t *testing.T) {
+	o, b := mkCorruptible(t)
+	buf := b.Region().Buf
+	fl := o.Layout().FieldByName("raw")
+	recOff := o.Off() + uint64(fl.Offset)
+	binary.LittleEndian.PutUint64(buf[recOff:recOff+8], 1<<40)
+	if err := Verify(o.View()); err == nil {
+		t.Error("out-of-region string ref accepted")
+	}
+}
+
+func TestVerifyCatchesImplausibleCount(t *testing.T) {
+	o, b := mkCorruptible(t)
+	buf := b.Region().Buf
+	fl := o.Layout().FieldByName("nums")
+	hdr := o.Off() + uint64(fl.Offset)
+	binary.LittleEndian.PutUint64(buf[hdr+8:hdr+16], 1<<50)
+	if err := Verify(o.View()); err == nil {
+		t.Error("implausible array count accepted")
+	}
+	// A count that merely exceeds the region (but is plausible) also fails.
+	o2, b2 := mkCorruptible(t)
+	buf2 := b2.Region().Buf
+	hdr2 := o2.Off() + uint64(fl.Offset)
+	binary.LittleEndian.PutUint64(buf2[hdr2+8:hdr2+16], 60000)
+	if err := Verify(o2.View()); err == nil {
+		t.Error("overlong array accepted")
+	}
+}
+
+func TestVerifyCatchesWrongClassID(t *testing.T) {
+	o, b := mkCorruptible(t)
+	buf := b.Region().Buf
+	binary.LittleEndian.PutUint64(buf[o.Off():o.Off()+8], 999999)
+	if err := Verify(o.View()); err == nil {
+		t.Error("wrong classID accepted")
+	}
+}
+
+func TestVerifyCatchesBrokenSSO(t *testing.T) {
+	o, b := mkCorruptible(t)
+	buf := b.Region().Buf
+	if err := o.SetStr("s", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	fl := o.Layout().FieldByName("s")
+	recOff := o.Off() + uint64(fl.Offset)
+	binary.LittleEndian.PutUint64(buf[recOff:recOff+8], o.Off()) // wrong target
+	if err := Verify(o.View()); err == nil {
+		t.Error("broken SSO pointer accepted")
+	}
+}
+
+func TestVerifyCatchesCyclicGraph(t *testing.T) {
+	recurLay := Compute(recurDesc)
+	b := NewBuilder(arena.NewBump(make([]byte, 4096)), 0)
+	o, err := b.NewObject(recurLay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the object at itself: infinite nesting.
+	fl := recurLay.FieldByName("next")
+	buf := b.Region().Buf
+	binary.LittleEndian.PutUint64(buf[o.Off()+uint64(fl.Offset):], o.Off())
+	word := o.Off() + uint64(recurLay.PresenceOff)
+	binary.LittleEndian.PutUint32(buf[word:word+4], 1<<uint(fl.Desc.Index))
+	if err := Verify(o.View()); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestVerifyCatchesNullElementRef(t *testing.T) {
+	mixedLay := Compute(mixedDesc)
+	smallLay := mixedLay.FieldByName("kids").Child
+	b := NewBuilder(arena.NewBump(make([]byte, 1<<16)), 0)
+	o, _ := b.NewObject(mixedLay)
+	k, _ := b.NewObject(smallLay)
+	if err := o.SetMsgs("kids", []Obj{k}); err != nil {
+		t.Fatal(err)
+	}
+	fl := mixedLay.FieldByName("kids")
+	hdr := o.Off() + uint64(fl.Offset)
+	buf := b.Region().Buf
+	arrRef := binary.LittleEndian.Uint64(buf[hdr : hdr+8])
+	binary.LittleEndian.PutUint64(buf[arrRef:arrRef+8], NullRef)
+	if err := Verify(o.View()); err == nil {
+		t.Error("null element ref accepted")
+	}
+}
+
+func TestVerifyObjectOutsideRegion(t *testing.T) {
+	lay := Compute(smallDesc)
+	reg := &Region{Buf: make([]byte, 16)}
+	if err := Verify(MakeView(reg, 8, lay)); err == nil {
+		t.Error("truncated object accepted")
+	}
+}

@@ -1,0 +1,439 @@
+// Package adt implements the Accelerator Description Table of Sec. V-B: the
+// per-class metadata the DPU needs to deserialize any protobuf message
+// directly into a host-ABI object — field offsets, kinds, child-class links,
+// and the default instance (which carries the vptr/classID word).
+//
+// The table is built on the host from the registered descriptors, encoded
+// once, and transmitted to the DPU at application start; the DPU application
+// never needs recompiling for new message types. Metadata is per *class*,
+// not per instance, so zero bookkeeping bytes accompany any message.
+package adt
+
+import (
+	"errors"
+	"fmt"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/wire"
+)
+
+// magic identifies an encoded ADT blob ("ADT" + version 1).
+var magic = []byte{'A', 'D', 'T', 1}
+
+// Errors returned by Decode and the handshake check.
+var (
+	ErrBadMagic     = errors.New("adt: bad magic")
+	ErrTruncated    = errors.New("adt: truncated table")
+	ErrIncompatible = errors.New("adt: layouts are not binary-compatible")
+)
+
+// MethodMeta maps one RPC to its request/response classes. Procedure IDs
+// are implicit (the index within the service), matching the deterministic
+// ID assignment of the parser.
+type MethodMeta struct {
+	Name     string
+	InClass  uint32
+	OutClass uint32
+}
+
+// ServiceMeta is the introspection record for one service (the generated
+// "procedure ID -> callback" mapping of Sec. V-D).
+type ServiceMeta struct {
+	Name    string
+	Methods []MethodMeta
+}
+
+// Table is the Accelerator Description Table.
+type Table struct {
+	// Layouts indexed by ClassID.
+	Layouts  []*abi.Layout
+	Services []ServiceMeta
+
+	byName map[string]*abi.Layout
+}
+
+// Build constructs a table from all messages and services in the registry.
+// Class IDs are assigned in sorted-name order, so both sides derive
+// identical IDs from identical schemas.
+func Build(reg *protodesc.Registry) (*Table, error) {
+	msgs := reg.Messages()
+	layouts := abi.ComputeAll(msgs)
+	t := &Table{Layouts: layouts, byName: make(map[string]*abi.Layout, len(layouts))}
+	for i, l := range layouts {
+		l.SetClassID(uint32(i))
+		t.byName[l.Msg.Name] = l
+	}
+	for _, svc := range reg.Services() {
+		sm := ServiceMeta{Name: svc.Name}
+		for _, m := range svc.Methods {
+			in, ok := t.byName[m.Input.Name]
+			if !ok {
+				return nil, fmt.Errorf("adt: service %s method %s: input %s not in registry",
+					svc.Name, m.Name, m.Input.Name)
+			}
+			out, ok := t.byName[m.Output.Name]
+			if !ok {
+				return nil, fmt.Errorf("adt: service %s method %s: output %s not in registry",
+					svc.Name, m.Name, m.Output.Name)
+			}
+			sm.Methods = append(sm.Methods, MethodMeta{Name: m.Name, InClass: in.ClassID, OutClass: out.ClassID})
+		}
+		t.Services = append(t.Services, sm)
+	}
+	return t, nil
+}
+
+// ByName returns the layout for a fully-qualified message name, or nil.
+func (t *Table) ByName(name string) *abi.Layout { return t.byName[name] }
+
+// ByID returns the layout for a class ID, or nil.
+func (t *Table) ByID(id uint32) *abi.Layout {
+	if int(id) >= len(t.Layouts) {
+		return nil
+	}
+	return t.Layouts[id]
+}
+
+// Service returns the service metadata by name, or nil.
+func (t *Table) Service(name string) *ServiceMeta {
+	for i := range t.Services {
+		if t.Services[i].Name == name {
+			return &t.Services[i]
+		}
+	}
+	return nil
+}
+
+// Fingerprint covers every layout in class-ID order plus the service map;
+// equal fingerprints mean the two sides are binary-compatible and agree on
+// procedure IDs.
+func (t *Table) Fingerprint() uint64 {
+	var fp uint64 = 1469598103934665603 // FNV offset basis
+	mix := func(v uint64) {
+		fp ^= v
+		fp *= 1099511628211
+	}
+	for _, l := range t.Layouts {
+		mix(l.Fingerprint())
+	}
+	for _, s := range t.Services {
+		for i, m := range s.Methods {
+			mix(uint64(len(s.Name))<<32 | uint64(i))
+			mix(uint64(m.InClass)<<32 | uint64(m.OutClass))
+		}
+	}
+	return fp
+}
+
+// CheckCompatible verifies that other describes the same binary contract
+// (layouts and procedure tables). This is the handshake run when the DPU
+// receives the host's table.
+func (t *Table) CheckCompatible(other *Table) error {
+	if len(t.Layouts) != len(other.Layouts) {
+		return fmt.Errorf("%w: class count %d vs %d", ErrIncompatible, len(t.Layouts), len(other.Layouts))
+	}
+	for i := range t.Layouts {
+		if err := abi.CheckCompatible(t.Layouts[i], other.Layouts[i]); err != nil {
+			return fmt.Errorf("%w: class %d: %v", ErrIncompatible, i, err)
+		}
+	}
+	if t.Fingerprint() != other.Fingerprint() {
+		return fmt.Errorf("%w: fingerprint mismatch", ErrIncompatible)
+	}
+	return nil
+}
+
+// --- binary encoding --------------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = wire.AppendVarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Encode serializes the table for transmission to the DPU. The encoding
+// carries descriptors (names, numbers, kinds) plus the computed offsets, so
+// the receiver can independently recompute the layout and verify both sides
+// agree — the sizeof/alignof/offsetof check of Sec. V-A.
+func (t *Table) Encode() []byte {
+	b := append([]byte(nil), magic...)
+	b = wire.AppendVarint(b, uint64(len(t.Layouts)))
+	for _, l := range t.Layouts {
+		b = appendString(b, l.Msg.Name)
+		b = wire.AppendVarint(b, uint64(l.Size))
+		b = wire.AppendVarint(b, uint64(l.PresenceOff))
+		b = wire.AppendVarint(b, uint64(l.PresenceWords))
+		b = wire.AppendVarint(b, uint64(len(l.Fields)))
+		for _, f := range l.Fields {
+			b = appendString(b, f.Desc.Name)
+			b = wire.AppendVarint(b, uint64(f.Desc.Number))
+			b = wire.AppendVarint(b, uint64(f.Kind))
+			var flags uint64
+			if f.Repeated {
+				flags |= 1
+			}
+			if f.Desc.Packed {
+				flags |= 2
+			}
+			b = wire.AppendVarint(b, flags)
+			b = wire.AppendVarint(b, uint64(f.Offset))
+			b = wire.AppendVarint(b, uint64(f.Size))
+			b = wire.AppendVarint(b, uint64(f.ElemSize))
+			switch f.Kind {
+			case protodesc.KindMessage:
+				b = wire.AppendVarint(b, uint64(f.Child.ClassID))
+			case protodesc.KindEnum:
+				b = appendString(b, f.Desc.Enum.Name)
+			}
+		}
+	}
+	b = wire.AppendVarint(b, uint64(len(t.Services)))
+	for _, s := range t.Services {
+		b = appendString(b, s.Name)
+		b = wire.AppendVarint(b, uint64(len(s.Methods)))
+		for _, m := range s.Methods {
+			b = appendString(b, m.Name)
+			b = wire.AppendVarint(b, uint64(m.InClass))
+			b = wire.AppendVarint(b, uint64(m.OutClass))
+		}
+	}
+	b = wire.AppendFixed64(b, t.Fingerprint())
+	return b
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) varint() (uint64, error) {
+	v, n := wire.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.varint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// encodedField is a field record as transmitted.
+type encodedField struct {
+	name     string
+	number   int32
+	kind     protodesc.Kind
+	repeated bool
+	packed   bool
+	offset   uint32
+	size     uint32
+	elemSize uint32
+	childID  uint32
+	enumName string
+}
+
+// Decode parses an encoded table, reconstructs the descriptors, recomputes
+// the ABI layouts locally, and verifies that the locally computed offsets
+// match the transmitted ones. A mismatch means the two sides would disagree
+// on the object layout, and offload must be refused.
+func Decode(b []byte) (*Table, error) {
+	if len(b) < len(magic) || string(b[:len(magic)]) != string(magic) {
+		return nil, ErrBadMagic
+	}
+	d := &decoder{buf: b, pos: len(magic)}
+	nClasses, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if nClasses > 1<<20 {
+		return nil, fmt.Errorf("adt: implausible class count %d", nClasses)
+	}
+	type encodedClass struct {
+		name          string
+		size          uint32
+		presenceOff   uint32
+		presenceWords uint32
+		fields        []encodedField
+	}
+	classes := make([]encodedClass, nClasses)
+	for i := range classes {
+		c := &classes[i]
+		if c.name, err = d.str(); err != nil {
+			return nil, err
+		}
+		vals := make([]uint64, 4)
+		for j := range vals {
+			if vals[j], err = d.varint(); err != nil {
+				return nil, err
+			}
+		}
+		c.size, c.presenceOff, c.presenceWords = uint32(vals[0]), uint32(vals[1]), uint32(vals[2])
+		nf := vals[3]
+		if nf > 1<<16 {
+			return nil, fmt.Errorf("adt: implausible field count %d", nf)
+		}
+		c.fields = make([]encodedField, nf)
+		for j := range c.fields {
+			f := &c.fields[j]
+			if f.name, err = d.str(); err != nil {
+				return nil, err
+			}
+			num, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			f.number = int32(num)
+			kind, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			f.kind = protodesc.Kind(kind)
+			flags, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			f.repeated = flags&1 != 0
+			f.packed = flags&2 != 0
+			for _, dst := range []*uint32{&f.offset, &f.size, &f.elemSize} {
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				*dst = uint32(v)
+			}
+			switch f.kind {
+			case protodesc.KindMessage:
+				id, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				if id >= nClasses {
+					return nil, fmt.Errorf("adt: child class %d out of range", id)
+				}
+				f.childID = uint32(id)
+			case protodesc.KindEnum:
+				if f.enumName, err = d.str(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Reconstruct descriptors with child links in two passes.
+	msgs := make([]*protodesc.Message, nClasses)
+	for i := range msgs {
+		msgs[i] = &protodesc.Message{} // placeholder for links
+	}
+	enums := map[string]*protodesc.Enum{}
+	for i, c := range classes {
+		fields := make([]*protodesc.Field, len(c.fields))
+		for j, ef := range c.fields {
+			f := &protodesc.Field{
+				Name:     ef.name,
+				Number:   ef.number,
+				Kind:     ef.kind,
+				Repeated: ef.repeated,
+				Packed:   ef.packed,
+			}
+			switch ef.kind {
+			case protodesc.KindMessage:
+				f.Message = msgs[ef.childID]
+			case protodesc.KindEnum:
+				e, ok := enums[ef.enumName]
+				if !ok {
+					e = &protodesc.Enum{Name: ef.enumName, Values: []protodesc.EnumValue{{Name: "UNKNOWN", Number: 0}}}
+					enums[ef.enumName] = e
+				}
+				f.Enum = e
+			}
+			fields[j] = f
+		}
+		m, err := protodesc.NewMessage(c.name, fields)
+		if err != nil {
+			return nil, fmt.Errorf("adt: class %d: %w", i, err)
+		}
+		*msgs[i] = *m
+	}
+
+	// Recompute layouts locally and cross-check against transmitted offsets.
+	layouts := abi.ComputeAll(msgs)
+	t := &Table{Layouts: layouts, byName: make(map[string]*abi.Layout, len(layouts))}
+	for i, l := range layouts {
+		l.SetClassID(uint32(i))
+		t.byName[l.Msg.Name] = l
+		c := &classes[i]
+		if l.Size != c.size || l.PresenceOff != c.presenceOff || l.PresenceWords != c.presenceWords {
+			return nil, fmt.Errorf("%w: class %s object shape", ErrIncompatible, c.name)
+		}
+		for j := range l.Fields {
+			lf, ef := &l.Fields[j], &c.fields[j]
+			if lf.Offset != ef.offset || lf.Size != ef.size || lf.ElemSize != ef.elemSize {
+				return nil, fmt.Errorf("%w: %s.%s offsetof/sizeof", ErrIncompatible, c.name, ef.name)
+			}
+		}
+	}
+
+	nSvc, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if nSvc > 1<<16 {
+		return nil, fmt.Errorf("adt: implausible service count %d", nSvc)
+	}
+	for i := uint64(0); i < nSvc; i++ {
+		var sm ServiceMeta
+		if sm.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		nm, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		if nm > 1<<16 {
+			return nil, fmt.Errorf("adt: implausible method count %d", nm)
+		}
+		for j := uint64(0); j < nm; j++ {
+			var m MethodMeta
+			if m.Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			in, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			out, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			if in >= nClasses || out >= nClasses {
+				return nil, fmt.Errorf("adt: service %s method %s: class out of range", sm.Name, m.Name)
+			}
+			m.InClass, m.OutClass = uint32(in), uint32(out)
+			sm.Methods = append(sm.Methods, m)
+		}
+		t.Services = append(t.Services, sm)
+	}
+
+	fp, n := wire.Fixed64(d.buf[d.pos:])
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	d.pos += n
+	if fp != t.Fingerprint() {
+		return nil, fmt.Errorf("%w: table fingerprint", ErrIncompatible)
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("adt: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return t, nil
+}

@@ -1,0 +1,256 @@
+package adt
+
+import (
+	"errors"
+	"testing"
+
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+)
+
+const schema = `
+syntax = "proto3";
+package bench;
+
+enum Color { C0 = 0; C1 = 1; }
+
+message Small {
+  uint32 id = 1;
+  bool flag = 2;
+  Color color = 3;
+}
+
+message IntArray { repeated uint32 values = 1; }
+
+message Node {
+  uint64 key = 1;
+  Node next = 2;
+  Small leaf = 3;
+  repeated string tags = 4 [packed=false];
+  repeated sint64 deltas = 5;
+}
+
+service Bench {
+  rpc Echo (Small) returns (Small);
+  rpc Push (IntArray) returns (Small);
+}
+`
+
+func buildTable(t *testing.T) *Table {
+	t.Helper()
+	f, err := protodsl.Parse("adt_test.proto", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := protodesc.NewRegistry()
+	if err := reg.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestBuildAssignsDeterministicIDs(t *testing.T) {
+	a, b := buildTable(t), buildTable(t)
+	if len(a.Layouts) != 3 {
+		t.Fatalf("got %d classes", len(a.Layouts))
+	}
+	for i := range a.Layouts {
+		if a.Layouts[i].Msg.Name != b.Layouts[i].Msg.Name {
+			t.Error("class order not deterministic")
+		}
+		if a.Layouts[i].ClassID != uint32(i) {
+			t.Error("class IDs not sequential")
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ across builds")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	tab := buildTable(t)
+	small := tab.ByName("bench.Small")
+	if small == nil {
+		t.Fatal("ByName failed")
+	}
+	if tab.ByID(small.ClassID) != small {
+		t.Error("ByID mismatch")
+	}
+	if tab.ByID(999) != nil || tab.ByName("nope") != nil {
+		t.Error("missing lookups should be nil")
+	}
+	svc := tab.Service("bench.Bench")
+	if svc == nil || len(svc.Methods) != 2 {
+		t.Fatal("service metadata missing")
+	}
+	if svc.Methods[0].Name != "Echo" || svc.Methods[1].Name != "Push" {
+		t.Error("method order wrong")
+	}
+	if svc.Methods[1].InClass != tab.ByName("bench.IntArray").ClassID {
+		t.Error("method input class wrong")
+	}
+	if tab.Service("none") != nil {
+		t.Error("missing service should be nil")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tab := buildTable(t)
+	blob := tab.Encode()
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckCompatible(got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != tab.Fingerprint() {
+		t.Error("fingerprint changed through encoding")
+	}
+	// Child links must be reconstructed.
+	node := got.ByName("bench.Node")
+	if node == nil {
+		t.Fatal("Node missing after decode")
+	}
+	if node.FieldByName("next").Child != node {
+		t.Error("recursive child link broken")
+	}
+	if node.FieldByName("leaf").Child != got.ByName("bench.Small") {
+		t.Error("cross-class child link broken")
+	}
+	// Packed flags preserved.
+	if got.ByName("bench.Node").FieldByName("tags").Desc.Packed {
+		t.Error("packed=false lost")
+	}
+	if !node.FieldByName("deltas").Desc.Packed {
+		t.Error("default packed lost")
+	}
+	// Enum fields reconstructed.
+	if got.ByName("bench.Small").FieldByName("color").Kind != protodesc.KindEnum {
+		t.Error("enum kind lost")
+	}
+	// Services preserved.
+	if got.Service("bench.Bench") == nil || len(got.Service("bench.Bench").Methods) != 2 {
+		t.Error("services lost")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tab := buildTable(t)
+	blob := tab.Encode()
+
+	if _, err := Decode(blob[:2]); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("short magic: %v", err)
+	}
+	bad := append([]byte{'X'}, blob[1:]...)
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncations at many points must all fail cleanly.
+	for _, cut := range []int{5, 10, len(blob) / 2, len(blob) - 9, len(blob) - 1} {
+		if cut >= len(blob) {
+			continue
+		}
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Decode(append(append([]byte{}, blob...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Flipping a byte in the middle must be caught by structure checks or
+	// the fingerprint.
+	flip := append([]byte{}, blob...)
+	flip[len(flip)/2] ^= 0xff
+	if _, err := Decode(flip); err == nil {
+		t.Error("bit flip accepted")
+	}
+}
+
+func TestCheckCompatibleAcrossSchemas(t *testing.T) {
+	tab := buildTable(t)
+	f2, err := protodsl.Parse("other.proto", `
+syntax = "proto3";
+package bench;
+message Small { uint64 id = 1; bool flag = 2; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := protodesc.NewRegistry()
+	if err := reg.Register(f2); err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckCompatible(other); err == nil {
+		t.Error("incompatible tables accepted")
+	}
+}
+
+func TestBuildEmptyRegistry(t *testing.T) {
+	reg := protodesc.NewRegistry()
+	tab, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := tab.Encode()
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layouts) != 0 || len(got.Services) != 0 {
+		t.Error("empty table round trip wrong")
+	}
+}
+
+func TestDefaultInstancesTransmitted(t *testing.T) {
+	tab := buildTable(t)
+	got, err := Decode(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range got.Layouts {
+		want := tab.Layouts[i]
+		if len(l.Default) != len(want.Default) {
+			t.Fatalf("class %d default size mismatch", i)
+		}
+		for j := range l.Default {
+			if l.Default[j] != want.Default[j] {
+				t.Fatalf("class %d default byte %d differs", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	f, _ := protodsl.Parse("b.proto", schema)
+	reg := protodesc.NewRegistry()
+	reg.Register(f)
+	tab, _ := Build(reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Encode()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	f, _ := protodsl.Parse("b.proto", schema)
+	reg := protodesc.NewRegistry()
+	reg.Register(f)
+	tab, _ := Build(reg)
+	blob := tab.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

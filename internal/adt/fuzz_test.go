@@ -1,0 +1,57 @@
+package adt
+
+import (
+	"testing"
+
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+)
+
+// FuzzDecode feeds arbitrary bytes to the ADT decoder, which parses data
+// received from the peer at handshake time. Invariants: no panic; any
+// accepted table is internally consistent and re-encodes compatibly.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ADT"))
+	mk := func(src string) []byte {
+		file, err := protodsl.Parse("seed.proto", src)
+		if err != nil {
+			panic(err)
+		}
+		reg := protodesc.NewRegistry()
+		if err := reg.Register(file); err != nil {
+			panic(err)
+		}
+		t, err := Build(reg)
+		if err != nil {
+			panic(err)
+		}
+		return t.Encode()
+	}
+	f.Add(mk(`syntax = "proto3"; message M { int32 a = 1; string s = 2; }`))
+	f.Add(mk(`syntax = "proto3"; package p;
+enum E { Z = 0; }
+message A { B b = 1; repeated E es = 2; }
+message B { A a = 1; bytes raw = 2; }
+service S { rpc F (A) returns (B); }`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		table, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted tables must be self-consistent.
+		for i, l := range table.Layouts {
+			if l.ClassID != uint32(i) {
+				t.Fatalf("class %d has ID %d", i, l.ClassID)
+			}
+		}
+		re, err := Decode(table.Encode())
+		if err != nil {
+			t.Fatalf("accepted table fails re-decode: %v", err)
+		}
+		if err := table.CheckCompatible(re); err != nil {
+			t.Fatalf("accepted table not self-compatible: %v", err)
+		}
+	})
+}

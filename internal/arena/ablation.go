@@ -1,0 +1,85 @@
+package arena
+
+import "dpurpc/internal/mt19937"
+
+// TraceResult summarizes one allocator's behaviour under the out-of-order
+// completion trace.
+type TraceResult struct {
+	Completed int // successful allocations
+	Stalls    int // allocations refused for lack of space
+}
+
+// TraceConfig parameterizes the out-of-order completion trace used by the
+// Sec. IV-A ablation (dynamic allocation vs ring buffer).
+type TraceConfig struct {
+	Space     uint64 // virtual space size
+	BlockSize uint64
+	Align     uint64
+	Inflight  int // blocks outstanding before completions begin
+	Ops       int
+	Seed      uint32
+}
+
+// DefaultTraceConfig mirrors the datapath's shape: 8 KiB-class blocks with
+// a bounded number in flight, completing in random order.
+func DefaultTraceConfig(ops int) TraceConfig {
+	return TraceConfig{
+		Space: 64 * 1024, BlockSize: 4096, Align: 1024,
+		Inflight: 8, Ops: ops, Seed: 42,
+	}
+}
+
+// RunOutOfOrderTrace drives alloc/free with random-order completions. When
+// fifoOnly is set (the ring), a completed block's space is reclaimed only
+// once every older block has completed too — head-of-line blocking.
+func RunOutOfOrderTrace(cfg TraceConfig,
+	alloc func(size, align uint64) (uint64, error),
+	free func(offset uint64) error, fifoOnly bool) (TraceResult, error) {
+	rng := mt19937.New(cfg.Seed)
+	type pending struct {
+		off  uint64
+		done bool
+	}
+	var live []pending
+	var res TraceResult
+	for i := 0; i < cfg.Ops; i++ {
+		if len(live) >= cfg.Inflight {
+			j := int(rng.Uint32n(uint32(len(live))))
+			if fifoOnly {
+				live[j].done = true
+				for len(live) > 0 && live[0].done {
+					if err := free(live[0].off); err != nil {
+						return res, err
+					}
+					live = live[1:]
+				}
+			} else {
+				if err := free(live[j].off); err != nil {
+					return res, err
+				}
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		off, err := alloc(cfg.BlockSize, cfg.Align)
+		if err != nil {
+			res.Stalls++
+			continue
+		}
+		live = append(live, pending{off: off})
+		res.Completed++
+	}
+	return res, nil
+}
+
+// CompareOutOfOrder runs the trace against both allocator designs and
+// returns (dynamic, ring) results — the Sec. IV-A ablation in one call.
+func CompareOutOfOrder(cfg TraceConfig) (dynamic, ring TraceResult, err error) {
+	a := NewAllocator(cfg.Space)
+	dynamic, err = RunOutOfOrderTrace(cfg, a.Alloc, a.Free, false)
+	if err != nil {
+		return
+	}
+	r := NewRing(cfg.Space)
+	ring, err = RunOutOfOrderTrace(cfg, r.Alloc, r.Free, true)
+	return
+}

@@ -1,0 +1,341 @@
+package arena
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := NewAllocator(1024)
+	off, err := a.Alloc(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%8 != 0 {
+		t.Errorf("offset %d not aligned", off)
+	}
+	if a.InUse() != 100 || a.Live() != 1 || a.SizeOf(off) != 100 {
+		t.Error("accounting wrong after alloc")
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 || a.Live() != 0 || a.SizeOf(off) != 0 {
+		t.Error("accounting wrong after free")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	a := NewAllocator(128)
+	if _, err := a.Alloc(0, 8); !errors.Is(err, ErrInvalidSize) {
+		t.Errorf("zero size: %v", err)
+	}
+	if _, err := a.Alloc(8, 3); !errors.Is(err, ErrInvalidAlign) {
+		t.Errorf("bad align: %v", err)
+	}
+	if _, err := a.Alloc(8, 0); !errors.Is(err, ErrInvalidAlign) {
+		t.Errorf("zero align: %v", err)
+	}
+	if _, err := a.Alloc(256, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized: %v", err)
+	}
+	if err := a.Free(64); !errors.Is(err, ErrInvalidFree) {
+		t.Errorf("bogus free: %v", err)
+	}
+	off, _ := a.Alloc(8, 8)
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(off); !errors.Is(err, ErrInvalidFree) {
+		t.Errorf("double free: %v", err)
+	}
+	_, _, failures := a.Stats()
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1", failures)
+	}
+}
+
+func TestAllocAlignmentPadding(t *testing.T) {
+	a := NewAllocator(4096)
+	// Force a misaligned free-list head.
+	first, _ := a.Alloc(10, 1)
+	off, err := a.Alloc(100, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%1024 != 0 {
+		t.Errorf("offset %d not 1024-aligned", off)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// The padding between the 10-byte alloc and the aligned block must be
+	// reusable.
+	small, err := a.Alloc(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= off {
+		t.Errorf("padding not reused: got offset %d", small)
+	}
+	for _, o := range []uint64{first, off, small} {
+		if err := a.Free(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a := NewAllocator(300)
+	o1, _ := a.Alloc(100, 1)
+	o2, _ := a.Alloc(100, 1)
+	o3, _ := a.Alloc(100, 1)
+	// Free in an order that exercises prev-merge, next-merge and both.
+	if err := a.Free(o2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(o1); err != nil { // merges with next
+		t.Fatal(err)
+	}
+	if err := a.Free(o3); err != nil { // merges with prev and trailing space
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Whole space must be allocatable as one block again.
+	if _, err := a.Alloc(300, 1); err != nil {
+		t.Errorf("space not fully coalesced: %v", err)
+	}
+}
+
+func TestOutOfOrderFree(t *testing.T) {
+	// The paper's motivation for a real allocator over a ring buffer:
+	// out-of-order completion. A future block must remain live while an
+	// older one is freed and its space reused.
+	a := NewAllocator(2048)
+	old, _ := a.Alloc(1024, 1)
+	fut, _ := a.Alloc(512, 1)
+	if err := a.Free(old); err != nil {
+		t.Fatal(err)
+	}
+	re, err := a.Alloc(900, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re >= 1024 {
+		t.Errorf("freed space not reused (offset %d)", re)
+	}
+	if a.SizeOf(fut) != 512 {
+		t.Error("future allocation damaged")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakUse(t *testing.T) {
+	a := NewAllocator(1000)
+	o1, _ := a.Alloc(600, 1)
+	a.Free(o1)
+	a.Alloc(100, 1)
+	if a.PeakUse() != 600 {
+		t.Errorf("peak = %d, want 600", a.PeakUse())
+	}
+	allocs, frees, _ := a.Stats()
+	if allocs != 2 || frees != 1 {
+		t.Errorf("stats = %d allocs, %d frees", allocs, frees)
+	}
+}
+
+func TestZeroSizeArena(t *testing.T) {
+	a := NewAllocator(0)
+	if _, err := a.Alloc(1, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("alloc on empty arena: %v", err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomAllocFreeInvariants drives the allocator with random
+// interleaved alloc/free traffic and validates the full invariant set at
+// every step.
+func TestRandomAllocFreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := NewAllocator(1 << 16)
+	var live []uint64
+	aligns := []uint64{1, 2, 4, 8, 16, 64, 256, 1024}
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(100) < 60 || len(live) == 0 {
+			size := uint64(1 + rng.Intn(2000))
+			align := aligns[rng.Intn(len(aligns))]
+			off, err := a.Alloc(size, align)
+			if err == nil {
+				if off%align != 0 {
+					t.Fatalf("step %d: misaligned offset %d (align %d)", step, off, align)
+				}
+				live = append(live, off)
+			} else if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("step %d: unexpected error %v", step, err)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			if err := a.Free(live[i]); err != nil {
+				t.Fatalf("step %d: free failed: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%50 == 0 {
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for _, off := range live {
+		if err := a.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 {
+		t.Errorf("leaked %d bytes", a.InUse())
+	}
+}
+
+// TestAllocDisjointQuick property: any two live allocations are disjoint.
+func TestAllocDisjointQuick(t *testing.T) {
+	type allocation struct{ off, size uint64 }
+	f := func(sizes []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(1 << 15)
+		var lives []allocation
+		for _, s16 := range sizes {
+			size := uint64(s16%4096) + 1
+			off, err := a.Alloc(size, 8)
+			if err != nil {
+				continue
+			}
+			lives = append(lives, allocation{off, size})
+			if rng.Intn(3) == 0 && len(lives) > 0 {
+				i := rng.Intn(len(lives))
+				a.Free(lives[i].off)
+				lives = append(lives[:i], lives[i+1:]...)
+			}
+		}
+		for i := range lives {
+			for j := i + 1; j < len(lives); j++ {
+				x, y := lives[i], lives[j]
+				if x.off < y.off+y.size && y.off < x.off+x.size {
+					return false
+				}
+			}
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBumpBasic(t *testing.T) {
+	b := NewBump(make([]byte, 64))
+	s1, off1, err := b.Alloc(10, 8)
+	if err != nil || off1 != 0 || len(s1) != 10 {
+		t.Fatalf("first alloc: %v off=%d len=%d", err, off1, len(s1))
+	}
+	s2, off2, err := b.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != 16 {
+		t.Errorf("second offset = %d, want 16 (aligned past 10)", off2)
+	}
+	s1[0] = 0xaa
+	s2[0] = 0xbb
+	if b.Bytes()[0] != 0xaa || b.Bytes()[16] != 0xbb {
+		t.Error("slices do not alias backing buffer")
+	}
+	if b.Used() != 24 || b.Cap() != 64 {
+		t.Errorf("Used=%d Cap=%d", b.Used(), b.Cap())
+	}
+}
+
+func TestBumpZeroesReusedMemory(t *testing.T) {
+	b := NewBump(make([]byte, 32))
+	s, _, _ := b.Alloc(16, 1)
+	for i := range s {
+		s[i] = 0xff
+	}
+	b.Reset()
+	s2, _, _ := b.Alloc(16, 1)
+	for i, c := range s2 {
+		if c != 0 {
+			t.Fatalf("byte %d not zeroed after reset: %x", i, c)
+		}
+	}
+}
+
+func TestBumpExhaustion(t *testing.T) {
+	b := NewBump(make([]byte, 16))
+	if _, _, err := b.Alloc(17, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized bump alloc: %v", err)
+	}
+	if _, _, err := b.Alloc(16, 1); err != nil {
+		t.Errorf("exact-fit alloc failed: %v", err)
+	}
+	if _, _, err := b.Alloc(1, 1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("alloc past end: %v", err)
+	}
+	if _, _, err := b.Alloc(-1, 1); !errors.Is(err, ErrInvalidSize) {
+		t.Errorf("negative size: %v", err)
+	}
+	if _, _, err := b.Alloc(1, 3); !errors.Is(err, ErrInvalidAlign) {
+		t.Errorf("bad align: %v", err)
+	}
+}
+
+func TestBumpZeroLength(t *testing.T) {
+	b := NewBump(make([]byte, 8))
+	s, off, err := b.Alloc(0, 8)
+	if err != nil || len(s) != 0 || off != 0 {
+		t.Errorf("zero-length alloc: %v", err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := NewAllocator(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, err := a.Alloc(8192, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBumpAlloc(b *testing.B) {
+	bump := NewBump(make([]byte, 1<<16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bump.Cap()-bump.Used() < 64 {
+			bump.Reset()
+		}
+		if _, _, err := bump.Alloc(48, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package arena
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRingBasicFIFO(t *testing.T) {
+	r := NewRing(1024)
+	o1, err := r.Alloc(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := r.Alloc(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != 2 || r.InUse() == 0 {
+		t.Error("accounting wrong")
+	}
+	if err := r.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(o2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Live() != 0 || r.InUse() != 0 {
+		t.Error("not empty after FIFO frees")
+	}
+	allocs, frees, _ := r.Stats()
+	if allocs != 2 || frees != 2 {
+		t.Error("stats wrong")
+	}
+}
+
+func TestRingRejectsOutOfOrderFree(t *testing.T) {
+	// The paper's exact objection: a future request outliving a past one.
+	r := NewRing(1024)
+	past, _ := r.Alloc(100, 8)
+	future, _ := r.Alloc(100, 8)
+	_ = past
+	if err := r.Free(future); !errors.Is(err, ErrOutOfOrderFree) {
+		t.Fatalf("out-of-order free: %v", err)
+	}
+}
+
+func TestRingHeadOfLineBlocking(t *testing.T) {
+	// One long-lived block pins the tail: even after every other block is
+	// logically complete, the ring cannot reuse their space.
+	r := NewRing(1 << 12)
+	longLived, _ := r.Alloc(256, 8)
+	_ = longLived
+	var done []uint64
+	for {
+		off, err := r.Alloc(256, 8)
+		if err != nil {
+			break
+		}
+		done = append(done, off)
+	}
+	// Everything after the long-lived block is "complete", but none of it
+	// can be freed (FIFO) and no new block fits.
+	if _, err := r.Alloc(256, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("ring should be full")
+	}
+	// The dynamic allocator handles the same trace without stalling.
+	a := NewAllocator(1 << 12)
+	keep, _ := a.Alloc(256, 8)
+	_ = keep
+	var aDone []uint64
+	for i := 0; i < len(done); i++ {
+		off, err := a.Alloc(256, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aDone = append(aDone, off)
+	}
+	for _, off := range aDone { // complete out of order around the pinned block
+		if err := a.Free(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Alloc(256, 8); err != nil {
+		t.Fatalf("dynamic allocator stalled like a ring: %v", err)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(1024)
+	var live []uint64
+	// Fill, drain, refill several times to exercise the edge skip.
+	for cycle := 0; cycle < 20; cycle++ {
+		for {
+			off, err := r.Alloc(192, 64)
+			if err != nil {
+				break
+			}
+			if off%64 != 0 {
+				t.Fatalf("misaligned ring offset %d", off)
+			}
+			if off+192 > 1024 {
+				t.Fatalf("allocation wraps the edge: %d", off)
+			}
+			live = append(live, off)
+		}
+		for _, off := range live {
+			if err := r.Free(off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live = live[:0]
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	r := NewRing(256)
+	if _, err := r.Alloc(0, 8); !errors.Is(err, ErrInvalidSize) {
+		t.Error("zero size accepted")
+	}
+	if _, err := r.Alloc(8, 3); !errors.Is(err, ErrInvalidAlign) {
+		t.Error("bad align accepted")
+	}
+	if _, err := r.Alloc(512, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("oversized accepted")
+	}
+	if err := r.Free(0); !errors.Is(err, ErrInvalidFree) {
+		t.Error("free on empty ring accepted")
+	}
+}
+
+// TestAllocatorVsRingOutOfOrderThroughput quantifies the paper's design
+// choice (Sec. IV-A): under an out-of-order completion trace with bounded
+// in-flight blocks, the dynamic allocator sustains every allocation while
+// the ring (frees deferred until in order) stalls on head-of-line blocking.
+func TestAllocatorVsRingOutOfOrderThroughput(t *testing.T) {
+	cfg := DefaultTraceConfig(2000)
+	dyn, ring, err := CompareOutOfOrder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Stalls != 0 {
+		t.Errorf("dynamic allocator stalled %d times", dyn.Stalls)
+	}
+	if dyn.Completed != cfg.Ops {
+		t.Errorf("dynamic allocator completed %d/%d", dyn.Completed, cfg.Ops)
+	}
+	if ring.Stalls == 0 {
+		t.Error("ring never stalled under out-of-order completion — ablation meaningless")
+	}
+	if ring.Completed >= dyn.Completed {
+		t.Errorf("ring (%d) should complete fewer allocations than the allocator (%d)",
+			ring.Completed, dyn.Completed)
+	}
+	t.Logf("out-of-order trace: allocator %d/%d (0 stalls), ring %d/%d (%d stalls)",
+		dyn.Completed, cfg.Ops, ring.Completed, cfg.Ops, ring.Stalls)
+}
+
+func BenchmarkRingAllocFree(b *testing.B) {
+	r := NewRing(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, err := r.Alloc(8192, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

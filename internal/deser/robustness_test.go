@@ -1,0 +1,143 @@
+package deser
+
+import (
+	"testing"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/arena"
+	"dpurpc/internal/mt19937"
+	"dpurpc/internal/protomsg"
+)
+
+// TestMutationRobustness flips, truncates, and splices bytes of valid wire
+// messages and feeds the result to Measure and Deserialize. The DPU
+// terminates untrusted client connections, so arbitrary bytes must never
+// panic, never overrun the arena, and either fail cleanly or produce an
+// object that can be read and re-serialized without fault.
+func TestMutationRobustness(t *testing.T) {
+	rng := mt19937.New(20240706)
+
+	// A corpus of valid encodings across all message shapes.
+	var corpus [][]byte
+	small := protomsg.New(smallDesc)
+	small.SetUint32("id", 99)
+	small.SetBool("flag", true)
+	small.SetFloat("ratio", 1.25)
+	corpus = append(corpus, small.Marshal(nil))
+
+	every := protomsg.New(everyDesc)
+	every.SetString("s", "mutate me")
+	every.SetInt64("i64", -12345)
+	child := protomsg.New(smallDesc)
+	child.SetUint32("id", 5)
+	every.SetMessage("child", child)
+	for i := 0; i < 30; i++ {
+		every.AppendNum("nums", uint64(i))
+	}
+	every.AppendString("names", "abcdefghijklmnopqrstuvwxyz")
+	kid := protomsg.New(smallDesc)
+	kid.SetUint32("id", 7)
+	every.AppendMessage("kids", kid)
+	corpus = append(corpus, every.Marshal(nil))
+
+	ints := protomsg.New(intArrDesc)
+	for i := 0; i < 64; i++ {
+		ints.AppendNum("values", uint64(i)<<uint(i%20))
+	}
+	corpus = append(corpus, ints.Marshal(nil))
+
+	layouts := []*abi.Layout{smallLay, everyLay, intArrLay}
+
+	mutate := func(src []byte) []byte {
+		out := append([]byte(nil), src...)
+		switch rng.Uint32n(5) {
+		case 0: // single bit flip
+			if len(out) > 0 {
+				i := int(rng.Uint32n(uint32(len(out))))
+				out[i] ^= 1 << rng.Uint32n(8)
+			}
+		case 1: // truncate
+			if len(out) > 1 {
+				out = out[:rng.Uint32n(uint32(len(out)))]
+			}
+		case 2: // byte overwrite run
+			if len(out) > 0 {
+				start := int(rng.Uint32n(uint32(len(out))))
+				for i := start; i < len(out) && i < start+8; i++ {
+					out[i] = byte(rng.Uint32())
+				}
+			}
+		case 3: // splice a chunk of another corpus entry
+			other := corpus[rng.Uint32n(uint32(len(corpus)))]
+			if len(other) > 0 && len(out) > 0 {
+				i := int(rng.Uint32n(uint32(len(out))))
+				out = append(out[:i:i], other[int(rng.Uint32n(uint32(len(other)))):]...)
+			}
+		case 4: // prepend garbage varint tags
+			out = append([]byte{byte(rng.Uint32()), byte(rng.Uint32())}, out...)
+		}
+		return out
+	}
+
+	buf := make([]byte, 1<<20)
+	for trial := 0; trial < 5000; trial++ {
+		src := corpus[rng.Uint32n(uint32(len(corpus)))]
+		lay := layouts[rng.Uint32n(uint32(len(layouts)))]
+		data := mutate(src)
+
+		need, err := Measure(lay, data)
+		if err != nil {
+			continue // rejected at sizing: correct behaviour for garbage
+		}
+		if need > len(buf) {
+			// Implausibly large demand from garbage must still be bounded
+			// by the input (objects + arrays derive from wire content).
+			t.Fatalf("trial %d: Measure demanded %d bytes for %d input bytes",
+				trial, need, len(data))
+		}
+		bump := arena.NewBump(buf[:need])
+		d := New(Options{ValidateUTF8: true})
+		off, err := d.Deserialize(lay, data, bump, 0)
+		if err != nil {
+			continue // rejected during decode: also fine
+		}
+		// Accepted: the object must be fully traversable, structurally
+		// verifiable, and serializable.
+		v := abi.MakeView(&abi.Region{Buf: bump.Bytes()}, off, lay)
+		if !v.Valid() {
+			t.Fatalf("trial %d: accepted object fails validation", trial)
+		}
+		if err := abi.Verify(v); err != nil {
+			t.Fatalf("trial %d: accepted object fails Verify: %v", trial, err)
+		}
+		if _, err := Serialize(v, nil); err != nil {
+			t.Fatalf("trial %d: accepted object cannot re-serialize: %v", trial, err)
+		}
+	}
+}
+
+// TestMeasureDemandBounded: Measure's demand must be linear in the input
+// (objects and arrays all derive from wire bytes), so a small message can
+// never request an enormous arena.
+func TestMeasureDemandBounded(t *testing.T) {
+	rng := mt19937.New(7)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Uint32n(200)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		for _, lay := range []*abi.Layout{smallLay, everyLay, intArrLay, deepLay} {
+			need, err := Measure(lay, data)
+			if err != nil {
+				continue
+			}
+			// Worst case per wire byte: a one-byte nested message field can
+			// cost an object (~max layout size + padding). Bound generously.
+			bound := (len(data) + 2) * (int(lay.Size) + 64)
+			if need > bound {
+				t.Fatalf("trial %d: %d input bytes demand %d arena bytes", trial, len(data), need)
+			}
+		}
+	}
+}

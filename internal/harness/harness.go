@@ -1,0 +1,342 @@
+// Package harness reproduces the paper's evaluation (Sec. VI): it drives
+// the real datapath — the same deserializer, protocol, and buffers the
+// library ships — under the three synthetic workloads, collects the
+// instrumented operation counts, charges them to the calibrated machine
+// model (internal/cpumodel, internal/dpu), and emits the rows of every
+// table and figure.
+//
+// Experiment index (see DESIGN.md): Fig. 7 (RunFig7), Fig. 8a/8b/8c
+// (RunFig8), Table I (TableI), the block-size sweep of Sec. VI-A
+// (BlockSizeSweep), the busy-poll comparison of Sec. III-C (PollModes), and
+// the allocator/LLC observation of Sec. VI-C5 (exercised in the tests and
+// the root benchmarks).
+package harness
+
+import (
+	"fmt"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/dpu"
+	"dpurpc/internal/mt19937"
+	"dpurpc/internal/offload"
+	"dpurpc/internal/protomsg"
+	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/workload"
+	"dpurpc/internal/xrpc"
+)
+
+// Options configure a benchmark run.
+type Options struct {
+	// Requests per scenario per mode.
+	Requests int
+	// Concurrency is the outstanding-request bound (Table I: 1024).
+	Concurrency int
+	// Connections is the number of host<->DPU connections; requests are
+	// distributed round-robin (the paper runs one poller per connection
+	// and reports "an even workload distribution between the cores").
+	Connections int
+	// DistinctMessages is how many pre-generated messages are cycled.
+	DistinctMessages int
+	// Machine is the modeled testbed.
+	Machine *dpu.Machine
+	// ClientCfg/ServerCfg tune the protocol endpoints (Table I defaults).
+	ClientCfg rpcrdma.Config
+	ServerCfg rpcrdma.Config
+	// BusyPoll selects the polling mode (Table I runs use busy polling on
+	// dedicated cores; the poll() comparison is the Sec. III-C ablation).
+	BusyPoll bool
+	// Seed for the Mersenne Twister.
+	Seed uint32
+}
+
+// DefaultOptions returns the Table I configuration.
+func DefaultOptions() Options {
+	return Options{
+		Requests:         20000,
+		Concurrency:      rpcrdma.DefaultConcurrency,
+		Connections:      1,
+		DistinctMessages: 32,
+		Machine:          dpu.Default(),
+		ClientCfg:        rpcrdma.DefaultClientConfig(),
+		ServerCfg:        rpcrdma.DefaultServerConfig(),
+		BusyPoll:         true,
+		Seed:             mt19937.DefaultSeed,
+	}
+}
+
+// Mode distinguishes the two Fig. 8 scenarios.
+type Mode string
+
+// The two datapath modes compared throughout Fig. 8.
+const (
+	ModeCPU Mode = "cpu-deser"   // baseline: host terminates xRPC and deserializes
+	ModeDPU Mode = "dpu-offload" // offloaded: DPU terminates xRPC and deserializes
+)
+
+// Fig8Row is one bar of Fig. 8 (all three subfigures share rows).
+type Fig8Row struct {
+	Scenario workload.Scenario
+	Mode     Mode
+	Result   dpu.Result
+	// MinCredits is the credit low-water mark (must stay positive,
+	// Sec. VI-A: "the credits should also never reach zero").
+	MinCredits uint64
+	// WireBytesPerReq / PCIeBytesPerReq expose the serialized vs
+	// transferred sizes behind Fig. 8b.
+	WireBytesPerReq float64
+	PCIeBytesPerReq float64
+	// ReqMsgsPerBlock is the achieved request batching (offload mode).
+	ReqMsgsPerBlock float64
+}
+
+// emptyImpls returns benchmark service implementations with empty business
+// logic (Sec. VI-C: "the business logic is left empty").
+func emptyImpls(env *workload.Env) map[string]offload.Impl {
+	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
+	return map[string]offload.Impl{
+		"benchpb.Bench": {
+			"CallSmall": empty,
+			"CallInts":  empty,
+			"CallChars": empty,
+		},
+	}
+}
+
+// methodName returns the full xRPC method path for a scenario.
+func methodName(env *workload.Env, s workload.Scenario) string {
+	return xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[s.Method()].Name)
+}
+
+// genPayloads pre-generates the cycled request payloads.
+func genPayloads(env *workload.Env, s workload.Scenario, opts Options) [][]byte {
+	rng := mt19937.New(opts.Seed)
+	out := make([][]byte, opts.DistinctMessages)
+	for i := range out {
+		out[i] = env.Gen(s, rng).Marshal(nil)
+	}
+	return out
+}
+
+// xrpcFrameBytes returns the client-facing wire bytes of one call:
+// request frame (9B header + 2B method length + method + payload) plus the
+// response frame (9B header + 2B status + response payload).
+func xrpcFrameBytes(method string, reqLen, respLen int) int {
+	return 9 + 2 + len(method) + reqLen + 9 + 2 + respLen
+}
+
+// RunFig8 runs both modes for every scenario.
+func RunFig8(opts Options) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, s := range workload.Scenarios() {
+		base, err := RunBaseline(s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %v: %w", s, err)
+		}
+		rows = append(rows, base)
+		off, err := RunOffload(s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("offload %v: %w", s, err)
+		}
+		rows = append(rows, off)
+	}
+	return rows, nil
+}
+
+// RunBaseline runs the CPU-deserialization scenario: the host terminates
+// xRPC, runs the custom arena deserializer on its own cores, and replies.
+func RunBaseline(s workload.Scenario, opts Options) (Fig8Row, error) {
+	env := workload.NewEnv()
+	base, err := offload.NewBaselineServer(env.Table, emptyImpls(env))
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	payloads := genPayloads(env, s, opts)
+	method := methodName(env, s)
+	h := base.XRPCHandler()
+	for i := 0; i < opts.Requests; i++ {
+		status, _ := h(method, payloads[i%len(payloads)])
+		if status != xrpc.StatusOK {
+			return Fig8Row{}, fmt.Errorf("baseline call %d: status %d", i, status)
+		}
+	}
+	st := base.Stats()
+	host := opts.Machine.Host
+	n := float64(st.Requests)
+
+	// Host work: the full server stack per request, the socket-byte cost of
+	// the frames, and the deserialization itself.
+	frameBytes := 0
+	for i := 0; i < opts.Requests; i++ {
+		frameBytes += xrpcFrameBytes(method, len(payloads[i%len(payloads)]), 0)
+	}
+	hostNS := n * host.ReqNS
+	hostNS += host.NetByteNS * float64(frameBytes)
+	hostNS += host.DeserNS(st.Deser)
+
+	// PCIe traffic in the baseline is the NIC's DMA of those frames (the
+	// TCP stream is MTU-coalesced, so no per-operation DMA overhead is
+	// added on top of the framing already counted).
+	linkBytes := uint64(frameBytes)
+
+	r := opts.Machine.Analyze(dpu.Usage{
+		Requests:  st.Requests,
+		HostNS:    hostNS,
+		DPUNS:     0,
+		LinkBytes: linkBytes,
+	})
+	return Fig8Row{
+		Scenario:        s,
+		Mode:            ModeCPU,
+		Result:          r,
+		MinCredits:      0, // no RDMA credits in the baseline
+		WireBytesPerReq: float64(st.WireBytes) / n,
+		PCIeBytesPerReq: float64(linkBytes) / n,
+	}, nil
+}
+
+// RunOffload runs the DPU-offload scenario over the full simulated
+// deployment: ADT handshake, xRPC termination on the DPU, in-place
+// deserialization into protocol blocks, RPC-over-RDMA to the host.
+func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
+	env := workload.NewEnv()
+	ccfg := opts.ClientCfg
+	scfg := opts.ServerCfg
+	ccfg.BusyPoll = true // the harness drives the loops itself
+	scfg.BusyPoll = true
+	conns := opts.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	d, err := offload.NewDeployment(env.Table, emptyImpls(env), conns, ccfg, scfg)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	payloads := genPayloads(env, s, opts)
+	method := methodName(env, s)
+
+	submitted, completed, failed := 0, 0, 0
+	for completed < opts.Requests {
+		for submitted < opts.Requests && submitted-completed < opts.Concurrency {
+			dpuSrv := d.DPUs[submitted%conns] // round-robin across pollers
+			err := dpuSrv.SubmitLocal(method, payloads[submitted%len(payloads)],
+				func(status uint16, errFlag bool, resp []byte) {
+					completed++
+					if status != 0 || errFlag {
+						failed++
+					}
+				})
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			submitted++
+		}
+		for _, dpuSrv := range d.DPUs {
+			if _, err := dpuSrv.Progress(); err != nil {
+				return Fig8Row{}, err
+			}
+		}
+		if _, err := d.Poller.Progress(); err != nil {
+			return Fig8Row{}, err
+		}
+	}
+	if failed > 0 {
+		return Fig8Row{}, fmt.Errorf("offload: %d failed calls", failed)
+	}
+
+	usage, row := offloadUsage(d, method, opts)
+	row.Scenario = s
+	row.Mode = ModeDPU
+	row.Result = opts.Machine.Analyze(usage)
+	return row, nil
+}
+
+// offloadUsage converts the run's counters into modeled core time,
+// aggregated over all connections.
+func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage, Fig8Row) {
+	var st offload.DPUStats
+	var cc, sc rpcrdma.Counters
+	minCredits := ^uint64(0)
+	for _, dpuSrv := range d.DPUs {
+		s := dpuSrv.Stats()
+		st.Requests += s.Requests
+		st.Responses += s.Responses
+		st.MeasuredBytes += s.MeasuredBytes
+		st.RespBytes += s.RespBytes
+		st.Deser.Add(s.Deser)
+		c := dpuSrv.Client().Counters
+		cc.BlocksSent += c.BlocksSent
+		cc.BlocksReceived += c.BlocksReceived
+		cc.PayloadBytesSent += c.PayloadBytesSent
+		if c.MinCreditsSeen < minCredits {
+			minCredits = c.MinCreditsSeen
+		}
+	}
+	for _, conn := range d.Poller.Conns() {
+		c := conn.Counters
+		sc.BlocksSent += c.BlocksSent
+		sc.BlocksReceived += c.BlocksReceived
+		sc.PayloadBytesSent += c.PayloadBytesSent
+		if c.MinCreditsSeen < minCredits {
+			minCredits = c.MinCreditsSeen
+		}
+	}
+	hs := d.Host.Stats()
+	host := opts.Machine.Host
+	dpuP := opts.Machine.DPU
+	n := float64(st.Responses)
+
+	avgReqBlock := int(safeDiv(float64(cc.PayloadBytesSent), float64(cc.BlocksSent)))
+	avgRespBlock := int(safeDiv(float64(sc.PayloadBytesSent), float64(sc.BlocksSent)))
+
+	// DPU: xRPC termination (per request + socket bytes), the in-place
+	// deserialization, response forwarding, and block handling both ways.
+	frameBytes := st.MeasuredBytes + st.RespBytes +
+		uint64(float64(xrpcFrameBytes(method, 0, 0))*n)
+	dpuNS := n * dpuP.ReqNS
+	dpuNS += dpuP.NetByteNS * float64(frameBytes)
+	dpuNS += dpuP.DeserNS(st.Deser)
+	dpuNS += dpuP.CopyByteNS * float64(st.RespBytes) // forwarded verbatim
+	dpuNS += float64(cc.BlocksSent) * dpuP.BlockCostNS(avgReqBlock)
+	dpuNS += float64(cc.BlocksReceived) * dpuP.BlockCostNS(avgRespBlock)
+	if !opts.BusyPoll {
+		dpuNS += dpuP.WakeupNS * float64(cc.BlocksSent+cc.BlocksReceived)
+	}
+
+	// Host: the RPC-over-RDMA server side only — no deserialization, no
+	// socket bytes (the NIC DMAs blocks directly into the receive buffer).
+	hostNS := n * host.RDMAReqNS
+	hostNS += float64(sc.BlocksReceived) * host.BlockCostNS(avgReqBlock)
+	hostNS += float64(sc.BlocksSent) * host.BlockCostNS(avgRespBlock)
+	hostNS += host.SerializeNS(int(hs.ResponseBytes), 0, int(hs.ResponseMsgs))
+	if !opts.BusyPoll {
+		hostNS += host.WakeupNS * float64(sc.BlocksSent+sc.BlocksReceived)
+	}
+
+	linkBytes := d.Link.TotalBytes()
+	row := Fig8Row{
+		MinCredits:      minCredits,
+		WireBytesPerReq: safeDiv(float64(st.MeasuredBytes), n),
+		PCIeBytesPerReq: safeDiv(float64(linkBytes), n),
+		ReqMsgsPerBlock: safeDiv(n, float64(cc.BlocksSent)),
+	}
+	return dpu.Usage{
+		Requests:  st.Responses,
+		HostNS:    hostNS,
+		DPUNS:     dpuNS,
+		LinkBytes: linkBytes,
+	}, row
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+// Package metrics is a small Prometheus-style instrumentation library
+// (counters, gauges, histograms, text exposition) plus the monitoring logic
+// the paper's harness uses: sampling metrics on a fixed period, computing
+// the instant rate of increase from the last two data points, and waiting
+// until the requests-per-second rate is stable within 1% before collecting
+// final results (Sec. VI).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Set forces the counter value (used when mirroring external counters).
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations in fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	counts  []uint64  // len(bounds)+1, last is +Inf
+	sum     float64
+	samples uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.samples == 0 {
+		return math.NaN()
+	}
+	target := uint64(math.Ceil(q * float64(h.samples)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// metric is one named series with labels.
+type metric struct {
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // key: name + labels
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (r *Registry) register(name, help string, labels map[string]string) *metric {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, labels: renderLabels(labels)}
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// Counter returns (registering if needed) a counter with labels.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	m := r.register(name, help, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns (registering if needed) a gauge with labels.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	m := r.register(name, help, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns (registering if needed) a histogram with labels.
+func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) *Histogram {
+	m := r.register(name, help, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		m.h = NewHistogram(bounds)
+	}
+	return m.h
+}
+
+// Render emits the registry in Prometheus text exposition format.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	seenHelp := map[string]bool{}
+	for _, key := range r.order {
+		m := r.metrics[key]
+		if !seenHelp[m.name] && m.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", m.name, m.help)
+			switch {
+			case m.c != nil:
+				fmt.Fprintf(&sb, "# TYPE %s counter\n", m.name)
+			case m.g != nil:
+				fmt.Fprintf(&sb, "# TYPE %s gauge\n", m.name)
+			case m.h != nil:
+				fmt.Fprintf(&sb, "# TYPE %s histogram\n", m.name)
+			}
+			seenHelp[m.name] = true
+		}
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(&sb, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(&sb, "%s%s %g\n", m.name, m.labels, m.g.Value())
+		case m.h != nil:
+			m.h.mu.Lock()
+			var cum uint64
+			for i, b := range m.h.bounds {
+				cum += m.h.counts[i]
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", m.name, mergeLabel(m.labels, fmt.Sprintf(`le="%g"`, b)), cum)
+			}
+			cum += m.h.counts[len(m.h.bounds)]
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", m.name, mergeLabel(m.labels, `le="+Inf"`), cum)
+			fmt.Fprintf(&sb, "%s_sum%s %g\n", m.name, m.labels, m.h.sum)
+			fmt.Fprintf(&sb, "%s_count%s %d\n", m.name, m.labels, m.h.samples)
+			m.h.mu.Unlock()
+		}
+	}
+	return sb.String()
+}
+
+func mergeLabel(existing, extra string) string {
+	if existing == "" {
+		return "{" + extra + "}"
+	}
+	return existing[:len(existing)-1] + "," + extra + "}"
+}

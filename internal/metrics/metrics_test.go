@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("value = %d", c.Value())
+	}
+	c.Set(3)
+	if c.Value() != 3 {
+		t.Error("Set failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("lost increments: %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Error("gauge wrong")
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Error("gauge update wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 556.2 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %g", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %g", q)
+	}
+	empty := NewHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rpc_requests_total", "Total requests.", map[string]string{"conn": "0", "side": "client"})
+	c.Add(42)
+	g := r.Gauge("rpc_credits", "Current credits.", nil)
+	g.Set(256)
+	h := r.Histogram("rpc_latency_us", "Latency.", nil, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	out := r.Render()
+	for _, want := range []string{
+		`# TYPE rpc_requests_total counter`,
+		`rpc_requests_total{conn="0",side="client"} 42`,
+		`rpc_credits 256`,
+		`rpc_latency_us_bucket{le="1"} 1`,
+		`rpc_latency_us_bucket{le="10"} 2`,
+		`rpc_latency_us_bucket{le="+Inf"} 2`,
+		`rpc_latency_us_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Same name+labels returns the same instance.
+	if r.Counter("rpc_requests_total", "", map[string]string{"side": "client", "conn": "0"}) != c {
+		t.Error("registry deduplication broken")
+	}
+}
+
+func TestRateMonitorInstantRate(t *testing.T) {
+	m := NewRateMonitor()
+	if r := m.Sample(0, 0); r != 0 {
+		t.Error("first sample should have no rate")
+	}
+	if r := m.Sample(1, 1000); r != 1000 {
+		t.Errorf("rate = %g", r)
+	}
+	if r := m.Sample(3, 5000); r != 2000 {
+		t.Errorf("rate = %g", r)
+	}
+	if m.Rate() != 2000 {
+		t.Error("Rate() wrong")
+	}
+}
+
+func TestRateMonitorStability(t *testing.T) {
+	m := NewRateMonitor()
+	m.Sample(0, 0)
+	m.Sample(1, 1000) // rate 1000
+	if m.IsStable() {
+		t.Error("stable after one rate")
+	}
+	m.Sample(2, 2005) // rate 1005: within 1%
+	m.Sample(3, 3010) // rate 1005: within 1%
+	if !m.IsStable() {
+		t.Error("should be stable after two consistent rates")
+	}
+	m.Sample(4, 5000) // rate 1990: jump resets stability
+	if m.IsStable() {
+		t.Error("stability not reset on jump")
+	}
+	if m.Samples() != 5 {
+		t.Errorf("samples = %d", m.Samples())
+	}
+	m.Reset()
+	if m.Samples() != 0 || m.IsStable() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRateMonitorDegenerateTime(t *testing.T) {
+	m := NewRateMonitor()
+	m.Sample(0, 0)
+	m.Sample(1, 100)
+	if r := m.Sample(1, 200); r != 100 {
+		t.Errorf("zero-dt sample should return last rate, got %g", r)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if relDiff(0, 0) != 0 {
+		t.Error("relDiff(0,0)")
+	}
+	if d := relDiff(100, 101); d < 0.009 || d > 0.011 {
+		t.Errorf("relDiff = %g", d)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+)
+
+// RateMonitor implements the paper's measurement procedure (Sec. VI): a
+// monitoring process samples a counter on a fixed period, derives the
+// per-second increase rate from the last two data points ("instant rate of
+// increase"), and declares the rate stable once consecutive rates agree
+// within a tolerance (1% in the paper) for a required number of samples.
+//
+// The monitor is clock-agnostic: callers pass the sample timestamp in
+// seconds, which lets the simulation harness drive it with virtual time.
+type RateMonitor struct {
+	// Tolerance is the relative rate change considered stable (0.01 = 1%).
+	Tolerance float64
+	// StableSamples is how many consecutive within-tolerance rates are
+	// required before IsStable reports true.
+	StableSamples int
+
+	lastValue uint64
+	lastTime  float64
+	haveLast  bool
+
+	lastRate float64
+	haveRate bool
+	stable   int
+	samples  int
+}
+
+// NewRateMonitor returns a monitor with the paper's 1% tolerance and a
+// two-sample stability requirement.
+func NewRateMonitor() *RateMonitor {
+	return &RateMonitor{Tolerance: 0.01, StableSamples: 2}
+}
+
+// Sample records (t seconds, counter value) and returns the instant rate of
+// increase computed from the last two data points (0 until two samples
+// exist).
+func (m *RateMonitor) Sample(t float64, value uint64) float64 {
+	m.samples++
+	if !m.haveLast {
+		m.lastValue, m.lastTime, m.haveLast = value, t, true
+		return 0
+	}
+	dt := t - m.lastTime
+	if dt <= 0 {
+		return m.lastRate
+	}
+	rate := float64(value-m.lastValue) / dt
+	m.lastValue, m.lastTime = value, t
+
+	if m.haveRate {
+		if relDiff(rate, m.lastRate) <= m.Tolerance {
+			m.stable++
+		} else {
+			m.stable = 0
+		}
+	}
+	m.lastRate, m.haveRate = rate, true
+	return rate
+}
+
+// Rate returns the most recent instant rate.
+func (m *RateMonitor) Rate() float64 { return m.lastRate }
+
+// IsStable reports whether the rate has been within tolerance for the
+// required number of consecutive samples.
+func (m *RateMonitor) IsStable() bool { return m.stable >= m.StableSamples }
+
+// Samples returns the number of samples taken.
+func (m *RateMonitor) Samples() int { return m.samples }
+
+// Reset clears all state.
+func (m *RateMonitor) Reset() {
+	*m = RateMonitor{Tolerance: m.Tolerance, StableSamples: m.StableSamples}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

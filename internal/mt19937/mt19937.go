@@ -1,0 +1,144 @@
+// Package mt19937 implements the 32-bit Mersenne Twister pseudorandom number
+// generator (Matsumoto & Nishimura, 1998).
+//
+// The paper's workloads (Sec. VI-B) use "a Mersenne twister with a constant
+// seed for reproducibility" to generate message contents; this package is
+// that generator, so the synthetic messages here are bit-reproducible across
+// runs and across the host/DPU sides.
+package mt19937
+
+const (
+	n         = 624
+	m         = 397
+	matrixA   = 0x9908b0df
+	upperMask = 0x80000000
+	lowerMask = 0x7fffffff
+)
+
+// DefaultSeed is the canonical MT19937 seed from the reference
+// implementation, used by the workload generators.
+const DefaultSeed = 5489
+
+// Source is a Mersenne Twister state. It is not safe for concurrent use;
+// each worker owns its own Source.
+type Source struct {
+	state [n]uint32
+	index int
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint32) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator state from a 32-bit seed using the reference
+// initialization (init_genrand).
+func (s *Source) Seed(seed uint32) {
+	s.state[0] = seed
+	for i := uint32(1); i < n; i++ {
+		s.state[i] = 1812433253*(s.state[i-1]^(s.state[i-1]>>30)) + i
+	}
+	s.index = n
+}
+
+// SeedSlice initializes the state from a key array (init_by_array), used to
+// derive independent per-connection streams from a base seed.
+func (s *Source) SeedSlice(key []uint32) {
+	s.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if n > k {
+		k = n
+	}
+	for ; k > 0; k-- {
+		s.state[i] = (s.state[i] ^ ((s.state[i-1] ^ (s.state[i-1] >> 30)) * 1664525)) + key[j] + uint32(j)
+		i++
+		j++
+		if i >= n {
+			s.state[0] = s.state[n-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = n - 1; k > 0; k-- {
+		s.state[i] = (s.state[i] ^ ((s.state[i-1] ^ (s.state[i-1] >> 30)) * 1566083941)) - uint32(i)
+		i++
+		if i >= n {
+			s.state[0] = s.state[n-1]
+			i = 1
+		}
+	}
+	s.state[0] = 0x80000000
+	s.index = n
+}
+
+// Uint32 returns the next 32 bits from the generator.
+func (s *Source) Uint32() uint32 {
+	if s.index >= n {
+		s.generate()
+	}
+	y := s.state[s.index]
+	s.index++
+	// Tempering.
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+func (s *Source) generate() {
+	var y uint32
+	for i := 0; i < n-m; i++ {
+		y = (s.state[i] & upperMask) | (s.state[i+1] & lowerMask)
+		s.state[i] = s.state[i+m] ^ (y >> 1) ^ ((y & 1) * matrixA)
+	}
+	for i := n - m; i < n-1; i++ {
+		y = (s.state[i] & upperMask) | (s.state[i+1] & lowerMask)
+		s.state[i] = s.state[i+m-n] ^ (y >> 1) ^ ((y & 1) * matrixA)
+	}
+	y = (s.state[n-1] & upperMask) | (s.state[0] & lowerMask)
+	s.state[n-1] = s.state[m-1] ^ (y >> 1) ^ ((y & 1) * matrixA)
+	s.index = 0
+}
+
+// Uint64 returns 64 bits composed of two successive 32-bit outputs
+// (high word first, matching genrand_int64 conventions of common ports).
+func (s *Source) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Int63 returns a non-negative 63-bit integer, satisfying the shape of
+// math/rand.Source for interoperability.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Uint32n returns a uniform value in [0, bound) using rejection sampling,
+// so small bounds are unbiased.
+func (s *Source) Uint32n(bound uint32) uint32 {
+	if bound == 0 {
+		return 0
+	}
+	// Lemire-style threshold rejection on the low word.
+	threshold := -bound % bound
+	for {
+		v := s.Uint32()
+		prod := uint64(v) * uint64(bound)
+		if uint32(prod) >= threshold {
+			return uint32(prod >> 32)
+		}
+	}
+}
+
+// Float64 returns a value in [0,1) with 53-bit resolution
+// (genrand_res53 from the reference implementation).
+func (s *Source) Float64() float64 {
+	a := s.Uint32() >> 5
+	b := s.Uint32() >> 6
+	return (float64(a)*67108864.0 + float64(b)) / 9007199254740992.0
+}

@@ -1,0 +1,136 @@
+package mt19937
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference outputs for init_genrand(5489) from the canonical
+// mt19937ar.c implementation.
+var reference5489 = []uint32{
+	3499211612, 581869302, 3890346734, 3586334585, 545404204,
+	4161255391, 3922919429, 949333985, 2715962298, 1323567403,
+}
+
+func TestReferenceSequence(t *testing.T) {
+	s := New(DefaultSeed)
+	for i, want := range reference5489 {
+		if got := s.Uint32(); got != want {
+			t.Fatalf("output %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Reference outputs for init_by_array({0x123, 0x234, 0x345, 0x456}),
+// the test vector published with mt19937ar.c.
+var referenceArray = []uint32{
+	1067595299, 955945823, 477289528, 4107218783, 4228976476,
+	3344332714, 3355579695, 227628506, 810200273, 2591290167,
+}
+
+func TestReferenceSeedSlice(t *testing.T) {
+	s := &Source{}
+	s.SeedSlice([]uint32{0x123, 0x234, 0x345, 0x456})
+	for i, want := range referenceArray {
+		if got := s.Uint32(); got != want {
+			t.Fatalf("array-seeded output %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 10000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds matched %d/1000 outputs", same)
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	s := New(7)
+	for _, bound := range []uint32{1, 2, 3, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			if v := s.Uint32n(bound); v >= bound {
+				t.Fatalf("Uint32n(%d) = %d", bound, v)
+			}
+		}
+	}
+	if s.Uint32n(0) != 0 {
+		t.Error("Uint32n(0) != 0")
+	}
+}
+
+func TestUint32nUniformish(t *testing.T) {
+	s := New(99)
+	const bound, draws = 8, 80000
+	var counts [bound]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint32n(bound)]++
+	}
+	want := draws / bound
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint32) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("negative Int63")
+		}
+	}
+}
+
+func TestReseed(t *testing.T) {
+	s := New(DefaultSeed)
+	first := make([]uint32, 100)
+	for i := range first {
+		first[i] = s.Uint32()
+	}
+	s.Seed(DefaultSeed)
+	for i := range first {
+		if got := s.Uint32(); got != first[i] {
+			t.Fatalf("after reseed, output %d = %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func BenchmarkUint32(b *testing.B) {
+	s := New(DefaultSeed)
+	for i := 0; i < b.N; i++ {
+		s.Uint32()
+	}
+}

@@ -1,0 +1,168 @@
+package offload
+
+import (
+	"fmt"
+	"time"
+
+	"dpurpc/internal/adt"
+	"dpurpc/internal/fabric"
+	"dpurpc/internal/rdma"
+	"dpurpc/internal/rpcrdma"
+)
+
+// Handshake transmits the host's encoded ADT to the DPU over a two-sided
+// control channel and returns the DPU's decoded table. This happens once at
+// application start (Sec. V-B: "the ADT is transmitted from the host to the
+// DPU at the start of the application"); Decode independently recomputes
+// every layout and verifies the binary-compatibility contract of Sec. V-A.
+func Handshake(hostDev, dpuDev *rdma.Device, hostTable *adt.Table) (*adt.Table, error) {
+	hostPD := hostDev.AllocPD()
+	dpuPD := dpuDev.AllocPD()
+	hostCQ := rdma.NewCQ(4)
+	dpuCQ := rdma.NewCQ(4)
+	hostQP := hostPD.CreateQP(hostCQ, rdma.NewCQ(4), nil)
+	dpuQP := dpuPD.CreateQP(rdma.NewCQ(4), dpuCQ, nil)
+	rdma.Connect(hostQP, dpuQP)
+	defer hostQP.Close()
+	defer dpuQP.Close()
+
+	blob := hostTable.Encode()
+	recvBuf := make([]byte, len(blob))
+	if err := dpuQP.PostRecv(rdma.RecvWR{WRID: 1, Buf: recvBuf}); err != nil {
+		return nil, err
+	}
+	if err := hostQP.PostSend(1, blob); err != nil {
+		return nil, err
+	}
+	var cqes [1]rdma.CQE
+	if n := dpuCQ.Wait(cqes[:], time.Second); n != 1 || cqes[0].Status != rdma.StatusOK {
+		return nil, fmt.Errorf("offload: ADT handshake failed")
+	}
+	dpuTable, err := adt.Decode(recvBuf[:cqes[0].ByteLen])
+	if err != nil {
+		return nil, fmt.Errorf("offload: ADT rejected by DPU: %w", err)
+	}
+	if err := hostTable.CheckCompatible(dpuTable); err != nil {
+		return nil, err
+	}
+	return dpuTable, nil
+}
+
+// Deployment is a fully wired offloaded stack over one simulated PCIe link:
+// one host server shared by every connection (dispatching through one or
+// more server pollers) and one DPU server per connection.
+type Deployment struct {
+	Link *fabric.Link
+	Host *HostServer
+	// Poller is the first host poller (the common single-poller case).
+	Poller *rpcrdma.ServerPoller
+	// Pollers are all host poller threads; connections are spread across
+	// them round-robin.
+	Pollers []*rpcrdma.ServerPoller
+	DPUs    []*DPUServer
+}
+
+// ProgressHost advances every host poller once and returns the total number
+// of request blocks processed.
+func (d *Deployment) ProgressHost() (int, error) {
+	total := 0
+	for _, p := range d.Pollers {
+		n, err := p.Progress()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close stops all background worker pools.
+func (d *Deployment) Close() {
+	for _, p := range d.Pollers {
+		p.Close()
+	}
+}
+
+// DeployConfig extends the basic deployment knobs with the optional
+// protocol extensions.
+type DeployConfig struct {
+	// Connections between the DPU and the host (one DPU poller each).
+	Connections int
+	ClientCfg   rpcrdma.Config
+	ServerCfg   rpcrdma.Config
+	// OffloadResponseSerialization moves response serialization to the DPU
+	// too: the host writes response objects into the shared region and the
+	// DPU produces the protobuf bytes (Sec. III-A's symmetric extension).
+	OffloadResponseSerialization bool
+	// HostPollers is the number of host-side poller threads; connections
+	// are distributed round-robin (Sec. III-C: a server poller may share
+	// several connections; Table I runs 8 host threads). Default 1.
+	HostPollers int
+	// BackgroundWorkers > 0 runs host handlers on a worker pool instead of
+	// the poller thread (Sec. III-D's background RPCs).
+	BackgroundWorkers int
+}
+
+// NewDeployment performs the handshake and wires conns connections between
+// a DPU and the host. impls provides the host-side business logic.
+func NewDeployment(hostTable *adt.Table, impls map[string]Impl, conns int,
+	ccfg, scfg rpcrdma.Config) (*Deployment, error) {
+	return NewDeploymentWith(hostTable, impls, DeployConfig{
+		Connections: conns, ClientCfg: ccfg, ServerCfg: scfg,
+	})
+}
+
+// NewDeploymentWith is NewDeployment with the extension knobs.
+func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployConfig) (*Deployment, error) {
+	conns := cfg.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	ccfg := cfg.ClientCfg.WithDefaults(true)
+	scfg := cfg.ServerCfg.WithDefaults(false)
+	scfg.BackgroundWorkers = cfg.BackgroundWorkers
+	link := fabric.NewLink()
+	dpuDev := rdma.NewDevice("dpu", link, fabric.DPUToHost)
+	hostDev := rdma.NewDevice("host", link, fabric.HostToDPU)
+
+	dpuTable, err := Handshake(hostDev, dpuDev, hostTable)
+	if err != nil {
+		return nil, err
+	}
+	host, err := NewHostServer(hostTable, impls)
+	if err != nil {
+		return nil, err
+	}
+	host.SetResponseObjects(cfg.OffloadResponseSerialization)
+	hostPollers := cfg.HostPollers
+	if hostPollers <= 0 {
+		hostPollers = 1
+	}
+	if hostPollers > conns {
+		hostPollers = conns
+	}
+	// Size each shared server CQ for its share of connections.
+	perPoller := (conns + hostPollers - 1) / hostPollers
+	pollerCfg := scfg
+	if pollerCfg.CQDepth < perPoller*(ccfg.Credits+16) {
+		pollerCfg.CQDepth = perPoller * (ccfg.Credits + 16)
+	}
+	d := &Deployment{Link: link, Host: host}
+	for i := 0; i < hostPollers; i++ {
+		d.Pollers = append(d.Pollers, rpcrdma.NewServerPoller(pollerCfg))
+	}
+	d.Poller = d.Pollers[0]
+	for i := 0; i < conns; i++ {
+		poller := d.Pollers[i%hostPollers]
+		client, _, err := rpcrdma.Connect(dpuDev, hostDev, ccfg, scfg, poller, host.Handler())
+		if err != nil {
+			return nil, err
+		}
+		dpu, err := NewDPUServer(dpuTable, client)
+		if err != nil {
+			return nil, err
+		}
+		d.DPUs = append(d.DPUs, dpu)
+	}
+	return d, nil
+}

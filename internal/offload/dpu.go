@@ -1,0 +1,318 @@
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/adt"
+	"dpurpc/internal/arena"
+	"dpurpc/internal/deser"
+	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/xrpc"
+)
+
+// ErrShuttingDown is returned to xRPC calls submitted after Close.
+var ErrShuttingDown = errors.New("offload: DPU server shutting down")
+
+// DPUStats aggregates the DPU-side work.
+type DPUStats struct {
+	Requests      uint64
+	Responses     uint64
+	Errors        uint64
+	MeasuredBytes uint64 // wire bytes measured + deserialized
+	RespBytes     uint64 // response payload bytes received from the host
+	// SerializedBytes counts response bytes the DPU itself serialized
+	// (response-serialization offload mode).
+	SerializedBytes uint64
+	Deser           deser.Stats
+}
+
+// callTask carries one xRPC request from its connection goroutine to the
+// connection's poller.
+type callTask struct {
+	procID  uint16
+	entry   *procEntry
+	need    int
+	data    []byte
+	deliver func(callResult)
+}
+
+type callResult struct {
+	status uint16
+	err    bool
+	resp   []byte
+}
+
+// DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
+// terminates xRPC calls, runs the request deserialization on the DPU, and
+// forwards built objects to the host (Sec. III-A). One poller goroutine
+// must own Progress (the per-connection client poller of Sec. III-C);
+// xRPC connection goroutines submit work through a channel, which is the
+// many-to-one-to-one multiplexing of the paper.
+type DPUServer struct {
+	table  *adt.Table
+	procs  *procTable
+	client *rpcrdma.ClientConn
+
+	submit chan *callTask
+	retry  []*callTask
+	d      *deser.Deserializer
+	closed atomic.Bool
+
+	requests   atomic.Uint64
+	responses  atomic.Uint64
+	errors     atomic.Uint64
+	measured   atomic.Uint64
+	respBytes  atomic.Uint64
+	serialized atomic.Uint64
+}
+
+// NewDPUServer builds the DPU side from the table received at handshake and
+// an established RPC-over-RDMA client connection.
+func NewDPUServer(table *adt.Table, client *rpcrdma.ClientConn) (*DPUServer, error) {
+	procs, err := buildProcTable(table, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DPUServer{
+		table:  table,
+		procs:  procs,
+		client: client,
+		submit: make(chan *callTask, 4096),
+		d:      deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true}),
+	}, nil
+}
+
+// Client returns the underlying RPC-over-RDMA connection.
+func (d *DPUServer) Client() *rpcrdma.ClientConn { return d.client }
+
+// Stats returns a snapshot of the DPU-side counters. The deserializer stats
+// are owned by the poller goroutine; call Stats only when the poller is
+// quiescent or from the poller itself.
+func (d *DPUServer) Stats() DPUStats {
+	return DPUStats{
+		Requests:        d.requests.Load(),
+		Responses:       d.responses.Load(),
+		Errors:          d.errors.Load(),
+		MeasuredBytes:   d.measured.Load(),
+		RespBytes:       d.respBytes.Load(),
+		SerializedBytes: d.serialized.Load(),
+		Deser:           d.d.Stats,
+	}
+}
+
+// XRPCHandler terminates xRPC calls: it resolves the method, sizes the
+// deserialized form (deser.Measure), and hands the request to the poller.
+// It blocks until the host's response arrives, preserving the synchronous
+// xRPC contract per connection.
+func (d *DPUServer) XRPCHandler() xrpc.ServerHandler {
+	return func(method string, payload []byte) (uint16, []byte) {
+		id, ok := d.procs.byName[method]
+		if !ok {
+			d.errors.Add(1)
+			return xrpc.StatusUnimplemented, nil
+		}
+		e := d.procs.byID(id)
+		need, err := deser.Measure(e.in, payload)
+		if err != nil {
+			d.errors.Add(1)
+			return xrpc.StatusInvalidArgument, nil
+		}
+		if d.closed.Load() {
+			return xrpc.StatusInternal, nil
+		}
+		done := make(chan callResult, 1)
+		task := &callTask{
+			procID:  id,
+			entry:   e,
+			need:    need,
+			data:    payload,
+			deliver: func(r callResult) { done <- r },
+		}
+		d.submit <- task
+		// Close the shutdown race: if the poller exited between the closed
+		// check above and the send, its final drain may have run before our
+		// task landed in the channel. Once closed is visible, submitters
+		// drain the channel themselves so no caller blocks forever.
+		if d.closed.Load() {
+			d.drainSubmit(ErrShuttingDown)
+		}
+		res := <-done
+		if res.err {
+			d.errors.Add(1)
+		}
+		return res.status, res.resp
+	}
+}
+
+// SubmitLocal enqueues one pre-resolved request from the poller goroutine
+// itself (no cross-goroutine handoff): the fast path used by the benchmark
+// harness, which plays the role of the DPU's xRPC front end. cb runs from a
+// later Progress call; its resp slice aliases the receive block and must
+// not be retained.
+func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(status uint16, errFlag bool, resp []byte)) error {
+	id, ok := d.procs.byName[fullMethod]
+	if !ok {
+		return fmt.Errorf("offload: unknown method %q", fullMethod)
+	}
+	e := d.procs.byID(id)
+	need, err := deser.Measure(e.in, payload)
+	if err != nil {
+		return err
+	}
+	d.retry = append(d.retry, &callTask{
+		procID: id,
+		entry:  e,
+		need:   need,
+		data:   payload,
+		deliver: func(r callResult) {
+			cb(r.status, r.err, r.resp)
+		},
+	})
+	return nil
+}
+
+// enqueue registers one task with the protocol client. The deserialization
+// runs inside Build, writing the object graph directly into the outgoing
+// block — the in-place deserialization of Sec. V.
+func (d *DPUServer) enqueue(task *callTask) error {
+	return d.client.Enqueue(rpcrdma.CallSpec{
+		Method: task.procID,
+		Size:   task.need,
+		Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+			bump := arena.NewBump(dst)
+			rootAbs, err := d.d.Deserialize(task.entry.in, task.data, bump, regionOff)
+			if err != nil {
+				return 0, 0, err
+			}
+			d.measured.Add(uint64(len(task.data)))
+			return uint32(rootAbs - regionOff), bump.Used(), nil
+		},
+		OnResponse: func(resp rpcrdma.Response) {
+			d.responses.Add(1)
+			d.respBytes.Add(uint64(len(resp.Payload)))
+			var out []byte
+			if resp.Object {
+				// Response-serialization offload: the payload is a
+				// shared-region object graph; the DPU serializes it into
+				// the xRPC response (Sec. III-A's symmetric extension).
+				view := abi.MakeView(
+					&abi.Region{Buf: resp.Payload, Base: resp.RegionOff},
+					resp.RegionOff+uint64(resp.Root), task.entry.out)
+				serialized, err := deser.Serialize(view, nil)
+				if err != nil {
+					d.failTask(task, err)
+					return
+				}
+				d.serialized.Add(uint64(len(serialized)))
+				out = serialized
+			} else if len(resp.Payload) > 0 {
+				// Host-serialized protobuf: copy it out of the block (its
+				// slot is recycled after this continuation) and forward
+				// verbatim.
+				out = append([]byte(nil), resp.Payload...)
+			}
+			task.deliver(callResult{
+				status: resp.Status,
+				err:    resp.Err,
+				resp:   out,
+			})
+		},
+	})
+}
+
+// Progress runs one iteration of the DPU poller: it admits submitted tasks
+// (respecting protocol backpressure) and advances the protocol event loop.
+// It returns the number of response blocks processed.
+func (d *DPUServer) Progress() (int, error) {
+	// Re-admit tasks deferred by backpressure first, preserving order.
+	for len(d.retry) > 0 {
+		if err := d.enqueue(d.retry[0]); err != nil {
+			if errors.Is(err, arena.ErrOutOfMemory) {
+				return d.progressClient()
+			}
+			d.failTask(d.retry[0], err)
+		} else {
+			d.requests.Add(1)
+		}
+		d.retry = d.retry[0:copy(d.retry, d.retry[1:])]
+	}
+	for {
+		select {
+		case task := <-d.submit:
+			if err := d.enqueue(task); err != nil {
+				if errors.Is(err, arena.ErrOutOfMemory) {
+					d.retry = append(d.retry, task)
+					return d.progressClient()
+				}
+				d.failTask(task, err)
+				continue
+			}
+			d.requests.Add(1)
+		default:
+			return d.progressClient()
+		}
+	}
+}
+
+func (d *DPUServer) progressClient() (int, error) {
+	n, err := d.client.Progress()
+	if err != nil {
+		d.failAll(err)
+	}
+	return n, err
+}
+
+func (d *DPUServer) failTask(task *callTask, err error) {
+	d.errors.Add(1)
+	task.deliver(callResult{status: xrpc.StatusInternal, err: true,
+		resp: []byte(fmt.Sprintf("offload: %v", err))})
+}
+
+func (d *DPUServer) failAll(err error) {
+	for len(d.retry) > 0 {
+		d.failTask(d.retry[0], err)
+		d.retry = d.retry[1:]
+	}
+	d.drainSubmit(err)
+}
+
+// drainSubmit fails every queued task. Unlike failAll it touches no
+// poller-owned state, so blocked submitters may call it after shutdown.
+func (d *DPUServer) drainSubmit(err error) {
+	for {
+		select {
+		case task := <-d.submit:
+			d.failTask(task, err)
+		default:
+			return
+		}
+	}
+}
+
+// Run drives Progress until stop closes — the dedicated per-connection
+// poller thread of Sec. III-C. On exit every queued and in-flight request
+// is failed, so no xRPC caller blocks on a response that cannot arrive.
+func (d *DPUServer) Run(stop <-chan struct{}) {
+	shutdown := func(err error) {
+		d.closed.Store(true)
+		d.failAll(err)
+		// Outstanding protocol requests will never see responses now that
+		// the poller is gone; fail their continuations.
+		d.client.Abort(xrpc.StatusInternal)
+	}
+	for {
+		select {
+		case <-stop:
+			shutdown(ErrShuttingDown)
+			return
+		default:
+			if _, err := d.Progress(); err != nil {
+				shutdown(err)
+				return
+			}
+		}
+	}
+}

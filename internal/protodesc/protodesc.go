@@ -1,0 +1,367 @@
+// Package protodesc defines the descriptor model for proto3 messages: field
+// kinds, message and enum descriptors, and a type registry.
+//
+// Descriptors are the single source of truth consumed by the dynamic message
+// implementation (internal/protomsg), the ABI layout engine (internal/abi),
+// and the Accelerator Description Table builder (internal/adt). They play the
+// role of protoc's FileDescriptorProto in the paper's toolchain.
+package protodesc
+
+import (
+	"fmt"
+	"sort"
+
+	"dpurpc/internal/wire"
+)
+
+// Kind identifies a proto3 field scalar type.
+type Kind uint8
+
+// The proto3 field kinds supported by this implementation (the paper's
+// subset: primitive types, strings/bytes, enums, and nested messages).
+const (
+	KindInvalid Kind = iota
+	KindBool
+	KindInt32
+	KindSint32
+	KindUint32
+	KindInt64
+	KindSint64
+	KindUint64
+	KindFixed32
+	KindSfixed32
+	KindFixed64
+	KindSfixed64
+	KindFloat
+	KindDouble
+	KindString
+	KindBytes
+	KindEnum
+	KindMessage
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid", KindBool: "bool",
+	KindInt32: "int32", KindSint32: "sint32", KindUint32: "uint32",
+	KindInt64: "int64", KindSint64: "sint64", KindUint64: "uint64",
+	KindFixed32: "fixed32", KindSfixed32: "sfixed32",
+	KindFixed64: "fixed64", KindSfixed64: "sfixed64",
+	KindFloat: "float", KindDouble: "double",
+	KindString: "string", KindBytes: "bytes",
+	KindEnum: "enum", KindMessage: "message",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromName maps a proto3 scalar type name to its Kind. It returns
+// KindInvalid for names that are not scalar types (message/enum references
+// are resolved separately by the parser).
+func KindFromName(s string) Kind {
+	switch s {
+	case "bool":
+		return KindBool
+	case "int32":
+		return KindInt32
+	case "sint32":
+		return KindSint32
+	case "uint32":
+		return KindUint32
+	case "int64":
+		return KindInt64
+	case "sint64":
+		return KindSint64
+	case "uint64":
+		return KindUint64
+	case "fixed32":
+		return KindFixed32
+	case "sfixed32":
+		return KindSfixed32
+	case "fixed64":
+		return KindFixed64
+	case "sfixed64":
+		return KindSfixed64
+	case "float":
+		return KindFloat
+	case "double":
+		return KindDouble
+	case "string":
+		return KindString
+	case "bytes":
+		return KindBytes
+	}
+	return KindInvalid
+}
+
+// WireType returns the wire type used for a singular value of kind k.
+func (k Kind) WireType() wire.Type {
+	switch k {
+	case KindBool, KindInt32, KindSint32, KindUint32, KindInt64, KindSint64,
+		KindUint64, KindEnum:
+		return wire.TypeVarint
+	case KindFixed32, KindSfixed32, KindFloat:
+		return wire.TypeFixed32
+	case KindFixed64, KindSfixed64, KindDouble:
+		return wire.TypeFixed64
+	case KindString, KindBytes, KindMessage:
+		return wire.TypeBytes
+	}
+	return wire.TypeVarint
+}
+
+// IsVarint reports whether singular values of kind k are varint-encoded.
+func (k Kind) IsVarint() bool { return k.WireType() == wire.TypeVarint }
+
+// IsZigZag reports whether values of kind k use ZigZag encoding.
+func (k Kind) IsZigZag() bool { return k == KindSint32 || k == KindSint64 }
+
+// IsPackable reports whether a repeated field of kind k may use packed
+// encoding (all numeric kinds; proto3 packs them by default).
+func (k Kind) IsPackable() bool {
+	switch k {
+	case KindString, KindBytes, KindMessage, KindInvalid:
+		return false
+	}
+	return true
+}
+
+// FixedSize returns the wire size of fixed-width kinds, or 0 for
+// variable-width kinds.
+func (k Kind) FixedSize() int {
+	switch k.WireType() {
+	case wire.TypeFixed32:
+		return 4
+	case wire.TypeFixed64:
+		return 8
+	}
+	return 0
+}
+
+// Field describes one field of a message.
+type Field struct {
+	Name     string
+	Number   int32
+	Kind     Kind
+	Repeated bool
+	// Packed records whether a repeated numeric field uses packed encoding
+	// on the wire. proto3 packs by default; the parser honours
+	// [packed=false].
+	Packed bool
+	// Message is the descriptor of the value type for KindMessage fields.
+	Message *Message
+	// Enum is the descriptor of the value type for KindEnum fields.
+	Enum *Enum
+	// Index is the position of this field within Message.Fields, assigned
+	// by Message.normalize. The ABI layout and presence bitfields are
+	// indexed by it.
+	Index int
+}
+
+// WireType returns the wire type this field's values carry on the wire
+// (packed repeated fields travel as length-delimited records).
+func (f *Field) WireType() wire.Type {
+	if f.Repeated && f.Packed {
+		return wire.TypeBytes
+	}
+	return f.Kind.WireType()
+}
+
+// Message describes a message type.
+type Message struct {
+	// Name is the fully-qualified type name (package.Message or
+	// package.Outer.Inner for nested definitions).
+	Name   string
+	Fields []*Field
+
+	byNumber map[int32]*Field
+	byName   map[string]*Field
+}
+
+// NewMessage builds a normalized message descriptor. Fields are sorted by
+// field number and indexed. It returns an error for duplicate field numbers
+// or names, invalid numbers, or missing type links.
+func NewMessage(name string, fields []*Field) (*Message, error) {
+	m := &Message{Name: name, Fields: fields}
+	if err := m.normalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Message) normalize() error {
+	sort.SliceStable(m.Fields, func(i, j int) bool {
+		return m.Fields[i].Number < m.Fields[j].Number
+	})
+	m.byNumber = make(map[int32]*Field, len(m.Fields))
+	m.byName = make(map[string]*Field, len(m.Fields))
+	for i, f := range m.Fields {
+		f.Index = i
+		if f.Number < 1 || f.Number > wire.MaxFieldNumber {
+			return fmt.Errorf("protodesc: %s.%s: invalid field number %d", m.Name, f.Name, f.Number)
+		}
+		if f.Number >= 19000 && f.Number <= 19999 {
+			return fmt.Errorf("protodesc: %s.%s: field number %d is reserved", m.Name, f.Name, f.Number)
+		}
+		if f.Kind == KindInvalid {
+			return fmt.Errorf("protodesc: %s.%s: invalid kind", m.Name, f.Name)
+		}
+		if f.Kind == KindMessage && f.Message == nil {
+			return fmt.Errorf("protodesc: %s.%s: message field without type", m.Name, f.Name)
+		}
+		if f.Kind == KindEnum && f.Enum == nil {
+			return fmt.Errorf("protodesc: %s.%s: enum field without type", m.Name, f.Name)
+		}
+		if f.Packed && (!f.Repeated || !f.Kind.IsPackable()) {
+			return fmt.Errorf("protodesc: %s.%s: packed is only valid on repeated numeric fields", m.Name, f.Name)
+		}
+		if _, dup := m.byNumber[f.Number]; dup {
+			return fmt.Errorf("protodesc: %s: duplicate field number %d", m.Name, f.Number)
+		}
+		if _, dup := m.byName[f.Name]; dup {
+			return fmt.Errorf("protodesc: %s: duplicate field name %q", m.Name, f.Name)
+		}
+		m.byNumber[f.Number] = f
+		m.byName[f.Name] = f
+	}
+	return nil
+}
+
+// FieldByNumber returns the field with the given number, or nil.
+func (m *Message) FieldByNumber(n int32) *Field { return m.byNumber[n] }
+
+// FieldByName returns the field with the given name, or nil.
+func (m *Message) FieldByName(s string) *Field { return m.byName[s] }
+
+// EnumValue is one value of an enum type.
+type EnumValue struct {
+	Name   string
+	Number int32
+}
+
+// Enum describes an enum type. proto3 requires the first declared value to
+// be zero.
+type Enum struct {
+	Name   string
+	Values []EnumValue
+}
+
+// ValueName returns the name for number n, or "" if unknown.
+func (e *Enum) ValueName(n int32) string {
+	for _, v := range e.Values {
+		if v.Number == n {
+			return v.Name
+		}
+	}
+	return ""
+}
+
+// Method describes one RPC of a service (unary calls only, as in the paper's
+// gRPC compatibility layer).
+type Method struct {
+	Name   string
+	Input  *Message
+	Output *Message
+	// ID is the procedure identifier used on the RPC-over-RDMA wire. It is
+	// assigned deterministically (declaration order) by the parser so both
+	// sides agree without transmitting method names per request.
+	ID uint16
+}
+
+// Service describes an RPC service.
+type Service struct {
+	Name    string // fully qualified
+	Methods []*Method
+}
+
+// MethodByName returns the method with the given short name, or nil.
+func (s *Service) MethodByName(name string) *Method {
+	for _, m := range s.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// File is the result of parsing one .proto file.
+type File struct {
+	Package  string
+	Messages []*Message // all messages, including nested, fully qualified
+	Enums    []*Enum
+	Services []*Service
+}
+
+// Registry maps fully-qualified type names to descriptors. A Registry is the
+// in-process stand-in for the set of generated .pb types linked into the
+// host application.
+type Registry struct {
+	messages map[string]*Message
+	enums    map[string]*Enum
+	services map[string]*Service
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		messages: make(map[string]*Message),
+		enums:    make(map[string]*Enum),
+		services: make(map[string]*Service),
+	}
+}
+
+// Register adds all types of f, failing on name collisions.
+func (r *Registry) Register(f *File) error {
+	for _, m := range f.Messages {
+		if _, dup := r.messages[m.Name]; dup {
+			return fmt.Errorf("protodesc: duplicate message %q", m.Name)
+		}
+		r.messages[m.Name] = m
+	}
+	for _, e := range f.Enums {
+		if _, dup := r.enums[e.Name]; dup {
+			return fmt.Errorf("protodesc: duplicate enum %q", e.Name)
+		}
+		r.enums[e.Name] = e
+	}
+	for _, s := range f.Services {
+		if _, dup := r.services[s.Name]; dup {
+			return fmt.Errorf("protodesc: duplicate service %q", s.Name)
+		}
+		r.services[s.Name] = s
+	}
+	return nil
+}
+
+// Message returns the message descriptor for a fully-qualified name, or nil.
+func (r *Registry) Message(name string) *Message { return r.messages[name] }
+
+// Enum returns the enum descriptor for a fully-qualified name, or nil.
+func (r *Registry) Enum(name string) *Enum { return r.enums[name] }
+
+// Service returns the service descriptor for a fully-qualified name, or nil.
+func (r *Registry) Service(name string) *Service { return r.services[name] }
+
+// Messages returns all registered messages sorted by name (deterministic
+// iteration for ADT construction).
+func (r *Registry) Messages() []*Message {
+	out := make([]*Message, 0, len(r.messages))
+	for _, m := range r.messages {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Services returns all registered services sorted by name.
+func (r *Registry) Services() []*Service {
+	out := make([]*Service, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,147 @@
+package protodesc
+
+import (
+	"testing"
+
+	"dpurpc/internal/wire"
+)
+
+func TestKindFromName(t *testing.T) {
+	names := []string{"bool", "int32", "sint32", "uint32", "int64", "sint64",
+		"uint64", "fixed32", "sfixed32", "fixed64", "sfixed64", "float",
+		"double", "string", "bytes"}
+	for _, n := range names {
+		k := KindFromName(n)
+		if k == KindInvalid {
+			t.Errorf("KindFromName(%q) invalid", n)
+		}
+		if k.String() != n {
+			t.Errorf("Kind(%q).String() = %q", n, k.String())
+		}
+	}
+	if KindFromName("Message") != KindInvalid || KindFromName("") != KindInvalid {
+		t.Error("non-scalar names should be invalid")
+	}
+}
+
+func TestWireTypes(t *testing.T) {
+	cases := map[Kind]wire.Type{
+		KindBool: wire.TypeVarint, KindInt32: wire.TypeVarint,
+		KindSint64: wire.TypeVarint, KindEnum: wire.TypeVarint,
+		KindFixed32: wire.TypeFixed32, KindSfixed32: wire.TypeFixed32,
+		KindFloat: wire.TypeFixed32, KindFixed64: wire.TypeFixed64,
+		KindDouble: wire.TypeFixed64, KindString: wire.TypeBytes,
+		KindBytes: wire.TypeBytes, KindMessage: wire.TypeBytes,
+	}
+	for k, want := range cases {
+		if got := k.WireType(); got != want {
+			t.Errorf("%v.WireType() = %v want %v", k, got, want)
+		}
+	}
+	if !KindSint32.IsZigZag() || !KindSint64.IsZigZag() || KindInt32.IsZigZag() {
+		t.Error("IsZigZag wrong")
+	}
+	if KindString.IsPackable() || KindMessage.IsPackable() || !KindBool.IsPackable() {
+		t.Error("IsPackable wrong")
+	}
+	if KindFixed32.FixedSize() != 4 || KindDouble.FixedSize() != 8 || KindInt32.FixedSize() != 0 {
+		t.Error("FixedSize wrong")
+	}
+}
+
+func TestNewMessageNormalization(t *testing.T) {
+	m, err := NewMessage("t.M", []*Field{
+		{Name: "b", Number: 3, Kind: KindInt32},
+		{Name: "a", Number: 1, Kind: KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields[0].Name != "a" || m.Fields[0].Index != 0 {
+		t.Error("fields not sorted by number")
+	}
+	if m.FieldByNumber(3).Name != "b" || m.FieldByName("a").Number != 1 {
+		t.Error("lookup broken")
+	}
+	if m.FieldByNumber(99) != nil || m.FieldByName("zz") != nil {
+		t.Error("missing lookup should be nil")
+	}
+}
+
+func TestNewMessageErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		fields []*Field
+	}{
+		{"dup number", []*Field{{Name: "a", Number: 1, Kind: KindBool}, {Name: "b", Number: 1, Kind: KindBool}}},
+		{"dup name", []*Field{{Name: "a", Number: 1, Kind: KindBool}, {Name: "a", Number: 2, Kind: KindBool}}},
+		{"zero number", []*Field{{Name: "a", Number: 0, Kind: KindBool}}},
+		{"reserved number", []*Field{{Name: "a", Number: 19123, Kind: KindBool}}},
+		{"too large", []*Field{{Name: "a", Number: wire.MaxFieldNumber + 1, Kind: KindBool}}},
+		{"invalid kind", []*Field{{Name: "a", Number: 1}}},
+		{"msg without type", []*Field{{Name: "a", Number: 1, Kind: KindMessage}}},
+		{"enum without type", []*Field{{Name: "a", Number: 1, Kind: KindEnum}}},
+		{"packed singular", []*Field{{Name: "a", Number: 1, Kind: KindInt32, Packed: true}}},
+		{"packed string", []*Field{{Name: "a", Number: 1, Kind: KindString, Repeated: true, Packed: true}}},
+	}
+	for _, c := range cases {
+		if _, err := NewMessage("t.M", c.fields); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestFieldWireType(t *testing.T) {
+	f := &Field{Name: "a", Number: 1, Kind: KindInt32, Repeated: true, Packed: true}
+	if f.WireType() != wire.TypeBytes {
+		t.Error("packed repeated should be length-delimited")
+	}
+	f.Packed = false
+	if f.WireType() != wire.TypeVarint {
+		t.Error("unpacked repeated int should be varint")
+	}
+}
+
+func TestEnumValueName(t *testing.T) {
+	e := &Enum{Name: "t.E", Values: []EnumValue{{"E_ZERO", 0}, {"E_ONE", 1}}}
+	if e.ValueName(1) != "E_ONE" || e.ValueName(5) != "" {
+		t.Error("ValueName broken")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	m1, _ := NewMessage("a.M1", nil)
+	m2, _ := NewMessage("a.M2", nil)
+	e := &Enum{Name: "a.E", Values: []EnumValue{{"Z", 0}}}
+	svc := &Service{Name: "a.S", Methods: []*Method{{Name: "Get", Input: m1, Output: m2}}}
+	r := NewRegistry()
+	if err := r.Register(&File{Package: "a", Messages: []*Message{m2, m1}, Enums: []*Enum{e}, Services: []*Service{svc}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Message("a.M1") != m1 || r.Enum("a.E") != e || r.Service("a.S") != svc {
+		t.Error("lookups broken")
+	}
+	if r.Message("a.MX") != nil {
+		t.Error("missing message should be nil")
+	}
+	ms := r.Messages()
+	if len(ms) != 2 || ms[0].Name != "a.M1" || ms[1].Name != "a.M2" {
+		t.Error("Messages() not sorted")
+	}
+	if len(r.Services()) != 1 {
+		t.Error("Services() wrong")
+	}
+	if svc.MethodByName("Get") == nil || svc.MethodByName("Nope") != nil {
+		t.Error("MethodByName broken")
+	}
+	// Duplicate registration fails.
+	if err := r.Register(&File{Messages: []*Message{m1}}); err == nil {
+		t.Error("duplicate message registration accepted")
+	}
+	if err := r.Register(&File{Enums: []*Enum{e}}); err == nil {
+		t.Error("duplicate enum registration accepted")
+	}
+	if err := r.Register(&File{Services: []*Service{svc}}); err == nil {
+		t.Error("duplicate service registration accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package protodsl
+
+import (
+	"testing"
+
+	"dpurpc/internal/adt"
+	"dpurpc/internal/protodesc"
+)
+
+// FuzzParse feeds arbitrary source to the proto3 parser. Invariants: no
+// panic; on success the result registers cleanly and an ADT builds from it.
+func FuzzParse(f *testing.F) {
+	f.Add(`syntax = "proto3"; message M { int32 a = 1; }`)
+	f.Add(`syntax = "proto3"; package p; enum E { Z = 0; } message M { E e = 1; repeated string s = 2; }`)
+	f.Add(`syntax = "proto3"; message A { B b = 1; } message B { A a = 1; }`)
+	f.Add(`syntax = "proto3"; message M {} service S { rpc F (M) returns (M); }`)
+	f.Add(`syntax = "proto3"; /* comment`)
+	f.Add(`syntax = "proto3"; message M { reserved 1, 2; bytes b = 3 [packed=false]; }`)
+	f.Add("")
+	f.Add("syntax")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.proto", src)
+		if err != nil {
+			return
+		}
+		reg := protodesc.NewRegistry()
+		if err := reg.Register(file); err != nil {
+			t.Fatalf("parsed file fails registration: %v", err)
+		}
+		table, err := adt.Build(reg)
+		if err != nil {
+			t.Fatalf("parsed file fails ADT build: %v", err)
+		}
+		// And the ADT must round-trip.
+		decoded, err := adt.Decode(table.Encode())
+		if err != nil {
+			t.Fatalf("ADT of parsed file fails decode: %v", err)
+		}
+		if err := table.CheckCompatible(decoded); err != nil {
+			t.Fatalf("ADT round trip incompatible: %v", err)
+		}
+	})
+}

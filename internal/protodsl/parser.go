@@ -1,0 +1,647 @@
+package protodsl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dpurpc/internal/protodesc"
+)
+
+// Parse parses proto3 source and returns the resolved descriptors. file is
+// used for error positions only.
+func Parse(file, src string) (*protodesc.File, error) {
+	p := &parser{lex: newLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+// rawField is a field whose type reference is not yet resolved.
+type rawField struct {
+	name      string
+	number    int32
+	typeName  string // scalar name or (possibly dotted) type reference
+	repeated  bool
+	packedSet bool
+	packed    bool
+	line, col int
+}
+
+// rawMessage is a message definition with unresolved fields.
+type rawMessage struct {
+	fqName string
+	scope  string // enclosing scope (package or outer message fq name)
+	fields []rawField
+}
+
+type rawMethod struct {
+	name      string
+	input     string
+	output    string
+	line, col int
+}
+
+type rawService struct {
+	fqName  string
+	methods []rawMethod
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+
+	pkg      string
+	imports  []string
+	messages []*rawMessage
+	enums    map[string]*protodesc.Enum // by fq name
+	enumScop map[string]string          // fq name -> scope
+	services []*rawService
+
+	// externMsgs/externEnums hold already-resolved types from imported
+	// files, consulted by the resolver after local scopes.
+	externMsgs  map[string]*protodesc.Message
+	externEnums map[string]*protodesc.Enum
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return p.lex.errorf(p.tok.line, p.tok.col, format, args...)
+}
+
+// expect consumes the current token if it is the given symbol or identifier.
+func (p *parser) expect(text string) error {
+	if p.tok.text != text || (p.tok.kind != tokSymbol && p.tok.kind != tokIdent) {
+		return p.errorf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+func (p *parser) expectInt() (int64, error) {
+	if p.tok.kind != tokInt {
+		return 0, p.errorf("expected integer, found %s", p.tok)
+	}
+	v, err := strconv.ParseInt(p.tok.text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("invalid integer %q", p.tok.text)
+	}
+	return v, p.advance()
+}
+
+func (p *parser) parseFile() (*protodesc.File, error) {
+	p.enums = make(map[string]*protodesc.Enum)
+	p.enumScop = make(map[string]string)
+
+	// syntax = "proto3";
+	if p.tok.kind == tokIdent && p.tok.text == "syntax" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, p.errorf("expected syntax string")
+		}
+		if p.tok.text != "proto3" {
+			return nil, p.errorf("unsupported syntax %q (only proto3)", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, p.errorf(`file must start with syntax = "proto3";`)
+	}
+
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.tok.kind == tokIdent && p.tok.text == "package":
+			if p.pkg != "" {
+				return nil, p.errorf("duplicate package statement")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.parseDottedName()
+			if err != nil {
+				return nil, err
+			}
+			p.pkg = name
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "option":
+			if err := p.skipOption(); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "import":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// "public"/"weak" modifiers are accepted and ignored.
+			if p.tok.kind == tokIdent && (p.tok.text == "public" || p.tok.text == "weak") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind != tokString {
+				return nil, p.errorf("expected import path string")
+			}
+			p.imports = append(p.imports, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "message":
+			if err := p.parseMessage(p.pkg); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "enum":
+			if err := p.parseEnum(p.pkg); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "service":
+			if err := p.parseService(); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokSymbol && p.tok.text == ";":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected %s at top level", p.tok)
+		}
+	}
+	if len(p.imports) > 0 && p.externMsgs == nil {
+		return nil, fmt.Errorf("%s: import %q requires multi-file parsing (use ParseSet)",
+			p.lex.file, p.imports[0])
+	}
+	return p.resolve()
+}
+
+func (p *parser) parseDottedName() (string, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	for p.tok.kind == tokSymbol && p.tok.text == "." {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		part, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "." + part
+	}
+	return name, nil
+}
+
+// skipOption consumes `option ... ;`.
+func (p *parser) skipOption() error {
+	for p.tok.kind != tokEOF && !(p.tok.kind == tokSymbol && p.tok.text == ";") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return p.expect(";")
+}
+
+func qualify(scope, name string) string {
+	if scope == "" {
+		return name
+	}
+	return scope + "." + name
+}
+
+func (p *parser) parseMessage(scope string) error {
+	if err := p.advance(); err != nil { // consume "message"
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fq := qualify(scope, name)
+	msg := &rawMessage{fqName: fq, scope: scope}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind == tokSymbol && p.tok.text == "}" {
+			break
+		}
+		switch {
+		case p.tok.kind == tokEOF:
+			return p.errorf("unexpected end of file in message %s", fq)
+		case p.tok.kind == tokIdent && p.tok.text == "message":
+			if err := p.parseMessage(fq); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "enum":
+			if err := p.parseEnum(fq); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "reserved":
+			if err := p.skipOption(); err != nil { // same shape: tokens then ';'
+				return err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "option":
+			if err := p.skipOption(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent && (p.tok.text == "map" || p.tok.text == "oneof"):
+			return p.errorf("%s fields are not supported", p.tok.text)
+		case p.tok.kind == tokSymbol && p.tok.text == ";":
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent:
+			f, err := p.parseField()
+			if err != nil {
+				return err
+			}
+			msg.fields = append(msg.fields, f)
+		default:
+			return p.errorf("unexpected %s in message %s", p.tok, fq)
+		}
+	}
+	if err := p.advance(); err != nil { // consume "}"
+		return err
+	}
+	p.messages = append(p.messages, msg)
+	return nil
+}
+
+func (p *parser) parseField() (rawField, error) {
+	f := rawField{line: p.tok.line, col: p.tok.col}
+	if p.tok.text == "repeated" {
+		f.repeated = true
+		if err := p.advance(); err != nil {
+			return f, err
+		}
+	} else if p.tok.text == "optional" || p.tok.text == "required" {
+		return f, p.errorf("%s labels are not supported in this proto3 subset", p.tok.text)
+	}
+	typeName, err := p.parseDottedName()
+	if err != nil {
+		return f, err
+	}
+	f.typeName = typeName
+	f.name, err = p.expectIdent()
+	if err != nil {
+		return f, err
+	}
+	if err := p.expect("="); err != nil {
+		return f, err
+	}
+	num, err := p.expectInt()
+	if err != nil {
+		return f, err
+	}
+	f.number = int32(num)
+	// Optional [packed=...] or other bracketed options.
+	if p.tok.kind == tokSymbol && p.tok.text == "[" {
+		if err := p.advance(); err != nil {
+			return f, err
+		}
+		for {
+			optName, err := p.parseDottedName()
+			if err != nil {
+				return f, err
+			}
+			if err := p.expect("="); err != nil {
+				return f, err
+			}
+			optVal := p.tok.text
+			if p.tok.kind != tokIdent && p.tok.kind != tokInt && p.tok.kind != tokString {
+				return f, p.errorf("expected option value")
+			}
+			if err := p.advance(); err != nil {
+				return f, err
+			}
+			if optName == "packed" {
+				f.packedSet = true
+				f.packed = optVal == "true"
+			}
+			if p.tok.kind == tokSymbol && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return f, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect("]"); err != nil {
+			return f, err
+		}
+	}
+	return f, p.expect(";")
+}
+
+func (p *parser) parseEnum(scope string) error {
+	if err := p.advance(); err != nil { // consume "enum"
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fq := qualify(scope, name)
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	e := &protodesc.Enum{Name: fq}
+	for {
+		if p.tok.kind == tokSymbol && p.tok.text == "}" {
+			break
+		}
+		if p.tok.kind == tokEOF {
+			return p.errorf("unexpected end of file in enum %s", fq)
+		}
+		if p.tok.kind == tokIdent && p.tok.text == "option" || p.tok.kind == tokIdent && p.tok.text == "reserved" {
+			if err := p.skipOption(); err != nil {
+				return err
+			}
+			continue
+		}
+		vname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		num, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		e.Values = append(e.Values, protodesc.EnumValue{Name: vname, Number: int32(num)})
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if len(e.Values) == 0 {
+		return fmt.Errorf("%s: enum %s has no values", p.lex.file, fq)
+	}
+	if e.Values[0].Number != 0 {
+		return fmt.Errorf("%s: enum %s: first value must be zero in proto3", p.lex.file, fq)
+	}
+	if _, dup := p.enums[fq]; dup {
+		return fmt.Errorf("%s: duplicate enum %s", p.lex.file, fq)
+	}
+	p.enums[fq] = e
+	p.enumScop[fq] = scope
+	return nil
+}
+
+func (p *parser) parseService() error {
+	if err := p.advance(); err != nil { // consume "service"
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	svc := &rawService{fqName: qualify(p.pkg, name)}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind == tokSymbol && p.tok.text == "}" {
+			break
+		}
+		switch {
+		case p.tok.kind == tokEOF:
+			return p.errorf("unexpected end of file in service %s", svc.fqName)
+		case p.tok.kind == tokIdent && p.tok.text == "option":
+			if err := p.skipOption(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokSymbol && p.tok.text == ";":
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokIdent && p.tok.text == "rpc":
+			m := rawMethod{line: p.tok.line, col: p.tok.col}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if m.name, err = p.expectIdent(); err != nil {
+				return err
+			}
+			if err := p.expect("("); err != nil {
+				return err
+			}
+			if p.tok.kind == tokIdent && p.tok.text == "stream" {
+				return p.errorf("streaming RPCs are not supported (unary only, as in the paper)")
+			}
+			if m.input, err = p.parseDottedName(); err != nil {
+				return err
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			if err := p.expect("returns"); err != nil {
+				return err
+			}
+			if err := p.expect("("); err != nil {
+				return err
+			}
+			if p.tok.kind == tokIdent && p.tok.text == "stream" {
+				return p.errorf("streaming RPCs are not supported (unary only, as in the paper)")
+			}
+			if m.output, err = p.parseDottedName(); err != nil {
+				return err
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			// Optional empty body or semicolon.
+			if p.tok.kind == tokSymbol && p.tok.text == "{" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				for !(p.tok.kind == tokSymbol && p.tok.text == "}") {
+					if p.tok.kind == tokEOF {
+						return p.errorf("unexpected end of file in rpc body")
+					}
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+				if err := p.advance(); err != nil {
+					return err
+				}
+			} else if err := p.expect(";"); err != nil {
+				return err
+			}
+			svc.methods = append(svc.methods, m)
+		default:
+			return p.errorf("unexpected %s in service %s", p.tok, svc.fqName)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	p.services = append(p.services, svc)
+	return nil
+}
+
+// resolve links type references and produces the final descriptors.
+func (p *parser) resolve() (*protodesc.File, error) {
+	msgByName := make(map[string]*protodesc.Message, len(p.messages))
+	rawByName := make(map[string]*rawMessage, len(p.messages))
+	for _, rm := range p.messages {
+		if _, dup := msgByName[rm.fqName]; dup {
+			return nil, fmt.Errorf("%s: duplicate message %s", p.lex.file, rm.fqName)
+		}
+		if _, dup := p.enums[rm.fqName]; dup {
+			return nil, fmt.Errorf("%s: %s declared as both message and enum", p.lex.file, rm.fqName)
+		}
+		msgByName[rm.fqName] = &protodesc.Message{Name: rm.fqName}
+		rawByName[rm.fqName] = rm
+	}
+
+	// lookup resolves ref from within scope: innermost scope first, then
+	// enclosing scopes, then as a fully-qualified name.
+	lookup := func(scope, ref string) (msg *protodesc.Message, enum *protodesc.Enum) {
+		for s := scope; ; {
+			cand := qualify(s, ref)
+			if m, ok := msgByName[cand]; ok {
+				return m, nil
+			}
+			if e, ok := p.enums[cand]; ok {
+				return nil, e
+			}
+			if m, ok := p.externMsgs[cand]; ok {
+				return m, nil
+			}
+			if e, ok := p.externEnums[cand]; ok {
+				return nil, e
+			}
+			if s == "" {
+				break
+			}
+			if i := strings.LastIndexByte(s, '.'); i >= 0 {
+				s = s[:i]
+			} else {
+				s = ""
+			}
+		}
+		if m, ok := msgByName[ref]; ok {
+			return m, nil
+		}
+		if e, ok := p.enums[ref]; ok {
+			return nil, e
+		}
+		if m, ok := p.externMsgs[ref]; ok {
+			return m, nil
+		}
+		if e, ok := p.externEnums[ref]; ok {
+			return nil, e
+		}
+		return nil, nil
+	}
+
+	file := &protodesc.File{Package: p.pkg}
+	for _, rm := range p.messages {
+		fields := make([]*protodesc.Field, 0, len(rm.fields))
+		for _, rf := range rm.fields {
+			f := &protodesc.Field{
+				Name:     rf.name,
+				Number:   rf.number,
+				Repeated: rf.repeated,
+			}
+			if k := protodesc.KindFromName(rf.typeName); k != protodesc.KindInvalid {
+				f.Kind = k
+			} else {
+				m, e := lookup(rm.fqName, rf.typeName)
+				switch {
+				case m != nil:
+					f.Kind = protodesc.KindMessage
+					f.Message = m
+				case e != nil:
+					f.Kind = protodesc.KindEnum
+					f.Enum = e
+				default:
+					return nil, p.lex.errorf(rf.line, rf.col, "unknown type %q", rf.typeName)
+				}
+			}
+			if rf.repeated && f.Kind.IsPackable() {
+				f.Packed = true // proto3 default
+				if rf.packedSet {
+					f.Packed = rf.packed
+				}
+			} else if rf.packedSet && rf.packed {
+				return nil, p.lex.errorf(rf.line, rf.col, "packed is only valid on repeated numeric fields")
+			}
+			fields = append(fields, f)
+		}
+		m := msgByName[rm.fqName]
+		m.Fields = fields
+		tmp, err := protodesc.NewMessage(rm.fqName, fields)
+		if err != nil {
+			return nil, err
+		}
+		*m = *tmp
+		file.Messages = append(file.Messages, m)
+	}
+	enumNames := make([]string, 0, len(p.enums))
+	for name := range p.enums {
+		enumNames = append(enumNames, name)
+	}
+	sort.Strings(enumNames)
+	for _, name := range enumNames {
+		file.Enums = append(file.Enums, p.enums[name])
+	}
+	for _, rs := range p.services {
+		svc := &protodesc.Service{Name: rs.fqName}
+		seen := make(map[string]bool)
+		for i, rm := range rs.methods {
+			if seen[rm.name] {
+				return nil, p.lex.errorf(rm.line, rm.col, "duplicate method %q", rm.name)
+			}
+			seen[rm.name] = true
+			in, _ := lookup(p.pkg, rm.input)
+			if in == nil {
+				return nil, p.lex.errorf(rm.line, rm.col, "unknown request type %q", rm.input)
+			}
+			out, _ := lookup(p.pkg, rm.output)
+			if out == nil {
+				return nil, p.lex.errorf(rm.line, rm.col, "unknown response type %q", rm.output)
+			}
+			svc.Methods = append(svc.Methods, &protodesc.Method{
+				Name: rm.name, Input: in, Output: out, ID: uint16(i),
+			})
+		}
+		file.Services = append(file.Services, svc)
+	}
+	return file, nil
+}

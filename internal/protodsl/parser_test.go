@@ -1,0 +1,292 @@
+package protodsl
+
+import (
+	"strings"
+	"testing"
+
+	"dpurpc/internal/protodesc"
+)
+
+const demoProto = `
+// Demo schema exercising the full supported grammar.
+syntax = "proto3";
+
+package bench;
+
+option go_package = "example/bench";
+
+/* block
+   comment */
+enum Color {
+  COLOR_UNSPECIFIED = 0;
+  COLOR_RED = 1;
+  COLOR_BLUE = 2;
+}
+
+message Small {
+  uint32 id = 1;
+  bool flag = 2;
+  sint32 delta = 3;
+  Color color = 4;
+  float ratio = 5;
+}
+
+message IntArray {
+  repeated uint32 values = 1;
+}
+
+message CharArray {
+  string data = 1;
+}
+
+message Nested {
+  message Inner {
+    uint64 n = 1;
+    enum Mode { MODE_A = 0; MODE_B = 1; }
+    Mode mode = 2;
+  }
+  Inner inner = 1;
+  repeated Inner many = 2;
+  bytes raw = 3;
+  repeated sint64 deltas = 4 [packed = false];
+  repeated fixed64 stamps = 5;
+}
+
+service Bench {
+  rpc Echo (Small) returns (Small);
+  rpc Sum (IntArray) returns (Small) {}
+  rpc Get (Nested.Inner) returns (CharArray);
+}
+`
+
+func parseDemo(t *testing.T) *protodesc.File {
+	t.Helper()
+	f, err := Parse("demo.proto", demoProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParsePackageAndTypes(t *testing.T) {
+	f := parseDemo(t)
+	if f.Package != "bench" {
+		t.Errorf("package = %q", f.Package)
+	}
+	if len(f.Messages) != 5 {
+		t.Fatalf("got %d messages, want 5", len(f.Messages))
+	}
+	names := map[string]bool{}
+	for _, m := range f.Messages {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"bench.Small", "bench.IntArray", "bench.CharArray", "bench.Nested", "bench.Nested.Inner"} {
+		if !names[want] {
+			t.Errorf("missing message %q", want)
+		}
+	}
+	if len(f.Enums) != 2 {
+		t.Errorf("got %d enums, want 2", len(f.Enums))
+	}
+}
+
+func TestParseFieldDetails(t *testing.T) {
+	f := parseDemo(t)
+	var small, nested *protodesc.Message
+	for _, m := range f.Messages {
+		switch m.Name {
+		case "bench.Small":
+			small = m
+		case "bench.Nested":
+			nested = m
+		}
+	}
+	if small == nil || nested == nil {
+		t.Fatal("messages missing")
+	}
+	if f := small.FieldByName("delta"); f.Kind != protodesc.KindSint32 {
+		t.Errorf("delta kind = %v", f.Kind)
+	}
+	if f := small.FieldByName("color"); f.Kind != protodesc.KindEnum || f.Enum.Name != "bench.Color" {
+		t.Errorf("color not resolved to bench.Color")
+	}
+	inner := nested.FieldByName("inner")
+	if inner.Kind != protodesc.KindMessage || inner.Message.Name != "bench.Nested.Inner" {
+		t.Errorf("inner not resolved, got %+v", inner)
+	}
+	many := nested.FieldByName("many")
+	if !many.Repeated || many.Packed {
+		t.Errorf("many: repeated=%v packed=%v", many.Repeated, many.Packed)
+	}
+	deltas := nested.FieldByName("deltas")
+	if !deltas.Repeated || deltas.Packed {
+		t.Error("deltas should honour [packed=false]")
+	}
+	stamps := nested.FieldByName("stamps")
+	if !stamps.Packed {
+		t.Error("stamps should be packed by proto3 default")
+	}
+	// Nested enum resolution from within Inner.
+	var innerMsg *protodesc.Message
+	for _, m := range f.Messages {
+		if m.Name == "bench.Nested.Inner" {
+			innerMsg = m
+		}
+	}
+	if fld := innerMsg.FieldByName("mode"); fld.Kind != protodesc.KindEnum ||
+		fld.Enum.Name != "bench.Nested.Inner.Mode" {
+		t.Errorf("mode resolved to %v", fld.Enum)
+	}
+}
+
+func TestParseService(t *testing.T) {
+	f := parseDemo(t)
+	if len(f.Services) != 1 {
+		t.Fatalf("got %d services", len(f.Services))
+	}
+	svc := f.Services[0]
+	if svc.Name != "bench.Bench" || len(svc.Methods) != 3 {
+		t.Fatalf("service = %q with %d methods", svc.Name, len(svc.Methods))
+	}
+	for i, m := range svc.Methods {
+		if m.ID != uint16(i) {
+			t.Errorf("method %q ID = %d want %d", m.Name, m.ID, i)
+		}
+	}
+	get := svc.MethodByName("Get")
+	if get.Input.Name != "bench.Nested.Inner" || get.Output.Name != "bench.CharArray" {
+		t.Errorf("Get types: %s -> %s", get.Input.Name, get.Output.Name)
+	}
+}
+
+func TestParseRegistryIntegration(t *testing.T) {
+	f := parseDemo(t)
+	r := protodesc.NewRegistry()
+	if err := r.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if r.Message("bench.Nested.Inner") == nil {
+		t.Error("nested message not registered")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no syntax", `package x;`, "syntax"},
+		{"proto2", `syntax = "proto2";`, "proto3"},
+		{"import", `syntax = "proto3"; import "other.proto";`, "import"},
+		{"map field", `syntax = "proto3"; message M { map<string, int32> m = 1; }`, "map"},
+		{"oneof", `syntax = "proto3"; message M { oneof o { int32 a = 1; } }`, "oneof"},
+		{"optional label", `syntax = "proto3"; message M { optional int32 a = 1; }`, "optional"},
+		{"unknown type", `syntax = "proto3"; message M { Missing a = 1; }`, "unknown type"},
+		{"dup field number", `syntax = "proto3"; message M { int32 a = 1; int32 b = 1; }`, "duplicate field number"},
+		{"dup message", `syntax = "proto3"; message M {} message M {}`, "duplicate message"},
+		{"enum nonzero first", `syntax = "proto3"; enum E { A = 1; }`, "zero"},
+		{"empty enum", `syntax = "proto3"; enum E {}`, "no values"},
+		{"streaming", `syntax = "proto3"; message M{} service S { rpc F (stream M) returns (M); }`, "stream"},
+		{"unknown rpc type", `syntax = "proto3"; service S { rpc F (X) returns (X); }`, "unknown request type"},
+		{"unterminated comment", "syntax = \"proto3\"; /* oops", "unterminated"},
+		{"unterminated string", `syntax = "proto3"; package "x`, "unterminated"},
+		{"dup package", `syntax = "proto3"; package a; package b;`, "duplicate package"},
+		{"bad char", `syntax = "proto3"; message M { int32 a = 1; } @`, "unexpected character"},
+		{"field number zero", `syntax = "proto3"; message M { int32 a = 0; }`, "invalid field number"},
+		{"packed on string", `syntax = "proto3"; message M { repeated string s = 1 [packed=true]; }`, "packed"},
+		{"dup method", `syntax = "proto3"; message M{} service S { rpc F (M) returns (M); rpc F (M) returns (M); }`, "duplicate method"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.name+".proto", c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("pos.proto", "syntax = \"proto3\";\nmessage M {\n  Bad f = 1;\n}\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d want 3", pe.Line)
+	}
+}
+
+func TestParseEmptyMessageAndSemicolons(t *testing.T) {
+	f, err := Parse("t.proto", `syntax = "proto3";; message Empty {;};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Messages) != 1 || f.Messages[0].Name != "Empty" {
+		t.Fatalf("messages = %+v", f.Messages)
+	}
+}
+
+func TestParseNoPackage(t *testing.T) {
+	f, err := Parse("t.proto", `syntax = "proto3"; message M { int32 a = 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Messages[0].Name != "M" {
+		t.Errorf("name = %q", f.Messages[0].Name)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	// Escapes inside option strings must lex correctly.
+	_, err := Parse("t.proto", `syntax = "proto3"; option note = "a\n\t\"b\"";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseReservedSkipped(t *testing.T) {
+	f, err := Parse("t.proto", `syntax = "proto3";
+message M {
+  reserved 2, 3;
+  reserved "old";
+  int32 a = 1;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Messages[0].Fields) != 1 {
+		t.Errorf("fields = %d", len(f.Messages[0].Fields))
+	}
+}
+
+func TestScopeResolutionPrefersInner(t *testing.T) {
+	src := `syntax = "proto3";
+package p;
+message T { int32 x = 1; }
+message Outer {
+  message T { int64 y = 1; }
+  T field = 1;      // should resolve to p.Outer.T
+  p.T qualified = 2; // explicit outer reference
+}`
+	f, err := Parse("t.proto", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outer *protodesc.Message
+	for _, m := range f.Messages {
+		if m.Name == "p.Outer" {
+			outer = m
+		}
+	}
+	if got := outer.FieldByName("field").Message.Name; got != "p.Outer.T" {
+		t.Errorf("field resolved to %q", got)
+	}
+	if got := outer.FieldByName("qualified").Message.Name; got != "p.T" {
+		t.Errorf("qualified resolved to %q", got)
+	}
+}

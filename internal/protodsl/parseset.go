@@ -1,0 +1,146 @@
+package protodsl
+
+import (
+	"fmt"
+
+	"dpurpc/internal/protodesc"
+)
+
+// ParseSet parses a multi-file schema: files maps import paths to source,
+// and entry names the root file. Imports are resolved depth-first with
+// cycle detection; the result contains the types and services of every
+// reachable file (entry last), with cross-file references linked.
+//
+// Single-file schemas should use Parse; a single-file Parse rejects import
+// statements only when the import cannot be satisfied (Parse has no file
+// set to satisfy it from).
+func ParseSet(files map[string]string, entry string) (*protodesc.File, error) {
+	ps := &parseSet{
+		files:   files,
+		state:   map[string]int{},
+		msgs:    map[string]*protodesc.Message{},
+		enums:   map[string]*protodesc.Enum{},
+		outMsgs: nil,
+	}
+	if err := ps.load(entry, nil); err != nil {
+		return nil, err
+	}
+	return &protodesc.File{
+		Package:  ps.entryPkg,
+		Messages: ps.outMsgs,
+		Enums:    ps.outEnums,
+		Services: ps.outServices,
+	}, nil
+}
+
+type parseSet struct {
+	files map[string]string
+	// state: 0 unvisited, 1 in progress (cycle detection), 2 done.
+	state map[string]int
+
+	msgs  map[string]*protodesc.Message
+	enums map[string]*protodesc.Enum
+
+	outMsgs     []*protodesc.Message
+	outEnums    []*protodesc.Enum
+	outServices []*protodesc.Service
+	entryPkg    string
+}
+
+func (ps *parseSet) load(path string, chain []string) error {
+	switch ps.state[path] {
+	case 2:
+		return nil
+	case 1:
+		return fmt.Errorf("protodsl: import cycle: %v -> %s", chain, path)
+	}
+	src, ok := ps.files[path]
+	if !ok {
+		return fmt.Errorf("protodsl: import %q not found (importer chain %v)", path, chain)
+	}
+	ps.state[path] = 1
+
+	p := &parser{lex: newLexer(path, src)}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	// Two-phase: first a raw parse to learn the import list, then resolve
+	// with the imported types available. The parser is single-pass, so we
+	// pre-scan imports cheaply by parsing once with empty externs allowed
+	// to fail, which would be wasteful — instead parse raw declarations by
+	// running the full parse with externs populated AFTER loading imports.
+	// To learn imports before resolution, do a light scan first.
+	imports, err := scanImports(path, src)
+	if err != nil {
+		return err
+	}
+	for _, imp := range imports {
+		if err := ps.load(imp, append(chain, path)); err != nil {
+			return err
+		}
+	}
+	p.externMsgs = ps.msgs
+	p.externEnums = ps.enums
+	file, err := p.parseFile()
+	if err != nil {
+		return err
+	}
+	for _, m := range file.Messages {
+		if _, dup := ps.msgs[m.Name]; dup {
+			return fmt.Errorf("protodsl: %s: duplicate message %s across files", path, m.Name)
+		}
+		ps.msgs[m.Name] = m
+		ps.outMsgs = append(ps.outMsgs, m)
+	}
+	for _, e := range file.Enums {
+		if _, dup := ps.enums[e.Name]; dup {
+			return fmt.Errorf("protodsl: %s: duplicate enum %s across files", path, e.Name)
+		}
+		ps.enums[e.Name] = e
+		ps.outEnums = append(ps.outEnums, e)
+	}
+	ps.outServices = append(ps.outServices, file.Services...)
+	ps.entryPkg = file.Package
+	ps.state[path] = 2
+	return nil
+}
+
+// ScanImports lexes src just far enough to collect its import paths
+// (used by build tools to resolve a file set from disk).
+func ScanImports(path, src string) ([]string, error) {
+	return scanImports(path, src)
+}
+
+// scanImports lexes just far enough to collect the file's import paths.
+func scanImports(path, src string) ([]string, error) {
+	lex := newLexer(path, src)
+	var imports []string
+	depth := 0
+	prevImport := false
+	for {
+		tok, err := lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokEOF {
+			return imports, nil
+		}
+		switch {
+		case tok.kind == tokSymbol && tok.text == "{":
+			depth++
+			prevImport = false
+		case tok.kind == tokSymbol && tok.text == "}":
+			depth--
+			prevImport = false
+		case depth == 0 && tok.kind == tokIdent && tok.text == "import":
+			prevImport = true
+		case prevImport && tok.kind == tokIdent && (tok.text == "public" || tok.text == "weak"):
+			// keep prevImport set
+		case prevImport && tok.kind == tokString:
+			imports = append(imports, tok.text)
+			prevImport = false
+		default:
+			prevImport = false
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package protodsl
+
+import (
+	"strings"
+	"testing"
+
+	"dpurpc/internal/adt"
+	"dpurpc/internal/protodesc"
+)
+
+var multiFiles = map[string]string{
+	"common/types.proto": `
+syntax = "proto3";
+package common;
+
+enum Status { STATUS_UNKNOWN = 0; STATUS_OK = 1; }
+
+message Meta {
+  string trace_id = 1;
+  Status status = 2;
+}
+`,
+	"users/user.proto": `
+syntax = "proto3";
+package users;
+
+import "common/types.proto";
+
+message User {
+  uint64 id = 1;
+  string name = 2;
+  common.Meta meta = 3;
+}
+`,
+	"api/api.proto": `
+syntax = "proto3";
+package api;
+
+import public "users/user.proto";
+import "common/types.proto";
+
+message GetUserRequest { uint64 id = 1; }
+
+message GetUserResponse {
+  users.User user = 1;
+  common.Status status = 2;
+}
+
+service Users {
+  rpc GetUser (GetUserRequest) returns (GetUserResponse);
+}
+`,
+	"cycle/a.proto": `syntax = "proto3"; import "cycle/b.proto"; message A { B b = 1; }`,
+	"cycle/b.proto": `syntax = "proto3"; import "cycle/a.proto"; message B { A a = 1; }`,
+	"missing.proto": `syntax = "proto3"; import "nope.proto";`,
+}
+
+func TestParseSetCrossFileReferences(t *testing.T) {
+	f, err := ParseSet(multiFiles, "api/api.proto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Package != "api" {
+		t.Errorf("entry package = %q", f.Package)
+	}
+	reg := protodesc.NewRegistry()
+	if err := reg.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	// Types from all three files are present.
+	for _, name := range []string{"common.Meta", "users.User", "api.GetUserRequest", "api.GetUserResponse"} {
+		if reg.Message(name) == nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// Cross-file links resolved.
+	resp := reg.Message("api.GetUserResponse")
+	if resp.FieldByName("user").Message != reg.Message("users.User") {
+		t.Error("api->users link broken")
+	}
+	user := reg.Message("users.User")
+	if user.FieldByName("meta").Message != reg.Message("common.Meta") {
+		t.Error("users->common link broken")
+	}
+	if resp.FieldByName("status").Enum == nil ||
+		resp.FieldByName("status").Enum != reg.Enum("common.Status") {
+		t.Error("cross-file enum link broken")
+	}
+	// The whole set builds an ADT (the DPU toolchain works on it).
+	table, err := adt.Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adt.Decode(table.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Service resolved across files.
+	if reg.Service("api.Users") == nil {
+		t.Error("service missing")
+	}
+}
+
+func TestParseSetDiamondImport(t *testing.T) {
+	// common is imported twice (directly and via users): types must not
+	// duplicate.
+	f, err := ParseSet(multiFiles, "api/api.proto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, m := range f.Messages {
+		seen[m.Name]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("%s appears %d times", name, n)
+		}
+	}
+}
+
+func TestParseSetImportCycle(t *testing.T) {
+	_, err := ParseSet(multiFiles, "cycle/a.proto")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+}
+
+func TestParseSetMissingImport(t *testing.T) {
+	_, err := ParseSet(multiFiles, "missing.proto")
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("missing import error = %v", err)
+	}
+}
+
+func TestParseSetMissingEntry(t *testing.T) {
+	if _, err := ParseSet(multiFiles, "does-not-exist.proto"); err == nil {
+		t.Error("missing entry accepted")
+	}
+}
+
+func TestSingleFileParseRejectsImports(t *testing.T) {
+	_, err := Parse("x.proto", `syntax = "proto3"; import "other.proto";`)
+	if err == nil || !strings.Contains(err.Error(), "ParseSet") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseSetDuplicateAcrossFiles(t *testing.T) {
+	files := map[string]string{
+		"a.proto": `syntax = "proto3"; package p; import "b.proto"; message M { int32 x = 1; }`,
+		"b.proto": `syntax = "proto3"; package p; message M { int32 y = 1; }`,
+	}
+	if _, err := ParseSet(files, "a.proto"); err == nil {
+		t.Error("duplicate type across files accepted")
+	}
+}

@@ -1,0 +1,441 @@
+// Package protojson implements the canonical protobuf JSON mapping for
+// dynamic messages (internal/protomsg): lowerCamelCase field names, 64-bit
+// integers as strings, bytes as base64, enums by value name, NaN/Infinity
+// as strings.
+//
+// JSON is the interop format of the microservice world the paper's
+// introduction motivates; this package lets services built on this library
+// speak it at their edges while the binary datapath stays offloaded.
+package protojson
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protomsg"
+)
+
+// jsonName converts a proto field name (snake_case) to lowerCamelCase, the
+// canonical JSON name.
+func jsonName(s string) string {
+	parts := strings.Split(s, "_")
+	var sb strings.Builder
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		if i == 0 {
+			sb.WriteString(p)
+		} else {
+			sb.WriteString(strings.ToUpper(p[:1]) + p[1:])
+		}
+	}
+	return sb.String()
+}
+
+// Marshal renders m as canonical protobuf JSON.
+func Marshal(m *protomsg.Message) ([]byte, error) {
+	var sb strings.Builder
+	if err := writeMessage(&sb, m); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+func writeMessage(sb *strings.Builder, m *protomsg.Message) error {
+	sb.WriteByte('{')
+	first := true
+	for _, f := range m.Descriptor().Fields {
+		if !m.Has(f.Name) {
+			continue
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		nameJSON, _ := json.Marshal(jsonName(f.Name))
+		sb.Write(nameJSON)
+		sb.WriteByte(':')
+		if err := writeField(sb, m, f); err != nil {
+			return err
+		}
+	}
+	sb.WriteByte('}')
+	return nil
+}
+
+func writeField(sb *strings.Builder, m *protomsg.Message, f *protodesc.Field) error {
+	switch {
+	case f.Repeated && f.Kind == protodesc.KindMessage:
+		sb.WriteByte('[')
+		for i, child := range m.Msgs(f.Name) {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if err := writeMessage(sb, child); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte(']')
+	case f.Repeated && (f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes):
+		sb.WriteByte('[')
+		for i, s := range m.Strs(f.Name) {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeStrOrBytes(sb, f.Kind, s)
+		}
+		sb.WriteByte(']')
+	case f.Repeated:
+		sb.WriteByte('[')
+		for i, bits := range m.Nums(f.Name) {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeScalarBits(sb, f, bits)
+		}
+		sb.WriteByte(']')
+	case f.Kind == protodesc.KindMessage:
+		child := m.Msg(f.Name)
+		if child == nil {
+			sb.WriteString("null")
+			return nil
+		}
+		return writeMessage(sb, child)
+	case f.Kind == protodesc.KindString, f.Kind == protodesc.KindBytes:
+		writeStrOrBytes(sb, f.Kind, m.Bytes(f.Name))
+	default:
+		writeScalarBits(sb, f, scalarBitsOf(m, f))
+	}
+	return nil
+}
+
+func scalarBitsOf(m *protomsg.Message, f *protodesc.Field) uint64 {
+	switch f.Kind {
+	case protodesc.KindBool:
+		if m.Bool(f.Name) {
+			return 1
+		}
+		return 0
+	case protodesc.KindFloat:
+		return uint64(math.Float32bits(m.Float(f.Name)))
+	case protodesc.KindDouble:
+		return math.Float64bits(m.Double(f.Name))
+	case protodesc.KindInt32, protodesc.KindSint32, protodesc.KindSfixed32, protodesc.KindEnum:
+		return uint64(uint32(m.Int32(f.Name)))
+	case protodesc.KindUint32, protodesc.KindFixed32:
+		return uint64(m.Uint32(f.Name))
+	default:
+		return m.Uint64(f.Name)
+	}
+}
+
+func writeStrOrBytes(sb *strings.Builder, k protodesc.Kind, b []byte) {
+	if k == protodesc.KindBytes {
+		enc, _ := json.Marshal(base64.StdEncoding.EncodeToString(b))
+		sb.Write(enc)
+		return
+	}
+	enc, _ := json.Marshal(string(b))
+	sb.Write(enc)
+}
+
+func writeScalarBits(sb *strings.Builder, f *protodesc.Field, bits uint64) {
+	switch f.Kind {
+	case protodesc.KindBool:
+		if bits != 0 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case protodesc.KindEnum:
+		n := int32(uint32(bits))
+		if f.Enum != nil {
+			if name := f.Enum.ValueName(n); name != "" {
+				enc, _ := json.Marshal(name)
+				sb.Write(enc)
+				return
+			}
+		}
+		sb.WriteString(strconv.FormatInt(int64(n), 10))
+	case protodesc.KindFloat:
+		writeFloat(sb, float64(math.Float32frombits(uint32(bits))), 32)
+	case protodesc.KindDouble:
+		writeFloat(sb, math.Float64frombits(bits), 64)
+	case protodesc.KindInt32, protodesc.KindSint32, protodesc.KindSfixed32:
+		sb.WriteString(strconv.FormatInt(int64(int32(uint32(bits))), 10))
+	case protodesc.KindUint32, protodesc.KindFixed32:
+		sb.WriteString(strconv.FormatUint(uint64(uint32(bits)), 10))
+	case protodesc.KindInt64, protodesc.KindSint64, protodesc.KindSfixed64:
+		// Canonical JSON renders 64-bit integers as strings.
+		sb.WriteByte('"')
+		sb.WriteString(strconv.FormatInt(int64(bits), 10))
+		sb.WriteByte('"')
+	default: // uint64/fixed64
+		sb.WriteByte('"')
+		sb.WriteString(strconv.FormatUint(bits, 10))
+		sb.WriteByte('"')
+	}
+}
+
+func writeFloat(sb *strings.Builder, v float64, bitsize int) {
+	switch {
+	case math.IsNaN(v):
+		sb.WriteString(`"NaN"`)
+	case math.IsInf(v, 1):
+		sb.WriteString(`"Infinity"`)
+	case math.IsInf(v, -1):
+		sb.WriteString(`"-Infinity"`)
+	default:
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, bitsize))
+	}
+}
+
+// Unmarshal parses canonical protobuf JSON into a fresh message of type
+// desc. Both lowerCamelCase and original proto field names are accepted;
+// 64-bit integers may be numbers or strings; enums may be names or numbers.
+func Unmarshal(desc *protodesc.Message, data []byte) (*protomsg.Message, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("protojson: %w", err)
+	}
+	return fromValue(desc, raw)
+}
+
+func fromValue(desc *protodesc.Message, raw any) (*protomsg.Message, error) {
+	obj, ok := raw.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("protojson: %s: expected object, got %T", desc.Name, raw)
+	}
+	m := protomsg.New(desc)
+	// Accept both canonical and original names.
+	byJSON := map[string]*protodesc.Field{}
+	for _, f := range desc.Fields {
+		byJSON[jsonName(f.Name)] = f
+		byJSON[f.Name] = f
+	}
+	for key, val := range obj {
+		f, ok := byJSON[key]
+		if !ok {
+			return nil, fmt.Errorf("protojson: %s: unknown field %q", desc.Name, key)
+		}
+		if val == nil {
+			continue // null means unset
+		}
+		if err := setField(m, f, val); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func setField(m *protomsg.Message, f *protodesc.Field, val any) error {
+	if f.Repeated {
+		arr, ok := val.([]any)
+		if !ok {
+			return fmt.Errorf("protojson: %s: expected array", f.Name)
+		}
+		for _, elem := range arr {
+			if err := appendElem(m, f, elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch f.Kind {
+	case protodesc.KindMessage:
+		child, err := fromValue(f.Message, val)
+		if err != nil {
+			return err
+		}
+		return m.SetMessage(f.Name, child)
+	case protodesc.KindString:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("protojson: %s: expected string", f.Name)
+		}
+		return m.SetString(f.Name, s)
+	case protodesc.KindBytes:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("protojson: %s: expected base64 string", f.Name)
+		}
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return fmt.Errorf("protojson: %s: %w", f.Name, err)
+		}
+		return m.SetBytes(f.Name, b)
+	default:
+		bits, err := scalarFromJSON(f, val)
+		if err != nil {
+			return err
+		}
+		return setScalarBits(m, f, bits)
+	}
+}
+
+func appendElem(m *protomsg.Message, f *protodesc.Field, val any) error {
+	switch f.Kind {
+	case protodesc.KindMessage:
+		child, err := fromValue(f.Message, val)
+		if err != nil {
+			return err
+		}
+		return m.AppendMessage(f.Name, child)
+	case protodesc.KindString:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("protojson: %s: expected string", f.Name)
+		}
+		return m.AppendString(f.Name, s)
+	case protodesc.KindBytes:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("protojson: %s: expected base64 string", f.Name)
+		}
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return fmt.Errorf("protojson: %s: %w", f.Name, err)
+		}
+		return m.AppendBytes(f.Name, b)
+	default:
+		bits, err := scalarFromJSON(f, val)
+		if err != nil {
+			return err
+		}
+		return m.AppendNum(f.Name, bits)
+	}
+}
+
+// setScalarBits dispatches raw bits to the typed setter.
+func setScalarBits(m *protomsg.Message, f *protodesc.Field, bits uint64) error {
+	switch f.Kind {
+	case protodesc.KindBool:
+		return m.SetBool(f.Name, bits != 0)
+	case protodesc.KindFloat:
+		return m.SetFloat(f.Name, math.Float32frombits(uint32(bits)))
+	case protodesc.KindDouble:
+		return m.SetDouble(f.Name, math.Float64frombits(bits))
+	case protodesc.KindEnum:
+		return m.SetEnum(f.Name, int32(uint32(bits)))
+	case protodesc.KindInt32, protodesc.KindSint32, protodesc.KindSfixed32:
+		return m.SetInt32(f.Name, int32(uint32(bits)))
+	case protodesc.KindUint32, protodesc.KindFixed32:
+		return m.SetUint32(f.Name, uint32(bits))
+	case protodesc.KindInt64, protodesc.KindSint64, protodesc.KindSfixed64:
+		return m.SetInt64(f.Name, int64(bits))
+	default:
+		return m.SetUint64(f.Name, bits)
+	}
+}
+
+// scalarFromJSON converts a JSON value to raw field bits.
+func scalarFromJSON(f *protodesc.Field, val any) (uint64, error) {
+	switch f.Kind {
+	case protodesc.KindBool:
+		b, ok := val.(bool)
+		if !ok {
+			return 0, fmt.Errorf("protojson: %s: expected bool", f.Name)
+		}
+		if b {
+			return 1, nil
+		}
+		return 0, nil
+	case protodesc.KindEnum:
+		switch v := val.(type) {
+		case string:
+			if f.Enum != nil {
+				for _, ev := range f.Enum.Values {
+					if ev.Name == v {
+						return uint64(uint32(ev.Number)), nil
+					}
+				}
+			}
+			return 0, fmt.Errorf("protojson: %s: unknown enum value %q", f.Name, v)
+		case json.Number:
+			n, err := strconv.ParseInt(v.String(), 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("protojson: %s: %w", f.Name, err)
+			}
+			return uint64(uint32(int32(n))), nil
+		}
+		return 0, fmt.Errorf("protojson: %s: expected enum name or number", f.Name)
+	case protodesc.KindFloat, protodesc.KindDouble:
+		fv, err := floatFromJSON(f.Name, val)
+		if err != nil {
+			return 0, err
+		}
+		if f.Kind == protodesc.KindFloat {
+			return uint64(math.Float32bits(float32(fv))), nil
+		}
+		return math.Float64bits(fv), nil
+	default:
+		s, err := numberString(f.Name, val)
+		if err != nil {
+			return 0, err
+		}
+		switch f.Kind {
+		case protodesc.KindInt32, protodesc.KindSint32, protodesc.KindSfixed32:
+			n, err := strconv.ParseInt(s, 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("protojson: %s: %w", f.Name, err)
+			}
+			return uint64(uint32(int32(n))), nil
+		case protodesc.KindUint32, protodesc.KindFixed32:
+			n, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return 0, fmt.Errorf("protojson: %s: %w", f.Name, err)
+			}
+			return n, nil
+		case protodesc.KindInt64, protodesc.KindSint64, protodesc.KindSfixed64:
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("protojson: %s: %w", f.Name, err)
+			}
+			return uint64(n), nil
+		default:
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("protojson: %s: %w", f.Name, err)
+			}
+			return n, nil
+		}
+	}
+}
+
+func floatFromJSON(field string, val any) (float64, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return v.Float64()
+	case string:
+		switch v {
+		case "NaN":
+			return math.NaN(), nil
+		case "Infinity":
+			return math.Inf(1), nil
+		case "-Infinity":
+			return math.Inf(-1), nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	return 0, fmt.Errorf("protojson: %s: expected number", field)
+}
+
+// numberString accepts a JSON number or a numeric string (the canonical
+// 64-bit form).
+func numberString(field string, val any) (string, error) {
+	switch v := val.(type) {
+	case json.Number:
+		return v.String(), nil
+	case string:
+		return v, nil
+	}
+	return "", fmt.Errorf("protojson: %s: expected number, got %T", field, val)
+}

@@ -1,0 +1,252 @@
+package protojson
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+	"dpurpc/internal/protomsg"
+)
+
+const schema = `
+syntax = "proto3";
+package j;
+
+enum Color { COLOR_ZERO = 0; COLOR_RED = 1; }
+
+message Node {
+  uint32 node_id = 1;
+  string display_name = 2;
+  Node next_node = 3;
+}
+
+message Everything {
+  bool b = 1;
+  int32 i32 = 2;
+  uint32 u32 = 3;
+  int64 i64 = 4;
+  uint64 u64 = 5;
+  float fl = 6;
+  double db = 7;
+  string s = 8;
+  bytes raw = 9;
+  Color color = 10;
+  Node node = 11;
+  repeated int64 big_nums = 12;
+  repeated string tags = 13;
+  repeated Node nodes = 14;
+  repeated bool flags = 15;
+}
+`
+
+var (
+	everyDesc *protodesc.Message
+	nodeDesc  *protodesc.Message
+)
+
+func init() {
+	f, err := protodsl.Parse("j.proto", schema)
+	if err != nil {
+		panic(err)
+	}
+	reg := protodesc.NewRegistry()
+	if err := reg.Register(f); err != nil {
+		panic(err)
+	}
+	everyDesc = reg.Message("j.Everything")
+	nodeDesc = reg.Message("j.Node")
+}
+
+func sample(t testing.TB) *protomsg.Message {
+	m := protomsg.New(everyDesc)
+	m.SetBool("b", true)
+	m.SetInt32("i32", -42)
+	m.SetUint32("u32", 7)
+	m.SetInt64("i64", math.MinInt64)
+	m.SetUint64("u64", math.MaxUint64)
+	m.SetFloat("fl", 1.5)
+	m.SetDouble("db", -2.25)
+	m.SetString("s", "héllo \"json\"")
+	m.SetBytes("raw", []byte{0, 1, 0xff})
+	m.SetEnum("color", 1)
+	n := protomsg.New(nodeDesc)
+	n.SetUint32("node_id", 9)
+	n.SetString("display_name", "inner")
+	m.SetMessage("node", n)
+	minusFive := int64(-5)
+	m.AppendNum("big_nums", uint64(minusFive))
+	m.AppendNum("big_nums", 5)
+	m.AppendString("tags", "a")
+	m.AppendString("tags", "b")
+	k := protomsg.New(nodeDesc)
+	k.SetUint32("node_id", 1)
+	m.AppendMessage("nodes", k)
+	m.AppendNum("flags", 1)
+	m.AppendNum("flags", 0)
+	return m
+}
+
+func TestMarshalCanonicalShape(t *testing.T) {
+	out, err := Marshal(sample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid JSON.
+	var v map[string]any
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"b":true`,
+		`"i32":-42`,
+		`"i64":"-9223372036854775808"`, // 64-bit as string
+		`"u64":"18446744073709551615"`,
+		`"color":"COLOR_RED"`,   // enum by name
+		`"raw":"AAH/"`,          // base64
+		`"displayName":"inner"`, // lowerCamelCase
+		`"bigNums":["-5","5"]`,
+		`"nodeId":9`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+	// Unset fields omitted.
+	if strings.Contains(s, "nextNode") {
+		t.Error("unset field rendered")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sample(t)
+	out, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(everyDesc, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !protomsg.Equal(m, got) {
+		t.Errorf("round trip diverged:\n in: %s\nout: %s", m.Text(), got.Text())
+	}
+}
+
+func TestUnmarshalAcceptsOriginalNames(t *testing.T) {
+	got, err := Unmarshal(nodeDesc, []byte(`{"node_id": 5, "display_name": "x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint32("node_id") != 5 || got.GetString("display_name") != "x" {
+		t.Error("original names not accepted")
+	}
+}
+
+func TestUnmarshalNumericFlexibility(t *testing.T) {
+	got, err := Unmarshal(everyDesc, []byte(`{"i64": -7, "u64": "9", "color": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64("i64") != -7 || got.Uint64("u64") != 9 || got.Int32("color") != 1 {
+		t.Error("flexible numerics wrong")
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	m := protomsg.New(everyDesc)
+	m.SetDouble("db", math.Inf(-1))
+	m.SetFloat("fl", float32(math.NaN()))
+	out, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `"db":"-Infinity"`) || !strings.Contains(s, `"fl":"NaN"`) {
+		t.Errorf("specials: %s", s)
+	}
+	got, err := Unmarshal(everyDesc, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Double("db"), -1) || !math.IsNaN(float64(got.Float("fl"))) {
+		t.Error("specials round trip failed")
+	}
+}
+
+func TestUnmarshalNullMeansUnset(t *testing.T) {
+	got, err := Unmarshal(everyDesc, []byte(`{"s": null, "i32": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Has("s") || got.Int32("i32") != 3 {
+		t.Error("null handling wrong")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`[1,2]`,                           // not an object
+		`{"unknownField": 1}`,             // unknown field
+		`{"i32": "abc"}`,                  // bad number
+		`{"i32": 4000000000}`,             // out of int32 range
+		`{"b": 1}`,                        // bool from number
+		`{"raw": "!!!"}`,                  // bad base64
+		`{"color": "COLOR_NOPE"}`,         // unknown enum name
+		`{"tags": "notarray"}`,            // repeated needs array
+		`{"node": 5}`,                     // message needs object
+		`{"s": 5}`,                        // string from number
+		`{"nodes": [{"node_id": "bad"}]}`, // nested error propagates
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(everyDesc, []byte(c)); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	out, err := Marshal(protomsg.New(everyDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "{}" {
+		t.Errorf("empty = %s", out)
+	}
+	got, err := Unmarshal(everyDesc, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !protomsg.Equal(got, protomsg.New(everyDesc)) {
+		t.Error("empty round trip wrong")
+	}
+}
+
+func TestJSONNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"node_id":      "nodeId",
+		"display_name": "displayName",
+		"s":            "s",
+		"big_nums":     "bigNums",
+		"a_b_c":        "aBC",
+	}
+	for in, want := range cases {
+		if got := jsonName(in); got != want {
+			t.Errorf("jsonName(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkMarshalJSON(b *testing.B) {
+	m := sample(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

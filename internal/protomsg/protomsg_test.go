@@ -1,0 +1,543 @@
+package protomsg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+	"dpurpc/internal/wire"
+)
+
+const testSchema = `
+syntax = "proto3";
+package t;
+
+enum Color { C_ZERO = 0; C_RED = 1; }
+
+message Scalars {
+  bool b = 1;
+  int32 i32 = 2;
+  sint32 s32 = 3;
+  uint32 u32 = 4;
+  int64 i64 = 5;
+  sint64 s64 = 6;
+  uint64 u64 = 7;
+  fixed32 f32 = 8;
+  sfixed32 sf32 = 9;
+  fixed64 f64 = 10;
+  sfixed64 sf64 = 11;
+  float fl = 12;
+  double db = 13;
+  string s = 14;
+  bytes raw = 15;
+  Color color = 16;
+}
+
+message Tree {
+  uint32 id = 1;
+  Tree left = 2;
+  Tree right = 3;
+  string label = 4;
+}
+
+message Lists {
+  repeated uint32 packed_u32 = 1;
+  repeated sint64 unpacked_s64 = 2 [packed=false];
+  repeated string names = 3;
+  repeated bytes blobs = 4;
+  repeated Tree trees = 5;
+  repeated double doubles = 6;
+}
+`
+
+var (
+	testReg     *protodesc.Registry
+	scalarsDesc *protodesc.Message
+	treeDesc    *protodesc.Message
+	listsDesc   *protodesc.Message
+)
+
+func init() {
+	f, err := protodsl.Parse("test.proto", testSchema)
+	if err != nil {
+		panic(err)
+	}
+	testReg = protodesc.NewRegistry()
+	if err := testReg.Register(f); err != nil {
+		panic(err)
+	}
+	scalarsDesc = testReg.Message("t.Scalars")
+	treeDesc = testReg.Message("t.Tree")
+	listsDesc = testReg.Message("t.Lists")
+}
+
+func fullScalars(t *testing.T) *Message {
+	t.Helper()
+	m := New(scalarsDesc)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(m.SetBool("b", true))
+	check(m.SetInt32("i32", -42))
+	check(m.SetInt32("s32", -99))
+	check(m.SetUint32("u32", 1<<31))
+	check(m.SetInt64("i64", math.MinInt64))
+	check(m.SetInt64("s64", -1234567890123))
+	check(m.SetUint64("u64", math.MaxUint64))
+	check(m.SetUint32("f32", 0xdeadbeef))
+	check(m.SetInt32("sf32", -7))
+	check(m.SetUint64("f64", 1<<60))
+	check(m.SetInt64("sf64", -8))
+	check(m.SetFloat("fl", 3.25))
+	check(m.SetDouble("db", -2.5e100))
+	check(m.SetString("s", "héllo"))
+	check(m.SetBytes("raw", []byte{0, 1, 2, 0xff}))
+	check(m.SetEnum("color", 1))
+	return m
+}
+
+func TestScalarRoundTrip(t *testing.T) {
+	m := fullScalars(t)
+	b := m.Marshal(nil)
+	if len(b) != m.Size() {
+		t.Errorf("Size() = %d, encoded %d", m.Size(), len(b))
+	}
+	got := New(scalarsDesc)
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, got) {
+		t.Error("round trip not equal")
+	}
+	if got.Bool("b") != true || got.Int32("i32") != -42 || got.Int32("s32") != -99 {
+		t.Error("scalar getters wrong")
+	}
+	if got.Uint32("u32") != 1<<31 || got.Int64("i64") != math.MinInt64 {
+		t.Error("wide getters wrong")
+	}
+	if got.Uint64("u64") != math.MaxUint64 || got.Uint32("f32") != 0xdeadbeef {
+		t.Error("fixed getters wrong")
+	}
+	if got.Float("fl") != 3.25 || got.Double("db") != -2.5e100 {
+		t.Error("float getters wrong")
+	}
+	if got.GetString("s") != "héllo" || !bytes.Equal(got.Bytes("raw"), []byte{0, 1, 2, 0xff}) {
+		t.Error("string/bytes getters wrong")
+	}
+	if got.Int32("color") != 1 {
+		t.Error("enum getter wrong")
+	}
+}
+
+func TestProto3ZeroOmitted(t *testing.T) {
+	m := New(scalarsDesc)
+	if b := m.Marshal(nil); len(b) != 0 {
+		t.Errorf("empty message encoded %d bytes", len(b))
+	}
+	// Explicitly-set zero values are also omitted (proto3, no field presence
+	// on the wire).
+	if err := m.SetInt32("i32", 0); err != nil {
+		t.Fatal(err)
+	}
+	if b := m.Marshal(nil); len(b) != 0 {
+		t.Errorf("zero scalar encoded %d bytes", len(b))
+	}
+	if m.Size() != 0 {
+		t.Error("Size of zeros not 0")
+	}
+}
+
+func TestHasAndClear(t *testing.T) {
+	m := New(scalarsDesc)
+	if m.Has("b") {
+		t.Error("unset field reported present")
+	}
+	if err := m.SetBool("b", true); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has("b") {
+		t.Error("set field not present")
+	}
+	m.Clear()
+	if m.Has("b") || m.Bool("b") {
+		t.Error("Clear did not reset")
+	}
+	if m.Has("no_such_field") {
+		t.Error("unknown field reported present")
+	}
+}
+
+func TestNegativeInt32TenByteEncoding(t *testing.T) {
+	// Protobuf encodes negative int32 as a sign-extended 64-bit varint.
+	m := New(scalarsDesc)
+	if err := m.SetInt32("i32", -1); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Marshal(nil)
+	// tag(1 byte) + 10-byte varint
+	if len(b) != 11 {
+		t.Fatalf("encoded %d bytes, want 11: %x", len(b), b)
+	}
+	got := New(scalarsDesc)
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32("i32") != -1 {
+		t.Errorf("got %d", got.Int32("i32"))
+	}
+}
+
+func TestSint32UsesZigZag(t *testing.T) {
+	m := New(scalarsDesc)
+	if err := m.SetInt32("s32", -1); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Marshal(nil)
+	// tag + single zigzag byte (0x01)
+	if len(b) != 2 || b[1] != 0x01 {
+		t.Fatalf("sint32(-1) encoded as %x", b)
+	}
+}
+
+func TestNestedTree(t *testing.T) {
+	root := New(treeDesc)
+	root.SetUint32("id", 1)
+	root.SetString("label", "root")
+	l := New(treeDesc)
+	l.SetUint32("id", 2)
+	ll := New(treeDesc)
+	ll.SetUint32("id", 4)
+	l.SetMessage("left", ll)
+	root.SetMessage("left", l)
+	r := New(treeDesc)
+	r.SetUint32("id", 3)
+	root.SetMessage("right", r)
+
+	b := root.Marshal(nil)
+	got := New(treeDesc)
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(root, got) {
+		t.Error("tree round trip failed")
+	}
+	if got.Msg("left").Msg("left").Uint32("id") != 4 {
+		t.Error("deep access failed")
+	}
+	if got.Msg("left").Msg("right") != nil {
+		t.Error("unset submessage should be nil")
+	}
+}
+
+func TestRepeatedRoundTrip(t *testing.T) {
+	m := New(listsDesc)
+	for i := 0; i < 100; i++ {
+		m.AppendNum("packed_u32", uint64(i*i))
+	}
+	for _, v := range []int64{-5, 0, 5, math.MinInt64, math.MaxInt64} {
+		m.AppendNum("unpacked_s64", uint64(v))
+	}
+	m.AppendString("names", "alpha")
+	m.AppendString("names", "βeta")
+	m.AppendBytes("blobs", []byte{1, 2})
+	m.AppendBytes("blobs", nil)
+	for i := 0; i < 3; i++ {
+		child := New(treeDesc)
+		child.SetUint32("id", uint32(i+10))
+		m.AppendMessage("trees", child)
+	}
+	m.AppendNum("doubles", math.Float64bits(2.5))
+	m.AppendNum("doubles", math.Float64bits(-0.5))
+
+	b := m.Marshal(nil)
+	if len(b) != m.Size() {
+		t.Errorf("Size() = %d, encoded %d", m.Size(), len(b))
+	}
+	got := New(listsDesc)
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, got) {
+		t.Error("repeated round trip failed")
+	}
+	if len(got.Nums("packed_u32")) != 100 || got.Nums("packed_u32")[9] != 81 {
+		t.Error("packed values wrong")
+	}
+	if int64(got.Nums("unpacked_s64")[0]) != -5 {
+		t.Error("unpacked sint64 wrong")
+	}
+	if string(got.Strs("names")[1]) != "βeta" {
+		t.Error("repeated string wrong")
+	}
+	if got.Msgs("trees")[2].Uint32("id") != 12 {
+		t.Error("repeated message wrong")
+	}
+}
+
+func TestPackedDecodesUnpackedAndViceVersa(t *testing.T) {
+	// Build an unpacked encoding of packed_u32 manually; decoder must accept.
+	f := listsDesc.FieldByName("packed_u32")
+	var b []byte
+	for _, v := range []uint64{7, 8, 9} {
+		b = wire.AppendTag(b, f.Number, wire.TypeVarint)
+		b = wire.AppendVarint(b, v)
+	}
+	m := New(listsDesc)
+	if err := m.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Nums("packed_u32"); len(n) != 3 || n[2] != 9 {
+		t.Errorf("unpacked decode = %v", n)
+	}
+
+	// Packed encoding of a [packed=false] field must also be accepted.
+	f2 := listsDesc.FieldByName("unpacked_s64")
+	var body []byte
+	body = wire.AppendVarint(body, wire.EncodeZigZag(-3))
+	body = wire.AppendVarint(body, wire.EncodeZigZag(4))
+	var b2 []byte
+	b2 = wire.AppendTag(b2, f2.Number, wire.TypeBytes)
+	b2 = wire.AppendBytes(b2, body)
+	m2 := New(listsDesc)
+	if err := m2.Unmarshal(b2); err != nil {
+		t.Fatal(err)
+	}
+	if n := m2.Nums("unpacked_s64"); len(n) != 2 || int64(n[0]) != -3 || int64(n[1]) != 4 {
+		t.Errorf("packed decode of unpacked field = %v", n)
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	var b []byte
+	b = wire.AppendTag(b, 999, wire.TypeBytes)
+	b = wire.AppendBytes(b, []byte("junk"))
+	b = wire.AppendTag(b, 998, wire.TypeVarint)
+	b = wire.AppendVarint(b, 5)
+	b = wire.AppendTag(b, 1, wire.TypeVarint) // bool b = true
+	b = wire.AppendVarint(b, 1)
+	m := New(scalarsDesc)
+	if err := m.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Bool("b") {
+		t.Error("known field after unknown fields lost")
+	}
+}
+
+func TestLastOneWinsAndMessageMerge(t *testing.T) {
+	// scalar: two occurrences, last wins.
+	var b []byte
+	b = wire.AppendTag(b, 4, wire.TypeVarint) // u32
+	b = wire.AppendVarint(b, 1)
+	b = wire.AppendTag(b, 4, wire.TypeVarint)
+	b = wire.AppendVarint(b, 2)
+	m := New(scalarsDesc)
+	if err := m.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Uint32("u32") != 2 {
+		t.Errorf("u32 = %d, want last-one-wins 2", m.Uint32("u32"))
+	}
+
+	// message: two occurrences merge field-wise.
+	sub1 := New(treeDesc)
+	sub1.SetUint32("id", 5)
+	sub2 := New(treeDesc)
+	sub2.SetString("label", "x")
+	var tb []byte
+	tb = wire.AppendTag(tb, 2, wire.TypeBytes) // left
+	tb = wire.AppendVarint(tb, uint64(sub1.Size()))
+	tb = sub1.Marshal(tb)
+	tb = wire.AppendTag(tb, 2, wire.TypeBytes)
+	tb = wire.AppendVarint(tb, uint64(sub2.Size()))
+	tb = sub2.Marshal(tb)
+	tree := New(treeDesc)
+	if err := tree.Unmarshal(tb); err != nil {
+		t.Fatal(err)
+	}
+	left := tree.Msg("left")
+	if left.Uint32("id") != 5 || left.GetString("label") != "x" {
+		t.Errorf("merge failed: id=%d label=%q", left.Uint32("id"), left.GetString("label"))
+	}
+}
+
+func TestInvalidUTF8Rejected(t *testing.T) {
+	var b []byte
+	b = wire.AppendTag(b, 14, wire.TypeBytes) // string s
+	b = wire.AppendBytes(b, []byte{0xff, 0xfe})
+	m := New(scalarsDesc)
+	if err := m.Unmarshal(b); err != wire.ErrInvalidUTF8 {
+		t.Errorf("err = %v, want ErrInvalidUTF8", err)
+	}
+	// Setter also rejects.
+	if err := m.SetString("s", string([]byte{0xff})); err != wire.ErrInvalidUTF8 {
+		t.Errorf("setter err = %v", err)
+	}
+	// bytes field accepts arbitrary bytes.
+	var b2 []byte
+	b2 = wire.AppendTag(b2, 15, wire.TypeBytes)
+	b2 = wire.AppendBytes(b2, []byte{0xff, 0xfe})
+	if err := New(scalarsDesc).Unmarshal(b2); err != nil {
+		t.Errorf("bytes field rejected: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := New(scalarsDesc)
+	// Truncated tag.
+	if err := m.Unmarshal([]byte{0x80}); err == nil {
+		t.Error("truncated tag accepted")
+	}
+	// Wire type mismatch on known field.
+	var b []byte
+	b = wire.AppendTag(b, 1, wire.TypeFixed32) // bool with fixed32
+	b = wire.AppendFixed32(b, 1)
+	if err := m.Unmarshal(b); err == nil {
+		t.Error("wire type mismatch accepted")
+	}
+	// Truncated length-delimited payload.
+	b = wire.AppendTag(nil, 14, wire.TypeBytes)
+	b = wire.AppendVarint(b, 100)
+	b = append(b, 'x')
+	if err := m.Unmarshal(b); err == nil {
+		t.Error("truncated bytes accepted")
+	}
+	// Malformed nested message.
+	b = wire.AppendTag(nil, 2, wire.TypeBytes) // Tree.left
+	b = wire.AppendBytes(b, []byte{0x08})      // truncated varint field inside
+	if err := New(treeDesc).Unmarshal(b); err == nil {
+		t.Error("malformed nested message accepted")
+	}
+}
+
+func TestAccessorErrors(t *testing.T) {
+	m := New(scalarsDesc)
+	if err := m.SetBool("nope", true); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := m.SetBool("i32", true); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := m.SetString("raw", "x"); err == nil {
+		t.Error("string setter on bytes accepted")
+	}
+	if err := m.SetMessage("s", New(treeDesc)); err == nil {
+		t.Error("message setter on string accepted")
+	}
+	tree := New(treeDesc)
+	if err := tree.SetMessage("left", New(scalarsDesc)); err == nil {
+		t.Error("wrong message type accepted")
+	}
+	lists := New(listsDesc)
+	if err := lists.SetString("names", "x"); err == nil {
+		t.Error("singular setter on repeated accepted")
+	}
+	if err := lists.AppendNum("names", 1); err == nil {
+		t.Error("AppendNum on string field accepted")
+	}
+	if err := lists.AppendMessage("trees", nil); err == nil {
+		t.Error("nil AppendMessage accepted")
+	}
+	if err := lists.AppendString("names", string([]byte{0xff})); err == nil {
+		t.Error("invalid UTF-8 AppendString accepted")
+	}
+	if err := New(scalarsDesc).AppendString("s", "x"); err == nil {
+		t.Error("AppendString on singular accepted")
+	}
+}
+
+func TestMutableMsg(t *testing.T) {
+	tree := New(treeDesc)
+	l := tree.MutableMsg("left")
+	if l == nil {
+		t.Fatal("MutableMsg returned nil")
+	}
+	l.SetUint32("id", 9)
+	if tree.Msg("left").Uint32("id") != 9 {
+		t.Error("mutation not visible")
+	}
+	if tree.MutableMsg("left") != l {
+		t.Error("second MutableMsg returned different instance")
+	}
+	if tree.MutableMsg("id") != nil {
+		t.Error("MutableMsg on scalar should be nil")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a, b := New(scalarsDesc), New(scalarsDesc)
+	if !Equal(a, b) {
+		t.Error("two empty messages unequal")
+	}
+	// Explicit zero equals unset (proto3).
+	a.SetInt32("i32", 0)
+	if !Equal(a, b) {
+		t.Error("explicit zero != unset")
+	}
+	a.SetInt32("i32", 5)
+	if Equal(a, b) {
+		t.Error("different values equal")
+	}
+	if Equal(a, New(treeDesc)) {
+		t.Error("different types equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestGettersOnUnknownFieldNames(t *testing.T) {
+	m := New(scalarsDesc)
+	if m.Bool("zz") || m.Uint32("zz") != 0 || m.GetString("zz") != "" ||
+		m.Bytes("zz") != nil || m.Msg("zz") != nil || m.Nums("zz") != nil ||
+		m.Strs("zz") != nil || m.Msgs("zz") != nil {
+		t.Error("unknown-name getters should return zero values")
+	}
+}
+
+func TestMarshalAppendsToExisting(t *testing.T) {
+	m := New(scalarsDesc)
+	m.SetBool("b", true)
+	prefix := []byte("prefix")
+	out := m.Marshal(prefix)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Error("Marshal did not append")
+	}
+	if len(out) != len(prefix)+m.Size() {
+		t.Error("appended length wrong")
+	}
+}
+
+func BenchmarkMarshalScalars(b *testing.B) {
+	m := New(scalarsDesc)
+	m.SetUint32("u32", 123456)
+	m.SetString("s", "benchmark string")
+	m.SetDouble("db", 1.5)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkUnmarshalScalars(b *testing.B) {
+	m := New(scalarsDesc)
+	m.SetUint32("u32", 123456)
+	m.SetString("s", "benchmark string")
+	m.SetDouble("db", 1.5)
+	data := m.Marshal(nil)
+	out := New(scalarsDesc)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		out.Clear()
+		if err := out.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package protomsg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextScalars(t *testing.T) {
+	m := New(scalarsDesc)
+	m.SetBool("b", true)
+	m.SetInt32("i32", -42)
+	m.SetUint32("u32", 7)
+	m.SetFloat("fl", 1.5)
+	m.SetDouble("db", -2.25)
+	m.SetString("s", "hi \"there\"")
+	m.SetBytes("raw", []byte{0x00, 'A', 0xff})
+	m.SetEnum("color", 1)
+	text := m.Text()
+	for _, want := range []string{
+		"b: true\n",
+		"i32: -42\n",
+		"u32: 7\n",
+		"fl: 1.5\n",
+		"db: -2.25\n",
+		`s: "hi \"there\""` + "\n",
+		`raw: "\x00A\xff"` + "\n",
+		"color: C_RED\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	// Unset fields omitted.
+	if strings.Contains(text, "i64") {
+		t.Error("unset field rendered")
+	}
+}
+
+func TestTextUnknownEnumValue(t *testing.T) {
+	m := New(scalarsDesc)
+	m.SetEnum("color", 99)
+	if !strings.Contains(m.Text(), "color: 99") {
+		t.Errorf("unknown enum: %s", m.Text())
+	}
+}
+
+func TestTextNestedAndRepeated(t *testing.T) {
+	root := New(treeDesc)
+	root.SetUint32("id", 1)
+	l := New(treeDesc)
+	l.SetUint32("id", 2)
+	l.SetString("label", "left")
+	root.SetMessage("left", l)
+
+	lists := New(listsDesc)
+	lists.AppendNum("packed_u32", 5)
+	lists.AppendNum("packed_u32", 6)
+	lists.AppendString("names", "x")
+	k := New(treeDesc)
+	k.SetUint32("id", 9)
+	lists.AppendMessage("trees", k)
+
+	text := root.Text()
+	if !strings.Contains(text, "left {\n  id: 2\n  label: \"left\"\n}") {
+		t.Errorf("nested rendering wrong:\n%s", text)
+	}
+	ltext := lists.Text()
+	for _, want := range []string{"packed_u32: 5\n", "packed_u32: 6\n", `names: "x"`, "trees {\n  id: 9\n}"} {
+		if !strings.Contains(ltext, want) {
+			t.Errorf("list text missing %q:\n%s", want, ltext)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	m := New(scalarsDesc)
+	m.SetBool("b", true)
+	s := m.String()
+	if !strings.HasPrefix(s, "t.Scalars{") || !strings.Contains(s, "b: true") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTextSignedKinds(t *testing.T) {
+	m := New(scalarsDesc)
+	m.SetInt32("s32", -1)
+	m.SetInt32("sf32", -2)
+	m.SetInt64("s64", -3)
+	m.SetInt64("sf64", -4)
+	m.SetInt64("i64", -5)
+	text := m.Text()
+	for _, want := range []string{"s32: -1", "sf32: -2", "s64: -3", "sf64: -4", "i64: -5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in %s", want, text)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package rpcrdma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func bgCfg(workers int) (Config, Config) {
+	ccfg := Config{BlockSize: 4096, Credits: 16, SBufSize: 1 << 19, CQDepth: 64,
+		BusyPoll: true}
+	scfg := Config{BlockSize: 4096, Credits: 16, SBufSize: 1 << 19, CQDepth: 64,
+		BusyPoll: true, BackgroundWorkers: workers}
+	return ccfg, scfg
+}
+
+// pumpUntil drives both loops until cond or timeout.
+func pumpUntil(t *testing.T, r *testRig, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		if _, err := r.client.Progress(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.poller.Progress(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cond() {
+		t.Fatal("stalled")
+	}
+}
+
+func TestBackgroundExecutionBasic(t *testing.T) {
+	ccfg, scfg := bgCfg(4)
+	var handled atomic.Int32
+	h := func(req Request) ResponseSpec {
+		handled.Add(1)
+		payload := append([]byte(nil), req.Payload...)
+		return ResponseSpec{Size: len(payload), Build: func(dst []byte, _ uint64) (uint32, int, error) {
+			copy(dst, payload)
+			return 0, len(payload), nil
+		}}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	defer r.poller.Close()
+	const n = 200
+	got := 0
+	for i := 0; i < n; i++ {
+		i := i
+		err := r.client.Enqueue(CallSpec{
+			Size: 16,
+			Build: func(dst []byte, _ uint64) (uint32, int, error) {
+				binary.LittleEndian.PutUint64(dst, uint64(i))
+				return 0, 16, nil
+			},
+			OnResponse: func(resp Response) {
+				got++
+				if binary.LittleEndian.Uint64(resp.Payload) != uint64(i) {
+					t.Errorf("response %d corrupted", i)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pumpUntil(t, r, func() bool { return got == n })
+	if handled.Load() != n {
+		t.Errorf("handled %d", handled.Load())
+	}
+	if r.poller.BackgroundPending() != 0 {
+		t.Error("pending background tasks after quiescence")
+	}
+}
+
+func TestBackgroundOutOfOrderCompletion(t *testing.T) {
+	// Handlers sleep random amounts: responses complete out of order and
+	// must still be matched and acknowledged correctly.
+	ccfg, scfg := bgCfg(8)
+	h := func(req Request) ResponseSpec {
+		// Derive a deterministic per-request delay from the payload.
+		d := time.Duration(binary.LittleEndian.Uint64(req.Payload)%7) * time.Millisecond
+		time.Sleep(d)
+		v := binary.LittleEndian.Uint64(req.Payload)
+		return ResponseSpec{Size: 8, Build: func(dst []byte, _ uint64) (uint32, int, error) {
+			binary.LittleEndian.PutUint64(dst, v*2)
+			return 0, 8, nil
+		}}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	defer r.poller.Close()
+	const n = 60
+	got := 0
+	var order []uint64
+	for i := 0; i < n; i++ {
+		i := i
+		r.client.Enqueue(CallSpec{
+			Size: 8,
+			Build: func(dst []byte, _ uint64) (uint32, int, error) {
+				binary.LittleEndian.PutUint64(dst, uint64(i))
+				return 0, 8, nil
+			},
+			OnResponse: func(resp Response) {
+				got++
+				v := binary.LittleEndian.Uint64(resp.Payload)
+				if v != uint64(i)*2 {
+					t.Errorf("request %d: got %d", i, v)
+				}
+				order = append(order, uint64(i))
+			},
+		})
+	}
+	pumpUntil(t, r, func() bool { return got == n })
+	// With 8 workers and variable delays the completion order is almost
+	// surely not fully sequential; tolerate the unlikely case by checking
+	// only that all completed.
+	if len(order) != n {
+		t.Fatalf("completions = %d", len(order))
+	}
+	// All block memory eventually reclaimed.
+	if r.client.alloc.Live() != 1 {
+		t.Errorf("client leaked %d blocks", r.client.alloc.Live()-1)
+	}
+}
+
+func TestBackgroundPayloadStableDuringHandler(t *testing.T) {
+	// The conservative-ack contract: a background handler can keep reading
+	// its request payload for its whole lifetime, even after other requests
+	// in the same block were answered.
+	ccfg, scfg := bgCfg(4)
+	var mismatches atomic.Int32
+	h := func(req Request) ResponseSpec {
+		before := append([]byte(nil), req.Payload...)
+		time.Sleep(2 * time.Millisecond)
+		if !bytes.Equal(before, req.Payload) {
+			mismatches.Add(1)
+		}
+		return ResponseSpec{Size: 0}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	defer r.poller.Close()
+	got := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 50; i++ {
+			r.client.Enqueue(CallSpec{
+				Size: 64,
+				Build: func(dst []byte, _ uint64) (uint32, int, error) {
+					for j := range dst {
+						dst[j] = byte(i + j)
+					}
+					return 0, 64, nil
+				},
+				OnResponse: func(Response) { got++ },
+			})
+		}
+	}
+	pumpUntil(t, r, func() bool { return got == 200 })
+	if mismatches.Load() != 0 {
+		t.Errorf("%d payloads mutated under a running handler", mismatches.Load())
+	}
+}
+
+func TestExactAcksForegroundStillCorrect(t *testing.T) {
+	// The exact (per-block-completion) acknowledgment counter behaves like
+	// the paper's implicit scheme for foreground servers: all memory and
+	// credits return after quiescence.
+	ccfg, scfg := smallCfg()
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 1000, 64)
+	if r.client.Credits() != ccfg.Credits {
+		t.Errorf("credits not restored: %d", r.client.Credits())
+	}
+	if r.client.alloc.Live() != 1 {
+		t.Errorf("client leaked %d blocks", r.client.alloc.Live()-1)
+	}
+	if len(r.server.reqBlockOf) != 0 {
+		t.Errorf("server retains %d in-flight request IDs", len(r.server.reqBlockOf))
+	}
+}
+
+func TestObjectFlagRoundTrip(t *testing.T) {
+	// The response-serialization-offload marker travels end to end.
+	ccfg, scfg := smallCfg()
+	h := func(req Request) ResponseSpec {
+		return ResponseSpec{
+			Object: true,
+			Size:   24,
+			Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+				binary.LittleEndian.PutUint64(dst[8:], 0x1122334455667788)
+				return 8, 24, nil
+			},
+		}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	var resp Response
+	got := false
+	r.client.Enqueue(CallSpec{Size: 8, OnResponse: func(rp Response) {
+		got = true
+		resp = Response{Status: rp.Status, Err: rp.Err, Object: rp.Object,
+			Root: rp.Root, RegionOff: rp.RegionOff,
+			Payload: append([]byte(nil), rp.Payload...)}
+	}})
+	r.pump(t)
+	if !got {
+		t.Fatal("no response")
+	}
+	if !resp.Object {
+		t.Error("object flag lost")
+	}
+	if resp.Root != 8 {
+		t.Errorf("root = %d", resp.Root)
+	}
+	if binary.LittleEndian.Uint64(resp.Payload[8:]) != 0x1122334455667788 {
+		t.Error("object payload wrong")
+	}
+}
+
+func TestHeaderObjectFlag(t *testing.T) {
+	var b [HeaderSize]byte
+	h := header{payloadLen: 8, response: true, object: true}
+	putHeader(b[:], h)
+	got, err := parseHeader(b[:])
+	if err != nil || !got.object {
+		t.Errorf("object flag round trip: %+v %v", got, err)
+	}
+	h.object = false
+	putHeader(b[:], h)
+	got, _ = parseHeader(b[:])
+	if got.object {
+		t.Error("object flag set spuriously")
+	}
+}
+
+func TestLatencyObserver(t *testing.T) {
+	ccfg, scfg := smallCfg()
+	var samples []float64
+	ccfg.LatencyObserver = func(ns float64) { samples = append(samples, ns) }
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 200, 32)
+	if len(samples) != 200 {
+		t.Fatalf("observed %d latencies", len(samples))
+	}
+	for i, ns := range samples {
+		if ns < 0 || ns > 60e9 {
+			t.Fatalf("sample %d implausible: %g ns", i, ns)
+		}
+	}
+}
+
+func TestAbortFailsEverything(t *testing.T) {
+	ccfg, scfg := smallCfg()
+	r := newRig(t, ccfg, scfg, nil)
+	results := map[string]int{}
+	// One request in flight, one still buffered (never flushed).
+	r.client.Enqueue(CallSpec{Size: 8, OnResponse: func(resp Response) {
+		if resp.Err {
+			results["first-failed"]++
+		} else {
+			results["first-ok"]++
+		}
+	}})
+	r.client.Flush() // now in flight, unanswered (no server progress)
+	r.client.Enqueue(CallSpec{Size: 8, OnResponse: func(resp Response) {
+		if resp.Err {
+			results["second-failed"]++
+		} else {
+			results["second-ok"]++
+		}
+	}})
+	// Abort before the server ever runs.
+	r.client.Abort(99)
+	if r.client.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after abort", r.client.Outstanding())
+	}
+	if results["first-failed"] != 1 || results["second-failed"] != 1 {
+		t.Errorf("continuations not failed: %v", results)
+	}
+	if r.client.Broken() == nil {
+		t.Error("connection not broken after abort")
+	}
+	if err := r.client.Enqueue(CallSpec{Size: 8}); err == nil {
+		t.Error("enqueue after abort accepted")
+	}
+	// Double abort is harmless (continuations fire at most once).
+	r.client.Abort(99)
+	if results["first-failed"] != 1 || results["second-failed"] != 1 {
+		t.Errorf("double abort re-fired continuations: %v", results)
+	}
+}
+
+func TestPollerCloseIdempotent(t *testing.T) {
+	ccfg, scfg := bgCfg(2)
+	r := newRig(t, ccfg, scfg, func(req Request) ResponseSpec { return ResponseSpec{} })
+	r.poller.Close()
+	r.poller.Close() // must not panic or deadlock
+}
+
+func TestBackgroundLongRunningDoesNotBlockOthers(t *testing.T) {
+	// One slow RPC must not prevent fast ones from completing — the very
+	// motivation for background execution (Sec. III-D).
+	ccfg, scfg := bgCfg(4)
+	release := make(chan struct{})
+	h := func(req Request) ResponseSpec {
+		if req.Method == 99 {
+			<-release
+		}
+		return ResponseSpec{Size: 0}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	defer r.poller.Close()
+
+	slowDone, fastDone := false, 0
+	r.client.Enqueue(CallSpec{Method: 99, Size: 8, OnResponse: func(Response) { slowDone = true }})
+	if err := r.client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		r.client.Enqueue(CallSpec{Method: 1, Size: 8, OnResponse: func(Response) { fastDone++ }})
+	}
+	pumpUntil(t, r, func() bool { return fastDone == 20 })
+	if slowDone {
+		t.Fatal("slow RPC completed before release")
+	}
+	close(release)
+	pumpUntil(t, r, func() bool { return slowDone })
+}
+
+func TestBackgroundHeavyLoad(t *testing.T) {
+	ccfg, scfg := bgCfg(8)
+	h := func(req Request) ResponseSpec {
+		payload := append([]byte(nil), req.Payload...)
+		return ResponseSpec{Size: len(payload), Build: func(dst []byte, _ uint64) (uint32, int, error) {
+			copy(dst, payload)
+			return 0, len(payload), nil
+		}}
+	}
+	r := newRig(t, ccfg, scfg, h)
+	defer r.poller.Close()
+	const total = 3000
+	sent, got := 0, 0
+	deadline := time.Now().Add(20 * time.Second)
+	for got < total && time.Now().Before(deadline) {
+		for sent < total && sent-got < 256 {
+			i := sent
+			err := r.client.Enqueue(CallSpec{
+				Size: 32,
+				Build: func(dst []byte, _ uint64) (uint32, int, error) {
+					binary.LittleEndian.PutUint64(dst, uint64(i))
+					return 0, 32, nil
+				},
+				OnResponse: func(resp Response) {
+					if binary.LittleEndian.Uint64(resp.Payload) != uint64(i) {
+						t.Errorf("corrupted %d", i)
+					}
+					got++
+				},
+			})
+			if err != nil {
+				if errors.Is(err, ErrIDsExhausted) {
+					break
+				}
+				t.Fatal(err)
+			}
+			sent++
+		}
+		r.client.Progress()
+		r.poller.Progress()
+	}
+	if got != total {
+		t.Fatalf("completed %d/%d", got, total)
+	}
+	// Pool drained, memory reclaimed.
+	if r.poller.BackgroundPending() != 0 {
+		t.Error("background tasks pending")
+	}
+	if r.client.alloc.Live() != 1 {
+		t.Errorf("client leaked %d blocks", r.client.alloc.Live()-1)
+	}
+}

@@ -1,0 +1,530 @@
+package rpcrdma
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dpurpc/internal/arena"
+	"dpurpc/internal/rdma"
+)
+
+// Errors returned by the client.
+var (
+	ErrTooLargeForBuffer = errors.New("rpcrdma: message larger than send buffer")
+	ErrConnBroken        = errors.New("rpcrdma: connection broken")
+)
+
+// Response is delivered to a request's continuation. Payload aliases the
+// receive buffer and is only valid during the continuation (the block is
+// acknowledged — and its remote slot becomes reusable — afterwards).
+type Response struct {
+	// Status is the application status code (0 = OK).
+	Status uint16
+	// Err reports the server-side error flag.
+	Err bool
+	// Object reports that the payload carries a shared-region object graph
+	// (response-serialization offload) rather than opaque bytes.
+	Object bool
+	// Payload is the zero-copy view of the response payload.
+	Payload []byte
+	// RegionOff is the region offset of Payload[0] in the response
+	// direction's shared address space.
+	RegionOff uint64
+	// Root is the root-object offset relative to Payload[0].
+	Root uint32
+}
+
+// CallSpec describes one request to enqueue.
+type CallSpec struct {
+	// Method is the procedure ID.
+	Method uint16
+	// Size is the payload space to reserve (exact or an upper bound; the
+	// deserialization layer computes it with deser.Measure).
+	Size int
+	// Build writes the payload into dst (len(dst) == Size, zeroed), whose
+	// first byte sits at region offset regionOff in the request
+	// direction's shared address space. It returns the root-object offset
+	// relative to dst[0] and the bytes actually used (<= Size). A nil
+	// Build sends Size zero bytes with root 0.
+	Build func(dst []byte, regionOff uint64) (root uint32, used int, err error)
+	// OnResponse is the continuation invoked from the event loop
+	// (Sec. III-D) when the response arrives.
+	OnResponse func(Response)
+}
+
+// block is a request block under construction or awaiting send/ack.
+type block struct {
+	off   uint64 // SBuf offset (== remote RBuf offset, mirrored)
+	buf   []byte // SBuf slice, cap = allocated size
+	used  int
+	conts []func(Response)
+	times []int64 // enqueue timestamps, parallel to conts (instrumentation)
+	seq   uint32  // assigned at send
+	ids   []uint16
+}
+
+// ClientConn is the RPC-over-RDMA client endpoint — the role the DPU plays
+// (Sec. III). One poller (goroutine) owns one ClientConn; none of its
+// methods are safe for concurrent use.
+type ClientConn struct {
+	cfg    Config
+	qp     *rdma.QP
+	sendCQ *rdma.CQ
+	recvCQ *rdma.CQ
+	sbuf   []byte
+	rbuf   *rdma.MR
+	alloc  *arena.Allocator
+
+	pool    *idPool
+	credits int
+	seq     uint32
+
+	cur       *block
+	sendQ     []*block
+	unacked   []*block // FIFO of sent, not-yet-acknowledged blocks
+	conts     []func(Response)
+	started   []int64  // per-ID enqueue timestamps (latency instrumentation)
+	freeIDs   []uint16 // IDs to return to the pool at the next send
+	ackBlocks uint16   // response blocks processed since the last send
+
+	outstanding int
+	broken      error
+
+	// Counters instrument the endpoint.
+	Counters Counters
+
+	cqes []rdma.CQE
+}
+
+func newClientConn(cfg Config, qp *rdma.QP, sendCQ, recvCQ *rdma.CQ, sbuf []byte, rbuf *rdma.MR, recvPosts int) (*ClientConn, error) {
+	c := &ClientConn{
+		cfg: cfg, qp: qp, sendCQ: sendCQ, recvCQ: recvCQ,
+		sbuf: sbuf, rbuf: rbuf,
+		alloc:   arena.NewAllocator(uint64(len(sbuf))),
+		pool:    newIDPool(),
+		credits: cfg.Credits,
+		conts:   make([]func(Response), IDPoolSize),
+		cqes:    make([]rdma.CQE, 256),
+	}
+	if cfg.LatencyObserver != nil {
+		c.started = make([]int64, IDPoolSize)
+	}
+	c.Counters.MinCreditsSeen = uint64(cfg.Credits)
+	// Reserve offset 0: region offsets must never be 0 (NullRef), and the
+	// guard also keeps bucket 0 unambiguous.
+	if _, err := c.alloc.Alloc(BlockAlign, BlockAlign); err != nil {
+		return nil, err
+	}
+	for i := 0; i < recvPosts; i++ {
+		if err := qp.PostRecv(rdma.RecvWR{WRID: uint64(i)}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Credits returns the current send-credit count.
+func (c *ClientConn) Credits() int { return c.credits }
+
+// Outstanding returns the number of requests awaiting responses.
+func (c *ClientConn) Outstanding() int { return c.outstanding }
+
+// Broken returns the sticky connection error, if any.
+func (c *ClientConn) Broken() error { return c.broken }
+
+// newBlock allocates a block sized for at least firstSlot payload-slot
+// bytes.
+func (c *ClientConn) newBlock(firstSlot int) (*block, error) {
+	size := c.cfg.BlockSize
+	if need := PreambleSize + firstSlot; need > size {
+		// Oversized message: a dedicated single-message block (Sec. IV).
+		size = need
+	}
+	off, err := c.alloc.Alloc(uint64(size), BlockAlign)
+	if err != nil {
+		return nil, err
+	}
+	return &block{
+		off:  off,
+		buf:  c.sbuf[off : off+uint64(size)],
+		used: PreambleSize,
+	}, nil
+}
+
+// Enqueue buffers one request into the current block, sealing and queueing
+// full blocks (the Nagle-style aggregation of Sec. IV). The request is not
+// transmitted until Progress or Flush runs.
+func (c *ClientConn) Enqueue(spec CallSpec) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	slot := slotSize(spec.Size)
+	if PreambleSize+slot > len(c.sbuf) {
+		return fmt.Errorf("%w: need %d bytes", ErrTooLargeForBuffer, slot)
+	}
+	if c.cur != nil && c.cur.used+slot > len(c.cur.buf) {
+		c.seal()
+	}
+	if c.cur == nil {
+		b, err := c.newBlock(slot)
+		if err != nil {
+			// Send buffer exhausted: try to drain and retry once.
+			c.trySend()
+			if b, err = c.newBlock(slot); err != nil {
+				return err
+			}
+			c.cur = b
+		} else {
+			c.cur = b
+		}
+	}
+	b := c.cur
+	hdrPos := b.used
+	payload := b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+spec.Size]
+	var root uint32
+	used := spec.Size
+	if spec.Build != nil {
+		var err error
+		root, used, err = spec.Build(payload, b.off+uint64(hdrPos+HeaderSize))
+		if err != nil {
+			return err
+		}
+		if used > spec.Size {
+			return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, spec.Size)
+		}
+	}
+	putHeader(b.buf[hdrPos:], header{
+		payloadLen: uint32(used),
+		rootOff:    root,
+		method:     spec.Method,
+	})
+	b.used = hdrPos + HeaderSize + alignUp(used)
+	b.conts = append(b.conts, spec.OnResponse)
+	if c.cfg.LatencyObserver != nil {
+		b.times = append(b.times, nowNS())
+	}
+	c.outstanding++
+	if b.used >= c.cfg.BlockSize {
+		c.seal()
+	}
+	return nil
+}
+
+// seal moves the current block to the send queue.
+func (c *ClientConn) seal() {
+	if c.cur == nil || len(c.cur.conts) == 0 {
+		return
+	}
+	if c.cur.used < c.cfg.BlockSize {
+		c.Counters.PartialFlushes++
+	}
+	c.sendQ = append(c.sendQ, c.cur)
+	c.cur = nil
+}
+
+// trySend transmits queued blocks while credits and request IDs allow.
+func (c *ClientConn) trySend() {
+	for len(c.sendQ) > 0 {
+		if c.credits == 0 {
+			c.Counters.CreditStalls++
+			return
+		}
+		b := c.sendQ[0]
+		if c.pool.Available()+len(c.freeIDs) < len(b.conts) {
+			return // wait for more responses to recycle IDs
+		}
+		// Flush pending acknowledgments: free IDs first, then allocate the
+		// new block's IDs — the exact order the server replays (Sec. IV-D).
+		for _, id := range c.freeIDs {
+			c.pool.Free(id)
+		}
+		c.freeIDs = c.freeIDs[:0]
+		ack := c.ackBlocks
+		c.ackBlocks = 0
+
+		b.ids = b.ids[:0]
+		for i := range b.conts {
+			id, err := c.pool.Alloc()
+			if err != nil {
+				c.fail(err) // cannot happen: availability checked above
+				return
+			}
+			b.ids = append(b.ids, id)
+			c.conts[id] = b.conts[i]
+			if c.started != nil {
+				c.started[id] = b.times[i]
+			}
+		}
+		b.seq = c.seq
+		putPreamble(b.buf, preamble{
+			msgCount:  uint16(len(b.conts)),
+			ackBlocks: ack,
+			blockLen:  uint32(b.used),
+			seq:       b.seq,
+		})
+		if err := c.qp.PostWriteImm(uint64(b.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+			c.fail(err)
+			return
+		}
+		c.seq++
+		c.credits--
+		if uint64(c.credits) < c.Counters.MinCreditsSeen {
+			c.Counters.MinCreditsSeen = uint64(c.credits)
+		}
+		c.Counters.BlocksSent++
+		c.Counters.RequestsSent += uint64(len(b.conts))
+		c.Counters.PayloadBytesSent += uint64(b.used)
+		c.unacked = append(c.unacked, b)
+		c.sendQ = c.sendQ[0:copy(c.sendQ, c.sendQ[1:])]
+	}
+}
+
+func (c *ClientConn) fail(err error) {
+	if c.broken == nil {
+		c.broken = fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+}
+
+// processRequestBlockAcks frees the count oldest unacknowledged request
+// blocks. The counter arrives in response-block preambles: the server
+// advances it once every request of a block has been answered (in receive
+// order), which is the paper's implicit acknowledgment (a response
+// acknowledges its block, Sec. IV-B) made exact so that background handlers
+// (Sec. III-D) can keep reading a block after its first response leaves.
+func (c *ClientConn) processRequestBlockAcks(count int) error {
+	for i := 0; i < count; i++ {
+		if len(c.unacked) == 0 {
+			err := fmt.Errorf("%w: ack for no outstanding request block", ErrBlockCorrupt)
+			c.fail(err)
+			return err
+		}
+		b := c.unacked[0]
+		if err := c.alloc.Free(b.off); err != nil {
+			c.fail(err)
+			return err
+		}
+		c.credits++
+		c.Counters.BlocksAcked++
+		c.unacked = c.unacked[0:copy(c.unacked, c.unacked[1:])]
+	}
+	return nil
+}
+
+// handleResponseBlock processes one inbound response block located by its
+// bucket immediate.
+func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
+	off := uint64(imm) * BlockAlign
+	if off+uint64(byteLen) > uint64(c.rbuf.Len()) {
+		return fmt.Errorf("%w: bucket %d beyond receive buffer", ErrBlockCorrupt, imm)
+	}
+	blk := c.rbuf.Bytes()[off : off+uint64(byteLen)]
+	p, err := parsePreamble(blk)
+	if err != nil {
+		return err
+	}
+	// The response preamble acknowledges fully-answered request blocks.
+	if err := c.processRequestBlockAcks(int(p.ackBlocks)); err != nil {
+		return err
+	}
+	// Dispatch after bookkeeping so continuations can safely re-enqueue.
+	type delivered struct {
+		cont func(Response)
+		resp Response
+	}
+	var ready []delivered
+	pos := PreambleSize
+	for i := 0; i < int(p.msgCount); i++ {
+		if pos+HeaderSize > int(p.blockLen) {
+			return fmt.Errorf("%w: header %d beyond block", ErrBlockCorrupt, i)
+		}
+		h, err := parseHeader(blk[pos:])
+		if err != nil {
+			return err
+		}
+		if !h.response {
+			return fmt.Errorf("%w: request header in response block", ErrBlockCorrupt)
+		}
+		end := pos + HeaderSize + int(h.payloadLen)
+		if end > int(p.blockLen) {
+			return fmt.Errorf("%w: payload beyond block", ErrBlockCorrupt)
+		}
+		cont := c.conts[h.reqID]
+		if cont == nil {
+			return fmt.Errorf("%w: response for idle request ID %d", ErrBlockCorrupt, h.reqID)
+		}
+		c.conts[h.reqID] = nil
+		c.outstanding--
+		if c.started != nil {
+			c.cfg.LatencyObserver(float64(nowNS() - c.started[h.reqID]))
+		}
+		c.Counters.ResponsesReceived++
+		if h.errFlag {
+			c.Counters.ErrorsReceived++
+		}
+		c.freeIDs = append(c.freeIDs, h.reqID)
+		ready = append(ready, delivered{cont, Response{
+			Status:    h.method,
+			Err:       h.errFlag,
+			Object:    h.object,
+			Payload:   blk[pos+HeaderSize : end],
+			RegionOff: off + uint64(pos+HeaderSize),
+			Root:      h.rootOff,
+		}})
+		pos = pos + HeaderSize + alignUp(int(h.payloadLen))
+	}
+	c.ackBlocks++
+	c.Counters.BlocksReceived++
+	for _, d := range ready {
+		if d.cont != nil {
+			d.cont(d.resp)
+		}
+	}
+	return nil
+}
+
+// Progress is the event-loop update function (Sec. III-D): it drains
+// completions, dispatches continuations, flushes the partial block, and
+// transmits queued blocks. It returns the number of response blocks
+// processed.
+func (c *ClientConn) Progress() (int, error) {
+	if c.broken != nil {
+		return 0, c.broken
+	}
+	// Drain send completions (local buffer bookkeeping only; block memory
+	// is recycled on acknowledgment, not send completion).
+	for {
+		n := c.sendCQ.Poll(c.cqes)
+		for _, e := range c.cqes[:n] {
+			if e.Status != rdma.StatusOK {
+				c.fail(fmt.Errorf("send completion status %d", e.Status))
+			}
+		}
+		if n < len(c.cqes) {
+			break
+		}
+	}
+	// Flush buffered work before polling so freshly enqueued requests hit
+	// the wire without waiting out the poll timeout.
+	sentBefore := c.Counters.BlocksSent
+	c.seal()
+	c.trySend()
+	if c.broken != nil {
+		return 0, c.broken
+	}
+	events := 0
+	n := c.recvCQ.Poll(c.cqes)
+	if n == 0 && !c.cfg.BusyPoll && c.Counters.BlocksSent == sentBefore {
+		// Idle: sleep on the completion channel (the poll() path of
+		// Sec. III-C).
+		n = c.recvCQ.Wait(c.cqes, c.cfg.WaitTimeout)
+	}
+	for _, e := range c.cqes[:n] {
+		if e.Status != rdma.StatusOK {
+			c.fail(fmt.Errorf("recv completion status %d", e.Status))
+			return events, c.broken
+		}
+		if err := c.handleResponseBlock(e.ImmData, e.ByteLen); err != nil {
+			c.fail(err)
+			return events, c.broken
+		}
+		events++
+		if err := c.qp.PostRecv(rdma.RecvWR{}); err != nil {
+			c.fail(err)
+			return events, c.broken
+		}
+	}
+	// Flush again: continuations may have enqueued follow-up requests, and
+	// acknowledgments may have freed credits for queued blocks.
+	c.seal()
+	c.trySend()
+	// Low-workload path: if response-block acknowledgments are pending but
+	// no request traffic will carry them, ship them in an empty block so
+	// the server's response credits do not starve (the deadlock-avoidance
+	// flush of Sec. IV: partial blocks are still sent by the event loop).
+	if c.ackBlocks > 0 && c.outstanding > 0 && len(c.sendQ) == 0 &&
+		(c.cur == nil || len(c.cur.conts) == 0) && c.credits > 0 {
+		c.sendAckOnly()
+	}
+	return events, c.broken
+}
+
+// sendAckOnly transmits a zero-message block carrying only the preamble
+// acknowledgment counter. The server marks it processed on receipt, so it
+// is acknowledged by the next response block like any other.
+func (c *ClientConn) sendAckOnly() {
+	off, err := c.alloc.Alloc(BlockAlign, BlockAlign)
+	if err != nil {
+		return // no room: a future request block will carry the acks
+	}
+	b := &block{off: off, buf: c.sbuf[off : off+BlockAlign], used: PreambleSize}
+	for _, id := range c.freeIDs {
+		c.pool.Free(id)
+	}
+	c.freeIDs = c.freeIDs[:0]
+	ack := c.ackBlocks
+	c.ackBlocks = 0
+	b.seq = c.seq
+	putPreamble(b.buf, preamble{msgCount: 0, ackBlocks: ack, blockLen: PreambleSize, seq: b.seq})
+	if err := c.qp.PostWriteImm(uint64(b.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+		c.fail(err)
+		return
+	}
+	c.seq++
+	c.credits--
+	if uint64(c.credits) < c.Counters.MinCreditsSeen {
+		c.Counters.MinCreditsSeen = uint64(c.credits)
+	}
+	c.Counters.BlocksSent++
+	c.Counters.AckOnlyBlocks++
+	c.unacked = append(c.unacked, b)
+}
+
+// Abort marks the connection broken and fails every outstanding request:
+// each registered continuation is invoked once with an error response
+// carrying the given status. Buffered-but-unsent requests fail too. The
+// owner (poller) calls this at teardown so no caller waits on a response
+// that can never arrive.
+func (c *ClientConn) Abort(status uint16) {
+	c.fail(errors.New("aborted"))
+	fail := Response{Status: status, Err: true}
+	for _, b := range append(append([]*block(nil), c.sendQ...), c.cur) {
+		if b == nil {
+			continue
+		}
+		for _, cont := range b.conts {
+			if cont != nil {
+				cont(fail)
+			}
+		}
+		b.conts = nil
+	}
+	c.sendQ = nil
+	c.cur = nil
+	for id := range c.conts {
+		if cont := c.conts[id]; cont != nil {
+			c.conts[id] = nil
+			cont(fail)
+		}
+	}
+	c.outstanding = 0
+}
+
+// Flush seals and attempts to transmit everything buffered.
+func (c *ClientConn) Flush() error {
+	if c.broken != nil {
+		return c.broken
+	}
+	c.seal()
+	c.trySend()
+	return c.broken
+}
+
+// Close tears down the connection.
+func (c *ClientConn) Close() {
+	c.qp.Close()
+}
+
+// nowNS returns a monotonic timestamp in nanoseconds (the eRPC-style
+// low-overhead timing source of Sec. VII, provided by Go's runtime clock).
+func nowNS() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,168 @@
+// Package rpcrdma implements the paper's RPC-over-RDMA protocol (Secs. III
+// and IV): the custom host<->DPU protocol that carries *deserialized*
+// objects through a shared address space, so the receiving side never runs
+// a deserializer.
+//
+// Protocol features implemented:
+//
+//   - Nagle-style batching of messages into blocks written with a single
+//     RDMA write-with-immediate (Sec. IV); partial blocks are flushed by the
+//     event loop so low load does not deadlock.
+//   - Blocks are allocated at 1024-byte alignment from the send buffer by
+//     an offset-based allocator (internal/arena, emulating the Vulkan
+//     Memory Allocator); the immediate data carries the block's bucket, and
+//     the receiver locates the block at offset = bucket * 1024 in its
+//     mirrored receive buffer (Sec. IV-E).
+//   - Credit-based congestion control, one credit per in-flight block per
+//     direction (Sec. IV-C).
+//   - Implicit acknowledgments (Sec. IV-B), piggybacked in both directions:
+//     the client acks response blocks with a counter in the preamble of its
+//     next request block, and the server acks request blocks with a counter
+//     in the preamble of its next response block. The server's counter
+//     advances once every request of a block is answered (in receive
+//     order), which generalizes the paper's first-response rule so that
+//     background handlers (Sec. III-D) can keep reading a block after its
+//     first response leaves. Under a low workload, pending acks that no
+//     request traffic would carry are flushed in an empty block by the
+//     event loop (the deadlock-avoidance flush of Sec. IV).
+//   - Deterministic request IDs from a 2^16 pool, never transmitted with
+//     requests: both sides replay the same free-then-allocate sequence in
+//     RC order (Sec. IV-D).
+//   - Foreground execution: handlers run in the server poller thread
+//     (Sec. III-D); client pollers own one connection each, server pollers
+//     may share several over one completion queue (Sec. III-C). Background
+//     execution — the extension Sec. III-D designs for — is available via
+//     Config.BackgroundWorkers: handlers run on a thread pool and responses
+//     complete out of order.
+//   - Object-payload responses (header flag): the response-serialization
+//     offload of Sec. III-A, where the host ships a response object through
+//     the shared region and the DPU produces the wire bytes.
+package rpcrdma
+
+import (
+	"time"
+)
+
+// Table I configuration parameters.
+const (
+	// DefaultBlockSize is the target (minimum) block size; 8 KiB gives the
+	// highest throughput in the paper's sweep (Sec. VI-A).
+	DefaultBlockSize = 8 * 1024
+	// DefaultCredits is the per-connection, per-direction block budget.
+	DefaultCredits = 256
+	// BlockAlign is the block placement alignment; buckets in the
+	// immediate data are offsets divided by this (Sec. IV-E).
+	BlockAlign = 1024
+	// DefaultClientBufSize is the per-connection send/receive buffer on
+	// the client (DPU) side.
+	DefaultClientBufSize = 3 * 1024 * 1024
+	// DefaultServerBufSize is the per-connection send/receive buffer on
+	// the server (host) side.
+	DefaultServerBufSize = 16 * 1024 * 1024
+	// DefaultConcurrency is the per-connection outstanding-request target
+	// used by the benchmarks.
+	DefaultConcurrency = 1024
+)
+
+// Config tunes one side of a connection.
+type Config struct {
+	// BlockSize is the standard block allocation size; messages larger
+	// than it get a dedicated single-message block.
+	BlockSize int
+	// Credits bounds in-flight blocks in the send direction.
+	Credits int
+	// SBufSize is the local send-buffer (and the peer's mirrored
+	// receive-buffer) size.
+	SBufSize int
+	// CQDepth sizes completion queues and the receive queue. It must be
+	// at least Credits of the *peer* plus slack so inbound blocks never
+	// go receiver-not-ready; Connect enforces this.
+	CQDepth int
+	// BusyPoll spins on the CQ instead of sleeping on the completion
+	// channel (Sec. III-C: ~10% faster at 100% CPU).
+	BusyPoll bool
+	// WaitTimeout bounds one blocking wait when BusyPoll is false.
+	WaitTimeout time.Duration
+	// BackgroundWorkers (server side) > 0 enables background RPC
+	// execution (Sec. III-D): handlers run on a pool of that many worker
+	// goroutines instead of the poller thread, and responses complete out
+	// of order. Request blocks are recycled only once every request in
+	// them is answered (the explicit ack counter in response preambles),
+	// so handlers may read their payload views for their whole lifetime.
+	BackgroundWorkers int
+	// LatencyObserver, when non-nil, receives the enqueue-to-response
+	// latency of every request in nanoseconds (client side). The paper
+	// instruments the library itself with a Prometheus client (Sec. VI);
+	// plug a metrics.Histogram's Observe here.
+	LatencyObserver func(ns float64)
+}
+
+// DefaultClientConfig returns the Table I client (DPU) column.
+func DefaultClientConfig() Config {
+	return Config{
+		BlockSize:   DefaultBlockSize,
+		Credits:     DefaultCredits,
+		SBufSize:    DefaultClientBufSize,
+		CQDepth:     2 * DefaultCredits,
+		WaitTimeout: time.Millisecond,
+	}
+}
+
+// DefaultServerConfig returns the Table I server (host) column.
+func DefaultServerConfig() Config {
+	return Config{
+		BlockSize:   DefaultBlockSize,
+		Credits:     DefaultCredits,
+		SBufSize:    DefaultServerBufSize,
+		CQDepth:     2 * DefaultCredits,
+		WaitTimeout: time.Millisecond,
+	}
+}
+
+// WithDefaults returns a copy of c with zero-valued fields replaced by the
+// Table I defaults for the given side.
+func (c Config) WithDefaults(client bool) Config {
+	c.fillDefaults(client)
+	return c
+}
+
+func (c *Config) fillDefaults(client bool) {
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.Credits == 0 {
+		c.Credits = DefaultCredits
+	}
+	if c.SBufSize == 0 {
+		if client {
+			c.SBufSize = DefaultClientBufSize
+		} else {
+			c.SBufSize = DefaultServerBufSize
+		}
+	}
+	if c.CQDepth == 0 {
+		c.CQDepth = 2 * c.Credits
+	}
+	if c.WaitTimeout == 0 {
+		c.WaitTimeout = time.Millisecond
+	}
+}
+
+// Counters instrument one connection endpoint. They are read by the
+// metrics layer (the paper instruments the library with a Prometheus
+// client, Sec. VI) and by the cost models.
+type Counters struct {
+	RequestsSent      uint64
+	ResponsesReceived uint64
+	RequestsReceived  uint64
+	ResponsesSent     uint64
+	BlocksSent        uint64
+	BlocksReceived    uint64
+	PayloadBytesSent  uint64
+	CreditStalls      uint64 // sends deferred because credits hit zero
+	PartialFlushes    uint64 // blocks flushed below the size target
+	BlocksAcked       uint64
+	AckOnlyBlocks     uint64 // empty blocks sent to carry acknowledgments
+	MinCreditsSeen    uint64 // low-water mark of the credit counter
+	ErrorsReceived    uint64
+}

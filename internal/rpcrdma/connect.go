@@ -1,0 +1,67 @@
+package rpcrdma
+
+import (
+	"errors"
+	"fmt"
+
+	"dpurpc/internal/rdma"
+)
+
+// ErrPollerFull is returned when a poller's shared CQ cannot absorb another
+// connection's worst-case inbound block count.
+var ErrPollerFull = errors.New("rpcrdma: server poller CQ capacity exceeded")
+
+// recvSlack is extra receive WRs posted beyond the peer's credit budget.
+const recvSlack = 8
+
+// Connect wires a client (DPU-side) and server (host-side) endpoint over a
+// pair of RDMA devices, attaching the server end to poller. The receive
+// buffer on each side mirrors the peer's send buffer, forming the
+// per-direction shared address spaces of Sec. III-B.
+func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *ServerPoller, h Handler) (*ClientConn, *ServerConn, error) {
+	ccfg.fillDefaults(true)
+	scfg.fillDefaults(false)
+	if h == nil {
+		return nil, nil, errors.New("rpcrdma: nil handler")
+	}
+	// The client must be able to absorb every in-flight response block.
+	if ccfg.CQDepth < scfg.Credits+recvSlack {
+		return nil, nil, fmt.Errorf("rpcrdma: client CQ depth %d < server credits %d + slack",
+			ccfg.CQDepth, scfg.Credits)
+	}
+	// The poller's shared CQ must absorb this client's in-flight blocks on
+	// top of already-attached connections.
+	needed := ccfg.Credits + recvSlack
+	if poller.posted()+needed > poller.cfg.CQDepth {
+		return nil, nil, fmt.Errorf("%w: need %d more, %d of %d in use",
+			ErrPollerFull, needed, poller.posted(), poller.cfg.CQDepth)
+	}
+
+	clientPD := clientDev.AllocPD()
+	serverPD := serverDev.AllocPD()
+
+	clientSBuf := make([]byte, ccfg.SBufSize)
+	serverSBuf := make([]byte, scfg.SBufSize)
+	clientRBuf := clientPD.RegisterMR(make([]byte, scfg.SBufSize)) // mirrors server SBuf
+	serverRBuf := serverPD.RegisterMR(make([]byte, ccfg.SBufSize)) // mirrors client SBuf
+
+	clientSendCQ := rdma.NewCQ(ccfg.CQDepth)
+	clientRecvCQ := rdma.NewCQ(ccfg.CQDepth)
+	serverSendCQ := rdma.NewCQ(scfg.CQDepth)
+
+	clientQP := clientPD.CreateQP(clientSendCQ, clientRecvCQ, clientRBuf)
+	serverQP := serverPD.CreateQP(serverSendCQ, poller.recvCQ, serverRBuf)
+	rdma.Connect(clientQP, serverQP)
+
+	cc, err := newClientConn(ccfg, clientQP, clientSendCQ, clientRecvCQ, clientSBuf, clientRBuf, scfg.Credits+recvSlack)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := newServerConn(scfg, serverQP, serverSendCQ, serverSBuf, serverRBuf, h, needed)
+	if err != nil {
+		return nil, nil, err
+	}
+	poller.conns[serverQP.Num] = sc
+	poller.postedWRs += needed
+	return cc, sc, nil
+}

@@ -1,0 +1,195 @@
+package rpcrdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// These tests inject malformed blocks directly into the endpoints' receive
+// paths, simulating corruption that the real system would attribute to
+// protocol bugs or memory stomps. Every case must fail cleanly (sticky
+// connection error), never panic or misattribute.
+
+// corruptRig builds a rig and returns the raw receive buffers.
+func corruptRig(t *testing.T) *testRig {
+	t.Helper()
+	ccfg, scfg := smallCfg()
+	return newRig(t, ccfg, scfg, nil)
+}
+
+// writeRawToServer plants raw bytes at a bucket in the server's RBuf and
+// invokes the handler as if a CQE had arrived.
+func writeRawToServer(r *testRig, bucket uint32, raw []byte) error {
+	rbuf := r.server.rbuf.Bytes()
+	off := uint64(bucket) * BlockAlign
+	copy(rbuf[off:], raw)
+	return r.server.handleRequestBlock(bucket, uint32(len(raw)))
+}
+
+func writeRawToClient(r *testRig, bucket uint32, raw []byte) error {
+	rbuf := r.client.rbuf.Bytes()
+	off := uint64(bucket) * BlockAlign
+	copy(rbuf[off:], raw)
+	return r.client.handleResponseBlock(bucket, uint32(len(raw)))
+}
+
+func TestServerRejectsBucketBeyondBuffer(t *testing.T) {
+	r := corruptRig(t)
+	err := r.server.handleRequestBlock(1<<20, 64)
+	if !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejectsOversizedBlockLen(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, 64)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: 4096}) // larger than received
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejectsSpuriousAck(t *testing.T) {
+	// An ack counter with no outstanding response blocks is corruption.
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize)
+	putPreamble(raw, preamble{msgCount: 0, ackBlocks: 3, blockLen: PreambleSize})
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejectsHeaderBeyondBlock(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+4)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejectsPayloadBeyondBlock(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{payloadLen: 4096})
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejectsResponseHeaderInRequestBlock(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{payloadLen: 0, response: true})
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRejectsRequestHeaderInResponseBlock(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{payloadLen: 0, response: false})
+	if err := writeRawToClient(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRejectsResponseForIdleID(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{payloadLen: 0, response: true, reqID: 99})
+	if err := writeRawToClient(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRejectsSpuriousRequestBlockAck(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize)
+	putPreamble(raw, preamble{msgCount: 0, ackBlocks: 1, blockLen: PreambleSize})
+	if err := writeRawToClient(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRejectsBucketBeyondBuffer(t *testing.T) {
+	r := corruptRig(t)
+	if err := r.client.handleResponseBlock(1<<20, 64); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoubleResponseRejected(t *testing.T) {
+	// A duplicated response header (same request ID twice) must be caught:
+	// the second occurrence hits an idle ID.
+	r := corruptRig(t)
+	got := 0
+	r.client.Enqueue(CallSpec{Size: 8, OnResponse: func(Response) { got++ }})
+	if err := r.client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server answer normally once.
+	r.pump(t)
+	if got != 1 {
+		t.Fatalf("got %d responses", got)
+	}
+	// Now forge a second response for the (already freed) ID 0.
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{response: true, reqID: 0})
+	if err := writeRawToClient(r, 100, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("forged duplicate response: %v", err)
+	}
+}
+
+func TestBrokenConnectionIsSticky(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize)
+	putPreamble(raw, preamble{msgCount: 0, ackBlocks: 1, blockLen: PreambleSize})
+	if err := writeRawToClient(r, 1, raw); err == nil {
+		t.Fatal("corruption accepted")
+	}
+	if r.client.Broken() == nil {
+		t.Fatal("connection not marked broken")
+	}
+	if err := r.client.Enqueue(CallSpec{Size: 8}); err == nil {
+		t.Error("enqueue on broken connection accepted")
+	}
+	if _, err := r.client.Progress(); err == nil {
+		t.Error("progress on broken connection accepted")
+	}
+	if err := r.client.Flush(); err == nil {
+		t.Error("flush on broken connection accepted")
+	}
+}
+
+func TestTruncatedHeaderCount(t *testing.T) {
+	// msgCount says 3 but only one header fits.
+	r := corruptRig(t)
+	raw := make([]byte, PreambleSize+HeaderSize)
+	putPreamble(raw, preamble{msgCount: 3, blockLen: uint32(len(raw))})
+	putHeader(raw[PreambleSize:], header{payloadLen: 0})
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGarbagePreamble(t *testing.T) {
+	r := corruptRig(t)
+	raw := make([]byte, 64)
+	for i := range raw {
+		raw[i] = 0xff
+	}
+	// blockLen = 0xffffffff > received length.
+	binary.LittleEndian.PutUint32(raw[4:8], 0xffffffff)
+	if err := writeRawToServer(r, 1, raw); !errors.Is(err, ErrBlockCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package rpcrdma
+
+import "errors"
+
+// ErrIDsExhausted is returned when all 2^16 request IDs are in flight.
+var ErrIDsExhausted = errors.New("rpcrdma: request ID pool exhausted")
+
+// IDPoolSize is the number of concurrent request IDs (Sec. IV-D: IDs are
+// stored on 2 bytes, allowing up to 2^16 concurrent requests).
+const IDPoolSize = 1 << 16
+
+// idPool is a deterministic FIFO pool of request IDs. Both sides construct
+// an identical pool and replay the same alloc/free sequence (allocations in
+// block order, frees in response-block order), so IDs never travel with
+// requests. Determinism is property-tested in idpool_test.go.
+type idPool struct {
+	free []uint16 // ring buffer
+	head int
+	n    int
+}
+
+func newIDPool() *idPool {
+	p := &idPool{free: make([]uint16, IDPoolSize), n: IDPoolSize}
+	for i := range p.free {
+		p.free[i] = uint16(i)
+	}
+	return p
+}
+
+// Available returns the number of allocatable IDs.
+func (p *idPool) Available() int { return p.n }
+
+// Alloc pops the oldest free ID.
+func (p *idPool) Alloc() (uint16, error) {
+	if p.n == 0 {
+		return 0, ErrIDsExhausted
+	}
+	id := p.free[p.head]
+	p.head = (p.head + 1) % len(p.free)
+	p.n--
+	return id, nil
+}
+
+// Free returns an ID to the tail of the pool.
+func (p *idPool) Free(id uint16) {
+	tail := (p.head + p.n) % len(p.free)
+	p.free[tail] = id
+	p.n++
+}

@@ -1,0 +1,486 @@
+package rpcrdma
+
+import (
+	"fmt"
+
+	"dpurpc/internal/arena"
+	"dpurpc/internal/rdma"
+)
+
+// Request is one inbound RPC as seen by a server handler. Payload aliases
+// the receive buffer: for offloaded connections it contains the
+// already-deserialized object graph, ready for zero-copy access. Views are
+// valid only for the duration of the handler (the block may be recycled
+// once responses are sent).
+type Request struct {
+	// Method is the procedure ID from the header.
+	Method uint16
+	// ID is the deterministic request ID both sides derived.
+	ID uint16
+	// Payload aliases the block payload.
+	Payload []byte
+	// RegionOff is the region offset of Payload[0] in the request
+	// direction's shared address space.
+	RegionOff uint64
+	// Root is the root-object offset relative to Payload[0].
+	Root uint32
+}
+
+// ResponseSpec is what a handler returns: the status plus a payload builder
+// that writes the response object into the response direction's shared
+// address space.
+type ResponseSpec struct {
+	Status uint16
+	Err    bool
+	// Object marks the payload as a shared-region object graph (root
+	// meaningful) rather than opaque bytes — the response-serialization
+	// offload mode.
+	Object bool
+	// Size reserves payload space; Build fills it (see CallSpec.Build).
+	Size  int
+	Build func(dst []byte, regionOff uint64) (root uint32, used int, err error)
+}
+
+// Handler processes one request in the poller thread (foreground execution,
+// Sec. III-D).
+type Handler func(Request) ResponseSpec
+
+// reqBlockState tracks one received request block until every request in
+// it has been answered, at which point it becomes acknowledgeable (in
+// receive order) via the next response preamble.
+type reqBlockState struct {
+	remaining int
+}
+
+// markAnswered records the completion of one request and advances the
+// acknowledgment prefix.
+func (s *ServerConn) markAnswered(id uint16) {
+	b := s.reqBlockOf[id]
+	if b == nil {
+		return
+	}
+	delete(s.reqBlockOf, id)
+	b.remaining--
+	s.advanceAckPrefix()
+}
+
+// advanceAckPrefix counts leading fully-answered request blocks into
+// ackReady, preserving receive order so the client frees its oldest blocks
+// first.
+func (s *ServerConn) advanceAckPrefix() {
+	for len(s.reqBlocks) > 0 && s.reqBlocks[0].remaining == 0 {
+		s.reqBlocks = s.reqBlocks[0:copy(s.reqBlocks, s.reqBlocks[1:])]
+		s.ackReady++
+	}
+}
+
+// respBlock is a response block under construction or in flight.
+type respBlock struct {
+	off  uint64
+	buf  []byte
+	used int
+	ids  []uint16 // request IDs answered, in order (for the ack protocol)
+	msgs uint16
+}
+
+// ServerConn is the host-side endpoint of one connection.
+type ServerConn struct {
+	cfg     Config
+	qp      *rdma.QP
+	sendCQ  *rdma.CQ
+	sbuf    []byte
+	rbuf    *rdma.MR
+	alloc   *arena.Allocator
+	pool    *idPool
+	credits int
+	seq     uint32
+	handler Handler
+
+	cur    *respBlock
+	sendQ  []*respBlock
+	unfree []*respBlock // sent, awaiting the client's preamble ack
+
+	// bg is the background worker pool (nil in foreground mode).
+	bg        *bgPool
+	bgScratch []bgResult
+
+	// reqBlocks tracks received request blocks in order; a block is
+	// acknowledged (via the next response preamble) once every request in
+	// it has been answered. reqBlockOf maps in-flight request IDs to their
+	// block.
+	reqBlocks  []*reqBlockState
+	reqBlockOf map[uint16]*reqBlockState
+	ackReady   uint16 // fully-answered leading blocks not yet acknowledged
+
+	broken error
+
+	// Counters instrument the endpoint.
+	Counters Counters
+}
+
+func newServerConn(cfg Config, qp *rdma.QP, sendCQ *rdma.CQ, sbuf []byte, rbuf *rdma.MR, h Handler, recvPosts int) (*ServerConn, error) {
+	s := &ServerConn{
+		cfg: cfg, qp: qp, sendCQ: sendCQ, sbuf: sbuf, rbuf: rbuf,
+		alloc:   arena.NewAllocator(uint64(len(sbuf))),
+		pool:    newIDPool(),
+		credits: cfg.Credits,
+		handler: h,
+	}
+	s.Counters.MinCreditsSeen = uint64(cfg.Credits)
+	s.reqBlockOf = make(map[uint16]*reqBlockState)
+	if cfg.BackgroundWorkers > 0 {
+		s.bg = newBGPool(cfg.BackgroundWorkers, h)
+	}
+	if _, err := s.alloc.Alloc(BlockAlign, BlockAlign); err != nil {
+		return nil, err
+	}
+	for i := 0; i < recvPosts; i++ {
+		if err := qp.PostRecv(rdma.RecvWR{WRID: uint64(i)}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Broken returns the sticky connection error, if any.
+func (s *ServerConn) Broken() error { return s.broken }
+
+// Credits returns the current response-credit count.
+func (s *ServerConn) Credits() int { return s.credits }
+
+func (s *ServerConn) fail(err error) {
+	if s.broken == nil {
+		s.broken = fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+}
+
+func (s *ServerConn) newRespBlock(firstSlot int) (*respBlock, error) {
+	size := s.cfg.BlockSize
+	if need := PreambleSize + firstSlot; need > size {
+		size = need
+	}
+	off, err := s.alloc.Alloc(uint64(size), BlockAlign)
+	if err != nil {
+		return nil, err
+	}
+	return &respBlock{off: off, buf: s.sbuf[off : off+uint64(size)], used: PreambleSize}, nil
+}
+
+// appendResponse adds one response message to the outgoing batch.
+func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
+	slot := slotSize(spec.Size)
+	if PreambleSize+slot > len(s.sbuf) {
+		return fmt.Errorf("%w: response needs %d bytes", ErrTooLargeForBuffer, slot)
+	}
+	if s.cur != nil && s.cur.used+slot > len(s.cur.buf) {
+		s.sealResp()
+	}
+	if s.cur == nil {
+		b, err := s.newRespBlock(slot)
+		if err != nil {
+			s.trySendResponses()
+			if b, err = s.newRespBlock(slot); err != nil {
+				return err
+			}
+			s.cur = b
+		} else {
+			s.cur = b
+		}
+	}
+	b := s.cur
+	hdrPos := b.used
+	payload := b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+spec.Size]
+	var root uint32
+	used := spec.Size
+	if spec.Build != nil {
+		var err error
+		root, used, err = spec.Build(payload, b.off+uint64(hdrPos+HeaderSize))
+		if err != nil {
+			return err
+		}
+		if used > spec.Size {
+			return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, spec.Size)
+		}
+	}
+	putHeader(b.buf[hdrPos:], header{
+		payloadLen: uint32(used),
+		rootOff:    root,
+		method:     spec.Status,
+		reqID:      id,
+		response:   true,
+		errFlag:    spec.Err,
+		object:     spec.Object,
+	})
+	b.used = hdrPos + HeaderSize + alignUp(used)
+	b.ids = append(b.ids, id)
+	b.msgs++
+	s.Counters.ResponsesSent++
+	s.markAnswered(id)
+	if b.used >= s.cfg.BlockSize {
+		s.sealResp()
+	}
+	return nil
+}
+
+func (s *ServerConn) sealResp() {
+	if s.cur == nil || s.cur.msgs == 0 {
+		return
+	}
+	if s.cur.used < s.cfg.BlockSize {
+		s.Counters.PartialFlushes++
+	}
+	s.sendQ = append(s.sendQ, s.cur)
+	s.cur = nil
+}
+
+func (s *ServerConn) trySendResponses() {
+	for len(s.sendQ) > 0 {
+		if s.credits == 0 {
+			s.Counters.CreditStalls++
+			return
+		}
+		b := s.sendQ[0]
+		ack := s.ackReady
+		s.ackReady = 0
+		putPreamble(b.buf, preamble{
+			msgCount:  b.msgs,
+			ackBlocks: ack,
+			blockLen:  uint32(b.used),
+			seq:       s.seq,
+		})
+		if err := s.qp.PostWriteImm(uint64(s.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+			s.fail(err)
+			return
+		}
+		s.seq++
+		s.credits--
+		if uint64(s.credits) < s.Counters.MinCreditsSeen {
+			s.Counters.MinCreditsSeen = uint64(s.credits)
+		}
+		s.Counters.BlocksSent++
+		s.Counters.PayloadBytesSent += uint64(b.used)
+		s.unfree = append(s.unfree, b)
+		s.sendQ = s.sendQ[0:copy(s.sendQ, s.sendQ[1:])]
+	}
+}
+
+// handleRequestBlock processes one inbound request block: acknowledgments
+// first (free IDs, reclaim response blocks and credits), then deterministic
+// ID allocation for the block's requests, then foreground execution of each
+// request in order (Sec. IV-D ordering contract).
+func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
+	off := uint64(imm) * BlockAlign
+	if off+uint64(byteLen) > uint64(s.rbuf.Len()) {
+		return fmt.Errorf("%w: bucket %d beyond receive buffer", ErrBlockCorrupt, imm)
+	}
+	blk := s.rbuf.Bytes()[off : off+uint64(byteLen)]
+	p, err := parsePreamble(blk)
+	if err != nil {
+		return err
+	}
+	// 1. Process the client's implicit acks: pop that many sent response
+	// blocks, free their request IDs in order, reclaim memory and credits.
+	for i := 0; i < int(p.ackBlocks); i++ {
+		if len(s.unfree) == 0 {
+			return fmt.Errorf("%w: ack for no outstanding response block", ErrBlockCorrupt)
+		}
+		b := s.unfree[0]
+		for _, id := range b.ids {
+			s.pool.Free(id)
+		}
+		if err := s.alloc.Free(b.off); err != nil {
+			return err
+		}
+		s.credits++
+		s.Counters.BlocksAcked++
+		s.unfree = s.unfree[0:copy(s.unfree, s.unfree[1:])]
+	}
+	// 2. Allocate IDs for this block's requests, mirroring the client.
+	ids := make([]uint16, p.msgCount)
+	for i := range ids {
+		id, err := s.pool.Alloc()
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+	// Track the block for acknowledgment. An ack-only block (msgCount 0)
+	// is complete on receipt and enters the ack prefix immediately.
+	rb := &reqBlockState{remaining: int(p.msgCount)}
+	s.reqBlocks = append(s.reqBlocks, rb)
+	for _, id := range ids {
+		s.reqBlockOf[id] = rb
+	}
+	s.advanceAckPrefix()
+	// 3. Foreground execution: the entire block is processed before its
+	// responses flush, which is what makes first-response acknowledgment
+	// safe (Sec. IV-B).
+	pos := PreambleSize
+	for i := 0; i < int(p.msgCount); i++ {
+		if pos+HeaderSize > int(p.blockLen) {
+			return fmt.Errorf("%w: header %d beyond block", ErrBlockCorrupt, i)
+		}
+		h, err := parseHeader(blk[pos:])
+		if err != nil {
+			return err
+		}
+		if h.response {
+			return fmt.Errorf("%w: response header in request block", ErrBlockCorrupt)
+		}
+		end := pos + HeaderSize + int(h.payloadLen)
+		if end > int(p.blockLen) {
+			return fmt.Errorf("%w: payload beyond block", ErrBlockCorrupt)
+		}
+		s.Counters.RequestsReceived++
+		req := Request{
+			Method:    h.method,
+			ID:        ids[i],
+			Payload:   blk[pos+HeaderSize : end],
+			RegionOff: off + uint64(pos+HeaderSize),
+			Root:      h.rootOff,
+		}
+		if s.bg != nil {
+			// Background execution (Sec. III-D): dispatch to the pool;
+			// the response is appended when a later Progress drains it.
+			// The payload view stays valid because the client recycles
+			// the block only after all its responses (ConservativeAcks).
+			s.bg.submit(ids[i], req)
+		} else {
+			// Foreground execution in the poller thread.
+			if err := s.appendResponse(ids[i], s.handler(req)); err != nil {
+				return err
+			}
+		}
+		pos = pos + HeaderSize + alignUp(int(h.payloadLen))
+	}
+	s.Counters.BlocksReceived++
+	return nil
+}
+
+// drainSendCQ consumes local send completions.
+func (s *ServerConn) drainSendCQ(cqes []rdma.CQE) {
+	for {
+		n := s.sendCQ.Poll(cqes)
+		for _, e := range cqes[:n] {
+			if e.Status != rdma.StatusOK {
+				s.fail(fmt.Errorf("send completion status %d", e.Status))
+			}
+		}
+		if n < len(cqes) {
+			return
+		}
+	}
+}
+
+// ServerPoller drives one or more server connections over a shared receive
+// completion queue — the paper's server threading model where "a single
+// poller can share multiple connections" (Sec. III-C).
+type ServerPoller struct {
+	cfg       Config
+	recvCQ    *rdma.CQ
+	conns     map[uint32]*ServerConn
+	cqes      []rdma.CQE
+	postedWRs int
+}
+
+// posted returns the receive WRs committed against the shared CQ.
+func (sp *ServerPoller) posted() int { return sp.postedWRs }
+
+// NewServerPoller returns a poller whose shared CQ can absorb depth
+// completions.
+func NewServerPoller(cfg Config) *ServerPoller {
+	cfg.fillDefaults(false)
+	return &ServerPoller{
+		cfg:    cfg,
+		recvCQ: rdma.NewCQ(cfg.CQDepth),
+		conns:  make(map[uint32]*ServerConn),
+		cqes:   make([]rdma.CQE, 256),
+	}
+}
+
+// Conns returns the attached connections.
+func (sp *ServerPoller) Conns() []*ServerConn {
+	out := make([]*ServerConn, 0, len(sp.conns))
+	for _, c := range sp.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Progress is the server event-loop update: it dispatches inbound blocks to
+// their connections, runs handlers foreground, and flushes responses. It
+// returns the number of request blocks processed.
+func (sp *ServerPoller) Progress() (int, error) {
+	events := 0
+	n := sp.recvCQ.Poll(sp.cqes)
+	if n == 0 && !sp.cfg.BusyPoll {
+		n = sp.recvCQ.Wait(sp.cqes, sp.cfg.WaitTimeout)
+	}
+	var firstErr error
+	for _, e := range sp.cqes[:n] {
+		conn := sp.conns[e.QPNum]
+		if conn == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: completion for unknown QP %d", ErrBlockCorrupt, e.QPNum)
+			}
+			continue
+		}
+		if e.Status != rdma.StatusOK {
+			conn.fail(fmt.Errorf("recv completion status %d", e.Status))
+			continue
+		}
+		if err := conn.handleRequestBlock(e.ImmData, e.ByteLen); err != nil {
+			conn.fail(err)
+			if firstErr == nil {
+				firstErr = conn.broken
+			}
+			continue
+		}
+		events++
+		if err := conn.qp.PostRecv(rdma.RecvWR{}); err != nil {
+			conn.fail(err)
+		}
+	}
+	// Flush all connections: collect completed background responses, seal
+	// partial response blocks, and transmit.
+	for _, conn := range sp.conns {
+		conn.drainSendCQ(sp.cqes)
+		if conn.bg != nil {
+			conn.bgScratch = conn.bg.drain(conn.bgScratch[:0])
+			for _, r := range conn.bgScratch {
+				if err := conn.appendResponse(r.id, r.spec); err != nil {
+					conn.fail(err)
+					break
+				}
+			}
+		}
+		conn.sealResp()
+		conn.trySendResponses()
+		if conn.broken != nil && firstErr == nil {
+			firstErr = conn.broken
+		}
+	}
+	return events, firstErr
+}
+
+// BackgroundPending returns the number of requests currently executing (or
+// queued) on background workers across all connections.
+func (sp *ServerPoller) BackgroundPending() int {
+	n := 0
+	for _, conn := range sp.conns {
+		if conn.bg != nil {
+			n += conn.bg.Pending()
+		}
+	}
+	return n
+}
+
+// Close stops the background worker pools (if any). The poller itself is
+// driven by the caller and needs no teardown.
+func (sp *ServerPoller) Close() {
+	for _, conn := range sp.conns {
+		if conn.bg != nil {
+			conn.bg.close()
+		}
+	}
+}

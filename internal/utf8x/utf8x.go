@@ -1,0 +1,176 @@
+// Package utf8x provides UTF-8 validation for string fields.
+//
+// The paper (Sec. V) notes that UTF-8 validation is one of the costly
+// operations in protobuf deserialization and that the host's x86 SIMD units
+// validate much faster than the DPU's ARM cores. We provide two paths:
+//
+//   - Valid: a word-at-a-time validator whose ASCII fast path processes
+//     8 bytes per iteration, standing in for the SIMD path on the host;
+//   - ValidScalar: a strict byte-at-a-time validator representing the
+//     non-vectorized path.
+//
+// Both implement the same function (RFC 3629: reject surrogates, overlong
+// encodings, and code points above U+10FFFF) and are cross-checked against
+// unicode/utf8 in the tests.
+package utf8x
+
+// asciiMask has the high bit of every byte set; a word AND-ing to zero is
+// pure ASCII.
+const asciiMask = 0x8080808080808080
+
+// Valid reports whether b is valid UTF-8, using an 8-bytes-at-a-time ASCII
+// fast path before falling back to the scalar state machine for multi-byte
+// sequences.
+func Valid(b []byte) bool {
+	i := 0
+	n := len(b)
+	for i+8 <= n {
+		w := uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+			uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+		if w&asciiMask != 0 {
+			break
+		}
+		i += 8
+	}
+	return validScalarFrom(b, i)
+}
+
+// ValidString is Valid for strings, avoiding a copy.
+func ValidString(s string) bool {
+	i := 0
+	n := len(s)
+	for i+8 <= n {
+		w := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		if w&asciiMask != 0 {
+			break
+		}
+		i += 8
+	}
+	for i < n {
+		c := s[i]
+		if c < 0x80 {
+			i++
+			continue
+		}
+		size, ok := seqLen(c)
+		if !ok || i+size > n {
+			return false
+		}
+		if !validSeqString(s[i : i+size]) {
+			return false
+		}
+		i += size
+	}
+	return true
+}
+
+// ValidScalar reports whether b is valid UTF-8 using only byte-at-a-time
+// processing (the DPU-representative path).
+func ValidScalar(b []byte) bool {
+	return validScalarFrom(b, 0)
+}
+
+func validScalarFrom(b []byte, i int) bool {
+	n := len(b)
+	for i < n {
+		c := b[i]
+		if c < 0x80 {
+			i++
+			continue
+		}
+		size, ok := seqLen(c)
+		if !ok || i+size > n {
+			return false
+		}
+		if !validSeq(b[i : i+size]) {
+			return false
+		}
+		i += size
+	}
+	return true
+}
+
+// seqLen returns the declared length of a multi-byte sequence starting with
+// lead byte c, and whether c is a legal lead byte.
+func seqLen(c byte) (int, bool) {
+	switch {
+	case c&0xe0 == 0xc0:
+		if c < 0xc2 { // 0xc0/0xc1 are always overlong
+			return 0, false
+		}
+		return 2, true
+	case c&0xf0 == 0xe0:
+		return 3, true
+	case c&0xf8 == 0xf0:
+		if c > 0xf4 { // above U+10FFFF
+			return 0, false
+		}
+		return 4, true
+	}
+	return 0, false // bare continuation byte or 0xf8..0xff
+}
+
+// validSeq validates a complete multi-byte sequence (len 2..4) including
+// overlong and surrogate checks.
+func validSeq(s []byte) bool {
+	switch len(s) {
+	case 2:
+		return cont(s[1])
+	case 3:
+		if !cont(s[1]) || !cont(s[2]) {
+			return false
+		}
+		switch s[0] {
+		case 0xe0:
+			return s[1] >= 0xa0 // reject overlong
+		case 0xed:
+			return s[1] < 0xa0 // reject surrogates U+D800..U+DFFF
+		}
+		return true
+	case 4:
+		if !cont(s[1]) || !cont(s[2]) || !cont(s[3]) {
+			return false
+		}
+		switch s[0] {
+		case 0xf0:
+			return s[1] >= 0x90 // reject overlong
+		case 0xf4:
+			return s[1] < 0x90 // reject above U+10FFFF
+		}
+		return true
+	}
+	return false
+}
+
+func validSeqString(s string) bool {
+	switch len(s) {
+	case 2:
+		return cont(s[1])
+	case 3:
+		if !cont(s[1]) || !cont(s[2]) {
+			return false
+		}
+		switch s[0] {
+		case 0xe0:
+			return s[1] >= 0xa0
+		case 0xed:
+			return s[1] < 0xa0
+		}
+		return true
+	case 4:
+		if !cont(s[1]) || !cont(s[2]) || !cont(s[3]) {
+			return false
+		}
+		switch s[0] {
+		case 0xf0:
+			return s[1] >= 0x90
+		case 0xf4:
+			return s[1] < 0x90
+		}
+		return true
+	}
+	return false
+}
+
+func cont(c byte) bool { return c&0xc0 == 0x80 }

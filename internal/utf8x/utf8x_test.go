@@ -1,0 +1,140 @@
+package utf8x
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+var validCases = []string{
+	"",
+	"hello",
+	"héllo wörld",
+	"日本語",
+	"\x00\x7f",
+	"\u0080\u07ff\u0800\ud7ff\ue000\ufffd",
+	"\U00010000\U0010ffff",
+	"mixed ascii 和 中文 and more ascii tail..............",
+}
+
+var invalidCases = [][]byte{
+	{0x80},                   // bare continuation
+	{0xc0, 0xaf},             // overlong '/'
+	{0xc1, 0x81},             // overlong
+	{0xc2},                   // truncated 2-byte
+	{0xe0, 0x80, 0x80},       // overlong 3-byte
+	{0xe0, 0x9f, 0xbf},       // overlong 3-byte boundary
+	{0xed, 0xa0, 0x80},       // surrogate U+D800
+	{0xed, 0xbf, 0xbf},       // surrogate U+DFFF
+	{0xe1, 0x80},             // truncated 3-byte
+	{0xf0, 0x80, 0x80, 0x80}, // overlong 4-byte
+	{0xf0, 0x8f, 0xbf, 0xbf}, // overlong 4-byte boundary
+	{0xf4, 0x90, 0x80, 0x80}, // above U+10FFFF
+	{0xf5, 0x80, 0x80, 0x80}, // invalid lead
+	{0xf8, 0x88, 0x80, 0x80, 0x80},
+	{0xff},
+	{0xc2, 0x20},       // bad continuation
+	{0xe1, 0x80, 0x20}, // bad continuation
+	{0xf1, 0x80, 0x80, 0x20},
+	append(bytes.Repeat([]byte("aaaaaaaa"), 4), 0xed, 0xa0, 0x80), // bad tail after ascii words
+}
+
+func TestValidAgainstKnownCases(t *testing.T) {
+	for _, s := range validCases {
+		if !Valid([]byte(s)) {
+			t.Errorf("Valid(%q) = false", s)
+		}
+		if !ValidScalar([]byte(s)) {
+			t.Errorf("ValidScalar(%q) = false", s)
+		}
+		if !ValidString(s) {
+			t.Errorf("ValidString(%q) = false", s)
+		}
+	}
+	for _, b := range invalidCases {
+		if Valid(b) {
+			t.Errorf("Valid(%x) = true", b)
+		}
+		if ValidScalar(b) {
+			t.Errorf("ValidScalar(%x) = true", b)
+		}
+		if ValidString(string(b)) {
+			t.Errorf("ValidString(%x) = true", b)
+		}
+	}
+}
+
+func TestValidMatchesStdlibQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		want := utf8.Valid(b)
+		return Valid(b) == want && ValidScalar(b) == want && ValidString(string(b)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidExhaustiveTwoBytes(t *testing.T) {
+	// Every 2-byte combination cross-checked with the stdlib.
+	b := make([]byte, 2)
+	for i := 0; i < 256; i++ {
+		for j := 0; j < 256; j++ {
+			b[0], b[1] = byte(i), byte(j)
+			want := utf8.Valid(b)
+			if Valid(b) != want {
+				t.Fatalf("Valid(%x) != %v", b, want)
+			}
+			if ValidScalar(b) != want {
+				t.Fatalf("ValidScalar(%x) != %v", b, want)
+			}
+		}
+	}
+}
+
+func TestAsciiFastPathBoundary(t *testing.T) {
+	// Multi-byte sequence straddling the 8-byte word boundary.
+	s := append([]byte("1234567"), []byte("é tail")...)
+	if !Valid(s) {
+		t.Error("straddling sequence rejected")
+	}
+	// Exactly 8 ascii bytes then invalid byte.
+	s = append([]byte("12345678"), 0xff)
+	if Valid(s) {
+		t.Error("invalid byte after full word accepted")
+	}
+}
+
+func BenchmarkValidASCII8K(b *testing.B) {
+	data := bytes.Repeat([]byte("a"), 8000)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if !Valid(data) {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+func BenchmarkValidScalarASCII8K(b *testing.B) {
+	data := bytes.Repeat([]byte("a"), 8000)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if !ValidScalar(data) {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+func BenchmarkValidMixed8K(b *testing.B) {
+	unit := []byte("ascii 日本語 mixed ")
+	data := bytes.Repeat(unit, 8000/len(unit)+1)[:8000]
+	for len(data) > 0 && !utf8.Valid(data) {
+		data = data[:len(data)-1] // trim a split rune at the cut point
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if !Valid(data) {
+			b.Fatal("invalid")
+		}
+	}
+}

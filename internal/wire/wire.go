@@ -1,0 +1,357 @@
+// Package wire implements the Protocol Buffers wire format primitives:
+// base-128 varints, ZigZag encoding, field tags and wire types, fixed-width
+// little-endian integers, and length-delimited records.
+//
+// The encoder and decoder here are shared by the standard one-copy
+// deserializer (internal/protomsg) and by the custom arena deserializer
+// (internal/deser). All functions are allocation-free.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is a protobuf wire type, the low three bits of a field tag.
+type Type uint8
+
+// The wire types defined by the protobuf encoding. StartGroup/EndGroup are
+// recognized (so unknown groups can be rejected cleanly) but not supported.
+const (
+	TypeVarint     Type = 0
+	TypeFixed64    Type = 1
+	TypeBytes      Type = 2 // length-delimited
+	TypeStartGroup Type = 3
+	TypeEndGroup   Type = 4
+	TypeFixed32    Type = 5
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVarint:
+		return "varint"
+	case TypeFixed64:
+		return "fixed64"
+	case TypeBytes:
+		return "bytes"
+	case TypeStartGroup:
+		return "start_group"
+	case TypeEndGroup:
+		return "end_group"
+	case TypeFixed32:
+		return "fixed32"
+	}
+	return fmt.Sprintf("wiretype(%d)", uint8(t))
+}
+
+// Valid reports whether t is a wire type this implementation can decode.
+func (t Type) Valid() bool {
+	switch t {
+	case TypeVarint, TypeFixed64, TypeBytes, TypeFixed32:
+		return true
+	}
+	return false
+}
+
+// MaxVarintLen is the maximum number of bytes in an encoded 64-bit varint.
+const MaxVarintLen = 10
+
+// MaxFieldNumber is the largest valid protobuf field number.
+const MaxFieldNumber = (1 << 29) - 1
+
+// Errors returned by the decoding routines.
+var (
+	ErrTruncated    = errors.New("wire: truncated message")
+	ErrOverflow     = errors.New("wire: varint overflows 64 bits")
+	ErrInvalidTag   = errors.New("wire: invalid field tag")
+	ErrInvalidUTF8  = errors.New("wire: invalid UTF-8 in string field")
+	ErrTooLarge     = errors.New("wire: length-delimited field too large")
+	ErrGroupEncoded = errors.New("wire: group encoding not supported")
+)
+
+// AppendVarint appends v to b as a base-128 varint and returns the extended
+// slice.
+func AppendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// PutVarint encodes v into b, which must have room (use SizeVarint), and
+// returns the number of bytes written.
+func PutVarint(b []byte, v uint64) int {
+	n := 0
+	for v >= 0x80 {
+		b[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	b[n] = byte(v)
+	return n + 1
+}
+
+// Varint decodes a base-128 varint from the start of b. It returns the value
+// and the number of bytes consumed. n == 0 reports truncation and n < 0
+// reports overflow (more than 64 bits), matching the binary.Uvarint
+// convention.
+func Varint(b []byte) (v uint64, n int) {
+	// Fast path: single byte, covering the majority of tags and small field
+	// values (the paper notes ~90% of RPC messages are <= 512 bytes).
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), 1
+	}
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if i == MaxVarintLen-1 {
+			// The 10th byte may only contribute one bit.
+			if c > 1 {
+				return 0, -(i + 1)
+			}
+			return v | uint64(c)<<shift, i + 1
+		}
+		if c < 0x80 {
+			return v | uint64(c)<<shift, i + 1
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// SizeVarint returns the encoded size of v in bytes (1..10).
+func SizeVarint(v uint64) int {
+	// 1 + floor(bits/7): computed without branches via bit length.
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodeZigZag maps a signed integer to an unsigned integer so that numbers
+// with small absolute value have small varint encodings (sint32/sint64).
+func EncodeZigZag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// DecodeZigZag is the inverse of EncodeZigZag.
+func DecodeZigZag(v uint64) int64 {
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// AppendTag appends the tag for the given field number and wire type.
+func AppendTag(b []byte, fieldNum int32, t Type) []byte {
+	return AppendVarint(b, uint64(fieldNum)<<3|uint64(t))
+}
+
+// SizeTag returns the encoded size of a field tag.
+func SizeTag(fieldNum int32) int {
+	return SizeVarint(uint64(fieldNum) << 3)
+}
+
+// DecodeTag splits a decoded tag varint into field number and wire type.
+// It returns an error for field number 0 or out-of-range numbers.
+func DecodeTag(v uint64) (fieldNum int32, t Type, err error) {
+	num := v >> 3
+	if num == 0 || num > MaxFieldNumber {
+		return 0, 0, ErrInvalidTag
+	}
+	return int32(num), Type(v & 7), nil
+}
+
+// AppendFixed32 appends v in little-endian byte order.
+func AppendFixed32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendFixed64 appends v in little-endian byte order.
+func AppendFixed64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Fixed32 decodes a little-endian uint32 from the start of b.
+func Fixed32(b []byte) (uint32, int) {
+	if len(b) < 4 {
+		return 0, 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, 4
+}
+
+// Fixed64 decodes a little-endian uint64 from the start of b.
+func Fixed64(b []byte) (uint64, int) {
+	if len(b) < 8 {
+		return 0, 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, 8
+}
+
+// AppendFloat32 appends the IEEE 754 bits of v.
+func AppendFloat32(b []byte, v float32) []byte {
+	return AppendFixed32(b, math.Float32bits(v))
+}
+
+// AppendFloat64 appends the IEEE 754 bits of v.
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendFixed64(b, math.Float64bits(v))
+}
+
+// AppendBytes appends a length-delimited record (length varint + payload).
+func AppendBytes(b, payload []byte) []byte {
+	b = AppendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+// AppendString appends a length-delimited string record.
+func AppendString(b []byte, s string) []byte {
+	b = AppendVarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// SizeBytes returns the encoded size of a length-delimited record carrying n
+// payload bytes (excluding the field tag).
+func SizeBytes(n int) int {
+	return SizeVarint(uint64(n)) + n
+}
+
+// Bytes decodes a length-delimited record from the start of b, returning the
+// payload (aliasing b) and the total bytes consumed. n == 0 reports
+// truncation.
+func Bytes(b []byte) (payload []byte, n int) {
+	l, ln := Varint(b)
+	if ln <= 0 {
+		return nil, 0
+	}
+	if l > uint64(len(b)-ln) {
+		return nil, 0
+	}
+	return b[ln : ln+int(l)], ln + int(l)
+}
+
+// SkipValue skips over a single value of wire type t at the start of b and
+// returns the number of bytes skipped. It returns an error for truncated
+// input, group encoding, or an invalid wire type.
+func SkipValue(b []byte, t Type) (int, error) {
+	switch t {
+	case TypeVarint:
+		_, n := Varint(b)
+		if n <= 0 {
+			return 0, varintErr(n)
+		}
+		return n, nil
+	case TypeFixed64:
+		if len(b) < 8 {
+			return 0, ErrTruncated
+		}
+		return 8, nil
+	case TypeFixed32:
+		if len(b) < 4 {
+			return 0, ErrTruncated
+		}
+		return 4, nil
+	case TypeBytes:
+		_, n := Bytes(b)
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return n, nil
+	case TypeStartGroup, TypeEndGroup:
+		return 0, ErrGroupEncoded
+	}
+	return 0, fmt.Errorf("wire: cannot skip wire type %v", t)
+}
+
+func varintErr(n int) error {
+	if n < 0 {
+		return ErrOverflow
+	}
+	return ErrTruncated
+}
+
+// Decoder is a cursor over an encoded protobuf message. It never copies the
+// underlying buffer; Bytes results alias the input.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a Decoder reading from b.
+func NewDecoder(b []byte) Decoder {
+	return Decoder{buf: b}
+}
+
+// Len returns the number of bytes remaining.
+func (d *Decoder) Len() int { return len(d.buf) - d.pos }
+
+// Pos returns the current offset from the start of the buffer.
+func (d *Decoder) Pos() int { return d.pos }
+
+// Done reports whether the decoder has consumed the whole buffer.
+func (d *Decoder) Done() bool { return d.pos >= len(d.buf) }
+
+// Tag decodes the next field tag.
+func (d *Decoder) Tag() (fieldNum int32, t Type, err error) {
+	v, err := d.Varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return DecodeTag(v)
+}
+
+// Varint decodes the next varint.
+func (d *Decoder) Varint() (uint64, error) {
+	v, n := Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, varintErr(n)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Fixed32 decodes the next little-endian uint32.
+func (d *Decoder) Fixed32() (uint32, error) {
+	v, n := Fixed32(d.buf[d.pos:])
+	if n == 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Fixed64 decodes the next little-endian uint64.
+func (d *Decoder) Fixed64() (uint64, error) {
+	v, n := Fixed64(d.buf[d.pos:])
+	if n == 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Bytes decodes the next length-delimited record; the result aliases the
+// decoder's buffer.
+func (d *Decoder) Bytes() ([]byte, error) {
+	p, n := Bytes(d.buf[d.pos:])
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	d.pos += n
+	return p, nil
+}
+
+// Skip skips one value of wire type t.
+func (d *Decoder) Skip(t Type) error {
+	n, err := SkipValue(d.buf[d.pos:], t)
+	if err != nil {
+		return err
+	}
+	d.pos += n
+	return nil
+}

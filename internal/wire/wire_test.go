@@ -1,0 +1,341 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 129, 300, 16383, 16384, 1<<21 - 1, 1 << 21,
+		1<<28 - 1, 1 << 28, 1<<35 - 1, 1 << 35, 1<<63 - 1, 1 << 63, math.MaxUint64}
+	for _, v := range cases {
+		b := AppendVarint(nil, v)
+		if got := SizeVarint(v); got != len(b) {
+			t.Errorf("SizeVarint(%d) = %d, encoded %d bytes", v, got, len(b))
+		}
+		dv, n := Varint(b)
+		if n != len(b) || dv != v {
+			t.Errorf("Varint(%x) = %d,%d want %d,%d", b, dv, n, v, len(b))
+		}
+	}
+}
+
+func TestVarintMatchesBinaryUvarint(t *testing.T) {
+	f := func(v uint64) bool {
+		ours := AppendVarint(nil, v)
+		std := binary.AppendUvarint(nil, v)
+		if !bytes.Equal(ours, std) {
+			return false
+		}
+		dv, n := Varint(ours)
+		sv, sn := binary.Uvarint(ours)
+		return dv == sv && n == sn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutVarint(t *testing.T) {
+	var buf [MaxVarintLen]byte
+	for _, v := range []uint64{0, 5, 1 << 20, math.MaxUint64} {
+		n := PutVarint(buf[:], v)
+		want := AppendVarint(nil, v)
+		if !bytes.Equal(buf[:n], want) {
+			t.Errorf("PutVarint(%d) = %x want %x", v, buf[:n], want)
+		}
+	}
+}
+
+func TestVarintTruncated(t *testing.T) {
+	full := AppendVarint(nil, 1<<40)
+	for i := 0; i < len(full); i++ {
+		if _, n := Varint(full[:i]); n != 0 {
+			t.Errorf("Varint of %d-byte prefix: n=%d, want 0", i, n)
+		}
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	// 11 continuation bytes: overflows 64 bits.
+	b := bytes.Repeat([]byte{0xff}, 11)
+	if _, n := Varint(b); n >= 0 {
+		t.Errorf("overflowing varint: n=%d, want negative", n)
+	}
+	// 10 bytes with final byte > 1 also overflows.
+	b = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	if _, n := Varint(b); n >= 0 {
+		t.Errorf("10-byte overflow varint: n=%d, want negative", n)
+	}
+	// 10 bytes with final byte == 1 is exactly max.
+	b = append(bytes.Repeat([]byte{0xff}, 9), 0x01)
+	v, n := Varint(b)
+	if n != 10 || v != math.MaxUint64 {
+		t.Errorf("max varint: got %d,%d", v, n)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{
+		0: 0, -1: 1, 1: 2, -2: 3, 2: 4,
+		math.MaxInt64: math.MaxUint64 - 1, math.MinInt64: math.MaxUint64,
+	}
+	for in, want := range cases {
+		if got := EncodeZigZag(in); got != want {
+			t.Errorf("EncodeZigZag(%d) = %d want %d", in, got, want)
+		}
+		if got := DecodeZigZag(want); got != in {
+			t.Errorf("DecodeZigZag(%d) = %d want %d", want, got, in)
+		}
+	}
+}
+
+func TestZigZagRoundTripQuick(t *testing.T) {
+	f := func(v int64) bool { return DecodeZigZag(EncodeZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, num := range []int32{1, 2, 15, 16, 2047, 2048, MaxFieldNumber} {
+		for _, wt := range []Type{TypeVarint, TypeFixed64, TypeBytes, TypeFixed32} {
+			b := AppendTag(nil, num, wt)
+			if got := SizeTag(num); got != len(b) {
+				t.Errorf("SizeTag(%d) = %d, encoded %d", num, got, len(b))
+			}
+			v, n := Varint(b)
+			if n != len(b) {
+				t.Fatalf("tag varint decode failed")
+			}
+			gn, gt, err := DecodeTag(v)
+			if err != nil || gn != num || gt != wt {
+				t.Errorf("DecodeTag(%d/%v) = %d,%v,%v", num, wt, gn, gt, err)
+			}
+		}
+	}
+}
+
+func TestDecodeTagInvalid(t *testing.T) {
+	if _, _, err := DecodeTag(0); err == nil {
+		t.Error("field number 0 accepted")
+	}
+	if _, _, err := DecodeTag(uint64(MaxFieldNumber+1) << 3); err == nil {
+		t.Error("field number 2^29 accepted")
+	}
+}
+
+func TestFixedRoundTrip(t *testing.T) {
+	b := AppendFixed32(nil, 0xdeadbeef)
+	v32, n := Fixed32(b)
+	if n != 4 || v32 != 0xdeadbeef {
+		t.Errorf("Fixed32 = %x,%d", v32, n)
+	}
+	b = AppendFixed64(nil, 0x0123456789abcdef)
+	v64, n := Fixed64(b)
+	if n != 8 || v64 != 0x0123456789abcdef {
+		t.Errorf("Fixed64 = %x,%d", v64, n)
+	}
+	// Little-endian on the wire, per Sec. IV-A of the paper.
+	if b[0] != 0xef {
+		t.Errorf("fixed64 first byte = %x, want little-endian 0xef", b[0])
+	}
+	if _, n := Fixed32([]byte{1, 2, 3}); n != 0 {
+		t.Error("truncated fixed32 accepted")
+	}
+	if _, n := Fixed64([]byte{1, 2, 3, 4, 5, 6, 7}); n != 0 {
+		t.Error("truncated fixed64 accepted")
+	}
+}
+
+func TestFloatBits(t *testing.T) {
+	b := AppendFloat64(nil, 1.5)
+	v, _ := Fixed64(b)
+	if math.Float64frombits(v) != 1.5 {
+		t.Error("float64 round trip failed")
+	}
+	b = AppendFloat32(nil, -2.25)
+	v32, _ := Fixed32(b)
+	if math.Float32frombits(v32) != -2.25 {
+		t.Error("float32 round trip failed")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 300)}
+	for _, p := range payloads {
+		b := AppendBytes(nil, p)
+		if SizeBytes(len(p)) != len(b) {
+			t.Errorf("SizeBytes(%d) = %d, encoded %d", len(p), SizeBytes(len(p)), len(b))
+		}
+		got, n := Bytes(b)
+		if n != len(b) || !bytes.Equal(got, p) {
+			t.Errorf("Bytes round trip failed for %d-byte payload", len(p))
+		}
+	}
+}
+
+func TestBytesTruncated(t *testing.T) {
+	b := AppendBytes(nil, []byte("hello"))
+	for i := 0; i < len(b); i++ {
+		if _, n := Bytes(b[:i]); n != 0 {
+			t.Errorf("truncated Bytes at %d accepted", i)
+		}
+	}
+	// Declared length longer than the buffer.
+	if _, n := Bytes([]byte{0xff, 0x01, 'a'}); n != 0 {
+		t.Error("over-long declared length accepted")
+	}
+}
+
+func TestAppendString(t *testing.T) {
+	b := AppendString(nil, "héllo")
+	got, n := Bytes(b)
+	if n != len(b) || string(got) != "héllo" {
+		t.Error("AppendString round trip failed")
+	}
+}
+
+func TestSkipValue(t *testing.T) {
+	var b []byte
+	b = AppendVarint(b, 300)
+	b = AppendFixed64(b, 7)
+	b = AppendBytes(b, []byte("abc"))
+	b = AppendFixed32(b, 9)
+
+	off := 0
+	for _, wt := range []Type{TypeVarint, TypeFixed64, TypeBytes, TypeFixed32} {
+		n, err := SkipValue(b[off:], wt)
+		if err != nil {
+			t.Fatalf("SkipValue(%v): %v", wt, err)
+		}
+		off += n
+	}
+	if off != len(b) {
+		t.Errorf("skipped %d bytes, want %d", off, len(b))
+	}
+	if _, err := SkipValue(nil, TypeVarint); err == nil {
+		t.Error("skip of empty varint accepted")
+	}
+	if _, err := SkipValue([]byte{1}, TypeStartGroup); err != ErrGroupEncoded {
+		t.Errorf("group skip error = %v", err)
+	}
+	if _, err := SkipValue([]byte{1}, Type(7)); err == nil {
+		t.Error("invalid wire type accepted")
+	}
+}
+
+func TestDecoderWalk(t *testing.T) {
+	var b []byte
+	b = AppendTag(b, 1, TypeVarint)
+	b = AppendVarint(b, 150)
+	b = AppendTag(b, 2, TypeBytes)
+	b = AppendString(b, "testing")
+	b = AppendTag(b, 3, TypeFixed32)
+	b = AppendFixed32(b, 42)
+
+	d := NewDecoder(b)
+	num, wt, err := d.Tag()
+	if err != nil || num != 1 || wt != TypeVarint {
+		t.Fatalf("tag1: %d %v %v", num, wt, err)
+	}
+	v, err := d.Varint()
+	if err != nil || v != 150 {
+		t.Fatalf("varint: %d %v", v, err)
+	}
+	num, wt, _ = d.Tag()
+	if num != 2 || wt != TypeBytes {
+		t.Fatalf("tag2: %d %v", num, wt)
+	}
+	s, err := d.Bytes()
+	if err != nil || string(s) != "testing" {
+		t.Fatalf("bytes: %q %v", s, err)
+	}
+	num, wt, _ = d.Tag()
+	if num != 3 || wt != TypeFixed32 {
+		t.Fatalf("tag3: %d %v", num, wt)
+	}
+	f, err := d.Fixed32()
+	if err != nil || f != 42 {
+		t.Fatalf("fixed32: %d %v", f, err)
+	}
+	if !d.Done() {
+		t.Error("decoder not done")
+	}
+}
+
+func TestDecoderSkipUnknown(t *testing.T) {
+	var b []byte
+	b = AppendTag(b, 99, TypeBytes)
+	b = AppendBytes(b, []byte("unknown"))
+	b = AppendTag(b, 1, TypeVarint)
+	b = AppendVarint(b, 7)
+
+	d := NewDecoder(b)
+	_, wt, _ := d.Tag()
+	if err := d.Skip(wt); err != nil {
+		t.Fatal(err)
+	}
+	num, _, _ := d.Tag()
+	if num != 1 {
+		t.Fatalf("after skip, field = %d", num)
+	}
+	v, _ := d.Varint()
+	if v != 7 {
+		t.Fatalf("after skip, value = %d", v)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder([]byte{0x80}) // truncated varint
+	if _, err := d.Varint(); err != ErrTruncated {
+		t.Errorf("truncated varint err = %v", err)
+	}
+	d = NewDecoder(nil)
+	if _, err := d.Fixed32(); err != ErrTruncated {
+		t.Errorf("empty fixed32 err = %v", err)
+	}
+	if _, err := d.Fixed64(); err != ErrTruncated {
+		t.Errorf("empty fixed64 err = %v", err)
+	}
+	if _, err := d.Bytes(); err != ErrTruncated {
+		t.Errorf("empty bytes err = %v", err)
+	}
+	if _, _, err := d.Tag(); err != ErrTruncated {
+		t.Errorf("empty tag err = %v", err)
+	}
+}
+
+func TestWireTypeStrings(t *testing.T) {
+	if TypeVarint.String() != "varint" || Type(7).String() == "" {
+		t.Error("Type.String broken")
+	}
+	if !TypeBytes.Valid() || TypeStartGroup.Valid() || Type(7).Valid() {
+		t.Error("Type.Valid broken")
+	}
+}
+
+func BenchmarkVarintDecode(b *testing.B) {
+	buf := AppendVarint(nil, 1<<34)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		Varint(buf)
+	}
+}
+
+func BenchmarkVarintDecodeSmall(b *testing.B) {
+	buf := AppendVarint(nil, 42)
+	for i := 0; i < b.N; i++ {
+		Varint(buf)
+	}
+}
+
+func BenchmarkVarintEncode(b *testing.B) {
+	var buf [MaxVarintLen]byte
+	for i := 0; i < b.N; i++ {
+		PutVarint(buf[:], uint64(i)<<20)
+	}
+}

@@ -1,0 +1,158 @@
+package xrpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, addr := startServer(t, func(method string, payload []byte) (uint16, []byte) {
+		if method == "/t.S/Hang" {
+			<-block
+		}
+		return StatusOK, payload
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, _, err = c.CallTimeout("/t.S/Hang", nil, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout fired far too late")
+	}
+	// The connection stays usable after a timeout.
+	status, resp, err := c.CallTimeout("/t.S/Echo", []byte("alive"), 5*time.Second)
+	if err != nil || status != StatusOK || string(resp) != "alive" {
+		t.Fatalf("post-timeout call: %d %q %v", status, resp, err)
+	}
+	if c.Pending() > 1 {
+		t.Errorf("pending = %d (timed-out call not deregistered?)", c.Pending())
+	}
+}
+
+func TestCallNoTimeoutStillWorks(t *testing.T) {
+	_, addr := startServer(t, echo)
+	c, _ := Dial(addr)
+	defer c.Close()
+	status, resp, err := c.CallTimeout("/t.S/E", []byte("x"), 0)
+	if err != nil || status != StatusOK || string(resp) != "x" {
+		t.Fatal("zero timeout broken")
+	}
+}
+
+// TestAbruptDisconnectSoak hammers the server with clients that vanish
+// mid-flight: no panic, no handler leak, and surviving clients keep
+// working.
+func TestAbruptDisconnectSoak(t *testing.T) {
+	var inHandler atomic.Int64
+	srv, addr := startServer(t, func(method string, payload []byte) (uint16, []byte) {
+		inHandler.Add(1)
+		defer inHandler.Add(-1)
+		time.Sleep(time.Duration(len(payload)%3) * time.Millisecond)
+		return StatusOK, payload
+	})
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c, err := NewClient(conn)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Fire a burst of pipelined calls, then disconnect abruptly
+			// without waiting for responses.
+			for j := 0; j < 40; j++ {
+				c.Go("/t.S/X", []byte(fmt.Sprintf("%d-%d", i, j)),
+					func(uint16, []byte, error) {})
+			}
+			c.Flush()
+			if i%2 == 0 {
+				conn.Close() // rude: TCP reset path, reader sees an error
+			} else {
+				c.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// A fresh client must still get service.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		status, resp, err := c.CallTimeout("/t.S/Echo", []byte("still-alive"), 5*time.Second)
+		if err != nil || status != StatusOK || string(resp) != "still-alive" {
+			t.Fatalf("post-soak call %d: %d %v", i, status, err)
+		}
+	}
+	srv.Close()
+
+	// Handlers must drain and goroutines must settle (tolerate slack for
+	// runtime/test goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if inHandler.Load() == 0 && runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("soak leak: %d handlers in flight, %d goroutines (was %d)",
+		inHandler.Load(), runtime.NumGoroutine(), before)
+}
+
+// TestServerManyConcurrentStreams verifies pipelined requests on one
+// connection are served concurrently (the Sec. III-D motivation at the
+// xRPC layer).
+func TestServerManyConcurrentStreams(t *testing.T) {
+	var peak atomic.Int64
+	var cur atomic.Int64
+	_, addr := startServer(t, func(method string, payload []byte) (uint16, []byte) {
+		v := cur.Add(1)
+		for {
+			p := peak.Load()
+			if v <= p || peak.CompareAndSwap(p, v) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return StatusOK, nil
+	})
+	c, _ := Dial(addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		c.Go("/t.S/P", nil, func(uint16, []byte, error) { wg.Done() })
+	}
+	c.Flush()
+	wg.Wait()
+	if peak.Load() < 8 {
+		t.Errorf("peak concurrent handlers = %d; pipelining not concurrent", peak.Load())
+	}
+}

@@ -1,0 +1,458 @@
+// Package xrpc is the "original RPC protocol" of the paper (its xRPC, the
+// role gRPC plays in the evaluation): a compact unary-RPC protocol over TCP
+// with gRPC-style full method names ("/package.Service/Method") and status
+// codes.
+//
+// In the offloaded deployment the DPU terminates these connections
+// (Sec. III-A: "the DPU acts now as the xRPC server ... the only
+// configuration change is to modify the xRPC server address"), multiplexing
+// many client connections onto few RPC-over-RDMA connections to the host.
+// In the baseline deployment the host terminates them and runs
+// deserialization itself.
+//
+// Wire format (little-endian), after the 5-byte connection preface "XRPC1":
+//
+//	frame  := u32 length ‖ u8 type ‖ u32 streamID ‖ body
+//	request body  := u16 methodLen ‖ method ‖ payload
+//	response body := u16 status ‖ payload
+//
+// Requests may be pipelined; responses may arrive out of order and are
+// matched by streamID.
+package xrpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Preface opens every connection.
+const Preface = "XRPC1"
+
+// Frame types.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+)
+
+// MaxFrameSize bounds a single frame (16 MiB, as in gRPC's default max
+// message size ballpark).
+const MaxFrameSize = 16 << 20
+
+// Status codes (the gRPC subset used here).
+const (
+	StatusOK              uint16 = 0
+	StatusInvalidArgument uint16 = 3
+	StatusNotFound        uint16 = 5
+	StatusUnimplemented   uint16 = 12
+	StatusInternal        uint16 = 13
+)
+
+// StatusText renders a status code.
+func StatusText(s uint16) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusInvalidArgument:
+		return "INVALID_ARGUMENT"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusUnimplemented:
+		return "UNIMPLEMENTED"
+	case StatusInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("STATUS(%d)", s)
+}
+
+// Errors returned by the transport.
+var (
+	ErrBadPreface = errors.New("xrpc: bad connection preface")
+	ErrFrameSize  = errors.New("xrpc: frame exceeds maximum size")
+	ErrCorrupt    = errors.New("xrpc: corrupt frame")
+	ErrClosed     = errors.New("xrpc: connection closed")
+)
+
+// writeFrame writes one frame: header + body parts.
+func writeFrame(w io.Writer, ftype uint8, streamID uint32, parts ...[]byte) error {
+	body := 0
+	for _, p := range parts {
+		body += len(p)
+	}
+	if body+5 > MaxFrameSize {
+		return ErrFrameSize
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(body+5))
+	hdr[4] = ftype
+	binary.LittleEndian.PutUint32(hdr[5:9], streamID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns
+// (type, streamID, body, error). body aliases buf.
+func readFrame(r io.Reader, buf *[]byte) (uint8, uint32, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length < 5 || length > MaxFrameSize {
+		return 0, 0, nil, ErrFrameSize
+	}
+	if cap(*buf) < int(length) {
+		*buf = make([]byte, length)
+	}
+	b := (*buf)[:length]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, 0, nil, err
+	}
+	return b[0], binary.LittleEndian.Uint32(b[1:5]), b[5:], nil
+}
+
+// ServerHandler processes one raw request and returns (status, response
+// payload). The DPU offload layer plugs in here; so does the host baseline.
+type ServerHandler func(method string, payload []byte) (uint16, []byte)
+
+// Server accepts xRPC connections.
+type Server struct {
+	handler ServerHandler
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	requests uint64
+}
+
+// NewServer returns a server dispatching to handler.
+func NewServer(handler ServerHandler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// maxConnConcurrency bounds in-flight handler invocations per connection
+// (pipelined requests are dispatched concurrently, as gRPC streams are).
+const maxConnConcurrency = 1024
+
+func (s *Server) serveConn(conn net.Conn) {
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	preface := make([]byte, len(Preface))
+	if _, err := io.ReadFull(br, preface); err != nil || string(preface) != Preface {
+		return
+	}
+
+	// Responses from concurrent handlers serialize through wmu; the reader
+	// flushes opportunistically when the inbound side goes quiet.
+	var wmu sync.Mutex
+	writeResp := func(streamID uint32, st uint16, resp []byte) bool {
+		var status [2]byte
+		binary.LittleEndian.PutUint16(status[:], st)
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(bw, frameResponse, streamID, status[:], resp); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	sem := make(chan struct{}, maxConnConcurrency)
+	var buf []byte
+	for {
+		ftype, streamID, body, err := readFrame(br, &buf)
+		if err != nil {
+			return
+		}
+		if ftype != frameRequest || len(body) < 2 {
+			return
+		}
+		mlen := int(binary.LittleEndian.Uint16(body[0:2]))
+		if 2+mlen > len(body) {
+			return
+		}
+		method := string(body[2 : 2+mlen])
+		// The read buffer is reused by the next frame, and the handler may
+		// outlive this iteration: copy the payload.
+		payload := append([]byte(nil), body[2+mlen:]...)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(streamID uint32) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			st, resp := s.handler(method, payload)
+			s.mu.Lock()
+			s.requests++
+			s.mu.Unlock()
+			writeResp(streamID, st, resp)
+		}(streamID)
+	}
+}
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Client is an xRPC client connection supporting pipelined asynchronous
+// calls.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]func(status uint16, payload []byte, err error)
+	closed  bool
+	werr    error
+
+	readerDone chan struct{}
+}
+
+// Dial connects to an xRPC server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 64<<10),
+		pending:    map[uint32]func(uint16, []byte, error){},
+		readerDone: make(chan struct{}),
+	}
+	if _, err := io.WriteString(c.bw, Preface); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var buf []byte
+	for {
+		ftype, streamID, body, err := readFrame(br, &buf)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if ftype != frameResponse || len(body) < 2 {
+			c.failAll(ErrCorrupt)
+			return
+		}
+		status := binary.LittleEndian.Uint16(body[0:2])
+		payload := body[2:]
+		c.mu.Lock()
+		cb := c.pending[streamID]
+		delete(c.pending, streamID)
+		c.mu.Unlock()
+		if cb != nil {
+			cb(status, payload, nil)
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	cbs := c.pending
+	c.pending = map[uint32]func(uint16, []byte, error){}
+	c.closed = true
+	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb(0, nil, err)
+	}
+}
+
+// Go issues an asynchronous call; cb runs on the client's reader goroutine.
+// The payload passed to cb aliases an internal buffer and must not be
+// retained.
+func (c *Client) Go(method string, payload []byte, cb func(status uint16, payload []byte, err error)) error {
+	var id uint32
+	return c.goWithID(method, payload, &id, cb)
+}
+
+// goWithID is Go, reporting the assigned stream ID through idOut (so
+// CallTimeout can deregister on deadline).
+func (c *Client) goWithID(method string, payload []byte, idOut *uint32, cb func(status uint16, payload []byte, err error)) error {
+	if len(method) > 1<<16-1 {
+		return ErrCorrupt
+	}
+	var mlen [2]byte
+	binary.LittleEndian.PutUint16(mlen[:], uint16(len(method)))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.werr != nil {
+		err := c.werr
+		c.mu.Unlock()
+		return err
+	}
+	id := c.nextID
+	c.nextID++
+	*idOut = id
+	c.pending[id] = cb
+	err := writeFrame(c.bw, frameRequest, id, mlen[:], []byte(method), payload)
+	if err != nil {
+		delete(c.pending, id)
+		c.werr = err
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Flush pushes buffered requests to the wire.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+// ErrTimeout is returned by CallTimeout when the deadline elapses first.
+var ErrTimeout = errors.New("xrpc: call timed out")
+
+// Call is a synchronous unary call.
+func (c *Client) Call(method string, payload []byte) (uint16, []byte, error) {
+	return c.CallTimeout(method, payload, 0)
+}
+
+// CallTimeout is Call with a deadline (0 means no deadline). On timeout the
+// pending callback is deregistered; a late response is discarded.
+func (c *Client) CallTimeout(method string, payload []byte, timeout time.Duration) (uint16, []byte, error) {
+	type result struct {
+		status  uint16
+		payload []byte
+		err     error
+	}
+	ch := make(chan result, 1)
+	var id uint32
+	err := c.goWithID(method, payload, &id, func(status uint16, p []byte, err error) {
+		ch <- result{status, append([]byte(nil), p...), err}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, nil, err
+	}
+	if timeout <= 0 {
+		r := <-ch
+		return r.status, r.payload, r.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.status, r.payload, r.err
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return 0, nil, ErrTimeout
+	}
+}
+
+// Pending returns the number of in-flight calls.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}

@@ -1,0 +1,249 @@
+package dpurpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"dpurpc/internal/offload"
+	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/xrpc"
+)
+
+// StackOptions configure a deployment.
+type StackOptions struct {
+	// Connections is the number of host<->DPU RPC-over-RDMA connections
+	// (one DPU poller each, Sec. III-C). Default 1.
+	Connections int
+	// ClientConfig / ServerConfig tune the protocol endpoints; zero values
+	// take the Table I defaults (8 KiB blocks, 256 credits, 3/16 MiB
+	// buffers).
+	ClientConfig Config
+	ServerConfig Config
+	// OffloadResponseSerialization also moves response serialization to
+	// the DPU (the symmetric extension of Sec. III-A): host handlers still
+	// return *Message, but the stack ships response objects through the
+	// shared region and the DPU produces the wire bytes.
+	OffloadResponseSerialization bool
+	// BackgroundWorkers > 0 runs host handlers on a worker pool instead of
+	// the poller thread (Sec. III-D background RPCs) — for long-running
+	// handlers that must not stall the datapath. Handlers must then be
+	// safe for concurrent invocation.
+	BackgroundWorkers int
+	// HostPollers is the number of host-side poller goroutines;
+	// connections are distributed round-robin across them (Table I runs 8
+	// host threads). Default 1; capped at Connections.
+	HostPollers int
+}
+
+func (o *StackOptions) fill() {
+	if o.Connections == 0 {
+		o.Connections = 1
+	}
+}
+
+// Stack is a running RPC deployment: either offloaded (DPU-terminated) or
+// baseline (host-terminated). Both serve the same xRPC protocol, so clients
+// need only a different address — exactly the paper's "only configuration
+// change" property.
+type Stack struct {
+	handler xrpc.ServerHandler
+	srv     *xrpc.Server
+
+	mu      sync.Mutex
+	stops   []chan struct{}
+	serving bool
+	closed  bool
+
+	// Offloaded-only internals (nil for the baseline).
+	deployment *offload.Deployment
+}
+
+// NewOffloadedStack wires the paper's deployment: ADT handshake, DPU
+// middleman, RPC-over-RDMA connections, and the host compatibility layer
+// dispatching to impls.
+func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions) (*Stack, error) {
+	opts.fill()
+	d, err := offload.NewDeploymentWith(schema.Table, impls, offload.DeployConfig{
+		Connections:                  opts.Connections,
+		ClientCfg:                    opts.ClientConfig,
+		ServerCfg:                    opts.ServerConfig,
+		OffloadResponseSerialization: opts.OffloadResponseSerialization,
+		BackgroundWorkers:            opts.BackgroundWorkers,
+		HostPollers:                  opts.HostPollers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{deployment: d}
+	// One poller goroutine per DPU connection plus one host server poller.
+	for _, dpuSrv := range d.DPUs {
+		stop := make(chan struct{})
+		st.stops = append(st.stops, stop)
+		go dpuSrv.Run(stop)
+	}
+	for _, poller := range d.Pollers {
+		poller := poller
+		hostStop := make(chan struct{})
+		st.stops = append(st.stops, hostStop)
+		go func() {
+			for {
+				select {
+				case <-hostStop:
+					return
+				default:
+					if _, err := poller.Progress(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	// The xRPC front end spreads calls across the DPU connections
+	// round-robin (the many-to-one-to-one multiplexing of Sec. III-C).
+	var next int
+	var mu sync.Mutex
+	handlers := make([]xrpc.ServerHandler, len(d.DPUs))
+	for i, dpuSrv := range d.DPUs {
+		handlers[i] = dpuSrv.XRPCHandler()
+	}
+	st.handler = func(method string, payload []byte) (uint16, []byte) {
+		mu.Lock()
+		h := handlers[next%len(handlers)]
+		next++
+		mu.Unlock()
+		return h(method, payload)
+	}
+	return st, nil
+}
+
+// NewBaselineStack wires the evaluation baseline: the host terminates xRPC
+// and runs the same arena deserializer on its own cores.
+func NewBaselineStack(schema *Schema, impls map[string]Impl, opts StackOptions) (*Stack, error) {
+	base, err := offload.NewBaselineServer(schema.Table, impls)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{handler: base.XRPCHandler()}, nil
+}
+
+// Handler exposes the raw xRPC handler (useful for in-process testing
+// without TCP).
+func (s *Stack) Handler() func(method string, payload []byte) (status uint16, resp []byte) {
+	return s.handler
+}
+
+// Deployment returns the offloaded deployment internals (nil for the
+// baseline) — counters, link statistics, host/DPU stats.
+func (s *Stack) Deployment() *offload.Deployment { return s.deployment }
+
+// ListenAndServe starts serving xRPC on addr ("host:0" picks a free port)
+// and returns the bound address.
+func (s *Stack) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Serve(ln); err != nil {
+		ln.Close()
+		return "", err
+	}
+	return ln.Addr().String(), nil
+}
+
+// Serve starts serving xRPC on an existing listener (non-blocking).
+func (s *Stack) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("dpurpc: stack closed")
+	}
+	if s.serving {
+		return errors.New("dpurpc: already serving")
+	}
+	s.serving = true
+	s.srv = xrpc.NewServer(s.handler)
+	go s.srv.Serve(ln)
+	return nil
+}
+
+// Close stops the xRPC front end and the pollers.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	for _, stop := range s.stops {
+		close(stop)
+	}
+	if s.deployment != nil {
+		s.deployment.Close() // stops background worker pools
+	}
+}
+
+// Client is a typed xRPC client.
+type Client struct {
+	c *xrpc.Client
+}
+
+// Dial connects to a stack's xRPC address.
+func Dial(addr string) (*Client, error) {
+	c, err := xrpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Call performs a unary RPC: req is serialized with the standard protobuf
+// encoder, and the response is decoded into a fresh message of the method's
+// output type.
+func (c *Client) Call(schema *Schema, service, method string, req *Message) (*Message, error) {
+	return c.CallTimeout(schema, service, method, req, 0)
+}
+
+// CallTimeout is Call with a deadline (0 means none).
+func (c *Client) CallTimeout(schema *Schema, service, method string, req *Message, timeout time.Duration) (*Message, error) {
+	svc := schema.Registry.Service(service)
+	if svc == nil {
+		return nil, errors.New("dpurpc: unknown service " + service)
+	}
+	m := svc.MethodByName(method)
+	if m == nil {
+		return nil, errors.New("dpurpc: unknown method " + method)
+	}
+	if req.Descriptor() != m.Input {
+		return nil, errors.New("dpurpc: request type mismatch")
+	}
+	status, payload, err := c.c.CallTimeout(xrpc.FullMethodName(service, method), req.Marshal(nil), timeout)
+	if err != nil {
+		return nil, err
+	}
+	if status != xrpc.StatusOK {
+		return nil, errors.New("dpurpc: rpc failed: " + xrpc.StatusText(status))
+	}
+	out := schema.NewMessage(m.Output.Name)
+	if err := out.Unmarshal(payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Raw exposes the underlying transport client for pipelined asynchronous
+// use.
+func (c *Client) Raw() *xrpc.Client { return c.c }
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// DefaultClientConfig returns the Table I client (DPU) configuration.
+func DefaultClientConfig() Config { return rpcrdma.DefaultClientConfig() }
+
+// DefaultServerConfig returns the Table I server (host) configuration.
+func DefaultServerConfig() Config { return rpcrdma.DefaultServerConfig() }
