@@ -11,8 +11,11 @@ build:
 test:
 	go test ./...
 
+# Race-detector pass over the concurrent packages: the DPU deserialization
+# pipeline (worker pool + poller), the protocol layer it reserves/commits
+# into, and the xRPC transport that feeds it.
 race:
-	go test -race ./...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/...
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"dpurpc/internal/arena"
+	"dpurpc/internal/dpu"
 	"dpurpc/internal/harness"
 	"dpurpc/internal/workload"
 )
@@ -27,13 +29,17 @@ func main() {
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
-	format := flag.String("format", "table", "output format: table | csv (csv covers fig7 and fig8)")
+	dpuWorkers := flag.Int("dpu-workers", dpu.Default().DPU.Cores,
+		"deserialization workers per DPU poller; >1 enables the reserve/build/commit pipeline (1 = serial datapath)")
+	format := flag.String("format", "table", "output format: table | csv | json (csv covers fig7 and fig8, json covers fig8)")
 	flag.Parse()
 
 	opts := harness.DefaultOptions()
 	opts.Requests = *requests
 	opts.Connections = *connections
+	opts.DPUWorkers = *dpuWorkers
 	csv := *format == "csv"
+	jsonOut := *format == "json"
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -63,7 +69,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if csv && needFig8 {
+	if jsonOut && needFig8 {
+		run("fig8a", func() error { return printFig8JSON(fig8) })
+		run("fig8b", func() error { return nil })
+		run("fig8c", func() error { return nil })
+	} else if csv && needFig8 {
 		run("fig8a", func() error { return printFig8CSV(fig8) })
 		run("fig8b", func() error { return nil })
 		run("fig8c", func() error { return nil })
@@ -99,14 +109,22 @@ func printFig7CSV(opts harness.Options, wallIters int) error {
 
 // printFig8CSV emits all three Fig. 8 panels as one CSV.
 func printFig8CSV(rows []harness.Fig8Row) error {
-	fmt.Println("scenario,mode,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,wire_bytes_per_req,pcie_bytes_per_req,min_credits")
+	fmt.Println("scenario,mode,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,wire_bytes_per_req,pcie_bytes_per_req,min_credits,dpu_workers,wall_rps")
 	for _, r := range rows {
-		fmt.Printf("%s,%s,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.1f,%d\n",
+		fmt.Printf("%s,%s,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.1f,%d,%d,%.0f\n",
 			r.Scenario, r.Mode, r.Result.RPS, r.Result.BandwidthGbps,
 			r.Result.HostCores, r.Result.DPUCores, r.Result.Bottleneck,
-			r.WireBytesPerReq, r.PCIeBytesPerReq, r.MinCredits)
+			r.WireBytesPerReq, r.PCIeBytesPerReq, r.MinCredits, r.DPUWorkers, r.WallRPS)
 	}
 	return nil
+}
+
+// printFig8JSON emits the Fig. 8 rows as a JSON array for downstream
+// tooling (one object per bar, modeled Result plus wall-clock fields).
+func printFig8JSON(rows []harness.Fig8Row) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func printTable1(opts harness.Options) error {

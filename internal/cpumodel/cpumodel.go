@@ -57,6 +57,17 @@ type Platform struct {
 	CacheByteNS float64
 }
 
+// EffectiveCores caps the platform's core count at the configured worker
+// count: a deployment running w deserialization workers per connection can
+// spread DPU work over at most w cores (w <= 0 or >= Cores means the full
+// platform, the paper's ideal even spread).
+func (p *Platform) EffectiveCores(workers int) int {
+	if workers <= 0 || workers >= p.Cores {
+		return p.Cores
+	}
+	return workers
+}
+
 // SweetBlockBytes is the cache-friendly block size; blocks beyond it pay
 // CacheByteNS for the excess bytes (Sec. IV-E: block sizes are chosen so
 // "cache performance due to the data locality is not reduced").

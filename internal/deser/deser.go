@@ -271,6 +271,12 @@ func (d *Deserializer) fill(lay *abi.Layout, body []byte, obj []byte, objOff uin
 // skipped structurally; nested bodies are not descended into (their own fill
 // performs its own count).
 func (d *Deserializer) countPass(lay *abi.Layout, body []byte, fr *frame) error {
+	return countRepeated(lay, body, fr.counts)
+}
+
+// countRepeated is the count pass proper, shared with MeasureExact (which
+// must replay the same array pre-allocations the fill performs).
+func countRepeated(lay *abi.Layout, body []byte, counts []uint32) error {
 	pos := 0
 	for pos < len(body) {
 		tagv, n := wire.Varint(body[pos:])
@@ -304,7 +310,7 @@ func (d *Deserializer) countPass(lay *abi.Layout, body []byte, fr *frame) error 
 				if len(payload)%fs != 0 {
 					return fmt.Errorf("%w: packed fixed payload not a multiple of %d", ErrMalformed, fs)
 				}
-				fr.counts[f.Index] += uint32(len(payload) / fs)
+				counts[f.Index] += uint32(len(payload) / fs)
 			} else {
 				// Count varints: one per byte with the continuation bit clear.
 				cnt := 0
@@ -316,7 +322,7 @@ func (d *Deserializer) countPass(lay *abi.Layout, body []byte, fr *frame) error 
 				if len(payload) > 0 && payload[len(payload)-1] >= 0x80 {
 					return fmt.Errorf("%w: packed varint payload truncated", ErrMalformed)
 				}
-				fr.counts[f.Index] += uint32(cnt)
+				counts[f.Index] += uint32(cnt)
 			}
 		default:
 			skipped, err := wire.SkipValue(body[pos:], wt)
@@ -324,7 +330,7 @@ func (d *Deserializer) countPass(lay *abi.Layout, body []byte, fr *frame) error 
 				return err
 			}
 			pos += skipped
-			fr.counts[f.Index]++
+			counts[f.Index]++
 		}
 	}
 	return nil

@@ -1,0 +1,76 @@
+package deser
+
+import (
+	"testing"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/arena"
+	"dpurpc/internal/mt19937"
+	"dpurpc/internal/workload"
+)
+
+// TestMeasureExactMatchesDeserialize is the pipeline's sizing pin:
+// MeasureExact must predict, to the byte, the arena consumption of
+// Deserialize for every workload class — the reserved slot stride is fixed
+// before the build runs, so over- and under-estimates both corrupt the
+// reserve → parallel build → commit layout.
+func TestMeasureExactMatchesDeserialize(t *testing.T) {
+	env := workload.NewEnv()
+	rng := mt19937.New(99)
+	d := New(Options{ValidateUTF8: true, ScalarUTF8: true})
+
+	verify := func(name string, data []byte, lay *abi.Layout) {
+		t.Helper()
+		need, err := MeasureExact(lay, data)
+		if err != nil {
+			t.Fatalf("%s: MeasureExact: %v", name, err)
+		}
+		// Deserializing into a buffer of exactly the predicted size must
+		// succeed and consume it fully; one byte less must not fit.
+		b := arena.NewBump(make([]byte, need))
+		if _, err := d.Deserialize(lay, data, b, 1024); err != nil {
+			t.Fatalf("%s: deserialize into exact buffer (%d bytes): %v", name, need, err)
+		}
+		if b.Used() != need {
+			t.Fatalf("%s: MeasureExact %d != used %d", name, need, b.Used())
+		}
+		tight := arena.NewBump(make([]byte, need-1))
+		if _, err := d.Deserialize(lay, data, tight, 1024); err == nil {
+			t.Fatalf("%s: deserialize into %d bytes unexpectedly fit", name, need-1)
+		}
+		// The legacy bound must still dominate the exact size.
+		bound, err := Measure(lay, data)
+		if err != nil {
+			t.Fatalf("%s: Measure: %v", name, err)
+		}
+		if bound < need {
+			t.Fatalf("%s: Measure %d < MeasureExact %d", name, bound, need)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		verify("small", env.GenSmall(rng).Marshal(nil), env.SmallLay)
+		verify("ints", env.GenInts(rng, 1+i%97).Marshal(nil), env.IntsLay)
+		verify("chars", env.GenChars(rng, i*7%2000).Marshal(nil), env.CharsLay)
+	}
+}
+
+// TestMeasureExactStructuralErrors: MeasureExact must reject exactly the
+// structurally malformed inputs Deserialize rejects, so the pipeline's
+// measure stage filters them before a slot is ever reserved.
+func TestMeasureExactStructuralErrors(t *testing.T) {
+	env := workload.NewEnv()
+	for _, c := range []struct {
+		name string
+		lay  *abi.Layout
+		data []byte
+	}{
+		{"bad tag", env.SmallLay, []byte{0xff}},
+		{"truncated string", env.CharsLay, []byte{0x0a, 0x20, 'x'}},
+		{"truncated packed", env.IntsLay, []byte{0x0a, 0x10, 0x01}},
+		{"packed varint cut", env.IntsLay, []byte{0x0a, 0x01, 0x80}},
+	} {
+		if _, err := MeasureExact(c.lay, c.data); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

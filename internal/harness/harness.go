@@ -14,6 +14,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"dpurpc/internal/abi"
 	"dpurpc/internal/dpu"
@@ -45,6 +46,11 @@ type Options struct {
 	// BusyPoll selects the polling mode (Table I runs use busy polling on
 	// dedicated cores; the poll() comparison is the Sec. III-C ablation).
 	BusyPoll bool
+	// DPUWorkers is the number of deserialization workers per DPU poller
+	// (the reserve → parallel build → commit pipeline). 0 or 1 runs the
+	// serial datapath; values > 1 run the multi-core pipeline and cap the
+	// modeled DPU core spread at Connections*DPUWorkers busy cores.
+	DPUWorkers int
 	// Seed for the Mersenne Twister.
 	Seed uint32
 }
@@ -87,6 +93,15 @@ type Fig8Row struct {
 	PCIeBytesPerReq float64
 	// ReqMsgsPerBlock is the achieved request batching (offload mode).
 	ReqMsgsPerBlock float64
+	// DPUWorkers echoes the pipeline width the row ran with (offload mode;
+	// 0 means the serial datapath).
+	DPUWorkers int
+	// WallSeconds/WallRPS report the measured wall-clock cost of driving
+	// the run on this machine. They are not the paper's modeled numbers
+	// (Result covers those) but let the pipeline's real multi-core speedup
+	// be observed directly.
+	WallSeconds float64
+	WallRPS     float64
 }
 
 // emptyImpls returns benchmark service implementations with empty business
@@ -153,12 +168,14 @@ func RunBaseline(s workload.Scenario, opts Options) (Fig8Row, error) {
 	payloads := genPayloads(env, s, opts)
 	method := methodName(env, s)
 	h := base.XRPCHandler()
+	start := time.Now()
 	for i := 0; i < opts.Requests; i++ {
 		status, _ := h(method, payloads[i%len(payloads)])
 		if status != xrpc.StatusOK {
 			return Fig8Row{}, fmt.Errorf("baseline call %d: status %d", i, status)
 		}
 	}
+	wall := time.Since(start)
 	st := base.Stats()
 	host := opts.Machine.Host
 	n := float64(st.Requests)
@@ -191,6 +208,8 @@ func RunBaseline(s workload.Scenario, opts Options) (Fig8Row, error) {
 		MinCredits:      0, // no RDMA credits in the baseline
 		WireBytesPerReq: float64(st.WireBytes) / n,
 		PCIeBytesPerReq: float64(linkBytes) / n,
+		WallSeconds:     wall.Seconds(),
+		WallRPS:         safeDiv(float64(opts.Requests), wall.Seconds()),
 	}, nil
 }
 
@@ -207,13 +226,20 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 	if conns == 0 {
 		conns = 1
 	}
-	d, err := offload.NewDeployment(env.Table, emptyImpls(env), conns, ccfg, scfg)
+	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
+		Connections: conns,
+		ClientCfg:   ccfg,
+		ServerCfg:   scfg,
+		DPUWorkers:  opts.DPUWorkers,
+	})
 	if err != nil {
 		return Fig8Row{}, err
 	}
+	defer d.Close()
 	payloads := genPayloads(env, s, opts)
 	method := methodName(env, s)
 
+	start := time.Now()
 	submitted, completed, failed := 0, 0, 0
 	for completed < opts.Requests {
 		for submitted < opts.Requests && submitted-completed < opts.Concurrency {
@@ -239,14 +265,23 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 			return Fig8Row{}, err
 		}
 	}
+	wall := time.Since(start)
 	if failed > 0 {
 		return Fig8Row{}, fmt.Errorf("offload: %d failed calls", failed)
 	}
 
 	usage, row := offloadUsage(d, method, opts)
+	if opts.DPUWorkers > 1 {
+		// The pipeline bounds how many DPU cores the deployment can keep
+		// busy; the serial path (0/1) keeps the paper's ideal even spread.
+		usage.DPUWorkers = conns * opts.DPUWorkers
+		row.DPUWorkers = opts.DPUWorkers
+	}
 	row.Scenario = s
 	row.Mode = ModeDPU
 	row.Result = opts.Machine.Analyze(usage)
+	row.WallSeconds = wall.Seconds()
+	row.WallRPS = safeDiv(float64(opts.Requests), wall.Seconds())
 	return row, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dpurpc/internal/adt"
 	"dpurpc/internal/fabric"
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/rdma"
 	"dpurpc/internal/rpcrdma"
 )
@@ -76,8 +77,12 @@ func (d *Deployment) ProgressHost() (int, error) {
 	return total, nil
 }
 
-// Close stops all background worker pools.
+// Close stops all background worker pools, including the DPU servers'
+// deserialization pipelines.
 func (d *Deployment) Close() {
+	for _, dpu := range d.DPUs {
+		dpu.Close()
+	}
 	for _, p := range d.Pollers {
 		p.Close()
 	}
@@ -101,6 +106,17 @@ type DeployConfig struct {
 	// BackgroundWorkers > 0 runs host handlers on a worker pool instead of
 	// the poller thread (Sec. III-D's background RPCs).
 	BackgroundWorkers int
+	// DPUWorkers > 1 enables the multi-core deserialization pipeline on
+	// every DPU server: the poller reserves block slots, a pool of this
+	// many workers deserializes in parallel directly into them, and the
+	// poller commits in admission order. <= 1 keeps the serial datapath.
+	DPUWorkers int
+	// DPUMaxInflight bounds tasks inside each DPU pipeline (0 = 4x
+	// DPUWorkers).
+	DPUMaxInflight int
+	// DPUPipeline, when non-nil, instruments every DPU pipeline (the
+	// counters are shared across connections; all are atomic).
+	DPUPipeline *metrics.PipelineMetrics
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -158,7 +174,11 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 		if err != nil {
 			return nil, err
 		}
-		dpu, err := NewDPUServer(dpuTable, client)
+		dpu, err := NewDPUServerWith(dpuTable, client, DPUConfig{
+			Workers:     cfg.DPUWorkers,
+			MaxInflight: cfg.DPUMaxInflight,
+			Pipeline:    cfg.DPUPipeline,
+		})
 		if err != nil {
 			return nil, err
 		}

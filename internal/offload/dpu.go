@@ -3,12 +3,16 @@ package offload
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpurpc/internal/abi"
 	"dpurpc/internal/adt"
 	"dpurpc/internal/arena"
 	"dpurpc/internal/deser"
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/rpcrdma"
 	"dpurpc/internal/xrpc"
 )
@@ -29,20 +33,70 @@ type DPUStats struct {
 	Deser           deser.Stats
 }
 
+// Pipeline stages a task moves through when the worker pool is enabled.
+const (
+	stageMeasure = iota // deser.Measure on a worker
+	stageBuild          // deser.Deserialize into the reserved slot on a worker
+)
+
 // callTask carries one xRPC request from its connection goroutine to the
-// connection's poller.
+// connection's poller, and (in pooled mode) between the poller and the
+// build workers. Worker-written fields (need, root, used, err) are
+// synchronized by the workQ/compQ channel handoffs.
 type callTask struct {
 	procID  uint16
 	entry   *procEntry
 	need    int
 	data    []byte
 	deliver func(callResult)
+
+	// Pipeline fields (pooled mode only).
+	seq      uint64 // admission order; reserves replay it exactly
+	stage    uint8
+	res      *rpcrdma.Reservation
+	root     uint32
+	used     int
+	err      error
+	measured bool  // need already computed (SubmitLocal path)
+	finished bool  // poller-owned: result delivered, ignore later signals
+	reserved int64 // ns timestamp at reserve (commit-latency metric)
 }
 
 type callResult struct {
 	status uint16
 	err    bool
 	resp   []byte
+	// release recycles resp's backing buffer; the receiver calls it once
+	// resp is no longer referenced (nil when resp is not pooled).
+	release func()
+}
+
+// respBufPool recycles host-response copies (satellite of the pipeline PR:
+// the per-response append([]byte(nil), ...) allocation becomes a pooled
+// buffer returned after delivery).
+var respBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// DPUConfig tunes one DPU server.
+type DPUConfig struct {
+	// Workers is the number of deserialization worker goroutines. <= 1
+	// selects the serial path: the poller runs Measure+Deserialize inline,
+	// byte-identically to the pre-pipeline implementation. > 1 enables the
+	// reserve → parallel build → commit pipeline: the poller reserves
+	// block slots in admission order, workers deserialize in place and in
+	// parallel directly into them, and the poller commits completed slots
+	// — it alone still owns QP/CQ progress.
+	Workers int
+	// MaxInflight bounds tasks inside the pipeline (admitted but not yet
+	// committed); 0 means 4x Workers.
+	MaxInflight int
+	// Pipeline, when non-nil, receives queue depth, worker utilization,
+	// and commit-latency samples.
+	Pipeline *metrics.PipelineMetrics
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -55,11 +109,35 @@ type DPUServer struct {
 	table  *adt.Table
 	procs  *procTable
 	client *rpcrdma.ClientConn
+	cfg    DPUConfig
 
 	submit chan *callTask
 	retry  []*callTask
 	d      *deser.Deserializer
 	closed atomic.Bool
+
+	// Run/Close coordination: Close signals an active Run loop through
+	// stopCh and waits for runDone so teardown never races the poller.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	runDone  chan struct{}
+	running  atomic.Bool
+
+	// Worker pool (nil channels when Workers <= 1).
+	workQ chan *callTask
+	compQ chan *callTask
+	wg    sync.WaitGroup
+
+	// Poller-owned pipeline state.
+	seqNext   uint64
+	nextRes   uint64               // next admission seq to reserve
+	measuredQ map[uint64]*callTask // measured tasks awaiting their reserve turn
+	inflight  int
+
+	// statsMu guards the merged deserializer stats so Stats() is safe from
+	// any goroutine while the poller and workers keep deserializing.
+	statsMu    sync.Mutex
+	deserStats deser.Stats
 
 	requests   atomic.Uint64
 	responses  atomic.Uint64
@@ -70,28 +148,67 @@ type DPUServer struct {
 }
 
 // NewDPUServer builds the DPU side from the table received at handshake and
-// an established RPC-over-RDMA client connection.
+// an established RPC-over-RDMA client connection, with the serial (single
+// poller core) datapath.
 func NewDPUServer(table *adt.Table, client *rpcrdma.ClientConn) (*DPUServer, error) {
+	return NewDPUServerWith(table, client, DPUConfig{})
+}
+
+// NewDPUServerWith is NewDPUServer with the pipeline knobs.
+func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfig) (*DPUServer, error) {
 	procs, err := buildProcTable(table, nil, false)
 	if err != nil {
 		return nil, err
 	}
-	return &DPUServer{
-		table:  table,
-		procs:  procs,
-		client: client,
-		submit: make(chan *callTask, 4096),
-		d:      deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true}),
-	}, nil
+	d := &DPUServer{
+		table:   table,
+		procs:   procs,
+		client:  client,
+		cfg:     cfg,
+		submit:  make(chan *callTask, 4096),
+		d:       deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true}),
+		stopCh:  make(chan struct{}),
+		runDone: make(chan struct{}),
+	}
+	if cfg.Workers > 1 {
+		if d.cfg.MaxInflight <= 0 {
+			d.cfg.MaxInflight = 4 * cfg.Workers
+		}
+		d.workQ = make(chan *callTask, d.cfg.MaxInflight)
+		d.compQ = make(chan *callTask, d.cfg.MaxInflight)
+		d.measuredQ = make(map[uint64]*callTask)
+		// Block boundaries must match the serial path while builds lag
+		// reserves: the poller flushes partial blocks itself once the
+		// pipeline drains.
+		client.SetHoldPartial(true)
+		for i := 0; i < cfg.Workers; i++ {
+			d.wg.Add(1)
+			go d.worker()
+		}
+	}
+	return d, nil
 }
 
 // Client returns the underlying RPC-over-RDMA connection.
 func (d *DPUServer) Client() *rpcrdma.ClientConn { return d.client }
 
-// Stats returns a snapshot of the DPU-side counters. The deserializer stats
-// are owned by the poller goroutine; call Stats only when the poller is
-// quiescent or from the poller itself.
+// Workers returns the build worker count (1 = serial path).
+func (d *DPUServer) Workers() int {
+	if d.workQ == nil {
+		return 1
+	}
+	return d.cfg.Workers
+}
+
+func (d *DPUServer) pooled() bool { return d.workQ != nil }
+
+// Stats returns a snapshot of the DPU-side counters. Safe to call from any
+// goroutine: per-worker (and poller) deserializer stats are folded into one
+// merged accumulator under a lock.
 func (d *DPUServer) Stats() DPUStats {
+	d.statsMu.Lock()
+	merged := d.deserStats
+	d.statsMu.Unlock()
 	return DPUStats{
 		Requests:        d.requests.Load(),
 		Responses:       d.responses.Load(),
@@ -99,58 +216,129 @@ func (d *DPUServer) Stats() DPUStats {
 		MeasuredBytes:   d.measured.Load(),
 		RespBytes:       d.respBytes.Load(),
 		SerializedBytes: d.serialized.Load(),
-		Deser:           d.d.Stats,
+		Deser:           merged,
+	}
+}
+
+// foldStats merges a deserializer's accumulated stats into the shared
+// snapshot and resets it.
+func (d *DPUServer) foldStats(dd *deser.Deserializer) {
+	if dd.Stats == (deser.Stats{}) {
+		return
+	}
+	d.statsMu.Lock()
+	d.deserStats.Add(dd.Stats)
+	d.statsMu.Unlock()
+	dd.Stats.Reset()
+}
+
+// worker is one pipeline build core: it measures payloads and deserializes
+// them in place into reserved block slots, never touching protocol state.
+func (d *DPUServer) worker() {
+	defer d.wg.Done()
+	dd := deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
+	for task := range d.workQ {
+		start := time.Now()
+		switch task.stage {
+		case stageMeasure:
+			task.need, task.err = deser.MeasureExact(task.entry.in, task.data)
+			if m := d.cfg.Pipeline; m != nil {
+				m.Measures.Inc()
+			}
+		case stageBuild:
+			bump := arena.NewBump(task.res.Dst)
+			rootAbs, err := dd.Deserialize(task.entry.in, task.data, bump, task.res.RegionOff)
+			if err != nil {
+				task.err = err
+			} else {
+				task.root = uint32(rootAbs - task.res.RegionOff)
+				task.used = bump.Used()
+			}
+			d.foldStats(dd)
+			if m := d.cfg.Pipeline; m != nil {
+				m.Builds.Inc()
+			}
+		}
+		if m := d.cfg.Pipeline; m != nil {
+			m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
+		}
+		d.compQ <- task
 	}
 }
 
 // XRPCHandler terminates xRPC calls: it resolves the method, sizes the
 // deserialized form (deser.Measure), and hands the request to the poller.
 // It blocks until the host's response arrives, preserving the synchronous
-// xRPC contract per connection.
+// xRPC contract per connection. Response buffers returned through this
+// legacy interface cannot be recycled (the transport writes them after the
+// handler returns); use XRPCStreamHandler for the pooled-buffer path.
 func (d *DPUServer) XRPCHandler() xrpc.ServerHandler {
 	return func(method string, payload []byte) (uint16, []byte) {
-		id, ok := d.procs.byName[method]
-		if !ok {
-			d.errors.Add(1)
-			return xrpc.StatusUnimplemented, nil
+		status, resp, _ := d.handleCall(method, payload)
+		return status, resp
+	}
+}
+
+// XRPCStreamHandler is XRPCHandler for xrpc.NewStreamServer: the response
+// frame is written before the handler returns, so pooled response buffers
+// are recycled immediately after delivery.
+func (d *DPUServer) XRPCStreamHandler() xrpc.StreamHandler {
+	return func(method string, payload []byte, respond xrpc.RespondFunc) {
+		status, resp, release := d.handleCall(method, payload)
+		respond(status, resp)
+		if release != nil {
+			release()
 		}
-		e := d.procs.byID(id)
+	}
+}
+
+func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, func()) {
+	id, ok := d.procs.byName[method]
+	if !ok {
+		d.errors.Add(1)
+		return xrpc.StatusUnimplemented, nil, nil
+	}
+	e := d.procs.byID(id)
+	task := &callTask{procID: id, entry: e, data: payload}
+	if d.pooled() {
+		// Measure runs on a pipeline worker; a failure surfaces as
+		// StatusInvalidArgument below, exactly like the inline path.
+	} else {
+		// Serial path: the legacy Measure bound, so blocks stay
+		// byte-identical to the pre-pipeline implementation (the tail
+		// commit shrinks the slot to the built size).
 		need, err := deser.Measure(e.in, payload)
 		if err != nil {
 			d.errors.Add(1)
-			return xrpc.StatusInvalidArgument, nil
+			return xrpc.StatusInvalidArgument, nil, nil
 		}
-		if d.closed.Load() {
-			return xrpc.StatusInternal, nil
-		}
-		done := make(chan callResult, 1)
-		task := &callTask{
-			procID:  id,
-			entry:   e,
-			need:    need,
-			data:    payload,
-			deliver: func(r callResult) { done <- r },
-		}
-		d.submit <- task
-		// Close the shutdown race: if the poller exited between the closed
-		// check above and the send, its final drain may have run before our
-		// task landed in the channel. Once closed is visible, submitters
-		// drain the channel themselves so no caller blocks forever.
-		if d.closed.Load() {
-			d.drainSubmit(ErrShuttingDown)
-		}
-		res := <-done
-		if res.err {
-			d.errors.Add(1)
-		}
-		return res.status, res.resp
+		task.need = need
+		task.measured = true
 	}
+	if d.closed.Load() {
+		return xrpc.StatusInternal, nil, nil
+	}
+	done := make(chan callResult, 1)
+	task.deliver = func(r callResult) { done <- r }
+	d.submit <- task
+	// Close the shutdown race: if the poller exited between the closed
+	// check above and the send, its final drain may have run before our
+	// task landed in the channel. Once closed is visible, submitters
+	// drain the channel themselves so no caller blocks forever.
+	if d.closed.Load() {
+		d.drainSubmit(ErrShuttingDown)
+	}
+	res := <-done
+	if res.err {
+		d.errors.Add(1)
+	}
+	return res.status, res.resp, res.release
 }
 
 // SubmitLocal enqueues one pre-resolved request from the poller goroutine
 // itself (no cross-goroutine handoff): the fast path used by the benchmark
 // harness, which plays the role of the DPU's xRPC front end. cb runs from a
-// later Progress call; its resp slice aliases the receive block and must
+// later Progress call; its resp slice aliases a recycled buffer and must
 // not be retained.
 func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(status uint16, errFlag bool, resp []byte)) error {
 	id, ok := d.procs.byName[fullMethod]
@@ -158,25 +346,95 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return fmt.Errorf("offload: unknown method %q", fullMethod)
 	}
 	e := d.procs.byID(id)
-	need, err := deser.Measure(e.in, payload)
+	// Pipelined slots cannot shrink after interior commits, so their
+	// reserve size must be exact; the serial path keeps the legacy bound
+	// (and the tail-commit shrink) for byte-identical blocks.
+	measure := deser.Measure
+	if d.pooled() {
+		measure = deser.MeasureExact
+	}
+	need, err := measure(e.in, payload)
 	if err != nil {
 		return err
 	}
 	d.retry = append(d.retry, &callTask{
-		procID: id,
-		entry:  e,
-		need:   need,
-		data:   payload,
+		procID:   id,
+		entry:    e,
+		need:     need,
+		data:     payload,
+		measured: true,
 		deliver: func(r callResult) {
 			cb(r.status, r.err, r.resp)
+			if r.release != nil {
+				r.release()
+			}
 		},
 	})
 	return nil
 }
 
-// enqueue registers one task with the protocol client. The deserialization
-// runs inside Build, writing the object graph directly into the outgoing
-// block — the in-place deserialization of Sec. V.
+// finish delivers a result exactly once. Tasks inside the pipeline can be
+// signalled twice at shutdown (pool drain and client.Abort through their
+// registered continuation); only the first wins. Poller-owned.
+func (d *DPUServer) finish(task *callTask, r callResult) {
+	if task.finished {
+		if r.release != nil {
+			r.release()
+		}
+		return
+	}
+	task.finished = true
+	task.deliver(r)
+}
+
+// respond forwards one protocol response to the task's xRPC caller: the
+// shared OnResponse body of both the serial and pipelined paths.
+func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
+	if task.finished {
+		return
+	}
+	d.responses.Add(1)
+	d.respBytes.Add(uint64(len(resp.Payload)))
+	var out []byte
+	var release func()
+	if resp.Object {
+		// Response-serialization offload: the payload is a shared-region
+		// object graph; the DPU serializes it into the xRPC response
+		// (Sec. III-A's symmetric extension).
+		view := abi.MakeView(
+			&abi.Region{Buf: resp.Payload, Base: resp.RegionOff},
+			resp.RegionOff+uint64(resp.Root), task.entry.out)
+		bp := respBufPool.Get().(*[]byte)
+		serialized, err := deser.Serialize(view, (*bp)[:0])
+		if err != nil {
+			respBufPool.Put(bp)
+			d.failTask(task, err)
+			return
+		}
+		*bp = serialized
+		d.serialized.Add(uint64(len(serialized)))
+		out = serialized
+		release = func() { respBufPool.Put(bp) }
+	} else if len(resp.Payload) > 0 {
+		// Host-serialized protobuf: copy it out of the block (its slot is
+		// recycled after this continuation) into a pooled buffer and
+		// forward verbatim.
+		bp := respBufPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], resp.Payload...)
+		out = *bp
+		release = func() { respBufPool.Put(bp) }
+	}
+	d.finish(task, callResult{
+		status:  resp.Status,
+		err:     resp.Err,
+		resp:    out,
+		release: release,
+	})
+}
+
+// enqueue registers one task with the protocol client on the serial path.
+// The deserialization runs inside Build, writing the object graph directly
+// into the outgoing block — the in-place deserialization of Sec. V.
 func (d *DPUServer) enqueue(task *callTask) error {
 	return d.client.Enqueue(rpcrdma.CallSpec{
 		Method: task.procID,
@@ -190,36 +448,7 @@ func (d *DPUServer) enqueue(task *callTask) error {
 			d.measured.Add(uint64(len(task.data)))
 			return uint32(rootAbs - regionOff), bump.Used(), nil
 		},
-		OnResponse: func(resp rpcrdma.Response) {
-			d.responses.Add(1)
-			d.respBytes.Add(uint64(len(resp.Payload)))
-			var out []byte
-			if resp.Object {
-				// Response-serialization offload: the payload is a
-				// shared-region object graph; the DPU serializes it into
-				// the xRPC response (Sec. III-A's symmetric extension).
-				view := abi.MakeView(
-					&abi.Region{Buf: resp.Payload, Base: resp.RegionOff},
-					resp.RegionOff+uint64(resp.Root), task.entry.out)
-				serialized, err := deser.Serialize(view, nil)
-				if err != nil {
-					d.failTask(task, err)
-					return
-				}
-				d.serialized.Add(uint64(len(serialized)))
-				out = serialized
-			} else if len(resp.Payload) > 0 {
-				// Host-serialized protobuf: copy it out of the block (its
-				// slot is recycled after this continuation) and forward
-				// verbatim.
-				out = append([]byte(nil), resp.Payload...)
-			}
-			task.deliver(callResult{
-				status: resp.Status,
-				err:    resp.Err,
-				resp:   out,
-			})
-		},
+		OnResponse: func(resp rpcrdma.Response) { d.respond(task, resp) },
 	})
 }
 
@@ -227,6 +456,9 @@ func (d *DPUServer) enqueue(task *callTask) error {
 // (respecting protocol backpressure) and advances the protocol event loop.
 // It returns the number of response blocks processed.
 func (d *DPUServer) Progress() (int, error) {
+	if d.pooled() {
+		return d.progressPooled()
+	}
 	// Re-admit tasks deferred by backpressure first, preserving order.
 	for len(d.retry) > 0 {
 		if err := d.enqueue(d.retry[0]); err != nil {
@@ -257,8 +489,152 @@ func (d *DPUServer) Progress() (int, error) {
 	}
 }
 
+// progressPooled is the pipelined Progress: collect worker completions,
+// replay reserves in admission order, commit finished builds, admit new
+// work, and advance the protocol loop — all protocol interaction stays on
+// this (poller) goroutine.
+func (d *DPUServer) progressPooled() (int, error) {
+	drained := d.collectCompletions()
+	d.reserveReady()
+	d.admit()
+	d.reserveReady()
+	n, err := d.progressClient()
+	if err != nil {
+		return n, err
+	}
+	drained += d.collectCompletions()
+	d.reserveReady()
+	if drained == 0 && d.inflight > 0 {
+		// Busy-poll cooperation: every outstanding task is on a worker
+		// goroutine and nothing completed this pass, so yield the poller's
+		// core — otherwise a spinning poller starves the very workers it
+		// is waiting on when GOMAXPROCS is small.
+		runtime.Gosched()
+	}
+	if d.inflight == 0 && len(d.retry) == 0 {
+		// Pipeline drained: flush the partial block the event loop held
+		// back (holdPartial) while builds were in flight.
+		if ferr := d.client.Flush(); ferr != nil {
+			d.failAll(ferr)
+			return n, ferr
+		}
+	}
+	if m := d.cfg.Pipeline; m != nil {
+		m.QueueDepth.Set(float64(d.inflight))
+	}
+	return n, err
+}
+
+// collectCompletions drains the worker completion queue: measured tasks
+// join the reserve reorder buffer; built tasks are committed (or cancelled
+// on failure). Never blocks.
+func (d *DPUServer) collectCompletions() (drained int) {
+	for {
+		select {
+		case task := <-d.compQ:
+			drained++
+			switch task.stage {
+			case stageMeasure:
+				// Keep failed measures in the reorder buffer too: their
+				// admission slot must pass through nextRes so later
+				// reserves replay admission order exactly.
+				d.measuredQ[task.seq] = task
+			case stageBuild:
+				d.inflight--
+				if task.err != nil {
+					d.client.Cancel(task.res)
+					d.failTask(task, task.err)
+					continue
+				}
+				if err := d.client.Commit(task.res, task.root, task.used); err != nil {
+					d.failTask(task, err)
+					continue
+				}
+				d.requests.Add(1)
+				d.measured.Add(uint64(len(task.data)))
+				if m := d.cfg.Pipeline; m != nil {
+					m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// reserveReady reserves block slots for measured tasks in admission order
+// and dispatches their build stage. Out-of-memory pauses the replay (the
+// protocol loop will free space); any other reserve error fails the task.
+func (d *DPUServer) reserveReady() {
+	for {
+		task, ok := d.measuredQ[d.nextRes]
+		if !ok {
+			return
+		}
+		if task.err != nil {
+			// Measure failed on the worker: reject exactly like the inline
+			// path (StatusInvalidArgument), consuming the admission slot.
+			delete(d.measuredQ, d.nextRes)
+			d.nextRes++
+			d.inflight--
+			d.finish(task, callResult{status: xrpc.StatusInvalidArgument, err: true})
+			continue
+		}
+		res, err := d.client.Reserve(task.procID, task.need,
+			func(resp rpcrdma.Response) { d.respond(task, resp) })
+		if err != nil {
+			if errors.Is(err, arena.ErrOutOfMemory) {
+				return
+			}
+			delete(d.measuredQ, d.nextRes)
+			d.nextRes++
+			d.inflight--
+			d.failTask(task, err)
+			continue
+		}
+		delete(d.measuredQ, d.nextRes)
+		d.nextRes++
+		task.res = res
+		task.stage = stageBuild
+		task.reserved = time.Now().UnixNano()
+		d.workQ <- task
+	}
+}
+
+// admit moves submitted tasks into the pipeline while capacity allows,
+// assigning admission sequence numbers — the order reserves (and therefore
+// block layout and request IDs) will replay.
+func (d *DPUServer) admit() {
+	for d.inflight < d.cfg.MaxInflight && len(d.retry) > 0 {
+		task := d.retry[0]
+		d.retry = d.retry[0:copy(d.retry, d.retry[1:])]
+		d.admitTask(task)
+	}
+	for d.inflight < d.cfg.MaxInflight {
+		select {
+		case task := <-d.submit:
+			d.admitTask(task)
+		default:
+			return
+		}
+	}
+}
+
+func (d *DPUServer) admitTask(task *callTask) {
+	task.seq = d.seqNext
+	d.seqNext++
+	d.inflight++
+	if task.measured {
+		d.measuredQ[task.seq] = task
+		return
+	}
+	task.stage = stageMeasure
+	d.workQ <- task
+}
+
 func (d *DPUServer) progressClient() (int, error) {
 	n, err := d.client.Progress()
+	d.foldStats(d.d)
 	if err != nil {
 		d.failAll(err)
 	}
@@ -267,7 +643,7 @@ func (d *DPUServer) progressClient() (int, error) {
 
 func (d *DPUServer) failTask(task *callTask, err error) {
 	d.errors.Add(1)
-	task.deliver(callResult{status: xrpc.StatusInternal, err: true,
+	d.finish(task, callResult{status: xrpc.StatusInternal, err: true,
 		resp: []byte(fmt.Sprintf("offload: %v", err))})
 }
 
@@ -292,25 +668,77 @@ func (d *DPUServer) drainSubmit(err error) {
 	}
 }
 
-// Run drives Progress until stop closes — the dedicated per-connection
-// poller thread of Sec. III-C. On exit every queued and in-flight request
-// is failed, so no xRPC caller blocks on a response that cannot arrive.
-func (d *DPUServer) Run(stop <-chan struct{}) {
-	shutdown := func(err error) {
-		d.closed.Store(true)
-		d.failAll(err)
-		// Outstanding protocol requests will never see responses now that
-		// the poller is gone; fail their continuations.
-		d.client.Abort(xrpc.StatusInternal)
+// stopPool shuts the worker pool down and fails every task still inside
+// the pipeline. Poller-owned (or called once the poller has stopped).
+func (d *DPUServer) stopPool(err error) {
+	if d.workQ == nil {
+		return
 	}
+	close(d.workQ)
+	d.wg.Wait()
+	d.workQ = nil
+	for {
+		select {
+		case task := <-d.compQ:
+			if task.stage == stageBuild {
+				d.inflight--
+			}
+			d.failTask(task, err)
+		default:
+			for seq, task := range d.measuredQ {
+				delete(d.measuredQ, seq)
+				d.inflight--
+				d.failTask(task, err)
+			}
+			return
+		}
+	}
+}
+
+// shutdown tears the server down once: pool first, then every queued and
+// in-flight request, then the protocol continuations.
+func (d *DPUServer) shutdown(err error) {
+	if d.closed.Swap(true) {
+		return
+	}
+	d.stopPool(err)
+	d.failAll(err)
+	// Outstanding protocol requests will never see responses now that
+	// the poller is gone; fail their continuations.
+	d.client.Abort(xrpc.StatusInternal)
+}
+
+// Close shuts the server down. If a Run loop is active it is signalled and
+// awaited (teardown stays on the poller goroutine); otherwise — e.g. the
+// benchmark harness drives Progress directly — teardown runs inline.
+// Idempotent.
+func (d *DPUServer) Close() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	if d.running.Load() {
+		<-d.runDone
+		return
+	}
+	d.shutdown(ErrShuttingDown)
+}
+
+// Run drives Progress until stop (or Close) signals — the dedicated
+// per-connection poller thread of Sec. III-C. On exit every queued and
+// in-flight request is failed, so no xRPC caller blocks on a response that
+// cannot arrive.
+func (d *DPUServer) Run(stop <-chan struct{}) {
+	d.running.Store(true)
+	defer close(d.runDone)
 	for {
 		select {
 		case <-stop:
-			shutdown(ErrShuttingDown)
+			d.shutdown(ErrShuttingDown)
+			return
+		case <-d.stopCh:
+			d.shutdown(ErrShuttingDown)
 			return
 		default:
 			if _, err := d.Progress(); err != nil {
-				shutdown(err)
+				d.shutdown(err)
 				return
 			}
 		}

@@ -32,6 +32,11 @@ type HostServer struct {
 	// response *objects* into the shared region and the DPU serializes
 	// them for the xRPC client.
 	respObjects bool
+	// reqObserver, when set, sees every dispatched request before its
+	// handler runs. Test hook (byte-identity pins). Called from whichever
+	// goroutine runs the handler — synchronize externally when pollers or
+	// background workers are concurrent.
+	reqObserver func(rpcrdma.Request)
 
 	requests       atomic.Uint64
 	responseBytes  atomic.Uint64
@@ -54,6 +59,11 @@ func NewHostServer(table *adt.Table, impls map[string]Impl) (*HostServer, error)
 // before serving.
 func (h *HostServer) SetResponseObjects(on bool) { h.respObjects = on }
 
+// SetRequestObserver installs a hook that sees every dispatched request
+// (its payload aliases the receive block — copy or digest, don't retain).
+// Call before serving.
+func (h *HostServer) SetRequestObserver(fn func(rpcrdma.Request)) { h.reqObserver = fn }
+
 // Stats returns a snapshot of the host-side counters.
 func (h *HostServer) Stats() HostStats {
 	return HostStats{
@@ -69,6 +79,9 @@ func (h *HostServer) Stats() HostStats {
 // to rpcrdma.Connect for every connection feeding this host server.
 func (h *HostServer) Handler() rpcrdma.Handler {
 	return func(req rpcrdma.Request) rpcrdma.ResponseSpec {
+		if h.reqObserver != nil {
+			h.reqObserver(req)
+		}
 		e := h.procs.byID(req.Method)
 		if e == nil || e.handler == nil {
 			h.unknownMethods.Add(1)

@@ -55,13 +55,14 @@ type CallSpec struct {
 
 // block is a request block under construction or awaiting send/ack.
 type block struct {
-	off   uint64 // SBuf offset (== remote RBuf offset, mirrored)
-	buf   []byte // SBuf slice, cap = allocated size
-	used  int
-	conts []func(Response)
-	times []int64 // enqueue timestamps, parallel to conts (instrumentation)
-	seq   uint32  // assigned at send
-	ids   []uint16
+	off     uint64 // SBuf offset (== remote RBuf offset, mirrored)
+	buf     []byte // SBuf slice, cap = allocated size
+	used    int
+	pending int // reserved slots whose payload is still being built
+	conts   []func(Response)
+	times   []int64 // enqueue timestamps, parallel to conts (instrumentation)
+	seq     uint32  // assigned at send
+	ids     []uint16
 }
 
 // ClientConn is the RPC-over-RDMA client endpoint — the role the DPU plays
@@ -90,6 +91,12 @@ type ClientConn struct {
 
 	outstanding int
 	broken      error
+	// holdPartial suppresses the event loop's automatic flush of the
+	// partial current block. A pipelined owner (the DPU worker pool) sets
+	// it so blocks fill exactly as they would under serial enqueueing while
+	// builds are still in flight, and calls Flush itself once the pipeline
+	// drains. Serial owners leave it off.
+	holdPartial bool
 
 	// Counters instrument the endpoint.
 	Counters Counters
@@ -154,14 +161,71 @@ func (c *ClientConn) newBlock(firstSlot int) (*block, error) {
 
 // Enqueue buffers one request into the current block, sealing and queueing
 // full blocks (the Nagle-style aggregation of Sec. IV). The request is not
-// transmitted until Progress or Flush runs.
+// transmitted until Progress or Flush runs. It is a thin wrapper over the
+// Reserve/Commit pipeline API: reserve the slot, build the payload in
+// place, commit — all synchronously on the owning goroutine.
 func (c *ClientConn) Enqueue(spec CallSpec) error {
-	if c.broken != nil {
-		return c.broken
+	r, err := c.Reserve(spec.Method, spec.Size, spec.OnResponse)
+	if err != nil {
+		return err
 	}
-	slot := slotSize(spec.Size)
+	var root uint32
+	used := spec.Size
+	if spec.Build != nil {
+		if root, used, err = spec.Build(r.Dst, r.RegionOff); err != nil {
+			c.Cancel(r)
+			return err
+		}
+	}
+	if err := c.Commit(r, root, used); err != nil {
+		c.Cancel(r)
+		return err
+	}
+	return nil
+}
+
+// CancelledMethod is the poison procedure ID written into a reserved slot
+// cancelled after later reservations fixed its stride in the block. No real
+// procedure uses it (procedure IDs are dense from 0), so the server answers
+// with an error response that a no-op continuation absorbs.
+const CancelledMethod uint16 = 0xFFFF
+
+// Reservation is a slot in an outgoing request block handed out by Reserve
+// and finished by Commit or Cancel. Between the two, Dst may be filled from
+// any goroutine (it is a disjoint slice of the send buffer); every other
+// interaction with the reservation must come from the connection's owner.
+type Reservation struct {
+	// Dst is the reserved payload slot (len == the reserved size). Reused
+	// blocks carry stale bytes: the builder is responsible for every byte
+	// it declares used (arena.Bump zeroes its allocations).
+	Dst []byte
+	// RegionOff is the region offset of Dst[0] in the request direction's
+	// shared address space.
+	RegionOff uint64
+
+	b      *block
+	idx    int // index into b.conts
+	hdrPos int
+	size   int
+	method uint16
+	done   bool
+}
+
+// Reserve claims the next slot of the current block for a request of the
+// given payload size, registering its continuation. The slot's header is
+// not written and the block cannot be transmitted until the reservation is
+// committed or cancelled — this is the first stage of the reserve → build →
+// commit pipeline: the owner reserves, any goroutine builds into Dst, the
+// owner commits. Reservations are laid out in call order, so the block
+// bytes (and the deterministic request-ID assignment of Sec. IV-D) are
+// identical to the serial Enqueue path.
+func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response)) (*Reservation, error) {
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	slot := slotSize(size)
 	if PreambleSize+slot > len(c.sbuf) {
-		return fmt.Errorf("%w: need %d bytes", ErrTooLargeForBuffer, slot)
+		return nil, fmt.Errorf("%w: need %d bytes", ErrTooLargeForBuffer, slot)
 	}
 	if c.cur != nil && c.cur.used+slot > len(c.cur.buf) {
 		c.seal()
@@ -172,7 +236,7 @@ func (c *ClientConn) Enqueue(spec CallSpec) error {
 			// Send buffer exhausted: try to drain and retry once.
 			c.trySend()
 			if b, err = c.newBlock(slot); err != nil {
-				return err
+				return nil, err
 			}
 			c.cur = b
 		} else {
@@ -181,34 +245,92 @@ func (c *ClientConn) Enqueue(spec CallSpec) error {
 	}
 	b := c.cur
 	hdrPos := b.used
-	payload := b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+spec.Size]
-	var root uint32
-	used := spec.Size
-	if spec.Build != nil {
-		var err error
-		root, used, err = spec.Build(payload, b.off+uint64(hdrPos+HeaderSize))
-		if err != nil {
-			return err
-		}
-		if used > spec.Size {
-			return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, spec.Size)
-		}
-	}
-	putHeader(b.buf[hdrPos:], header{
-		payloadLen: uint32(used),
-		rootOff:    root,
-		method:     spec.Method,
-	})
-	b.used = hdrPos + HeaderSize + alignUp(used)
-	b.conts = append(b.conts, spec.OnResponse)
+	b.used = hdrPos + HeaderSize + alignUp(size)
+	b.pending++
+	b.conts = append(b.conts, onResponse)
 	if c.cfg.LatencyObserver != nil {
 		b.times = append(b.times, nowNS())
 	}
 	c.outstanding++
-	if b.used >= c.cfg.BlockSize {
+	return &Reservation{
+		Dst:       b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+size],
+		RegionOff: b.off + uint64(hdrPos+HeaderSize),
+		b:         b,
+		idx:       len(b.conts) - 1,
+		hdrPos:    hdrPos,
+		size:      size,
+		method:    method,
+	}, nil
+}
+
+// Commit finishes a reservation: it writes the message header and releases
+// the slot's hold on block transmission. used is the payload bytes actually
+// built (<= the reserved size); the final slot of a block may shrink, an
+// interior slot keeps its stride with zero padding. Must be called by the
+// connection's owner.
+func (c *ClientConn) Commit(r *Reservation, root uint32, used int) error {
+	if r.done {
+		return errors.New("rpcrdma: reservation already committed or cancelled")
+	}
+	if c.broken != nil {
+		return c.broken
+	}
+	if used > r.size {
+		return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, r.size)
+	}
+	b := r.b
+	payloadLen := used
+	if r.hdrPos+HeaderSize+alignUp(r.size) == b.used {
+		// Tail slot: shrink to actual use, exactly like serial Enqueue.
+		b.used = r.hdrPos + HeaderSize + alignUp(used)
+	} else if used < r.size {
+		// Interior slot: the stride is fixed by later reservations, so the
+		// declared length keeps the receiver's block walk aligned; zero the
+		// tail so the padding carries no stale bytes.
+		payloadLen = r.size
+		clear(b.buf[r.hdrPos+HeaderSize+used : r.hdrPos+HeaderSize+r.size])
+	}
+	putHeader(b.buf[r.hdrPos:], header{
+		payloadLen: uint32(payloadLen),
+		rootOff:    root,
+		method:     r.method,
+	})
+	r.done = true
+	b.pending--
+	if b == c.cur && b.pending == 0 && b.used >= c.cfg.BlockSize {
 		c.seal()
 	}
 	return nil
+}
+
+// Cancel abandons a reservation. A tail reservation of the current block is
+// rolled back entirely; an interior (or already-sealed) slot cannot move —
+// it is poisoned with CancelledMethod, a zeroed payload, and a no-op
+// continuation, and the server's error response retires its request ID.
+// Must be called by the connection's owner.
+func (c *ClientConn) Cancel(r *Reservation) {
+	if r.done || c.broken != nil {
+		return
+	}
+	r.done = true
+	b := r.b
+	b.pending--
+	if b == c.cur && r.idx == len(b.conts)-1 &&
+		r.hdrPos+HeaderSize+alignUp(r.size) == b.used {
+		b.used = r.hdrPos
+		b.conts = b.conts[:r.idx]
+		if b.times != nil {
+			b.times = b.times[:r.idx]
+		}
+		c.outstanding--
+		return
+	}
+	clear(b.buf[r.hdrPos+HeaderSize : r.hdrPos+HeaderSize+r.size])
+	putHeader(b.buf[r.hdrPos:], header{
+		payloadLen: uint32(r.size),
+		method:     CancelledMethod,
+	})
+	b.conts[r.idx] = func(Response) {}
 }
 
 // seal moves the current block to the send queue.
@@ -231,6 +353,13 @@ func (c *ClientConn) trySend() {
 			return
 		}
 		b := c.sendQ[0]
+		if b.pending > 0 {
+			// Head-of-line block still has slots under construction by the
+			// build workers; transmission order must match reservation order
+			// (the deterministic ID replay of Sec. IV-D), so wait.
+			c.Counters.PipelineStalls++
+			return
+		}
 		if c.pool.Available()+len(c.freeIDs) < len(b.conts) {
 			return // wait for more responses to recycle IDs
 		}
@@ -405,9 +534,12 @@ func (c *ClientConn) Progress() (int, error) {
 		}
 	}
 	// Flush buffered work before polling so freshly enqueued requests hit
-	// the wire without waiting out the poll timeout.
+	// the wire without waiting out the poll timeout. Pipelined owners defer
+	// the partial-block flush until their build stages drain (holdPartial).
 	sentBefore := c.Counters.BlocksSent
-	c.seal()
+	if !c.holdPartial {
+		c.seal()
+	}
 	c.trySend()
 	if c.broken != nil {
 		return 0, c.broken
@@ -436,7 +568,9 @@ func (c *ClientConn) Progress() (int, error) {
 	}
 	// Flush again: continuations may have enqueued follow-up requests, and
 	// acknowledgments may have freed credits for queued blocks.
-	c.seal()
+	if !c.holdPartial {
+		c.seal()
+	}
 	c.trySend()
 	// Low-workload path: if response-block acknowledgments are pending but
 	// no request traffic will carry them, ship them in an empty block so
@@ -509,6 +643,12 @@ func (c *ClientConn) Abort(status uint16) {
 	}
 	c.outstanding = 0
 }
+
+// SetHoldPartial toggles the event loop's automatic flush of the partial
+// current block. Pipelined owners (the DPU worker pool) turn it on so block
+// boundaries stay identical to serial enqueueing while builds are in
+// flight, and call Flush themselves when the pipeline drains. Owner-only.
+func (c *ClientConn) SetHoldPartial(on bool) { c.holdPartial = on }
 
 // Flush seals and attempts to transmit everything buffered.
 func (c *ClientConn) Flush() error {

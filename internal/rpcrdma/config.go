@@ -161,6 +161,7 @@ type Counters struct {
 	PayloadBytesSent  uint64
 	CreditStalls      uint64 // sends deferred because credits hit zero
 	PartialFlushes    uint64 // blocks flushed below the size target
+	PipelineStalls    uint64 // sends deferred because a reserved slot was still building
 	BlocksAcked       uint64
 	AckOnlyBlocks     uint64 // empty blocks sent to carry acknowledgments
 	MinCreditsSeen    uint64 // low-water mark of the credit counter

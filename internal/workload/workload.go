@@ -280,6 +280,12 @@ const (
 	ScenarioChars
 )
 
+// MarshalJSON emits the scenario's display name so machine-readable
+// reports (dpurpc-bench -format json) stay self-describing.
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
 func (s Scenario) String() string {
 	switch s {
 	case ScenarioSmall:

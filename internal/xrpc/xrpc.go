@@ -127,9 +127,20 @@ func readFrame(r io.Reader, buf *[]byte) (uint8, uint32, []byte, error) {
 // payload). The DPU offload layer plugs in here; so does the host baseline.
 type ServerHandler func(method string, payload []byte) (uint16, []byte)
 
+// RespondFunc sends the response for one request. It writes the frame
+// synchronously: when it returns, the transport holds no reference to resp,
+// so a pooled resp buffer may be recycled immediately.
+type RespondFunc func(status uint16, resp []byte)
+
+// StreamHandler is ServerHandler with an explicit respond callback, for
+// handlers that recycle their response buffers (the DPU offload layer's
+// pooled path). respond must be called exactly once before returning.
+type StreamHandler func(method string, payload []byte, respond RespondFunc)
+
 // Server accepts xRPC connections.
 type Server struct {
 	handler ServerHandler
+	stream  StreamHandler
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -141,6 +152,13 @@ type Server struct {
 // NewServer returns a server dispatching to handler.
 func NewServer(handler ServerHandler) *Server {
 	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// NewStreamServer returns a server dispatching to a StreamHandler, whose
+// response buffers are released back to the handler as soon as the frame is
+// written.
+func NewStreamServer(handler StreamHandler) *Server {
+	return &Server{stream: handler, conns: make(map[net.Conn]struct{})}
 }
 
 // Requests returns the number of requests served.
@@ -237,11 +255,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				<-sem
 				wg.Done()
 			}()
-			st, resp := s.handler(method, payload)
+			if s.stream != nil {
+				s.stream(method, payload, func(st uint16, resp []byte) {
+					writeResp(streamID, st, resp)
+				})
+			} else {
+				st, resp := s.handler(method, payload)
+				writeResp(streamID, st, resp)
+			}
 			s.mu.Lock()
 			s.requests++
 			s.mu.Unlock()
-			writeResp(streamID, st, resp)
 		}(streamID)
 	}
 }

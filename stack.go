@@ -35,6 +35,13 @@ type StackOptions struct {
 	// connections are distributed round-robin across them (Table I runs 8
 	// host threads). Default 1; capped at Connections.
 	HostPollers int
+	// DPUWorkers > 1 runs the multi-core DPU deserialization pipeline:
+	// each DPU poller reserves protocol slots and that many workers
+	// measure and build requests in parallel directly into them
+	// (reserve → parallel build → commit). 0 or 1 keeps the serial
+	// datapath. With the pipeline enabled the stack serves xRPC through
+	// the stream interface so response buffers are recycled.
+	DPUWorkers int
 }
 
 func (o *StackOptions) fill() {
@@ -49,6 +56,7 @@ func (o *StackOptions) fill() {
 // change" property.
 type Stack struct {
 	handler xrpc.ServerHandler
+	stream  xrpc.StreamHandler // set when the DPU pipeline is enabled
 	srv     *xrpc.Server
 
 	mu      sync.Mutex
@@ -72,6 +80,7 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
 		BackgroundWorkers:            opts.BackgroundWorkers,
 		HostPollers:                  opts.HostPollers,
+		DPUWorkers:                   opts.DPUWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +123,22 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		next++
 		mu.Unlock()
 		return h(method, payload)
+	}
+	if opts.DPUWorkers > 1 {
+		// Pipelined servers respond through the stream interface so their
+		// pooled response buffers are recycled right after the frame is
+		// written (the legacy handler must keep buffers alive).
+		streams := make([]xrpc.StreamHandler, len(d.DPUs))
+		for i, dpuSrv := range d.DPUs {
+			streams[i] = dpuSrv.XRPCStreamHandler()
+		}
+		st.stream = func(method string, payload []byte, respond xrpc.RespondFunc) {
+			mu.Lock()
+			h := streams[next%len(streams)]
+			next++
+			mu.Unlock()
+			h(method, payload, respond)
+		}
 	}
 	return st, nil
 }
@@ -163,7 +188,11 @@ func (s *Stack) Serve(ln net.Listener) error {
 		return errors.New("dpurpc: already serving")
 	}
 	s.serving = true
-	s.srv = xrpc.NewServer(s.handler)
+	if s.stream != nil {
+		s.srv = xrpc.NewStreamServer(s.stream)
+	} else {
+		s.srv = xrpc.NewServer(s.handler)
+	}
 	go s.srv.Serve(ln)
 	return nil
 }
