@@ -9,13 +9,15 @@ build:
 	go vet ./...
 
 test:
+	go vet ./...
 	go test ./...
 
 # Race-detector pass over the concurrent packages: the DPU deserialization
-# pipeline (worker pool + poller), the protocol layer it reserves/commits
-# into, and the xRPC transport that feeds it.
+# and response-serialization pipelines (worker pools + pollers), the host
+# duplex pool, the protocol layer they reserve/commit into, the xRPC
+# transport that feeds them, and the generated-bindings byte-identity tests.
 race:
-	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/...
 
 bench:
 	go test -bench=. -benchmem ./...

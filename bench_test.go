@@ -287,7 +287,7 @@ func BenchmarkDPUWorkerScaling(b *testing.B) {
 	method := xrpc.FullMethodName("benchpb.Bench", "CallChars")
 	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
 	impls := map[string]offload.Impl{
-		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty},
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty},
 	}
 
 	newDeployment := func(workers int) *offload.Deployment {
@@ -374,6 +374,124 @@ func BenchmarkDPUWorkerScaling(b *testing.B) {
 			b.SetBytes(int64(len(payloads[0])))
 			b.ResetTimer()
 			drive(b, d, b.N)
+		})
+	}
+}
+
+// BenchmarkResponseSerializationScaling is the response-direction mirror of
+// BenchmarkDPUWorkerScaling: the Echo workload sends the x8000-chars payload
+// back through the duplex pipeline (host build workers + DPU serialization
+// workers) with response-serialization offload on. Before timing, every
+// width replays a fixed batch and each response — indexed by submission
+// order, since completions are reordered — must be byte-identical (fnv64a
+// digest) to the serial width. Reported: wall-clock ns/op on this machine
+// plus the modeled testbed RPS at that width.
+func BenchmarkResponseSerializationScaling(b *testing.B) {
+	env := workload.NewEnv()
+	rng := mt19937.New(mt19937.DefaultSeed)
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = env.GenChars(rng, workload.CharsCount).Marshal(nil)
+	}
+	method := xrpc.FullMethodName("benchpb.Bench", "Echo")
+	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
+	impls := map[string]offload.Impl{
+		"benchpb.Bench": {
+			"CallSmall": empty, "CallInts": empty, "CallChars": empty,
+			"Echo": func(req abi.View) (*protomsg.Message, uint16) {
+				out := protomsg.New(env.CharArray)
+				out.SetString("data", string(req.StrName("data")))
+				return out, 0
+			},
+		},
+	}
+
+	newDeployment := func(workers int) *offload.Deployment {
+		ccfg := rpcrdma.DefaultClientConfig()
+		scfg := rpcrdma.DefaultServerConfig()
+		ccfg.BusyPoll, scfg.BusyPoll = true, true
+		d, err := offload.NewDeploymentWith(env.Table, impls, offload.DeployConfig{
+			Connections: 1, ClientCfg: ccfg, ServerCfg: scfg,
+			DPUWorkers: workers, HostWorkers: workers,
+			OffloadResponseSerialization: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	// drive submits n Echo calls; with sums != nil each response is digested
+	// into its submission slot (completion order is nondeterministic under
+	// the pipeline, the slot index is not).
+	drive := func(b *testing.B, d *offload.Deployment, n int, sums []uint64) {
+		b.Helper()
+		submitted, completed, failed := 0, 0, 0
+		for completed < n {
+			for submitted < n && submitted-completed < rpcrdma.DefaultConcurrency {
+				idx := submitted
+				err := d.DPUs[0].SubmitLocal(method, payloads[idx%len(payloads)],
+					func(status uint16, errFlag bool, resp []byte) {
+						completed++
+						if status != 0 || errFlag {
+							failed++
+						}
+						if sums != nil {
+							h := fnv.New64a()
+							h.Write(resp)
+							sums[idx] = h.Sum64()
+						}
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				submitted++
+			}
+			if _, err := d.DPUs[0].Progress(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Poller.Progress(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if failed > 0 {
+			b.Fatalf("%d failed calls", failed)
+		}
+	}
+	const verifyCalls = 160
+	digests := func(workers int) []uint64 {
+		d := newDeployment(workers)
+		defer d.Close()
+		sums := make([]uint64, verifyCalls)
+		drive(b, d, verifyCalls, sums)
+		return sums
+	}
+	ref := digests(1)
+
+	pipelined := runtime.GOMAXPROCS(0)
+	if pipelined < 4 {
+		pipelined = 4
+	}
+	for _, workers := range []int{1, pipelined} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			got := digests(workers)
+			for i := range ref {
+				if got[i] != ref[i] {
+					b.Fatalf("response %d diverges from the serial response path", i)
+				}
+			}
+			d := newDeployment(workers)
+			defer d.Close()
+			b.SetBytes(int64(len(payloads[0])))
+			b.ResetTimer()
+			drive(b, d, b.N, nil)
+			b.StopTimer()
+			opts := harness.DefaultOptions()
+			opts.Requests = 2000
+			rows, err := harness.ResponseScaling(opts, []int{workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[0].Result.RPS, "modeled-rps")
 		})
 	}
 }

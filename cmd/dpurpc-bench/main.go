@@ -7,6 +7,7 @@
 //	dpurpc-bench -experiment all
 //	dpurpc-bench -experiment fig7|fig8a|fig8b|fig8c|table1|blocksweep|busypoll|llc
 //	dpurpc-bench -experiment fig8a -requests 50000
+//	dpurpc-bench -experiment respscale -host-workers 8
 package main
 
 import (
@@ -25,19 +26,22 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
 	dpuWorkers := flag.Int("dpu-workers", dpu.Default().DPU.Cores,
 		"deserialization workers per DPU poller; >1 enables the reserve/build/commit pipeline (1 = serial datapath)")
-	format := flag.String("format", "table", "output format: table | csv | json (csv covers fig7 and fig8, json covers fig8)")
+	hostWorkers := flag.Int("host-workers", dpu.Default().Host.Cores,
+		"host-side duplex workers per connection; >1 runs handlers + response builds in parallel (1 = serial response path); also the top of the respscale sweep")
+	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, and respscale)")
 	flag.Parse()
 
 	opts := harness.DefaultOptions()
 	opts.Requests = *requests
 	opts.Connections = *connections
 	opts.DPUWorkers = *dpuWorkers
+	opts.HostWorkers = *hostWorkers
 	csv := *format == "csv"
 	jsonOut := *format == "json"
 
@@ -53,6 +57,9 @@ func main() {
 
 	run("table1", func() error { return printTable1(opts) })
 	run("fig7", func() error {
+		if jsonOut {
+			return printFig7JSON(opts, *wallIters)
+		}
 		if csv {
 			return printFig7CSV(opts, *wallIters)
 		}
@@ -82,6 +89,20 @@ func main() {
 		run("fig8b", func() error { return printFig8b(fig8) })
 		run("fig8c", func() error { return printFig8c(opts, fig8) })
 	}
+	run("respscale", func() error {
+		workers := respScaleWorkers(*hostWorkers)
+		rows, err := harness.ResponseScaling(opts, workers)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printRespScaleJSON(rows)
+		}
+		if csv {
+			return printRespScaleCSV(rows)
+		}
+		return printRespScale(rows)
+	})
 	run("blocksweep", func() error { return printBlockSweep(opts) })
 	run("busypoll", func() error { return printPollModes(opts) })
 	run("allocator", func() error { return printAllocatorAblation() })
@@ -122,6 +143,63 @@ func printFig8CSV(rows []harness.Fig8Row) error {
 // printFig8JSON emits the Fig. 8 rows as a JSON array for downstream
 // tooling (one object per bar, modeled Result plus wall-clock fields).
 func printFig8JSON(rows []harness.Fig8Row) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// printFig7JSON emits the Fig. 7 sweep as a JSON array (one object per
+// point: modeled CPU/DPU times plus the wall-clock measurement).
+func printFig7JSON(opts harness.Options, wallIters int) error {
+	rows, err := harness.Fig7(opts, harness.DefaultFig7Counts(), wallIters)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// respScaleWorkers builds the doubling sweep 1, 2, 4, ... capped at max.
+func respScaleWorkers(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+func printRespScale(rows []harness.RespScaleRow) error {
+	fmt.Println("== Response-direction scaling (duplex pipeline, Echo workload) ==")
+	fmt.Println("   (host build workers = DPU serialization workers = width; modeled")
+	fmt.Println("    core spread capped at the width on both sides)")
+	w := tw()
+	fmt.Fprintln(w, "workers\tRPS\tbottleneck\thost cores\tDPU cores\tresp B/req\twall req/s (this machine)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.3g\t%s\t%.2f\t%.2f\t%.0f\t%.3g\n",
+			r.Workers, r.Result.RPS, r.Result.Bottleneck,
+			r.Result.HostCores, r.Result.DPUCores, r.RespBytesPerReq, r.WallRPS)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printRespScaleCSV(rows []harness.RespScaleRow) error {
+	fmt.Println("workers,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,resp_bytes_per_req,wall_rps")
+	for _, r := range rows {
+		fmt.Printf("%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.0f\n",
+			r.Workers, r.Result.RPS, r.Result.BandwidthGbps,
+			r.Result.HostCores, r.Result.DPUCores, r.Result.Bottleneck,
+			r.RespBytesPerReq, r.WallRPS)
+	}
+	return nil
+}
+
+func printRespScaleJSON(rows []harness.RespScaleRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)

@@ -54,7 +54,7 @@ func benchSchema() *dpurpc.Schema {
 func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
 	empty := func(req dpurpc.View) (*dpurpc.Message, uint16) { return nil, 0 }
 	return map[string]dpurpc.Impl{
-		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty},
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty},
 	}
 }
 

@@ -58,9 +58,11 @@ type Platform struct {
 }
 
 // EffectiveCores caps the platform's core count at the configured worker
-// count: a deployment running w deserialization workers per connection can
-// spread DPU work over at most w cores (w <= 0 or >= Cores means the full
-// platform, the paper's ideal even spread).
+// count: a deployment running w pipeline workers per connection can spread
+// that platform's work over at most w cores (w <= 0 or >= Cores means the
+// full platform, the paper's ideal even spread). Both directions use it —
+// DPU deserialization/serialization workers and host duplex response
+// workers.
 func (p *Platform) EffectiveCores(workers int) int {
 	if workers <= 0 || workers >= p.Cores {
 		return p.Cores

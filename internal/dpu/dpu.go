@@ -43,6 +43,10 @@ type Usage struct {
 	// actually keep busy (total pipeline workers across connections). 0
 	// means the paper's ideal even spread over every DPU core.
 	DPUWorkers int
+	// HostWorkers, when > 0, bounds how many host cores the deployment can
+	// actually keep busy (total duplex response workers across
+	// connections). 0 means the ideal even spread over every host core.
+	HostWorkers int
 }
 
 // Result is one row of Fig. 8.
@@ -63,7 +67,7 @@ type Result struct {
 
 // Analyze performs the bottleneck analysis.
 func (m *Machine) Analyze(u Usage) Result {
-	hostTime := u.HostNS / float64(m.Host.Cores)
+	hostTime := u.HostNS / float64(m.Host.EffectiveCores(u.HostWorkers))
 	dpuTime := u.DPUNS / float64(m.DPU.EffectiveCores(u.DPUWorkers))
 	linkTime := float64(u.LinkBytes) * 8 / m.LinkBandwidthGbps // ns
 

@@ -227,6 +227,65 @@ func TestGeneratedBindingsOffloaded(t *testing.T) {
 	runMirror(t, dpurpc.NewOffloadedStack)
 }
 
+// TestResponseModesByteIdentical pins the wire contract of the response
+// direction: the raw xRPC response payload for the same request must be
+// byte-identical whether the host serializes responses itself or ships
+// response objects for the DPU to serialize, and whether the response path
+// runs serially or through the duplex pipeline (host build workers + DPU
+// serialization workers).
+func TestResponseModesByteIdentical(t *testing.T) {
+	s, err := LoadSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBytes := buildAll(t, s).M.Marshal(nil)
+	modes := []struct {
+		name string
+		opts dpurpc.StackOptions
+	}{
+		{"host-serialized serial", dpurpc.StackOptions{}},
+		{"object serial", dpurpc.StackOptions{OffloadResponseSerialization: true}},
+		{"object duplex", dpurpc.StackOptions{
+			OffloadResponseSerialization: true, HostWorkers: 4, DPUWorkers: 4}},
+		{"host-serialized duplex", dpurpc.StackOptions{HostWorkers: 4, DPUWorkers: 4}},
+	}
+	var want []byte
+	for _, mode := range modes {
+		got := func() []byte {
+			stack, err := dpurpc.NewOffloadedStack(s, RegisterMirror(&mirror{s: s, t: t}), mode.opts)
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			defer stack.Close()
+			addr, err := stack.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			conn, err := dpurpc.Dial(addr)
+			if err != nil {
+				t.Fatalf("%s: %v", mode.name, err)
+			}
+			defer conn.Close()
+			status, resp, err := conn.Raw().Call("/at.Mirror/Echo", reqBytes)
+			if err != nil || status != 0 {
+				t.Fatalf("%s: status=%d err=%v", mode.name, status, err)
+			}
+			return append([]byte(nil), resp...)
+		}()
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatalf("%s: empty response", mode.name)
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverges from %s:\n want %x\n got  %x",
+				mode.name, modes[0].name, want, got)
+		}
+	}
+}
+
 func TestGeneratedBindingsBaseline(t *testing.T) {
 	runMirror(t, dpurpc.NewBaselineStack)
 }

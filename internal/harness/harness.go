@@ -51,6 +51,14 @@ type Options struct {
 	// serial datapath; values > 1 run the multi-core pipeline and cap the
 	// modeled DPU core spread at Connections*DPUWorkers busy cores.
 	DPUWorkers int
+	// HostWorkers is the number of host-side duplex workers per connection
+	// (handler + response-object build in parallel, commits in admission
+	// order). 0 or 1 runs the serial response path; values > 1 cap the
+	// modeled host core spread at Connections*HostWorkers busy cores.
+	HostWorkers int
+	// OffloadResponseSerialization ships response objects to the DPU and
+	// serializes them there (the response direction of the offload).
+	OffloadResponseSerialization bool
 	// Seed for the Mersenne Twister.
 	Seed uint32
 }
@@ -96,6 +104,9 @@ type Fig8Row struct {
 	// DPUWorkers echoes the pipeline width the row ran with (offload mode;
 	// 0 means the serial datapath).
 	DPUWorkers int
+	// HostWorkers echoes the host-side duplex width (offload mode; 0 means
+	// the serial response path).
+	HostWorkers int
 	// WallSeconds/WallRPS report the measured wall-clock cost of driving
 	// the run on this machine. They are not the paper's modeled numbers
 	// (Result covers those) but let the pipeline's real multi-core speedup
@@ -105,7 +116,8 @@ type Fig8Row struct {
 }
 
 // emptyImpls returns benchmark service implementations with empty business
-// logic (Sec. VI-C: "the business logic is left empty").
+// logic (Sec. VI-C: "the business logic is left empty"). Echo — the
+// response-direction workload — returns its char-array request verbatim.
 func emptyImpls(env *workload.Env) map[string]offload.Impl {
 	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
 	return map[string]offload.Impl{
@@ -113,6 +125,11 @@ func emptyImpls(env *workload.Env) map[string]offload.Impl {
 			"CallSmall": empty,
 			"CallInts":  empty,
 			"CallChars": empty,
+			"Echo": func(req abi.View) (*protomsg.Message, uint16) {
+				out := protomsg.New(env.CharArray)
+				out.SetString("data", string(req.StrName("data")))
+				return out, 0
+			},
 		},
 	}
 }
@@ -227,10 +244,12 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 		conns = 1
 	}
 	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
-		Connections: conns,
-		ClientCfg:   ccfg,
-		ServerCfg:   scfg,
-		DPUWorkers:  opts.DPUWorkers,
+		Connections:                  conns,
+		ClientCfg:                    ccfg,
+		ServerCfg:                    scfg,
+		DPUWorkers:                   opts.DPUWorkers,
+		HostWorkers:                  opts.HostWorkers,
+		OffloadResponseSerialization: opts.OffloadResponseSerialization,
 	})
 	if err != nil {
 		return Fig8Row{}, err
@@ -277,6 +296,12 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 		usage.DPUWorkers = conns * opts.DPUWorkers
 		row.DPUWorkers = opts.DPUWorkers
 	}
+	if opts.HostWorkers > 1 {
+		// Same bound for the response direction: the duplex pool limits how
+		// many host cores run handlers and response builds concurrently.
+		usage.HostWorkers = conns * opts.HostWorkers
+		row.HostWorkers = opts.HostWorkers
+	}
 	row.Scenario = s
 	row.Mode = ModeDPU
 	row.Result = opts.Machine.Analyze(usage)
@@ -297,6 +322,7 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		st.Responses += s.Responses
 		st.MeasuredBytes += s.MeasuredBytes
 		st.RespBytes += s.RespBytes
+		st.SerializedBytes += s.SerializedBytes
 		st.Deser.Add(s.Deser)
 		c := dpuSrv.Client().Counters
 		cc.BlocksSent += c.BlocksSent
@@ -325,12 +351,25 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 
 	// DPU: xRPC termination (per request + socket bytes), the in-place
 	// deserialization, response forwarding, and block handling both ways.
-	frameBytes := st.MeasuredBytes + st.RespBytes +
+	// In response-serialization-offload mode the DPU does not forward the
+	// host's payload verbatim: it receives response objects (RespBytes over
+	// the link) and produces the wire bytes itself (SerializedBytes), so the
+	// socket side carries the serialized size and the per-byte copy charge is
+	// replaced by the serializer charge.
+	respWireBytes := st.RespBytes
+	if st.SerializedBytes > 0 {
+		respWireBytes = st.SerializedBytes
+	}
+	frameBytes := st.MeasuredBytes + respWireBytes +
 		uint64(float64(xrpcFrameBytes(method, 0, 0))*n)
 	dpuNS := n * dpuP.ReqNS
 	dpuNS += dpuP.NetByteNS * float64(frameBytes)
 	dpuNS += dpuP.DeserNS(st.Deser)
-	dpuNS += dpuP.CopyByteNS * float64(st.RespBytes) // forwarded verbatim
+	if st.SerializedBytes > 0 {
+		dpuNS += dpuP.SerializeNS(int(st.SerializedBytes), 0, int(hs.ResponseMsgs))
+	} else {
+		dpuNS += dpuP.CopyByteNS * float64(st.RespBytes) // forwarded verbatim
+	}
 	dpuNS += float64(cc.BlocksSent) * dpuP.BlockCostNS(avgReqBlock)
 	dpuNS += float64(cc.BlocksReceived) * dpuP.BlockCostNS(avgRespBlock)
 	if !opts.BusyPoll {
@@ -342,6 +381,10 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 	hostNS := n * host.RDMAReqNS
 	hostNS += float64(sc.BlocksReceived) * host.BlockCostNS(avgReqBlock)
 	hostNS += float64(sc.BlocksSent) * host.BlockCostNS(avgRespBlock)
+	// Response production on the host: serializing the wire bytes in the
+	// default mode, or building the response object into the shared arena in
+	// offload mode — the walk over the message tree is the same, so the
+	// serializer charge approximates both.
 	hostNS += host.SerializeNS(int(hs.ResponseBytes), 0, int(hs.ResponseMsgs))
 	if !opts.BusyPoll {
 		hostNS += host.WakeupNS * float64(sc.BlocksSent+sc.BlocksReceived)

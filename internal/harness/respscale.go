@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"dpurpc/internal/dpu"
+	"dpurpc/internal/offload"
+	"dpurpc/internal/workload"
+	"dpurpc/internal/xrpc"
+)
+
+// RespScaleRow is one row of the response-direction scaling experiment: the
+// duplex pipeline (host-side build workers + DPU-side serialization workers)
+// at a given width, driven by the Echo workload whose responses carry the
+// full request payload back.
+type RespScaleRow struct {
+	// Workers is the pipeline width (HostWorkers = DPUWorkers = Workers).
+	Workers int
+	// Result is the machine-model projection with the core spread capped at
+	// Connections*Workers on both sides (the serial row uses the same cap so
+	// the scaling is apples to apples).
+	Result dpu.Result
+	// RespBytesPerReq is the serialized response payload per request.
+	RespBytesPerReq float64
+	// WallSeconds/WallRPS report the measured wall-clock cost of driving the
+	// run on this machine (not the paper's modeled numbers).
+	WallSeconds float64
+	WallRPS     float64
+}
+
+// ResponseScaling runs the Echo workload — request payload echoed back in
+// the response, so both directions carry the same bytes — through the
+// response-serialization offload at each pipeline width. It reports modeled
+// throughput (host/DPU core time capped at the worker count) alongside the
+// wall-clock rate of the real datapath.
+func ResponseScaling(opts Options, workers []int) ([]RespScaleRow, error) {
+	rows := make([]RespScaleRow, 0, len(workers))
+	for _, w := range workers {
+		row, err := runRespScale(opts, w)
+		if err != nil {
+			return nil, fmt.Errorf("respscale workers=%d: %w", w, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runRespScale(opts Options, workers int) (RespScaleRow, error) {
+	env := workload.NewEnv()
+	ccfg := opts.ClientCfg
+	scfg := opts.ServerCfg
+	ccfg.BusyPoll = true // the harness drives the loops itself
+	scfg.BusyPoll = true
+	conns := opts.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
+		Connections:                  conns,
+		ClientCfg:                    ccfg,
+		ServerCfg:                    scfg,
+		DPUWorkers:                   workers,
+		HostWorkers:                  workers,
+		OffloadResponseSerialization: true,
+	})
+	if err != nil {
+		return RespScaleRow{}, err
+	}
+	defer d.Close()
+	payloads := genPayloads(env, workload.ScenarioChars, opts)
+	method := xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[workload.MethodEcho].Name)
+
+	start := time.Now()
+	submitted, completed, failed := 0, 0, 0
+	var respBytes uint64
+	for completed < opts.Requests {
+		for submitted < opts.Requests && submitted-completed < opts.Concurrency {
+			dpuSrv := d.DPUs[submitted%conns]
+			want := payloads[submitted%len(payloads)]
+			err := dpuSrv.SubmitLocal(method, want,
+				func(status uint16, errFlag bool, resp []byte) {
+					completed++
+					if status != 0 || errFlag || !bytes.Equal(resp, want) {
+						failed++
+					}
+					respBytes += uint64(len(resp))
+				})
+			if err != nil {
+				return RespScaleRow{}, err
+			}
+			submitted++
+		}
+		for _, dpuSrv := range d.DPUs {
+			if _, err := dpuSrv.Progress(); err != nil {
+				return RespScaleRow{}, err
+			}
+		}
+		if _, err := d.Poller.Progress(); err != nil {
+			return RespScaleRow{}, err
+		}
+	}
+	wall := time.Since(start)
+	if failed > 0 {
+		return RespScaleRow{}, fmt.Errorf("%d failed or corrupted echoes", failed)
+	}
+
+	usage, _ := offloadUsage(d, method, opts)
+	// Cap the modeled core spread at the pipeline width on BOTH rows —
+	// including workers=1 — so the scaling curve isolates the pipeline and
+	// not the serial path's idealized even spread.
+	usage.DPUWorkers = conns * workers
+	usage.HostWorkers = conns * workers
+	return RespScaleRow{
+		Workers:         workers,
+		Result:          opts.Machine.Analyze(usage),
+		RespBytesPerReq: safeDiv(float64(respBytes), float64(opts.Requests)),
+		WallSeconds:     wall.Seconds(),
+		WallRPS:         safeDiv(float64(opts.Requests), wall.Seconds()),
+	}, nil
+}

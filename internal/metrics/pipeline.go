@@ -51,6 +51,47 @@ func NewPipelineMetrics(r *Registry, labels map[string]string) *PipelineMetrics 
 	}
 }
 
+// ResponsePipelineMetrics instruments the response direction of the duplex
+// pipeline (the DPU-side serialization offload): queue depth, serialize
+// stages, worker busy time, and the dispatch-to-completion latency
+// distribution. All fields are safe for concurrent use.
+type ResponsePipelineMetrics struct {
+	// QueueDepth is the number of responses inside the pipeline (dispatched
+	// but not yet delivered), sampled by the poller every Progress.
+	QueueDepth *Gauge
+	// Serializes counts completed serialize/copy stages.
+	Serializes *Counter
+	// BusyNS accumulates response-worker busy time in nanoseconds.
+	BusyNS *Counter
+	// CommitLatencyUS is the dispatch-to-delivery latency histogram in
+	// microseconds.
+	CommitLatencyUS *Histogram
+}
+
+// NewResponsePipelineMetrics registers the response-pipeline series in r (a
+// nil registry yields unregistered, still-usable metrics).
+func NewResponsePipelineMetrics(r *Registry, labels map[string]string) *ResponsePipelineMetrics {
+	if r == nil {
+		return &ResponsePipelineMetrics{
+			QueueDepth:      &Gauge{},
+			Serializes:      &Counter{},
+			BusyNS:          &Counter{},
+			CommitLatencyUS: NewHistogram(DefaultCommitLatencyBounds),
+		}
+	}
+	return &ResponsePipelineMetrics{
+		QueueDepth: r.Gauge("dpu_resp_pipeline_queue_depth",
+			"responses inside the DPU serialization pipeline", labels),
+		Serializes: r.Counter("dpu_resp_pipeline_serializes_total",
+			"serialize stages completed by response-pipeline workers", labels),
+		BusyNS: r.Counter("dpu_resp_pipeline_worker_busy_ns_total",
+			"cumulative response-pipeline worker busy time in nanoseconds", labels),
+		CommitLatencyUS: r.Histogram("dpu_resp_pipeline_commit_latency_us",
+			"dispatch-to-delivery latency in microseconds", labels,
+			DefaultCommitLatencyBounds),
+	}
+}
+
 // Utilization returns the average fraction of the given worker count kept
 // busy over wallNS nanoseconds of wall time (0 when unknowable).
 func (p *PipelineMetrics) Utilization(wallNS float64, workers int) float64 {

@@ -106,6 +106,12 @@ type DeployConfig struct {
 	// BackgroundWorkers > 0 runs host handlers on a worker pool instead of
 	// the poller thread (Sec. III-D's background RPCs).
 	BackgroundWorkers int
+	// HostWorkers > 1 enables the host-side duplex response pipeline on
+	// every connection: handlers AND response builds (objconv.ToArena /
+	// Marshal) run on a pool of this many workers, with slots reserved in
+	// receive order and committed as builds complete. Supersedes
+	// BackgroundWorkers when set.
+	HostWorkers int
 	// DPUWorkers > 1 enables the multi-core deserialization pipeline on
 	// every DPU server: the poller reserves block slots, a pool of this
 	// many workers deserializes in parallel directly into them, and the
@@ -117,6 +123,9 @@ type DeployConfig struct {
 	// DPUPipeline, when non-nil, instruments every DPU pipeline (the
 	// counters are shared across connections; all are atomic).
 	DPUPipeline *metrics.PipelineMetrics
+	// DPURespPipeline, when non-nil, instruments the response direction of
+	// every DPU pipeline (serializes, queue depth, delivery latency).
+	DPURespPipeline *metrics.ResponsePipelineMetrics
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -137,6 +146,7 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	ccfg := cfg.ClientCfg.WithDefaults(true)
 	scfg := cfg.ServerCfg.WithDefaults(false)
 	scfg.BackgroundWorkers = cfg.BackgroundWorkers
+	scfg.HostWorkers = cfg.HostWorkers
 	link := fabric.NewLink()
 	dpuDev := rdma.NewDevice("dpu", link, fabric.DPUToHost)
 	hostDev := rdma.NewDevice("host", link, fabric.HostToDPU)
@@ -175,9 +185,10 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 			return nil, err
 		}
 		dpu, err := NewDPUServerWith(dpuTable, client, DPUConfig{
-			Workers:     cfg.DPUWorkers,
-			MaxInflight: cfg.DPUMaxInflight,
-			Pipeline:    cfg.DPUPipeline,
+			Workers:      cfg.DPUWorkers,
+			MaxInflight:  cfg.DPUMaxInflight,
+			Pipeline:     cfg.DPUPipeline,
+			RespPipeline: cfg.DPURespPipeline,
 		})
 		if err != nil {
 			return nil, err

@@ -35,8 +35,9 @@ type DPUStats struct {
 
 // Pipeline stages a task moves through when the worker pool is enabled.
 const (
-	stageMeasure = iota // deser.Measure on a worker
-	stageBuild          // deser.Deserialize into the reserved slot on a worker
+	stageMeasure   = iota // deser.Measure on a worker
+	stageBuild            // deser.Deserialize into the reserved slot on a worker
+	stageSerialize        // response serialization (or copy-out) on a worker
 )
 
 // callTask carries one xRPC request from its connection goroutine to the
@@ -60,6 +61,18 @@ type callTask struct {
 	measured bool  // need already computed (SubmitLocal path)
 	finished bool  // poller-owned: result delivered, ignore later signals
 	reserved int64 // ns timestamp at reserve (commit-latency metric)
+
+	// Response-pipeline fields (stageSerialize, pooled mode only). The
+	// rpayload view stays valid while hold defers the block's ack.
+	hold       *rpcrdma.ResponseHold
+	rstatus    uint16
+	rerr       bool
+	robject    bool
+	rpayload   []byte
+	rregion    uint64
+	rroot      uint32
+	out        []byte // worker-written serialized/copied response
+	outRelease func() // recycles out into the worker's scratch stock
 }
 
 type callResult struct {
@@ -71,14 +84,40 @@ type callResult struct {
 	release func()
 }
 
-// respBufPool recycles host-response copies (satellite of the pipeline PR:
-// the per-response append([]byte(nil), ...) allocation becomes a pooled
-// buffer returned after delivery).
+// respBufPool recycles host-response copies on the serial/legacy path only.
+// Pooled mode uses per-worker scratch stocks (wscratch) instead, so the hot
+// path never touches this contended global.
 var respBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, 4096)
 		return &b
 	},
+}
+
+// wscratch is one worker's private stock of response scratch buffers. The
+// worker takes buffers with get; release() may run on whatever goroutine
+// retires the xRPC response, so returns go through a small buffered channel
+// (never blocking — an overfull stock just drops the buffer to the GC).
+type wscratch struct {
+	free chan []byte
+}
+
+func newWScratch() *wscratch { return &wscratch{free: make(chan []byte, 16)} }
+
+func (w *wscratch) get() []byte {
+	select {
+	case b := <-w.free:
+		return b[:0]
+	default:
+		return make([]byte, 0, 4096)
+	}
+}
+
+func (w *wscratch) put(b []byte) {
+	select {
+	case w.free <- b:
+	default:
+	}
 }
 
 // DPUConfig tunes one DPU server.
@@ -97,6 +136,10 @@ type DPUConfig struct {
 	// Pipeline, when non-nil, receives queue depth, worker utilization,
 	// and commit-latency samples.
 	Pipeline *metrics.PipelineMetrics
+	// RespPipeline, when non-nil, receives the response direction's queue
+	// depth, serialize counts, worker busy time, and dispatch-to-delivery
+	// latency samples.
+	RespPipeline *metrics.ResponsePipelineMetrics
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -133,6 +176,11 @@ type DPUServer struct {
 	nextRes   uint64               // next admission seq to reserve
 	measuredQ map[uint64]*callTask // measured tasks awaiting their reserve turn
 	inflight  int
+
+	// Poller-owned response-pipeline state: serialize tasks in flight on
+	// the pool, and the overflow queue keeping workQ occupancy bounded.
+	respInflight int
+	respPending  []*callTask
 
 	// statsMu guards the merged deserializer stats so Stats() is safe from
 	// any goroutine while the poller and workers keep deserializing.
@@ -174,8 +222,12 @@ func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfi
 		if d.cfg.MaxInflight <= 0 {
 			d.cfg.MaxInflight = 4 * cfg.Workers
 		}
-		d.workQ = make(chan *callTask, d.cfg.MaxInflight)
-		d.compQ = make(chan *callTask, d.cfg.MaxInflight)
+		// Both directions share the pool: request tasks (bounded by
+		// MaxInflight) and response tasks (bounded by respInflight <=
+		// MaxInflight), so channel capacity covers their sum and no
+		// poller/worker send ever blocks.
+		d.workQ = make(chan *callTask, 2*d.cfg.MaxInflight)
+		d.compQ = make(chan *callTask, 2*d.cfg.MaxInflight)
 		d.measuredQ = make(map[uint64]*callTask)
 		// Block boundaries must match the serial path while builds lag
 		// reserves: the poller flushes partial blocks itself once the
@@ -237,6 +289,7 @@ func (d *DPUServer) foldStats(dd *deser.Deserializer) {
 func (d *DPUServer) worker() {
 	defer d.wg.Done()
 	dd := deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
+	ws := newWScratch()
 	for task := range d.workQ {
 		start := time.Now()
 		switch task.stage {
@@ -258,8 +311,37 @@ func (d *DPUServer) worker() {
 			if m := d.cfg.Pipeline; m != nil {
 				m.Builds.Inc()
 			}
+		case stageSerialize:
+			if task.robject {
+				// Response-serialization offload: walk the shared-region
+				// object graph into wire bytes, in this worker's scratch.
+				view := abi.MakeView(
+					&abi.Region{Buf: task.rpayload, Base: task.rregion},
+					task.rregion+uint64(task.rroot), task.entry.out)
+				buf := ws.get()
+				out, err := deser.Serialize(view, buf)
+				if err != nil {
+					ws.put(buf) // recycle on the failure path too
+					task.err = err
+				} else {
+					task.out = out
+					task.outRelease = func() { ws.put(out) }
+				}
+			} else {
+				// Host-serialized protobuf: copy it out of the block.
+				out := append(ws.get(), task.rpayload...)
+				task.out = out
+				task.outRelease = func() { ws.put(out) }
+			}
+			if m := d.cfg.RespPipeline; m != nil {
+				m.Serializes.Inc()
+			}
 		}
-		if m := d.cfg.Pipeline; m != nil {
+		if task.stage == stageSerialize {
+			if m := d.cfg.RespPipeline; m != nil {
+				m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
+			}
+		} else if m := d.cfg.Pipeline; m != nil {
 			m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
 		}
 		d.compQ <- task
@@ -395,6 +477,23 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 	}
 	d.responses.Add(1)
 	d.respBytes.Add(uint64(len(resp.Payload)))
+	if d.pooled() && (resp.Object || len(resp.Payload) > 0) {
+		// Response pipeline: the serialization (or the copy out of the
+		// block) runs on a worker. The block's acknowledgment is deferred
+		// until the task completes, keeping resp.Payload valid off the
+		// poller; completions are delivered by a later Progress pass.
+		task.stage = stageSerialize
+		task.rstatus = resp.Status
+		task.rerr = resp.Err
+		task.robject = resp.Object
+		task.rpayload = resp.Payload
+		task.rregion = resp.RegionOff
+		task.rroot = resp.Root
+		task.hold = d.client.HoldResponseBlock()
+		task.reserved = time.Now().UnixNano()
+		d.dispatchResp(task)
+		return
+	}
 	var out []byte
 	var release func()
 	if resp.Object {
@@ -430,6 +529,29 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 		resp:    out,
 		release: release,
 	})
+}
+
+// dispatchResp enters one response into the serialization pipeline,
+// spilling to respPending when the in-flight bound is reached (keeping
+// workQ occupancy under the channel capacity). Poller-owned.
+func (d *DPUServer) dispatchResp(task *callTask) {
+	if d.respInflight < d.cfg.MaxInflight {
+		d.respInflight++
+		d.workQ <- task
+	} else {
+		d.respPending = append(d.respPending, task)
+	}
+}
+
+// admitResponses refills the serialization pipeline from the overflow
+// queue. Poller-owned.
+func (d *DPUServer) admitResponses() {
+	for len(d.respPending) > 0 && d.respInflight < d.cfg.MaxInflight {
+		task := d.respPending[0]
+		d.respPending = d.respPending[0:copy(d.respPending, d.respPending[1:])]
+		d.respInflight++
+		d.workQ <- task
+	}
 }
 
 // enqueue registers one task with the protocol client on the serial path.
@@ -497,14 +619,16 @@ func (d *DPUServer) progressPooled() (int, error) {
 	drained := d.collectCompletions()
 	d.reserveReady()
 	d.admit()
+	d.admitResponses()
 	d.reserveReady()
 	n, err := d.progressClient()
 	if err != nil {
 		return n, err
 	}
 	drained += d.collectCompletions()
+	d.admitResponses()
 	d.reserveReady()
-	if drained == 0 && d.inflight > 0 {
+	if drained == 0 && d.inflight+d.respInflight > 0 {
 		// Busy-poll cooperation: every outstanding task is on a worker
 		// goroutine and nothing completed this pass, so yield the poller's
 		// core — otherwise a spinning poller starves the very workers it
@@ -521,6 +645,9 @@ func (d *DPUServer) progressPooled() (int, error) {
 	}
 	if m := d.cfg.Pipeline; m != nil {
 		m.QueueDepth.Set(float64(d.inflight))
+	}
+	if m := d.cfg.RespPipeline; m != nil {
+		m.QueueDepth.Set(float64(d.respInflight + len(d.respPending)))
 	}
 	return n, err
 }
@@ -555,6 +682,29 @@ func (d *DPUServer) collectCompletions() (drained int) {
 				if m := d.cfg.Pipeline; m != nil {
 					m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
 				}
+			case stageSerialize:
+				d.respInflight--
+				// The block payload is no longer referenced: let its ack go
+				// out (FIFO with any earlier held blocks).
+				d.client.ReleaseResponseBlock(task.hold)
+				task.hold = nil
+				if task.err != nil {
+					// The worker already recycled its scratch buffer.
+					d.failTask(task, task.err)
+					continue
+				}
+				if task.robject {
+					d.serialized.Add(uint64(len(task.out)))
+				}
+				if m := d.cfg.RespPipeline; m != nil {
+					m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
+				}
+				d.finish(task, callResult{
+					status:  task.rstatus,
+					err:     task.rerr,
+					resp:    task.out,
+					release: task.outRelease,
+				})
 			}
 		default:
 			return
@@ -652,6 +802,13 @@ func (d *DPUServer) failAll(err error) {
 		d.failTask(d.retry[0], err)
 		d.retry = d.retry[1:]
 	}
+	for len(d.respPending) > 0 {
+		task := d.respPending[0]
+		d.respPending = d.respPending[1:]
+		d.client.ReleaseResponseBlock(task.hold)
+		task.hold = nil
+		d.failTask(task, err)
+	}
 	d.drainSubmit(err)
 }
 
@@ -680,8 +837,19 @@ func (d *DPUServer) stopPool(err error) {
 	for {
 		select {
 		case task := <-d.compQ:
-			if task.stage == stageBuild {
+			switch task.stage {
+			case stageBuild:
 				d.inflight--
+			case stageSerialize:
+				d.respInflight--
+				d.client.ReleaseResponseBlock(task.hold)
+				task.hold = nil
+				if task.outRelease != nil {
+					// Recycle the worker's scratch before failing the task.
+					task.outRelease()
+					task.outRelease = nil
+					task.out = nil
+				}
 			}
 			d.failTask(task, err)
 		default:

@@ -151,6 +151,7 @@ func TestBackgroundDeployment(t *testing.T) {
 				return nil, 0
 			},
 			"CallChars": func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
+			"Echo":      func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
 		},
 	}
 	ccfg, scfg := smallTestCfg()

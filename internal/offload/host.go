@@ -37,6 +37,9 @@ type HostServer struct {
 	// goroutine runs the handler — synchronize externally when pollers or
 	// background workers are concurrent.
 	reqObserver func(rpcrdma.Request)
+	// started flips on the first dispatched request; the setters above
+	// refuse to run after that (they would race the handler goroutines).
+	started atomic.Bool
 
 	requests       atomic.Uint64
 	responseBytes  atomic.Uint64
@@ -55,14 +58,28 @@ func NewHostServer(table *adt.Table, impls map[string]Impl) (*HostServer, error)
 	return &HostServer{table: table, procs: procs}, nil
 }
 
-// SetResponseObjects toggles the response-serialization offload. Call
-// before serving.
-func (h *HostServer) SetResponseObjects(on bool) { h.respObjects = on }
+// SetResponseObjects toggles the response-serialization offload. Must be
+// called before serving: once the first request has dispatched, flipping
+// the mode would race the handler goroutines, so this panics instead of
+// silently corrupting state.
+func (h *HostServer) SetResponseObjects(on bool) {
+	if h.started.Load() {
+		panic("offload: HostServer.SetResponseObjects called after serving started")
+	}
+	h.respObjects = on
+}
 
 // SetRequestObserver installs a hook that sees every dispatched request
 // (its payload aliases the receive block — copy or digest, don't retain).
-// Call before serving.
-func (h *HostServer) SetRequestObserver(fn func(rpcrdma.Request)) { h.reqObserver = fn }
+// Must be called before serving: once the first request has dispatched,
+// swapping the hook would race the handler goroutines, so this panics
+// instead of silently racing.
+func (h *HostServer) SetRequestObserver(fn func(rpcrdma.Request)) {
+	if h.started.Load() {
+		panic("offload: HostServer.SetRequestObserver called after serving started")
+	}
+	h.reqObserver = fn
+}
 
 // Stats returns a snapshot of the host-side counters.
 func (h *HostServer) Stats() HostStats {
@@ -79,6 +96,9 @@ func (h *HostServer) Stats() HostStats {
 // to rpcrdma.Connect for every connection feeding this host server.
 func (h *HostServer) Handler() rpcrdma.Handler {
 	return func(req rpcrdma.Request) rpcrdma.ResponseSpec {
+		if !h.started.Load() {
+			h.started.Store(true)
+		}
 		if h.reqObserver != nil {
 			h.reqObserver(req)
 		}

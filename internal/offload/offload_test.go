@@ -52,6 +52,11 @@ func (b *benchImpl) impls() map[string]Impl {
 				b.charsBytes.Add(uint64(len(req.StrName("data"))))
 				return nil, 0
 			},
+			"Echo": func(req abi.View) (*protomsg.Message, uint16) {
+				out := protomsg.New(b.env.CharArray)
+				out.SetString("data", string(req.StrName("data")))
+				return out, 0
+			},
 		},
 	}
 }
@@ -328,6 +333,7 @@ func TestHostHandlerStatusPaths(t *testing.T) {
 				out.SetUint32("id", uint32(len(req.StrName("data"))))
 				return out, 0
 			},
+			"Echo": func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
 		},
 	}
 	ccfg, scfg := smallTestCfg()

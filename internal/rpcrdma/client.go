@@ -91,6 +91,13 @@ type ClientConn struct {
 
 	outstanding int
 	broken      error
+	// Response-block ack deferral (see HoldResponseBlock): inDispatch is
+	// true while continuations for one response block run; curHold is the
+	// hold lazily created for that block; heldAcks is the FIFO of blocks
+	// whose acknowledgment is deferred until their holds release.
+	inDispatch bool
+	curHold    *ResponseHold
+	heldAcks   []*ResponseHold
 	// holdPartial suppresses the event loop's automatic flush of the
 	// partial current block. A pipelined owner (the DPU worker pool) sets
 	// it so blocks fill exactly as they would under serial enqueueing while
@@ -478,6 +485,9 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 		if end > int(p.blockLen) {
 			return fmt.Errorf("%w: payload beyond block", ErrBlockCorrupt)
 		}
+		if pos+HeaderSize+alignUp(int(h.payloadLen))+int(h.pad) > int(p.blockLen) {
+			return fmt.Errorf("%w: slot pad beyond block", ErrBlockCorrupt)
+		}
 		cont := c.conts[h.reqID]
 		if cont == nil {
 			return fmt.Errorf("%w: response for idle request ID %d", ErrBlockCorrupt, h.reqID)
@@ -500,16 +510,78 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 			RegionOff: off + uint64(pos+HeaderSize),
 			Root:      h.rootOff,
 		}})
-		pos = pos + HeaderSize + alignUp(int(h.payloadLen))
+		pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
 	}
-	c.ackBlocks++
 	c.Counters.BlocksReceived++
+	c.inDispatch = true
 	for _, d := range ready {
 		if d.cont != nil {
 			d.cont(d.resp)
 		}
 	}
+	c.inDispatch = false
+	// Acknowledge the block — unless a continuation took a hold on it
+	// (payload escaping to a worker), or earlier blocks are still held:
+	// acknowledgments are positional (the server frees its oldest block per
+	// count), so deferral must stay FIFO.
+	hold := c.curHold
+	c.curHold = nil
+	if hold == nil && len(c.heldAcks) == 0 {
+		c.ackBlocks++
+		return nil
+	}
+	if hold == nil {
+		hold = &ResponseHold{}
+	}
+	c.heldAcks = append(c.heldAcks, hold)
+	c.releaseHeldAcks()
 	return nil
+}
+
+// ResponseHold defers the acknowledgment of one response block, keeping its
+// payload views valid past their continuation (e.g. while a worker
+// serializes them). Obtained via HoldResponseBlock, released via
+// ReleaseResponseBlock.
+type ResponseHold struct {
+	refs int
+}
+
+// HoldResponseBlock defers the acknowledgment of the response block
+// currently being dispatched. It is only meaningful from inside a response
+// continuation (it returns nil otherwise). Multiple continuations of the
+// same block share one hold; each call adds a reference and each
+// ReleaseResponseBlock drops one. Owner-only.
+func (c *ClientConn) HoldResponseBlock() *ResponseHold {
+	if !c.inDispatch {
+		return nil
+	}
+	if c.curHold == nil {
+		c.curHold = &ResponseHold{}
+	}
+	c.curHold.refs++
+	return c.curHold
+}
+
+// ReleaseResponseBlock drops one reference on a hold; once the oldest held
+// blocks reach zero references their acknowledgments are flushed (FIFO, to
+// match the server's positional free). A nil hold is a no-op. Owner-only.
+func (c *ClientConn) ReleaseResponseBlock(h *ResponseHold) {
+	if h == nil {
+		return
+	}
+	h.refs--
+	c.releaseHeldAcks()
+}
+
+func (c *ClientConn) releaseHeldAcks() {
+	n := 0
+	for n < len(c.heldAcks) && c.heldAcks[n].refs <= 0 {
+		n++
+	}
+	if n > 0 {
+		c.ackBlocks += uint16(n)
+		c.heldAcks = c.heldAcks[0:copy(c.heldAcks, c.heldAcks[n:])]
+	}
 }
 
 // Progress is the event-loop update function (Sec. III-D): it drains
@@ -642,6 +714,8 @@ func (c *ClientConn) Abort(status uint16) {
 		}
 	}
 	c.outstanding = 0
+	c.heldAcks = nil
+	c.curHold = nil
 }
 
 // SetHoldPartial toggles the event loop's automatic flush of the partial

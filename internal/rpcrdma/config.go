@@ -37,6 +37,12 @@
 //   - Object-payload responses (header flag): the response-serialization
 //     offload of Sec. III-A, where the host ships a response object through
 //     the shared region and the DPU produces the wire bytes.
+//   - Duplex pipelining: the client side reserves request slots, builds
+//     payloads on worker goroutines, and commits in admission order
+//     (Reserve/Commit/Cancel); the server side mirrors it for responses
+//     (ReserveResponse/CommitResponse/CancelResponse, enabled by
+//     Config.HostWorkers > 1), so both directions scale across cores while
+//     QP/CQ state stays single-threaded.
 package rpcrdma
 
 import (
@@ -90,6 +96,14 @@ type Config struct {
 	// them is answered (the explicit ack counter in response preambles),
 	// so handlers may read their payload views for their whole lifetime.
 	BackgroundWorkers int
+	// HostWorkers (server side) > 1 enables the duplex response pipeline:
+	// handlers AND response-payload builds run on a pool of that many
+	// worker goroutines, response slots are reserved in receive order by
+	// the poller, and blocks transmit once every slot in them commits.
+	// Supersedes BackgroundWorkers when set (the duplex pool runs the
+	// handler too). A failed build is committed as an error tombstone
+	// (status 13, error flag set) instead of breaking the connection.
+	HostWorkers int
 	// LatencyObserver, when non-nil, receives the enqueue-to-response
 	// latency of every request in nanoseconds (client side). The paper
 	// instruments the library itself with a Prometheus client (Sec. VI);
@@ -166,4 +180,7 @@ type Counters struct {
 	AckOnlyBlocks     uint64 // empty blocks sent to carry acknowledgments
 	MinCreditsSeen    uint64 // low-water mark of the credit counter
 	ErrorsReceived    uint64
+	DuplexHandled     uint64 // handler stages completed on the duplex pool
+	DuplexBuilt       uint64 // response builds completed on the duplex pool
+	DuplexTombstones  uint64 // failed builds committed as error responses
 }

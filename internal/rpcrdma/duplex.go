@@ -1,0 +1,209 @@
+package rpcrdma
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"dpurpc/internal/arena"
+)
+
+// The duplex pipeline parallelizes the response direction the same way the
+// client's Reserve/Commit split parallelized requests: worker goroutines
+// run the handler and build response payloads, while the poller thread owns
+// every QP/CQ/allocator mutation. A request flows
+//
+//	poller: dxAdmit            → workQ (stage dxHandle)
+//	worker: run handler        → compQ
+//	poller: dxReserveReady     → ReserveResponse in receive order → workQ (stage dxBuild)
+//	worker: spec.Build(Dst)    → compQ
+//	poller: dxCollect          → CommitResponse (or error tombstone)
+//
+// Reservations happen strictly in receive order (dxNextRes), preserving the
+// deterministic request-ID replay contract; commits happen in completion
+// order, which is safe because a reserved slot's position in its block is
+// fixed and trySendResponses stalls on blocks with pending slots.
+
+// duplexBuildFailed is the status a failed response build is tombstoned
+// with. Mirrors xrpc.StatusInternal (rpcrdma deliberately does not import
+// xrpc).
+const duplexBuildFailed uint16 = 13
+
+type respStage uint8
+
+const (
+	dxHandle respStage = iota // run the handler, producing a ResponseSpec
+	dxBuild                   // build the payload into the reserved slot
+)
+
+// respTask carries one request through the duplex pipeline. It lives in
+// exactly one place at a time (workQ, a worker, compQ, or dxReadyQ), so its
+// fields need no locking.
+type respTask struct {
+	id    uint16
+	seq   uint64
+	req   Request
+	stage respStage
+	spec  ResponseSpec
+	res   *RespReservation
+	root  uint32
+	used  int
+	err   error
+}
+
+// duplexPool runs handler and build stages on worker goroutines. Channel
+// capacities equal the connection's in-flight bound (dxMax), and the poller
+// admits at most that many tasks, so no send on workQ or compQ ever blocks.
+type duplexPool struct {
+	handler Handler
+	workQ   chan *respTask
+	compQ   chan *respTask
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+func newDuplexPool(workers, maxInflight int, h Handler) *duplexPool {
+	p := &duplexPool{
+		handler: h,
+		workQ:   make(chan *respTask, maxInflight),
+		compQ:   make(chan *respTask, maxInflight),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *duplexPool) worker() {
+	defer p.wg.Done()
+	for t := range p.workQ {
+		switch t.stage {
+		case dxHandle:
+			t.spec = p.handler(t.req)
+		case dxBuild:
+			t.root, t.used, t.err = t.spec.Build(t.res.Dst, t.res.RegionOff)
+		}
+		p.compQ <- t
+	}
+}
+
+func (p *duplexPool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.workQ)
+	p.wg.Wait()
+}
+
+// dxAdmit enters one request into the duplex pipeline, spilling to the
+// backlog when the in-flight bound is reached (backpressure keeps channel
+// occupancy under the channel capacity). Poller-only.
+func (s *ServerConn) dxAdmit(id uint16, req Request) {
+	t := &respTask{id: id, seq: s.dxSeqNext, req: req, stage: dxHandle}
+	s.dxSeqNext++
+	if s.dxInflight < s.dxMax {
+		s.dxInflight++
+		s.duplex.workQ <- t
+	} else {
+		s.dxBacklog = append(s.dxBacklog, t)
+	}
+}
+
+// dxDispatchBacklog moves backlogged requests into the pool as slots free
+// up.
+func (s *ServerConn) dxDispatchBacklog() {
+	for len(s.dxBacklog) > 0 && s.dxInflight < s.dxMax {
+		t := s.dxBacklog[0]
+		s.dxBacklog = s.dxBacklog[0:copy(s.dxBacklog, s.dxBacklog[1:])]
+		s.dxInflight++
+		s.duplex.workQ <- t
+	}
+}
+
+// dxCollect drains completed stages: handler results queue for in-order
+// reservation; finished builds commit (or tombstone on build error — the
+// slot is already on the wire path, so the request must still be answered).
+// Returns the number of completions drained. Poller-only.
+func (s *ServerConn) dxCollect() int {
+	drained := 0
+	for {
+		select {
+		case t := <-s.duplex.compQ:
+			drained++
+			switch t.stage {
+			case dxHandle:
+				s.Counters.DuplexHandled++
+				s.dxReadyQ[t.seq] = t
+			case dxBuild:
+				s.dxInflight--
+				if t.err != nil {
+					s.Counters.DuplexTombstones++
+					if err := s.CommitResponse(t.res, duplexBuildFailed, true, false, 0, 0); err != nil {
+						s.fail(err)
+					}
+					continue
+				}
+				s.Counters.DuplexBuilt++
+				if err := s.CommitResponse(t.res, t.spec.Status, t.spec.Err, t.spec.Object, t.root, t.used); err != nil {
+					s.fail(err)
+				}
+			}
+		default:
+			return drained
+		}
+	}
+}
+
+// dxReserveReady reserves response slots in receive order for handler
+// results that are ready, then hands each build back to the pool. A
+// specless response (Build == nil) commits immediately. On send-buffer
+// exhaustion the task waits; client acks will free blocks and a later pass
+// retries. Poller-only.
+func (s *ServerConn) dxReserveReady() {
+	for {
+		t, ok := s.dxReadyQ[s.dxNextRes]
+		if !ok {
+			return
+		}
+		r, err := s.ReserveResponse(t.id, t.spec.Size)
+		if err != nil {
+			if errors.Is(err, arena.ErrOutOfMemory) {
+				return // retry after acks reclaim blocks
+			}
+			s.fail(err)
+			delete(s.dxReadyQ, s.dxNextRes)
+			s.dxNextRes++
+			s.dxInflight--
+			continue
+		}
+		delete(s.dxReadyQ, s.dxNextRes)
+		s.dxNextRes++
+		if t.spec.Build == nil {
+			s.dxInflight--
+			if err := s.CommitResponse(r, t.spec.Status, t.spec.Err, t.spec.Object, 0, t.spec.Size); err != nil {
+				s.fail(err)
+			}
+			continue
+		}
+		t.res = r
+		t.stage = dxBuild
+		s.duplex.workQ <- t
+	}
+}
+
+// dxProgress is the per-Progress duplex update: collect completions,
+// reserve in order, refill from the backlog, and collect again so a build
+// finishing mid-pass commits without waiting a full cycle. Poller-only.
+func (s *ServerConn) dxProgress() {
+	drained := s.dxCollect()
+	s.dxReserveReady()
+	s.dxDispatchBacklog()
+	drained += s.dxCollect()
+	s.dxReserveReady()
+	if drained == 0 && s.dxInflight > 0 {
+		// Workers are mid-stage; yield so they can run (single-CPU CI).
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,253 @@
+package rpcrdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dpurpc/internal/arena"
+)
+
+// duplexCfg returns the small test config with the host-side duplex
+// pipeline enabled at the given width.
+func duplexCfg(workers int) (Config, Config) {
+	ccfg, scfg := smallCfg()
+	scfg.HostWorkers = workers
+	return ccfg, scfg
+}
+
+func TestDuplexEcho(t *testing.T) {
+	// The full reserve → parallel build → commit response pipeline under a
+	// batched load: every echo must come back intact and in the slots the
+	// poller reserved in receive order.
+	ccfg, scfg := duplexCfg(4)
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 500, 64)
+	c := r.server.Counters
+	if c.DuplexHandled != 500 || c.DuplexBuilt != 500 {
+		t.Errorf("duplex counters: handled=%d built=%d", c.DuplexHandled, c.DuplexBuilt)
+	}
+	if c.DuplexTombstones != 0 {
+		t.Errorf("unexpected tombstones: %d", c.DuplexTombstones)
+	}
+}
+
+func TestDuplexLargePayloads(t *testing.T) {
+	// Payloads near the block size force per-response blocks, overflow
+	// seals from ReserveResponse, and reservation retries on arena
+	// backpressure.
+	ccfg, scfg := duplexCfg(3)
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 60, 3000)
+	if r.server.Counters.DuplexBuilt != 60 {
+		t.Errorf("built %d/60", r.server.Counters.DuplexBuilt)
+	}
+}
+
+func TestDuplexSingleWorkerMatchesSerial(t *testing.T) {
+	// HostWorkers == 1 keeps the serial response path (no pool is built).
+	ccfg, scfg := duplexCfg(1)
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 100, 64)
+	if c := r.server.Counters; c.DuplexHandled != 0 || c.DuplexBuilt != 0 {
+		t.Errorf("HostWorkers=1 must not run the duplex pool: %+v", c)
+	}
+}
+
+func TestDuplexStatusOnlyResponses(t *testing.T) {
+	// Handlers with no Build (status-only responses) skip the build stage
+	// and commit straight from the reserve replay.
+	ccfg, scfg := duplexCfg(4)
+	r := newRig(t, ccfg, scfg, func(req Request) ResponseSpec {
+		return ResponseSpec{Status: req.Method}
+	})
+	got := 0
+	for i := 0; i < 200; i++ {
+		i := i
+		err := r.client.Enqueue(CallSpec{
+			Method: uint16(i % 7),
+			Size:   16,
+			OnResponse: func(resp Response) {
+				got++
+				if resp.Status != uint16(i%7) || resp.Err || len(resp.Payload) != 0 {
+					t.Errorf("request %d: status=%d err=%v len=%d", i, resp.Status, resp.Err, len(resp.Payload))
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	r.pump(t)
+	if got != 200 {
+		t.Fatalf("got %d/200", got)
+	}
+	if r.server.Counters.DuplexBuilt != 0 {
+		t.Error("status-only responses must not enter the build stage")
+	}
+}
+
+func TestDuplexBuildFailureTombstone(t *testing.T) {
+	// A failing response build must not kill the connection or leak the
+	// reserved slot: the slot is committed as an error tombstone
+	// (Internal status) and every other request still completes.
+	ccfg, scfg := duplexCfg(4)
+	r := newRig(t, ccfg, scfg, func(req Request) ResponseSpec {
+		payload := append([]byte(nil), req.Payload...)
+		return ResponseSpec{
+			Status: req.Method,
+			Size:   len(payload),
+			Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+				if req.Method == 5 {
+					return 0, 0, errors.New("deliberate build failure")
+				}
+				copy(dst, payload)
+				return req.Root, len(payload), nil
+			},
+		}
+	})
+	const n = 350
+	got, tombstones := 0, 0
+	for i := 0; i < n; i++ {
+		i := i
+		enqueue := func() error {
+			return r.client.Enqueue(CallSpec{
+				Method: uint16(i % 7),
+				Size:   64,
+				Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+					binary.LittleEndian.PutUint64(dst, uint64(i))
+					return uint32(i), 64, nil
+				},
+				OnResponse: func(resp Response) {
+					got++
+					if i%7 == 5 {
+						tombstones++
+						if !resp.Err || resp.Status != duplexBuildFailed || len(resp.Payload) != 0 {
+							t.Errorf("request %d: want tombstone, got status=%d err=%v len=%d",
+								i, resp.Status, resp.Err, len(resp.Payload))
+						}
+						return
+					}
+					if resp.Err || resp.Status != uint16(i%7) {
+						t.Errorf("request %d: status=%d err=%v", i, resp.Status, resp.Err)
+					}
+					if v := binary.LittleEndian.Uint64(resp.Payload); v != uint64(i) {
+						t.Errorf("request %d: payload %d", i, v)
+					}
+				},
+			})
+		}
+		err := enqueue()
+		for retries := 0; errors.Is(err, arena.ErrOutOfMemory) && retries < 1000; retries++ {
+			if _, perr := r.client.Progress(); perr != nil {
+				t.Fatal(perr)
+			}
+			if _, perr := r.poller.Progress(); perr != nil {
+				t.Fatal(perr)
+			}
+			err = enqueue()
+		}
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	r.pump(t)
+	if got != n {
+		t.Fatalf("got %d/%d", got, n)
+	}
+	want := n / 7 // methods cycle 0..6; method 5 fails
+	if tombstones != want {
+		t.Fatalf("tombstones %d, want %d", tombstones, want)
+	}
+	if r.server.Counters.DuplexTombstones != uint64(want) {
+		t.Errorf("server counted %d tombstones", r.server.Counters.DuplexTombstones)
+	}
+	// The connection survived: one more clean round trip (4 calls keep the
+	// cycling methods below the failing method 5).
+	r.call(t, 4, 32)
+}
+
+func TestDuplexSettersOrder(t *testing.T) {
+	// Commits land in completion order while sends stay blocked until a
+	// block has no pending reservations; responses must replay request
+	// identity regardless. Mixed sizes maximize out-of-order completion.
+	ccfg, scfg := duplexCfg(4)
+	r := newRig(t, ccfg, scfg, nil)
+	sizes := []int{16, 700, 64, 1800, 8, 256}
+	got := 0
+	for i := 0; i < 300; i++ {
+		i := i
+		size := sizes[i%len(sizes)]
+		enqueue := func() error {
+			return r.client.Enqueue(CallSpec{
+				Method: uint16(i % 7),
+				Size:   size,
+				Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+					if size >= 8 {
+						binary.LittleEndian.PutUint64(dst, uint64(i))
+					}
+					return uint32(i), size, nil
+				},
+				OnResponse: func(resp Response) {
+					got++
+					if resp.Root != uint32(i) || len(resp.Payload) != size {
+						t.Errorf("request %d: root=%d len=%d want len=%d",
+							i, resp.Root, len(resp.Payload), size)
+					}
+					if size >= 8 {
+						if v := binary.LittleEndian.Uint64(resp.Payload); v != uint64(i) {
+							t.Errorf("request %d: payload %d", i, v)
+						}
+					}
+				},
+			})
+		}
+		err := enqueue()
+		for retries := 0; errors.Is(err, arena.ErrOutOfMemory) && retries < 1000; retries++ {
+			if _, perr := r.client.Progress(); perr != nil {
+				t.Fatal(perr)
+			}
+			if _, perr := r.poller.Progress(); perr != nil {
+				t.Fatal(perr)
+			}
+			err = enqueue()
+		}
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	r.pump(t)
+	if got != 300 {
+		t.Fatalf("got %d/300", got)
+	}
+}
+
+func TestDuplexSupersedesBackground(t *testing.T) {
+	// HostWorkers > 1 takes priority over BackgroundWorkers.
+	ccfg, scfg := duplexCfg(2)
+	scfg.BackgroundWorkers = 2
+	r := newRig(t, ccfg, scfg, nil)
+	r.call(t, 50, 64)
+	if r.server.Counters.DuplexHandled != 50 {
+		t.Errorf("duplex handled %d/50 (background pool stole the work?)",
+			r.server.Counters.DuplexHandled)
+	}
+}
+
+func TestReserveCommitSerialEquivalence(t *testing.T) {
+	// The serial appendResponse wrapper (reserve → build → commit) must
+	// produce the same wire contract as before: this pins the response for
+	// a given request sequence across the serial and duplex paths.
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ccfg, scfg := duplexCfg(workers)
+			r := newRig(t, ccfg, scfg, nil)
+			r.call(t, 200, 96)
+			if r.client.Counters.ResponsesReceived != 200 {
+				t.Errorf("responses %d", r.client.Counters.ResponsesReceived)
+			}
+		})
+	}
+}

@@ -76,11 +76,12 @@ func (s *ServerConn) advanceAckPrefix() {
 
 // respBlock is a response block under construction or in flight.
 type respBlock struct {
-	off  uint64
-	buf  []byte
-	used int
-	ids  []uint16 // request IDs answered, in order (for the ack protocol)
-	msgs uint16
+	off     uint64
+	buf     []byte
+	used    int
+	pending int      // reserved slots whose payload is still being built
+	ids     []uint16 // request IDs answered, in slot order (for the ack protocol)
+	msgs    uint16
 }
 
 // ServerConn is the host-side endpoint of one connection.
@@ -103,6 +104,18 @@ type ServerConn struct {
 	// bg is the background worker pool (nil in foreground mode).
 	bg        *bgPool
 	bgScratch []bgResult
+
+	// duplex is the response-direction pipeline (nil unless
+	// Config.HostWorkers > 1): handlers and response builds run on the
+	// pool, the poller reserves slots in receive order and commits them as
+	// builds complete. See duplex.go.
+	duplex    *duplexPool
+	dxSeqNext uint64
+	dxNextRes uint64
+	dxReadyQ  map[uint64]*respTask
+	dxInflight int
+	dxBacklog  []*respTask
+	dxMax      int
 
 	// reqBlocks tracks received request blocks in order; a block is
 	// acknowledged (via the next response preamble) once every request in
@@ -128,7 +141,11 @@ func newServerConn(cfg Config, qp *rdma.QP, sendCQ *rdma.CQ, sbuf []byte, rbuf *
 	}
 	s.Counters.MinCreditsSeen = uint64(cfg.Credits)
 	s.reqBlockOf = make(map[uint16]*reqBlockState)
-	if cfg.BackgroundWorkers > 0 {
+	if cfg.HostWorkers > 1 {
+		s.dxMax = 4 * cfg.HostWorkers
+		s.duplex = newDuplexPool(cfg.HostWorkers, s.dxMax, h)
+		s.dxReadyQ = make(map[uint64]*respTask)
+	} else if cfg.BackgroundWorkers > 0 {
 		s.bg = newBGPool(cfg.BackgroundWorkers, h)
 	}
 	if _, err := s.alloc.Alloc(BlockAlign, BlockAlign); err != nil {
@@ -166,11 +183,38 @@ func (s *ServerConn) newRespBlock(firstSlot int) (*respBlock, error) {
 	return &respBlock{off: off, buf: s.sbuf[off : off+uint64(size)], used: PreambleSize}, nil
 }
 
-// appendResponse adds one response message to the outgoing batch.
-func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
-	slot := slotSize(spec.Size)
+// RespReservation is a claimed response slot in the outgoing batch: header
+// and payload space are reserved and the slot's position in the block is
+// fixed, but the payload is not yet built and the block cannot transmit
+// until the slot is committed (or cancelled). Dst and RegionOff let a
+// worker goroutine build the payload off the poller; every other method of
+// the connection remains poller-only.
+type RespReservation struct {
+	// Dst is the reserved payload area (len == reserved Size).
+	Dst []byte
+	// RegionOff is the region offset of Dst[0] in the response direction's
+	// shared address space.
+	RegionOff uint64
+
+	b      *respBlock
+	id     uint16
+	idx    int // index in b.ids
+	hdrPos int
+	size   int
+	done   bool
+}
+
+// ReserveResponse claims a response slot for request id with a payload
+// capacity of size bytes. The slot joins the current block in call order
+// (preserving the deterministic ID replay contract); the block transmits
+// only after every reserved slot commits. Poller-only.
+func (s *ServerConn) ReserveResponse(id uint16, size int) (*RespReservation, error) {
+	if s.broken != nil {
+		return nil, s.broken
+	}
+	slot := slotSize(size)
 	if PreambleSize+slot > len(s.sbuf) {
-		return fmt.Errorf("%w: response needs %d bytes", ErrTooLargeForBuffer, slot)
+		return nil, fmt.Errorf("%w: response needs %d bytes", ErrTooLargeForBuffer, slot)
 	}
 	if s.cur != nil && s.cur.used+slot > len(s.cur.buf) {
 		s.sealResp()
@@ -180,46 +224,125 @@ func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
 		if err != nil {
 			s.trySendResponses()
 			if b, err = s.newRespBlock(slot); err != nil {
-				return err
+				return nil, err
 			}
-			s.cur = b
-		} else {
-			s.cur = b
 		}
+		s.cur = b
 	}
 	b := s.cur
 	hdrPos := b.used
-	payload := b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+spec.Size]
-	var root uint32
-	used := spec.Size
-	if spec.Build != nil {
-		var err error
-		root, used, err = spec.Build(payload, b.off+uint64(hdrPos+HeaderSize))
-		if err != nil {
-			return err
-		}
-		if used > spec.Size {
-			return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, spec.Size)
-		}
+	b.used = hdrPos + HeaderSize + alignUp(size)
+	r := &RespReservation{
+		Dst:       b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+size],
+		RegionOff: b.off + uint64(hdrPos+HeaderSize),
+		b:         b,
+		id:        id,
+		idx:       len(b.ids),
+		hdrPos:    hdrPos,
+		size:      size,
 	}
-	putHeader(b.buf[hdrPos:], header{
-		payloadLen: uint32(used),
-		rootOff:    root,
-		method:     spec.Status,
-		reqID:      id,
-		response:   true,
-		errFlag:    spec.Err,
-		object:     spec.Object,
-	})
-	b.used = hdrPos + HeaderSize + alignUp(used)
 	b.ids = append(b.ids, id)
 	b.msgs++
+	b.pending++
+	return r, nil
+}
+
+// CommitResponse finalizes a reserved slot: writes the header, shrinks or
+// pads the payload to used bytes, and releases the block for transmission
+// once no sibling slots remain pending. Poller-only.
+func (s *ServerConn) CommitResponse(r *RespReservation, status uint16, errFlag, object bool, root uint32, used int) error {
+	if r.done {
+		return fmt.Errorf("rpcrdma: response reservation already completed")
+	}
+	if s.broken != nil {
+		r.done = true
+		return s.broken
+	}
+	if used > r.size {
+		r.done = true
+		return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, r.size)
+	}
+	b := r.b
+	var pad int
+	if b == s.cur && r.hdrPos+HeaderSize+alignUp(r.size) == b.used {
+		// Tail slot of the open block: shrink the block to the bytes
+		// actually used, exactly as the serial append did.
+		b.used = r.hdrPos + HeaderSize + alignUp(used)
+	} else if used < r.size {
+		// Interior slot: the stride is fixed by later reservations, so the
+		// header carries the leftover bytes as pad — keeping the declared
+		// payload length exact — and the suffix is cleared so the wire
+		// bytes stay deterministic.
+		pad = alignUp(r.size) - alignUp(used)
+		if pad/8 > 0xFFFF {
+			r.done = true
+			b.pending--
+			err := fmt.Errorf("rpcrdma: response slot pad %d exceeds the wire format", pad)
+			s.fail(err)
+			return err
+		}
+		clear(b.buf[r.hdrPos+HeaderSize+used : r.hdrPos+HeaderSize+alignUp(r.size)])
+	}
+	putHeader(b.buf[r.hdrPos:], header{
+		payloadLen: uint32(used),
+		rootOff:    root,
+		method:     status,
+		reqID:      r.id,
+		pad:        uint32(pad),
+		response:   true,
+		errFlag:    errFlag,
+		object:     object,
+	})
+	r.done = true
+	b.pending--
 	s.Counters.ResponsesSent++
-	s.markAnswered(id)
-	if b.used >= s.cfg.BlockSize {
+	s.markAnswered(r.id)
+	if b == s.cur && b.pending == 0 && b.used >= s.cfg.BlockSize {
 		s.sealResp()
 	}
 	return nil
+}
+
+// CancelResponse abandons a reserved slot. A tail slot of the open block is
+// rolled back entirely (the serial wrapper's build-failure path, which must
+// leave the block byte-identical to pre-reserve state); an interior slot
+// cannot be excised, so it is committed as an error tombstone instead.
+// Poller-only.
+func (s *ServerConn) CancelResponse(r *RespReservation) {
+	if r.done {
+		return
+	}
+	b := r.b
+	if b == s.cur && r.idx == len(b.ids)-1 && r.hdrPos+HeaderSize+alignUp(r.size) == b.used {
+		b.used = r.hdrPos
+		b.ids = b.ids[:r.idx]
+		b.msgs--
+		b.pending--
+		r.done = true
+		return
+	}
+	if err := s.CommitResponse(r, duplexBuildFailed, true, false, 0, 0); err != nil {
+		s.fail(err)
+	}
+}
+
+// appendResponse adds one response message to the outgoing batch — the
+// serial path, now a thin wrapper over the reserve/commit split.
+func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
+	r, err := s.ReserveResponse(id, spec.Size)
+	if err != nil {
+		return err
+	}
+	var root uint32
+	used := spec.Size
+	if spec.Build != nil {
+		root, used, err = spec.Build(r.Dst, r.RegionOff)
+		if err != nil {
+			s.CancelResponse(r)
+			return err
+		}
+	}
+	return s.CommitResponse(r, spec.Status, spec.Err, spec.Object, root, used)
 }
 
 func (s *ServerConn) sealResp() {
@@ -233,6 +356,16 @@ func (s *ServerConn) sealResp() {
 	s.cur = nil
 }
 
+// flushPartial seals the partial current block unless reserved slots are
+// still building — the response-direction analogue of the client's
+// holdPartial batching.
+func (s *ServerConn) flushPartial() {
+	if s.cur != nil && s.cur.pending > 0 {
+		return
+	}
+	s.sealResp()
+}
+
 func (s *ServerConn) trySendResponses() {
 	for len(s.sendQ) > 0 {
 		if s.credits == 0 {
@@ -240,6 +373,12 @@ func (s *ServerConn) trySendResponses() {
 			return
 		}
 		b := s.sendQ[0]
+		if b.pending > 0 {
+			// Head-of-line slot still building on a duplex worker; the
+			// block's wire position is fixed, so later blocks must wait.
+			s.Counters.PipelineStalls++
+			return
+		}
 		ack := s.ackReady
 		s.ackReady = 0
 		putPreamble(b.buf, preamble{
@@ -339,7 +478,13 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 			RegionOff: off + uint64(pos+HeaderSize),
 			Root:      h.rootOff,
 		}
-		if s.bg != nil {
+		if s.duplex != nil {
+			// Duplex pipeline: handler AND response build run on the
+			// worker pool; the poller reserves slots in receive order and
+			// commits them as builds complete. Payload lifetime is covered
+			// by ConservativeAcks, as in the background path.
+			s.dxAdmit(ids[i], req)
+		} else if s.bg != nil {
 			// Background execution (Sec. III-D): dispatch to the pool;
 			// the response is appended when a later Progress drains it.
 			// The payload view stays valid because the client recycles
@@ -351,7 +496,7 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 				return err
 			}
 		}
-		pos = pos + HeaderSize + alignUp(int(h.payloadLen))
+		pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
 	}
 	s.Counters.BlocksReceived++
 	return nil
@@ -413,7 +558,7 @@ func (sp *ServerPoller) Conns() []*ServerConn {
 func (sp *ServerPoller) Progress() (int, error) {
 	events := 0
 	n := sp.recvCQ.Poll(sp.cqes)
-	if n == 0 && !sp.cfg.BusyPoll {
+	if n == 0 && !sp.cfg.BusyPoll && !sp.duplexBusy() {
 		n = sp.recvCQ.Wait(sp.cqes, sp.cfg.WaitTimeout)
 	}
 	var firstErr error
@@ -454,7 +599,10 @@ func (sp *ServerPoller) Progress() (int, error) {
 				}
 			}
 		}
-		conn.sealResp()
+		if conn.duplex != nil {
+			conn.dxProgress()
+		}
+		conn.flushPartial()
 		conn.trySendResponses()
 		if conn.broken != nil && firstErr == nil {
 			firstErr = conn.broken
@@ -475,12 +623,40 @@ func (sp *ServerPoller) BackgroundPending() int {
 	return n
 }
 
-// Close stops the background worker pools (if any). The poller itself is
-// driven by the caller and needs no teardown.
+// ResponsePending returns the number of requests inside the duplex
+// response pipeline (queued, building, or awaiting commit) across all
+// connections.
+func (sp *ServerPoller) ResponsePending() int {
+	n := 0
+	for _, conn := range sp.conns {
+		if conn.duplex != nil {
+			n += conn.dxInflight + len(conn.dxBacklog)
+		}
+	}
+	return n
+}
+
+// duplexBusy reports whether any connection has duplex work in flight, in
+// which case the poller must keep spinning to commit completions instead of
+// blocking on the receive CQ.
+func (sp *ServerPoller) duplexBusy() bool {
+	for _, conn := range sp.conns {
+		if conn.duplex != nil && (conn.dxInflight > 0 || len(conn.dxBacklog) > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops the background and duplex worker pools (if any). The poller
+// itself is driven by the caller and needs no teardown.
 func (sp *ServerPoller) Close() {
 	for _, conn := range sp.conns {
 		if conn.bg != nil {
 			conn.bg.close()
+		}
+		if conn.duplex != nil {
+			conn.duplex.close()
 		}
 	}
 }

@@ -80,7 +80,11 @@ func parsePreamble(b []byte) (preamble, error) {
 //	+8  method     u16  procedure ID (requests) / status code (responses)
 //	+10 reqID      u16  request ID (responses only)
 //	+12 flags      u16  bit0 response, bit1 error
-//	+14 reserved   u16
+//	+14 pad        u16  extra slot bytes after the aligned payload, in
+//	                    8-byte units (0 on the serial paths). Lets an
+//	                    interior slot whose build used fewer bytes than it
+//	                    reserved keep its fixed stride while declaring the
+//	                    exact payload length.
 //
 // The paper stores the payload size in 16 bits; we widen it to 32 using the
 // variable-cost escape hatch the paper itself proposes ("this limit can be
@@ -91,6 +95,7 @@ type header struct {
 	rootOff    uint32
 	method     uint16 // or status on responses
 	reqID      uint16
+	pad        uint32 // slot bytes to skip after alignUp(payloadLen); multiple of 8
 	response   bool
 	errFlag    bool
 	object     bool
@@ -112,7 +117,7 @@ func putHeader(b []byte, h header) {
 		flags |= flagObject
 	}
 	binary.LittleEndian.PutUint16(b[12:14], flags)
-	binary.LittleEndian.PutUint16(b[14:16], 0)
+	binary.LittleEndian.PutUint16(b[14:16], uint16(h.pad/8))
 }
 
 func parseHeader(b []byte) (header, error) {
@@ -125,6 +130,7 @@ func parseHeader(b []byte) (header, error) {
 		rootOff:    binary.LittleEndian.Uint32(b[4:8]),
 		method:     binary.LittleEndian.Uint16(b[8:10]),
 		reqID:      binary.LittleEndian.Uint16(b[10:12]),
+		pad:        uint32(binary.LittleEndian.Uint16(b[14:16])) * 8,
 		response:   flags&flagResponse != 0,
 		errFlag:    flags&flagError != 0,
 		object:     flags&flagObject != 0,

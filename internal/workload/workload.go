@@ -63,6 +63,7 @@ service Bench {
   rpc CallSmall (Small) returns (Empty);
   rpc CallInts (IntArray) returns (Empty);
   rpc CallChars (CharArray) returns (Empty);
+  rpc Echo (CharArray) returns (CharArray);
 }
 `
 
@@ -71,6 +72,10 @@ const (
 	MethodSmall uint16 = 0
 	MethodInts  uint16 = 1
 	MethodChars uint16 = 2
+	// MethodEcho returns its char-array request verbatim: the
+	// response-direction workload (duplex pipeline / response-serialization
+	// offload scaling).
+	MethodEcho uint16 = 3
 )
 
 // Env bundles the parsed schema, registry, and ADT table for the benchmark

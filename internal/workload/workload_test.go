@@ -151,13 +151,17 @@ func TestGenCharsReproducible(t *testing.T) {
 
 func TestEnvWiring(t *testing.T) {
 	e := env(t)
-	if e.Service == nil || len(e.Service.Methods) != 3 {
+	if e.Service == nil || len(e.Service.Methods) != 4 {
 		t.Fatal("service missing")
 	}
 	if e.Service.Methods[MethodSmall].Input != e.Small ||
 		e.Service.Methods[MethodInts].Input != e.IntArray ||
 		e.Service.Methods[MethodChars].Input != e.CharArray {
 		t.Error("method inputs wrong")
+	}
+	if e.Service.Methods[MethodEcho].Input != e.CharArray ||
+		e.Service.Methods[MethodEcho].Output != e.CharArray {
+		t.Error("echo method types wrong")
 	}
 	for _, s := range Scenarios() {
 		if e.Layout(s) == nil || e.Desc(s) == nil {

@@ -42,6 +42,13 @@ type StackOptions struct {
 	// datapath. With the pipeline enabled the stack serves xRPC through
 	// the stream interface so response buffers are recycled.
 	DPUWorkers int
+	// HostWorkers > 1 runs the host-side duplex response pipeline: the
+	// host poller admits requests and that many workers run handlers and
+	// build response objects in parallel into protocol slots reserved in
+	// receive order (the response-direction mirror of DPUWorkers).
+	// Supersedes BackgroundWorkers when set. 0 or 1 keeps the serial
+	// response path. Handlers must be safe for concurrent invocation.
+	HostWorkers int
 }
 
 func (o *StackOptions) fill() {
@@ -61,6 +68,7 @@ type Stack struct {
 
 	mu      sync.Mutex
 	stops   []chan struct{}
+	pollers sync.WaitGroup // host poller goroutines; waited before deployment.Close
 	serving bool
 	closed  bool
 
@@ -81,6 +89,7 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		BackgroundWorkers:            opts.BackgroundWorkers,
 		HostPollers:                  opts.HostPollers,
 		DPUWorkers:                   opts.DPUWorkers,
+		HostWorkers:                  opts.HostWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -96,7 +105,9 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		poller := poller
 		hostStop := make(chan struct{})
 		st.stops = append(st.stops, hostStop)
+		st.pollers.Add(1)
 		go func() {
+			defer st.pollers.Done()
 			for {
 				select {
 				case <-hostStop:
@@ -212,7 +223,10 @@ func (s *Stack) Close() {
 		close(stop)
 	}
 	if s.deployment != nil {
-		s.deployment.Close() // stops background worker pools
+		// Host pollers drive the duplex response pipeline; let them drain
+		// out before Close tears down the worker pools under them.
+		s.pollers.Wait()
+		s.deployment.Close() // stops background and duplex worker pools
 	}
 }
 
