@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench experiments fuzz clean
+.PHONY: all build test fmt-check race cover bench experiments fuzz clean
 
 all: build test
 
@@ -8,16 +8,28 @@ build:
 	go build ./...
 	go vet ./...
 
-test:
+test: fmt-check
 	go vet ./...
 	go test ./...
+
+# Fail on unformatted files (gofmt prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
 
 # Race-detector pass over the concurrent packages: the DPU deserialization
 # and response-serialization pipelines (worker pools + pollers), the host
 # duplex pool, the protocol layer they reserve/commit into, the xRPC
-# transport that feeds them, and the generated-bindings byte-identity tests.
+# transport that feeds them, the generated-bindings byte-identity tests,
+# and the datapath span recorder.
 race:
-	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/...
+
+# Aggregate coverage over every package, with a summary and an HTML-ready
+# profile at cover.out.
+cover:
+	go test -coverprofile=cover.out -covermode=atomic ./...
+	go tool cover -func=cover.out | tail -1
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -34,3 +46,4 @@ fuzz:
 
 clean:
 	go clean ./...
+	rm -f cover.out

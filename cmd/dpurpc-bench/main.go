@@ -8,6 +8,8 @@
 //	dpurpc-bench -experiment fig7|fig8a|fig8b|fig8c|table1|blocksweep|busypoll|llc
 //	dpurpc-bench -experiment fig8a -requests 50000
 //	dpurpc-bench -experiment respscale -host-workers 8
+//	dpurpc-bench -experiment anatomy -requests 4000
+//	dpurpc-bench -experiment all -debug-addr localhost:9090   # live /metrics, /trace
 package main
 
 import (
@@ -21,12 +23,14 @@ import (
 	"dpurpc/internal/arena"
 	"dpurpc/internal/dpu"
 	"dpurpc/internal/harness"
+	"dpurpc/internal/metrics"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/workload"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -34,7 +38,11 @@ func main() {
 		"deserialization workers per DPU poller; >1 enables the reserve/build/commit pipeline (1 = serial datapath)")
 	hostWorkers := flag.Int("host-workers", dpu.Default().Host.Cores,
 		"host-side duplex workers per connection; >1 runs handlers + response builds in parallel (1 = serial response path); also the top of the respscale sweep")
-	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, and respscale)")
+	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, respscale, and anatomy)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve live telemetry on this address while the experiments run (/metrics Prometheus text, /trace Chrome trace JSON for Perfetto, /anatomy, /healthz); empty disables")
+	traceOut := flag.String("trace-out", "",
+		"write the spans collected by -debug-addr's tracer as Chrome trace-event JSON to this file on exit")
 	flag.Parse()
 
 	opts := harness.DefaultOptions()
@@ -44,6 +52,37 @@ func main() {
 	opts.HostWorkers = *hostWorkers
 	csv := *format == "csv"
 	jsonOut := *format == "json"
+
+	var tracer *trace.Tracer
+	if *debugAddr != "" || *traceOut != "" {
+		opts.Registry = metrics.NewRegistry()
+		tracer = trace.New(trace.Config{})
+		tracer.Enable()
+		opts.Tracer = tracer
+	}
+	if *debugAddr != "" {
+		srv, err := trace.ListenDebug(*debugAddr, trace.NewDebugMux(opts.Registry, tracer, nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s (/metrics /trace /anatomy /healthz)\n", srv.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := trace.WriteChrome(f, tracer.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -102,6 +141,19 @@ func main() {
 			return printRespScaleCSV(rows)
 		}
 		return printRespScale(rows)
+	})
+	run("anatomy", func() error {
+		rep, err := harness.RunAnatomy(opts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printAnatomyJSON(rep)
+		}
+		if csv {
+			return printAnatomyCSV(rep)
+		}
+		return printAnatomy(rep)
 	})
 	run("blocksweep", func() error { return printBlockSweep(opts) })
 	run("busypoll", func() error { return printPollModes(opts) })
@@ -177,11 +229,12 @@ func printRespScale(rows []harness.RespScaleRow) error {
 	fmt.Println("   (host build workers = DPU serialization workers = width; modeled")
 	fmt.Println("    core spread capped at the width on both sides)")
 	w := tw()
-	fmt.Fprintln(w, "workers\tRPS\tbottleneck\thost cores\tDPU cores\tresp B/req\twall req/s (this machine)")
+	fmt.Fprintln(w, "workers\tRPS\tbottleneck\thost cores\tDPU cores\tresp B/req\tdeser util\tserial util\twall req/s (this machine)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%.3g\t%s\t%.2f\t%.2f\t%.0f\t%.3g\n",
+		fmt.Fprintf(w, "%d\t%.3g\t%s\t%.2f\t%.2f\t%.0f\t%.0f%%\t%.0f%%\t%.3g\n",
 			r.Workers, r.Result.RPS, r.Result.Bottleneck,
-			r.Result.HostCores, r.Result.DPUCores, r.RespBytesPerReq, r.WallRPS)
+			r.Result.HostCores, r.Result.DPUCores, r.RespBytesPerReq,
+			100*r.DPUUtilization, 100*r.RespUtilization, r.WallRPS)
 	}
 	w.Flush()
 	fmt.Println()
@@ -189,12 +242,12 @@ func printRespScale(rows []harness.RespScaleRow) error {
 }
 
 func printRespScaleCSV(rows []harness.RespScaleRow) error {
-	fmt.Println("workers,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,resp_bytes_per_req,wall_rps")
+	fmt.Println("workers,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,resp_bytes_per_req,dpu_utilization,resp_utilization,wall_rps")
 	for _, r := range rows {
-		fmt.Printf("%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.0f\n",
+		fmt.Printf("%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.3f,%.3f,%.0f\n",
 			r.Workers, r.Result.RPS, r.Result.BandwidthGbps,
 			r.Result.HostCores, r.Result.DPUCores, r.Result.Bottleneck,
-			r.RespBytesPerReq, r.WallRPS)
+			r.RespBytesPerReq, r.DPUUtilization, r.RespUtilization, r.WallRPS)
 	}
 	return nil
 }
@@ -203,6 +256,52 @@ func printRespScaleJSON(rows []harness.RespScaleRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+func printAnatomy(rep *harness.AnatomyReport) error {
+	fmt.Println("== Latency anatomy (Echo workload, every request traced) ==")
+	fmt.Println("   (stage rows partition each request's end-to-end window exactly:")
+	fmt.Println("    wait:X is the idle time directly before stage X, so the stage")
+	fmt.Println("    means sum to the e2e mean identically)")
+	for _, m := range rep.Modes {
+		fmt.Printf("-- %s datapath (workers=%d, traced %d/%d, wall %.3g req/s) --\n",
+			m.Mode, m.Workers, m.Traced, m.Requests, m.WallRPS)
+		w := tw()
+		fmt.Fprintln(w, "stage\tcount\tp50 us\tp90 us\tp99 us\tmean us\tshare")
+		for _, s := range m.Stages {
+			fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f%%\n",
+				s.Stage, s.Count, s.P50US, s.P90US, s.P99US, s.MeanUS, 100*s.Share)
+		}
+		fmt.Fprintf(w, "e2e\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.0f%%\n",
+			m.E2E.Count, m.E2E.P50US, m.E2E.P90US, m.E2E.P99US, m.E2E.MeanUS, 100*m.E2E.Share)
+		w.Flush()
+		fmt.Printf("   stage-sum mean %.2f us vs e2e mean %.2f us\n\n",
+			m.StageSumMeanUS, m.E2E.MeanUS)
+	}
+	return nil
+}
+
+func printAnatomyCSV(rep *harness.AnatomyReport) error {
+	fmt.Println("mode,workers,stage,count,p50_us,p90_us,p99_us,mean_us,share")
+	row := func(mode string, workers int, s harness.AnatomyStage) {
+		fmt.Printf("%s,%d,%s,%d,%.2f,%.2f,%.2f,%.3f,%.4f\n",
+			mode, workers, s.Stage, s.Count, s.P50US, s.P90US, s.P99US, s.MeanUS, s.Share)
+	}
+	for _, m := range rep.Modes {
+		for _, s := range m.Stages {
+			row(m.Mode, m.Workers, s)
+		}
+		e2e := m.E2E
+		e2e.Stage = "e2e"
+		row(m.Mode, m.Workers, e2e)
+	}
+	return nil
+}
+
+func printAnatomyJSON(rep *harness.AnatomyReport) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func printTable1(opts harness.Options) error {

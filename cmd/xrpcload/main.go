@@ -3,13 +3,17 @@
 // termination is simulated in-process) and generate pipelined load against
 // any xRPC address.
 //
-// Serve the offloaded stack:
+// Serve the offloaded stack (with the live telemetry endpoint):
 //
-//	xrpcload -serve -mode offload -addr 127.0.0.1:7788
+//	xrpcload -serve -mode offload -addr 127.0.0.1:7788 -debug-addr 127.0.0.1:9090
 //
 // Drive load against it from another terminal:
 //
 //	xrpcload -addr 127.0.0.1:7788 -scenario small -n 200000 -pipeline 256
+//
+// While load runs, http://127.0.0.1:9090/metrics serves the per-method RPC
+// series as Prometheus text and /trace serves the recorded datapath spans as
+// Chrome trace-event JSON (open it in Perfetto or chrome://tracing).
 package main
 
 import (
@@ -21,7 +25,9 @@ import (
 	"time"
 
 	"dpurpc"
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/mt19937"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/workload"
 	"dpurpc/internal/xrpc"
 )
@@ -34,10 +40,12 @@ func main() {
 	n := flag.Int("n", 100000, "requests to send")
 	pipeline := flag.Int("pipeline", 256, "in-flight requests per connection")
 	conns := flag.Int("conns", 1, "client connections")
+	debugAddr := flag.String("debug-addr", "",
+		"serve live telemetry on this address while serving (/metrics, /trace, /anatomy, /healthz); empty disables")
 	flag.Parse()
 
 	if *serve {
-		runServer(*mode, *addr)
+		runServer(*mode, *addr, *debugAddr)
 		return
 	}
 	runClient(*addr, *scenario, *n, *pipeline, *conns)
@@ -58,15 +66,25 @@ func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
 	}
 }
 
-func runServer(mode, addr string) {
+func runServer(mode, addr, debugAddr string) {
 	schema := benchSchema()
+	var opts dpurpc.StackOptions
+	var tracer *trace.Tracer
+	if debugAddr != "" {
+		opts.Registry = metrics.NewRegistry()
+		if mode == "offload" {
+			tracer = trace.New(trace.Config{})
+			tracer.Enable()
+			opts.Tracer = tracer
+		}
+	}
 	var stack *dpurpc.Stack
 	var err error
 	switch mode {
 	case "offload":
-		stack, err = dpurpc.NewOffloadedStack(schema, emptyImpls(schema), dpurpc.StackOptions{})
+		stack, err = dpurpc.NewOffloadedStack(schema, emptyImpls(schema), opts)
 	case "baseline":
-		stack, err = dpurpc.NewBaselineStack(schema, emptyImpls(schema), dpurpc.StackOptions{})
+		stack, err = dpurpc.NewBaselineStack(schema, emptyImpls(schema), opts)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", mode))
 	}
@@ -74,6 +92,14 @@ func runServer(mode, addr string) {
 		fatal(err)
 	}
 	defer stack.Close()
+	if debugAddr != "" {
+		dbg, err := trace.ListenDebug(debugAddr, trace.NewDebugMux(opts.Registry, tracer, nil))
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("xrpcload: telemetry on http://%s (/metrics /trace /anatomy /healthz)\n", dbg.Addr())
+	}
 	bound, err := stack.ListenAndServe(addr)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dpurpc/internal/offload"
+	"dpurpc/internal/trace"
+	"dpurpc/internal/workload"
+	"dpurpc/internal/xrpc"
+)
+
+// The latency-anatomy experiment answers "where does a request's time go?"
+// by tracing every RPC of an Echo run end to end and partitioning each
+// trace's window into its datapath stages plus named wait gaps (see
+// trace.Breakdown — the partition is exact, so the stage rows sum to the
+// end-to-end latency identically). It runs the same workload twice: once on
+// the serial datapath and once with the full duplex pipeline, so the
+// anatomy shows what the pipeline actually moves — which stage shrinks,
+// which wait appears.
+
+// AnatomyStage is one row of the per-stage latency table.
+type AnatomyStage struct {
+	// Stage is a datapath stage name ("dpu.build", "host.handler", ...) or
+	// a wait gap ("wait:dpu.commit" = idle time directly before that stage).
+	Stage string
+	// Count is the number of traces that contained the stage.
+	Count int
+	// Per-trace duration percentiles and mean, microseconds.
+	P50US  float64
+	P90US  float64
+	P99US  float64
+	MeanUS float64
+	// Share is this stage's fraction of the summed end-to-end time (0..1).
+	Share float64
+}
+
+// AnatomyMode is the anatomy of one datapath mode.
+type AnatomyMode struct {
+	// Mode is "serial" or "pipelined".
+	Mode string
+	// Workers is the pipeline width (0 for the serial datapath).
+	Workers int
+	// Requests is the number of RPCs driven; Traced is how many produced a
+	// complete trace (they differ only if the tracer shed load).
+	Requests int
+	Traced   int
+	// Stages are the per-stage rows in datapath order, waits interleaved.
+	Stages []AnatomyStage
+	// E2E is the end-to-end row (admission to delivery).
+	E2E AnatomyStage
+	// StageSumMeanUS is the mean over traces of the summed stage durations.
+	// By construction it equals E2E.MeanUS — reported so the consistency is
+	// visible (and testable) rather than asserted.
+	StageSumMeanUS float64
+	// WallSeconds/WallRPS are the wall-clock cost of driving the run with
+	// tracing enabled.
+	WallSeconds float64
+	WallRPS     float64
+	// TraceStats exposes the tracer's shed counters for the run.
+	TraceStats trace.Stats
+}
+
+// AnatomyReport is the full experiment output: the same workload's anatomy
+// on the serial and pipelined datapaths.
+type AnatomyReport struct {
+	Modes []AnatomyMode
+}
+
+// RunAnatomy runs the latency-anatomy experiment. The pipelined mode uses
+// opts.DPUWorkers/opts.HostWorkers (defaulting both to 4 when unset); the
+// serial mode ignores them. Each mode gets its own tracer sized to hold
+// every request, so the anatomy covers the complete run, not a sample.
+func RunAnatomy(opts Options) (*AnatomyReport, error) {
+	workers := opts.DPUWorkers
+	if workers <= 1 {
+		workers = 4
+	}
+	hostWorkers := opts.HostWorkers
+	if hostWorkers <= 1 {
+		hostWorkers = workers
+	}
+	serial, err := runAnatomyMode(opts, "serial", 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("anatomy serial: %w", err)
+	}
+	piped, err := runAnatomyMode(opts, "pipelined", workers, hostWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("anatomy pipelined: %w", err)
+	}
+	return &AnatomyReport{Modes: []AnatomyMode{serial, piped}}, nil
+}
+
+func runAnatomyMode(opts Options, mode string, dpuWorkers, hostWorkers int) (AnatomyMode, error) {
+	env := workload.NewEnv()
+	ccfg := opts.ClientCfg
+	scfg := opts.ServerCfg
+	ccfg.BusyPoll = true // the harness drives the loops itself
+	scfg.BusyPoll = true
+	conns := opts.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	// 2x headroom over the request count: ring capacity is split across
+	// shards, so an exactly-sized ring could shed a trace on an uneven
+	// shard split, and the anatomy must cover the complete run.
+	tr := trace.New(trace.Config{
+		RingSize:  2 * opts.Requests,
+		MaxActive: opts.Requests + 1,
+	})
+	tr.Enable()
+	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
+		Connections:                  conns,
+		ClientCfg:                    ccfg,
+		ServerCfg:                    scfg,
+		DPUWorkers:                   dpuWorkers,
+		HostWorkers:                  hostWorkers,
+		OffloadResponseSerialization: true,
+		Tracer:                       tr,
+	})
+	if err != nil {
+		return AnatomyMode{}, err
+	}
+	defer d.Close()
+	payloads := genPayloads(env, workload.ScenarioChars, opts)
+	method := xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[workload.MethodEcho].Name)
+
+	start := time.Now()
+	submitted, completed, failed := 0, 0, 0
+	for completed < opts.Requests {
+		for submitted < opts.Requests && submitted-completed < opts.Concurrency {
+			dpuSrv := d.DPUs[submitted%conns]
+			err := dpuSrv.SubmitLocal(method, payloads[submitted%len(payloads)],
+				func(status uint16, errFlag bool, resp []byte) {
+					completed++
+					if status != 0 || errFlag {
+						failed++
+					}
+				})
+			if err != nil {
+				return AnatomyMode{}, err
+			}
+			submitted++
+		}
+		for _, dpuSrv := range d.DPUs {
+			if _, err := dpuSrv.Progress(); err != nil {
+				return AnatomyMode{}, err
+			}
+		}
+		if _, err := d.Poller.Progress(); err != nil {
+			return AnatomyMode{}, err
+		}
+	}
+	wall := time.Since(start)
+	if failed > 0 {
+		return AnatomyMode{}, fmt.Errorf("%d failed calls", failed)
+	}
+
+	traces := tr.Drain()
+	stats := tr.Stats()
+	rows := trace.Breakdown(traces)
+	m := AnatomyMode{
+		Mode:        mode,
+		Workers:     dpuWorkers,
+		Requests:    opts.Requests,
+		Traced:      len(traces),
+		WallSeconds: wall.Seconds(),
+		WallRPS:     safeDiv(float64(opts.Requests), wall.Seconds()),
+		TraceStats:  stats,
+	}
+	var e2eTotal, stageTotal float64
+	for _, r := range rows {
+		if r.Stage == "e2e" {
+			e2eTotal = r.TotalUS
+		} else {
+			stageTotal += r.TotalUS
+		}
+	}
+	for _, r := range rows {
+		row := AnatomyStage{
+			Stage:  r.Stage,
+			Count:  r.Count,
+			P50US:  r.P50US,
+			P90US:  r.P90US,
+			P99US:  r.P99US,
+			MeanUS: r.MeanUS,
+			Share:  safeDiv(r.TotalUS, e2eTotal),
+		}
+		if r.Stage == "e2e" {
+			m.E2E = row
+			continue
+		}
+		m.Stages = append(m.Stages, row)
+	}
+	m.StageSumMeanUS = safeDiv(stageTotal, float64(len(traces)))
+	return m, nil
+}

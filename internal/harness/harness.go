@@ -18,10 +18,12 @@ import (
 
 	"dpurpc/internal/abi"
 	"dpurpc/internal/dpu"
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/mt19937"
 	"dpurpc/internal/offload"
 	"dpurpc/internal/protomsg"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/workload"
 	"dpurpc/internal/xrpc"
 )
@@ -59,6 +61,14 @@ type Options struct {
 	// OffloadResponseSerialization ships response objects to the DPU and
 	// serializes them there (the response direction of the offload).
 	OffloadResponseSerialization bool
+	// Tracer, when non-nil, records per-stage spans for every request of
+	// the offloaded runs (see internal/trace). The anatomy experiment
+	// provisions its own tracer per mode; set this to observe other
+	// experiments live through trace.NewDebugMux.
+	Tracer *trace.Tracer
+	// Registry, when non-nil, receives the DPU pipeline series of the
+	// offloaded runs (queue depth, stage counts, worker busy time).
+	Registry *metrics.Registry
 	// Seed for the Mersenne Twister.
 	Seed uint32
 }
@@ -243,14 +253,20 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 	if conns == 0 {
 		conns = 1
 	}
-	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
+	dcfg := offload.DeployConfig{
 		Connections:                  conns,
 		ClientCfg:                    ccfg,
 		ServerCfg:                    scfg,
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
-	})
+		Tracer:                       opts.Tracer,
+	}
+	if opts.Registry != nil {
+		dcfg.DPUPipeline = metrics.NewPipelineMetrics(opts.Registry, nil)
+		dcfg.DPURespPipeline = metrics.NewResponsePipelineMetrics(opts.Registry, nil)
+	}
+	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), dcfg)
 	if err != nil {
 		return Fig8Row{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dpurpc/internal/dpu"
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/offload"
 	"dpurpc/internal/workload"
 	"dpurpc/internal/xrpc"
@@ -24,6 +25,11 @@ type RespScaleRow struct {
 	Result dpu.Result
 	// RespBytesPerReq is the serialized response payload per request.
 	RespBytesPerReq float64
+	// DPUUtilization / RespUtilization are the measured average busy
+	// fractions of the DPU deserialization workers and the DPU
+	// response-serialization workers over the run's wall time (0..1).
+	DPUUtilization  float64
+	RespUtilization float64
 	// WallSeconds/WallRPS report the measured wall-clock cost of driving the
 	// run on this machine (not the paper's modeled numbers).
 	WallSeconds float64
@@ -57,6 +63,10 @@ func runRespScale(opts Options, workers int) (RespScaleRow, error) {
 	if conns == 0 {
 		conns = 1
 	}
+	// Per-row pipeline metrics (standalone, not registry-backed: each width
+	// must see only its own busy time for an honest utilization figure).
+	pm := metrics.NewPipelineMetrics(nil, nil)
+	rpm := metrics.NewResponsePipelineMetrics(nil, nil)
 	d, err := offload.NewDeploymentWith(env.Table, emptyImpls(env), offload.DeployConfig{
 		Connections:                  conns,
 		ClientCfg:                    ccfg,
@@ -64,6 +74,8 @@ func runRespScale(opts Options, workers int) (RespScaleRow, error) {
 		DPUWorkers:                   workers,
 		HostWorkers:                  workers,
 		OffloadResponseSerialization: true,
+		DPUPipeline:                  pm,
+		DPURespPipeline:              rpm,
 	})
 	if err != nil {
 		return RespScaleRow{}, err
@@ -116,6 +128,8 @@ func runRespScale(opts Options, workers int) (RespScaleRow, error) {
 		Workers:         workers,
 		Result:          opts.Machine.Analyze(usage),
 		RespBytesPerReq: safeDiv(float64(respBytes), float64(opts.Requests)),
+		DPUUtilization:  pm.Utilization(float64(wall.Nanoseconds()), conns*workers),
+		RespUtilization: rpm.Utilization(float64(wall.Nanoseconds()), conns*workers),
 		WallSeconds:     wall.Seconds(),
 		WallRPS:         safeDiv(float64(opts.Requests), wall.Seconds()),
 	}, nil

@@ -40,6 +40,17 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -83,14 +94,29 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Quantile returns an upper-bound estimate of the q-quantile (0..1).
+// Quantile returns an upper-bound estimate of the q-quantile. q is
+// clamped to (0, 1]: q <= 0 returns a minimum-bound estimate (the first
+// non-empty bucket's upper bound) and q > 1 behaves like q = 1. With no
+// samples it returns NaN regardless of q.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.samples == 0 {
 		return math.NaN()
 	}
+	if q > 1 {
+		q = 1
+	}
+	if q < 0 {
+		// Converting a negative float to uint64 is implementation-defined;
+		// clamp before computing the rank. q <= 0 then reports the bucket
+		// holding the smallest observation (target 1 below).
+		q = 0
+	}
 	target := uint64(math.Ceil(q * float64(h.samples)))
+	if target < 1 {
+		target = 1
+	}
 	var cum uint64
 	for i, c := range h.counts {
 		cum += c

@@ -160,3 +160,107 @@ func TestRelDiff(t *testing.T) {
 		t.Errorf("relDiff = %g", d)
 	}
 }
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(1.5)
+	g.Add(2)
+	g.Add(-0.5)
+	if g.Value() != 3 {
+		t.Errorf("gauge after adds = %g, want 3", g.Value())
+	}
+	var wg sync.WaitGroup
+	var c Gauge
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+				c.Add(-1)
+			}
+			c.Add(1)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8 {
+		t.Errorf("concurrent gauge = %g, want 8", c.Value())
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	// q <= 0 reports the bucket holding the smallest observation.
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q=0: %g, want 1", q)
+	}
+	if q := h.Quantile(-0.5); q != 1 {
+		t.Errorf("q=-0.5: %g, want 1", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q=1: %g, want 100", q)
+	}
+	// q > 1 clamps to 1 instead of running past every bucket.
+	if q := h.Quantile(2); q != 100 {
+		t.Errorf("q=2: %g, want 100", q)
+	}
+
+	single := NewHistogram([]float64{1, 10})
+	single.Observe(5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 10 {
+			t.Errorf("single sample q=%g: %g, want 10", q, got)
+		}
+	}
+
+	over := NewHistogram([]float64{1})
+	over.Observe(500) // lands in the +Inf bucket
+	if q := over.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("overflow q=1: %g, want +Inf", q)
+	}
+	if q := over.Quantile(0); !math.IsInf(q, 1) {
+		t.Errorf("overflow q=0: %g, want +Inf", q)
+	}
+
+	empty := NewHistogram([]float64{1})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if !math.IsNaN(empty.Quantile(q)) {
+			t.Errorf("empty q=%g not NaN", q)
+		}
+	}
+}
+
+// TestRegistryRenderGolden pins the full exposition byte-for-byte: HELP/TYPE
+// emitted once per family in registration order, label escaping, sorted
+// label keys, cumulative le buckets ending in +Inf, and _sum/_count lines.
+func TestRegistryRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests.", map[string]string{"method": `/a"b\`}).Add(7)
+	r.Counter("req_total", "Requests.", map[string]string{"method": "/x"}).Add(3)
+	r.Gauge("temp", "Temp.", nil).Set(1.5)
+	h := r.Histogram("lat", "Lat.", map[string]string{"m": "x"}, []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(7)
+	want := `# HELP req_total Requests.
+# TYPE req_total counter
+req_total{method="/a\"b\\"} 7
+req_total{method="/x"} 3
+# HELP temp Temp.
+# TYPE temp gauge
+temp 1.5
+# HELP lat Lat.
+# TYPE lat histogram
+lat_bucket{m="x",le="1"} 1
+lat_bucket{m="x",le="5"} 2
+lat_bucket{m="x",le="+Inf"} 3
+lat_sum{m="x"} 10.5
+lat_count{m="x"} 3
+`
+	if got := r.Render(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

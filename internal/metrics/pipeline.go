@@ -104,3 +104,17 @@ func (p *PipelineMetrics) Utilization(wallNS float64, workers int) float64 {
 	}
 	return u
 }
+
+// Utilization returns the average fraction of the given worker count kept
+// busy serializing responses over wallNS nanoseconds of wall time (0 when
+// unknowable).
+func (p *ResponsePipelineMetrics) Utilization(wallNS float64, workers int) float64 {
+	if p == nil || p.BusyNS == nil || wallNS <= 0 || workers <= 0 {
+		return 0
+	}
+	u := float64(p.BusyNS.Value()) / (wallNS * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

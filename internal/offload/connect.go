@@ -9,6 +9,7 @@ import (
 	"dpurpc/internal/metrics"
 	"dpurpc/internal/rdma"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/trace"
 )
 
 // Handshake transmits the host's encoded ADT to the DPU over a two-sided
@@ -126,6 +127,11 @@ type DeployConfig struct {
 	// DPURespPipeline, when non-nil, instruments the response direction of
 	// every DPU pipeline (serializes, queue depth, delivery latency).
 	DPURespPipeline *metrics.ResponsePipelineMetrics
+	// Tracer, when non-nil, enables end-to-end span recording: every call
+	// admitted on a DPU server is stamped with a trace ID that rides the
+	// request-ID replay to the host and back, and each datapath stage
+	// records a span against it (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -147,6 +153,8 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	scfg := cfg.ServerCfg.WithDefaults(false)
 	scfg.BackgroundWorkers = cfg.BackgroundWorkers
 	scfg.HostWorkers = cfg.HostWorkers
+	ccfg.Tracer = cfg.Tracer
+	scfg.Tracer = cfg.Tracer
 	link := fabric.NewLink()
 	dpuDev := rdma.NewDevice("dpu", link, fabric.DPUToHost)
 	hostDev := rdma.NewDevice("host", link, fabric.HostToDPU)
@@ -160,6 +168,9 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 		return nil, err
 	}
 	host.SetResponseObjects(cfg.OffloadResponseSerialization)
+	if cfg.Tracer != nil {
+		host.SetTracer(cfg.Tracer)
+	}
 	hostPollers := cfg.HostPollers
 	if hostPollers <= 0 {
 		hostPollers = 1
@@ -189,6 +200,7 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 			MaxInflight:  cfg.DPUMaxInflight,
 			Pipeline:     cfg.DPUPipeline,
 			RespPipeline: cfg.DPURespPipeline,
+			Tracer:       cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err

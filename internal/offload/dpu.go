@@ -14,6 +14,7 @@ import (
 	"dpurpc/internal/deser"
 	"dpurpc/internal/metrics"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/xrpc"
 )
 
@@ -50,6 +51,7 @@ type callTask struct {
 	need    int
 	data    []byte
 	deliver func(callResult)
+	tr      *trace.Active // span recorder handle (nil when untraced)
 
 	// Pipeline fields (pooled mode only).
 	seq      uint64 // admission order; reserves replay it exactly
@@ -140,6 +142,11 @@ type DPUConfig struct {
 	// depth, serialize counts, worker busy time, and dispatch-to-delivery
 	// latency samples.
 	RespPipeline *metrics.ResponsePipelineMetrics
+	// Tracer, when non-nil and enabled, stamps every admitted call with a
+	// trace ID and records per-stage spans through the whole datapath
+	// (measure/reserve/build/commit, PCIe doorbells, the host's dispatch,
+	// handler and response stages, and response serialization/delivery).
+	Tracer *trace.Tracer
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -235,7 +242,7 @@ func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfi
 		client.SetHoldPartial(true)
 		for i := 0; i < cfg.Workers; i++ {
 			d.wg.Add(1)
-			go d.worker()
+			go d.worker(i + 1)
 		}
 	}
 	return d, nil
@@ -286,7 +293,8 @@ func (d *DPUServer) foldStats(dd *deser.Deserializer) {
 
 // worker is one pipeline build core: it measures payloads and deserializes
 // them in place into reserved block slots, never touching protocol state.
-func (d *DPUServer) worker() {
+// wid (1..N) is its lane in trace output.
+func (d *DPUServer) worker(wid int) {
 	defer d.wg.Done()
 	dd := deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
 	ws := newWScratch()
@@ -337,6 +345,18 @@ func (d *DPUServer) worker() {
 				m.Serializes.Inc()
 			}
 		}
+		if task.tr != nil {
+			var stage string
+			switch task.stage {
+			case stageMeasure:
+				stage = trace.StageMeasure
+			case stageBuild:
+				stage = trace.StageBuild
+			case stageSerialize:
+				stage = trace.StageRespSerialize
+			}
+			task.tr.Span(stage, trace.ProcDPU, wid, start.UnixNano(), time.Now().UnixNano())
+		}
 		if task.stage == stageSerialize {
 			if m := d.cfg.RespPipeline; m != nil {
 				m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
@@ -382,6 +402,7 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 	}
 	e := d.procs.byID(id)
 	task := &callTask{procID: id, entry: e, data: payload}
+	task.tr = d.cfg.Tracer.Begin(method)
 	if d.pooled() {
 		// Measure runs on a pipeline worker; a failure surfaces as
 		// StatusInvalidArgument below, exactly like the inline path.
@@ -389,15 +410,22 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 		// Serial path: the legacy Measure bound, so blocks stay
 		// byte-identical to the pre-pipeline implementation (the tail
 		// commit shrinks the slot to the built size).
+		var mT0 int64
+		if task.tr != nil {
+			mT0 = trace.Now()
+		}
 		need, err := deser.Measure(e.in, payload)
 		if err != nil {
 			d.errors.Add(1)
+			d.cfg.Tracer.Finish(task.tr, true)
 			return xrpc.StatusInvalidArgument, nil, nil
 		}
+		task.tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
 		task.need = need
 		task.measured = true
 	}
 	if d.closed.Load() {
+		d.cfg.Tracer.Finish(task.tr, true)
 		return xrpc.StatusInternal, nil, nil
 	}
 	done := make(chan callResult, 1)
@@ -435,16 +463,24 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 	if d.pooled() {
 		measure = deser.MeasureExact
 	}
+	tr := d.cfg.Tracer.Begin(fullMethod)
+	var mT0 int64
+	if tr != nil {
+		mT0 = trace.Now()
+	}
 	need, err := measure(e.in, payload)
 	if err != nil {
+		d.cfg.Tracer.Finish(tr, true)
 		return err
 	}
+	tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
 	d.retry = append(d.retry, &callTask{
 		procID:   id,
 		entry:    e,
 		need:     need,
 		data:     payload,
 		measured: true,
+		tr:       tr,
 		deliver: func(r callResult) {
 			cb(r.status, r.err, r.resp)
 			if r.release != nil {
@@ -466,6 +502,11 @@ func (d *DPUServer) finish(task *callTask, r callResult) {
 		return
 	}
 	task.finished = true
+	if task.tr != nil {
+		now := trace.Now()
+		task.tr.Span(trace.StageDeliver, trace.ProcDPU, 0, now, now)
+		d.cfg.Tracer.Finish(task.tr, r.err)
+	}
 	task.deliver(r)
 }
 
@@ -496,6 +537,11 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 	}
 	var out []byte
 	var release func()
+	var serT0 int64
+	traced := task.tr != nil && (resp.Object || len(resp.Payload) > 0)
+	if traced {
+		serT0 = trace.Now()
+	}
 	if resp.Object {
 		// Response-serialization offload: the payload is a shared-region
 		// object graph; the DPU serializes it into the xRPC response
@@ -522,6 +568,9 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 		*bp = append((*bp)[:0], resp.Payload...)
 		out = *bp
 		release = func() { respBufPool.Put(bp) }
+	}
+	if traced {
+		task.tr.Span(trace.StageRespSerialize, trace.ProcDPU, 0, serT0, trace.Now())
 	}
 	d.finish(task, callResult{
 		status:  resp.Status,
@@ -561,12 +610,18 @@ func (d *DPUServer) enqueue(task *callTask) error {
 	return d.client.Enqueue(rpcrdma.CallSpec{
 		Method: task.procID,
 		Size:   task.need,
+		Trace:  task.tr,
 		Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+			var bT0 int64
+			if task.tr != nil {
+				bT0 = trace.Now()
+			}
 			bump := arena.NewBump(dst)
 			rootAbs, err := d.d.Deserialize(task.entry.in, task.data, bump, regionOff)
 			if err != nil {
 				return 0, 0, err
 			}
+			task.tr.Span(trace.StageBuild, trace.ProcDPU, 0, bT0, trace.Now())
 			d.measured.Add(uint64(len(task.data)))
 			return uint32(rootAbs - regionOff), bump.Used(), nil
 		},
@@ -673,10 +728,15 @@ func (d *DPUServer) collectCompletions() (drained int) {
 					d.failTask(task, task.err)
 					continue
 				}
+				var cT0 int64
+				if task.tr != nil {
+					cT0 = trace.Now()
+				}
 				if err := d.client.Commit(task.res, task.root, task.used); err != nil {
 					d.failTask(task, err)
 					continue
 				}
+				task.tr.Span(trace.StageCommit, trace.ProcDPU, 0, cT0, trace.Now())
 				d.requests.Add(1)
 				d.measured.Add(uint64(len(task.data)))
 				if m := d.cfg.Pipeline; m != nil {
@@ -730,6 +790,10 @@ func (d *DPUServer) reserveReady() {
 			d.finish(task, callResult{status: xrpc.StatusInvalidArgument, err: true})
 			continue
 		}
+		var rT0 int64
+		if task.tr != nil {
+			rT0 = trace.Now()
+		}
 		res, err := d.client.Reserve(task.procID, task.need,
 			func(resp rpcrdma.Response) { d.respond(task, resp) })
 		if err != nil {
@@ -742,6 +806,8 @@ func (d *DPUServer) reserveReady() {
 			d.failTask(task, err)
 			continue
 		}
+		task.tr.Span(trace.StageReserve, trace.ProcDPU, 0, rT0, trace.Now())
+		d.client.AttachTrace(res, task.tr)
 		delete(d.measuredQ, d.nextRes)
 		d.nextRes++
 		task.res = res

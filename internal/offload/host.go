@@ -8,6 +8,7 @@ import (
 	"dpurpc/internal/arena"
 	"dpurpc/internal/objconv"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/trace"
 )
 
 // HostStats aggregate the host-side work of the offloaded path.
@@ -37,6 +38,9 @@ type HostServer struct {
 	// goroutine runs the handler — synchronize externally when pollers or
 	// background workers are concurrent.
 	reqObserver func(rpcrdma.Request)
+	// tracer resolves propagated trace IDs (Request.Trace) and records a
+	// host.handler span around every traced dispatch.
+	tracer *trace.Tracer
 	// started flips on the first dispatched request; the setters above
 	// refuse to run after that (they would race the handler goroutines).
 	started atomic.Bool
@@ -81,6 +85,17 @@ func (h *HostServer) SetRequestObserver(fn func(rpcrdma.Request)) {
 	h.reqObserver = fn
 }
 
+// SetTracer installs the span recorder used to time handler execution of
+// traced requests. Must be called before serving: once the first request
+// has dispatched, swapping it would race the handler goroutines, so this
+// panics instead of silently racing.
+func (h *HostServer) SetTracer(t *trace.Tracer) {
+	if h.started.Load() {
+		panic("offload: HostServer.SetTracer called after serving started")
+	}
+	h.tracer = t
+}
+
 // Stats returns a snapshot of the host-side counters.
 func (h *HostServer) Stats() HostStats {
 	return HostStats{
@@ -93,75 +108,93 @@ func (h *HostServer) Stats() HostStats {
 }
 
 // Handler returns the rpcrdma handler that performs the dispatch. Pass it
-// to rpcrdma.Connect for every connection feeding this host server.
+// to rpcrdma.Connect for every connection feeding this host server. Traced
+// requests get a host.handler span around the whole dispatch (view
+// construction, business handler, response sizing), recorded against the
+// goroutine lane that ran it (Request.Worker).
 func (h *HostServer) Handler() rpcrdma.Handler {
 	return func(req rpcrdma.Request) rpcrdma.ResponseSpec {
 		if !h.started.Load() {
 			h.started.Store(true)
 		}
-		if h.reqObserver != nil {
-			h.reqObserver(req)
+		if h.tracer == nil || req.Trace == 0 {
+			return h.dispatch(req)
 		}
-		e := h.procs.byID(req.Method)
-		if e == nil || e.handler == nil {
-			h.unknownMethods.Add(1)
-			return rpcrdma.ResponseSpec{Status: uint16(StatusUnimplemented), Err: true}
+		a := h.tracer.Lookup(req.Trace)
+		if a == nil {
+			return h.dispatch(req)
 		}
-		h.requests.Add(1)
-		// The request arrives as an already-built object: construct the
-		// zero-copy view over the block payload. No deserialization happens
-		// on the host — that is the offload.
-		region := &abi.Region{Buf: req.Payload, Base: req.RegionOff}
-		view := abi.MakeView(region, req.RegionOff+uint64(req.Root), e.in)
-		if !view.Valid() {
+		t0 := trace.Now()
+		spec := h.dispatch(req)
+		a.Span(trace.StageHostHandler, trace.ProcHost, req.Worker, t0, trace.Now())
+		return spec
+	}
+}
+
+// dispatch resolves and runs the handler for one request.
+func (h *HostServer) dispatch(req rpcrdma.Request) rpcrdma.ResponseSpec {
+	if h.reqObserver != nil {
+		h.reqObserver(req)
+	}
+	e := h.procs.byID(req.Method)
+	if e == nil || e.handler == nil {
+		h.unknownMethods.Add(1)
+		return rpcrdma.ResponseSpec{Status: uint16(StatusUnimplemented), Err: true}
+	}
+	h.requests.Add(1)
+	// The request arrives as an already-built object: construct the
+	// zero-copy view over the block payload. No deserialization happens
+	// on the host — that is the offload.
+	region := &abi.Region{Buf: req.Payload, Base: req.RegionOff}
+	view := abi.MakeView(region, req.RegionOff+uint64(req.Root), e.in)
+	if !view.Valid() {
+		h.handlerErrors.Add(1)
+		return rpcrdma.ResponseSpec{Status: uint16(StatusInvalidArgument), Err: true}
+	}
+	resp, status := e.handler(view)
+	if status != 0 {
+		h.handlerErrors.Add(1)
+		return rpcrdma.ResponseSpec{Status: status, Err: true}
+	}
+	if resp == nil {
+		return rpcrdma.ResponseSpec{Status: 0}
+	}
+	h.responseMsgs.Add(1)
+	if h.respObjects {
+		// Response-serialization offload: build the response *object*
+		// in the shared region; the DPU turns it into protobuf bytes.
+		size, err := objconv.MeasureMessage(e.out, resp)
+		if err != nil {
 			h.handlerErrors.Add(1)
-			return rpcrdma.ResponseSpec{Status: uint16(StatusInvalidArgument), Err: true}
+			return rpcrdma.ResponseSpec{Status: uint16(StatusInternal), Err: true}
 		}
-		resp, status := e.handler(view)
-		if status != 0 {
-			h.handlerErrors.Add(1)
-			return rpcrdma.ResponseSpec{Status: status, Err: true}
-		}
-		if resp == nil {
-			return rpcrdma.ResponseSpec{Status: 0}
-		}
-		h.responseMsgs.Add(1)
-		if h.respObjects {
-			// Response-serialization offload: build the response *object*
-			// in the shared region; the DPU turns it into protobuf bytes.
-			size, err := objconv.MeasureMessage(e.out, resp)
-			if err != nil {
-				h.handlerErrors.Add(1)
-				return rpcrdma.ResponseSpec{Status: uint16(StatusInternal), Err: true}
-			}
-			h.responseBytes.Add(uint64(size))
-			return rpcrdma.ResponseSpec{
-				Status: 0,
-				Object: true,
-				Size:   size,
-				Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
-					b := abi.NewBuilder(arena.NewBump(dst), regionOff)
-					obj, err := objconv.ToArena(b, e.out, resp)
-					if err != nil {
-						return 0, 0, err
-					}
-					return uint32(obj.Off() - regionOff), b.Used(), nil
-				},
-			}
-		}
-		// Default mode, as in the paper: response serialization stays on
-		// the host; the bytes are written directly into the response block
-		// and the DPU forwards them to the xRPC client untouched.
-		size := resp.Size()
 		h.responseBytes.Add(uint64(size))
 		return rpcrdma.ResponseSpec{
 			Status: 0,
+			Object: true,
 			Size:   size,
 			Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
-				out := resp.Marshal(dst[:0])
-				return 0, len(out), nil
+				b := abi.NewBuilder(arena.NewBump(dst), regionOff)
+				obj, err := objconv.ToArena(b, e.out, resp)
+				if err != nil {
+					return 0, 0, err
+				}
+				return uint32(obj.Off() - regionOff), b.Used(), nil
 			},
 		}
+	}
+	// Default mode, as in the paper: response serialization stays on
+	// the host; the bytes are written directly into the response block
+	// and the DPU forwards them to the xRPC client untouched.
+	size := resp.Size()
+	h.responseBytes.Add(uint64(size))
+	return rpcrdma.ResponseSpec{
+		Status: 0,
+		Size:   size,
+		Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+			out := resp.Marshal(dst[:0])
+			return 0, len(out), nil
+		},
 	}
 }
 

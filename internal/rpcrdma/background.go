@@ -45,9 +45,11 @@ func newBGPool(workers int, handler Handler) *bgPool {
 	p := &bgPool{tasks: make(chan bgTask, 4*IDPoolSize/16)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
+		wid := i + 1
 		go func() {
 			defer p.wg.Done()
 			for t := range p.tasks {
+				t.req.Worker = wid
 				spec := handler(t.req)
 				p.mu.Lock()
 				p.results = append(p.results, bgResult{id: t.id, spec: spec})

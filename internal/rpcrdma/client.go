@@ -3,10 +3,12 @@ package rpcrdma
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dpurpc/internal/arena"
 	"dpurpc/internal/rdma"
+	"dpurpc/internal/trace"
 )
 
 // Errors returned by the client.
@@ -51,6 +53,9 @@ type CallSpec struct {
 	// OnResponse is the continuation invoked from the event loop
 	// (Sec. III-D) when the response arrives.
 	OnResponse func(Response)
+	// Trace, when non-nil, is the trace handle this request's ID should
+	// carry to the server (see Config.Tracer).
+	Trace *trace.Active
 }
 
 // block is a request block under construction or awaiting send/ack.
@@ -60,8 +65,9 @@ type block struct {
 	used    int
 	pending int // reserved slots whose payload is still being built
 	conts   []func(Response)
-	times   []int64 // enqueue timestamps, parallel to conts (instrumentation)
-	seq     uint32  // assigned at send
+	times   []int64         // enqueue timestamps, parallel to conts (instrumentation)
+	trs     []*trace.Active // trace handles, parallel to conts (nil when untraced)
+	seq     uint32          // assigned at send
 	ids     []uint16
 }
 
@@ -88,6 +94,11 @@ type ClientConn struct {
 	started   []int64  // per-ID enqueue timestamps (latency instrumentation)
 	freeIDs   []uint16 // IDs to return to the pool at the next send
 	ackBlocks uint16   // response blocks processed since the last send
+
+	// traceTab is the out-of-band trace-ID table shared with the peer
+	// ServerConn, indexed by request ID (see Connect); nil when neither
+	// side configured a Tracer.
+	traceTab []atomic.Uint64
 
 	outstanding int
 	broken      error
@@ -176,6 +187,7 @@ func (c *ClientConn) Enqueue(spec CallSpec) error {
 	if err != nil {
 		return err
 	}
+	c.AttachTrace(r, spec.Trace)
 	var root uint32
 	used := spec.Size
 	if spec.Build != nil {
@@ -189,6 +201,19 @@ func (c *ClientConn) Enqueue(spec CallSpec) error {
 		return err
 	}
 	return nil
+}
+
+// AttachTrace associates a trace handle with a reservation. When the block
+// transmits, the trace ID is published in the shared out-of-band table
+// under the request ID the slot is assigned (deterministic on both sides,
+// Sec. IV-D), and the server resolves it into Request.Trace. A nil handle,
+// an untraced connection, or both make it a no-op. Must be called by the
+// connection's owner before the block is sent (i.e. right after Reserve).
+func (c *ClientConn) AttachTrace(r *Reservation, a *trace.Active) {
+	if a == nil || c.traceTab == nil || r.b.trs == nil {
+		return
+	}
+	r.b.trs[r.idx] = a
 }
 
 // CancelledMethod is the poison procedure ID written into a reserved slot
@@ -257,6 +282,9 @@ func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response))
 	b.conts = append(b.conts, onResponse)
 	if c.cfg.LatencyObserver != nil {
 		b.times = append(b.times, nowNS())
+	}
+	if c.traceTab != nil {
+		b.trs = append(b.trs, nil)
 	}
 	c.outstanding++
 	return &Reservation{
@@ -329,6 +357,9 @@ func (c *ClientConn) Cancel(r *Reservation) {
 		if b.times != nil {
 			b.times = b.times[:r.idx]
 		}
+		if b.trs != nil {
+			b.trs = b.trs[:r.idx]
+		}
 		c.outstanding--
 		return
 	}
@@ -391,6 +422,11 @@ func (c *ClientConn) trySend() {
 			if c.started != nil {
 				c.started[id] = b.times[i]
 			}
+			if b.trs != nil {
+				// Publish (or clear a stale) trace ID under the request ID
+				// the server is about to replay.
+				c.traceTab[id].Store(b.trs[i].ID())
+			}
 		}
 		b.seq = c.seq
 		putPreamble(b.buf, preamble{
@@ -399,9 +435,19 @@ func (c *ClientConn) trySend() {
 			blockLen:  uint32(b.used),
 			seq:       b.seq,
 		})
+		var dbStart int64
+		if b.trs != nil {
+			dbStart = nowNS()
+		}
 		if err := c.qp.PostWriteImm(uint64(b.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
 			c.fail(err)
 			return
+		}
+		if b.trs != nil {
+			dbEnd := nowNS()
+			for _, a := range b.trs {
+				a.Span(trace.StageDoorbell, trace.ProcDPU, 0, dbStart, dbEnd)
+			}
 		}
 		c.seq++
 		c.credits--

@@ -47,6 +47,8 @@ package rpcrdma
 
 import (
 	"time"
+
+	"dpurpc/internal/trace"
 )
 
 // Table I configuration parameters.
@@ -109,6 +111,14 @@ type Config struct {
 	// instruments the library itself with a Prometheus client (Sec. VI);
 	// plug a metrics.Histogram's Observe here.
 	LatencyObserver func(ns float64)
+	// Tracer, when non-nil, enables span recording for traced requests.
+	// Trace IDs ride the deterministic request-ID replay of Sec. IV-D out
+	// of band (a shared table indexed by request ID, see Connect), so the
+	// wire format is unchanged. On the client side it gates the
+	// per-reservation trace bookkeeping; on the server side it resolves
+	// propagated IDs (Request.Trace) and records dispatch/reserve/commit/
+	// doorbell spans.
+	Tracer *trace.Tracer
 }
 
 // DefaultClientConfig returns the Table I client (DPU) column.

@@ -3,6 +3,7 @@ package rpcrdma
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dpurpc/internal/rdma"
 )
@@ -60,6 +61,16 @@ func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *Serve
 	sc, err := newServerConn(scfg, serverQP, serverSendCQ, serverSBuf, serverRBuf, h, needed)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Trace-ID propagation (out of band, Sec. IV-D): request IDs are never
+	// transmitted — both sides replay the same free-then-allocate sequence —
+	// so a table indexed by request ID, written by the client at send and
+	// read by the server at dispatch, carries trace IDs across the
+	// "boundary" without touching the wire format.
+	if ccfg.Tracer != nil || scfg.Tracer != nil {
+		tab := make([]atomic.Uint64, IDPoolSize)
+		cc.traceTab = tab
+		sc.traceTab = tab
 	}
 	poller.conns[serverQP.Num] = sc
 	poller.postedWRs += needed

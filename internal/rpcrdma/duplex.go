@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dpurpc/internal/arena"
+	"dpurpc/internal/trace"
 )
 
 // The duplex pipeline parallelizes the response direction the same way the
@@ -49,6 +50,7 @@ type respTask struct {
 	root  uint32
 	used  int
 	err   error
+	tr    *trace.Active // trace handle (nil when untraced)
 }
 
 // duplexPool runs handler and build stages on worker goroutines. Channel
@@ -70,19 +72,29 @@ func newDuplexPool(workers, maxInflight int, h Handler) *duplexPool {
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i + 1)
 	}
 	return p
 }
 
-func (p *duplexPool) worker() {
+// worker runs handler and build stages; wid (1..N) is its lane in trace
+// output and in Request.Worker.
+func (p *duplexPool) worker(wid int) {
 	defer p.wg.Done()
 	for t := range p.workQ {
 		switch t.stage {
 		case dxHandle:
+			t.req.Worker = wid
 			t.spec = p.handler(t.req)
 		case dxBuild:
+			var t0 int64
+			if t.tr != nil {
+				t0 = nowNS()
+			}
 			t.root, t.used, t.err = t.spec.Build(t.res.Dst, t.res.RegionOff)
+			if t.tr != nil {
+				t.tr.Span(trace.StageRespBuild, trace.ProcHost, wid, t0, nowNS())
+			}
 		}
 		p.compQ <- t
 	}
@@ -102,6 +114,9 @@ func (p *duplexPool) close() {
 // occupancy under the channel capacity). Poller-only.
 func (s *ServerConn) dxAdmit(id uint16, req Request) {
 	t := &respTask{id: id, seq: s.dxSeqNext, req: req, stage: dxHandle}
+	if s.traceOf != nil {
+		t.tr = s.traceOf[id]
+	}
 	s.dxSeqNext++
 	if s.dxInflight < s.dxMax {
 		s.dxInflight++

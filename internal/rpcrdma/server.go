@@ -2,9 +2,11 @@ package rpcrdma
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dpurpc/internal/arena"
 	"dpurpc/internal/rdma"
+	"dpurpc/internal/trace"
 )
 
 // Request is one inbound RPC as seen by a server handler. Payload aliases
@@ -24,6 +26,12 @@ type Request struct {
 	RegionOff uint64
 	// Root is the root-object offset relative to Payload[0].
 	Root uint32
+	// Trace is the trace ID propagated from the client side through the
+	// out-of-band request-ID table (0 = untraced; see Config.Tracer).
+	Trace uint64
+	// Worker identifies the goroutine lane running the handler (0 = the
+	// poller thread, 1..N = worker i). Instrumentation only.
+	Worker int
 }
 
 // ResponseSpec is what a handler returns: the status plus a payload builder
@@ -109,13 +117,19 @@ type ServerConn struct {
 	// Config.HostWorkers > 1): handlers and response builds run on the
 	// pool, the poller reserves slots in receive order and commits them as
 	// builds complete. See duplex.go.
-	duplex    *duplexPool
-	dxSeqNext uint64
-	dxNextRes uint64
-	dxReadyQ  map[uint64]*respTask
+	duplex     *duplexPool
+	dxSeqNext  uint64
+	dxNextRes  uint64
+	dxReadyQ   map[uint64]*respTask
 	dxInflight int
 	dxBacklog  []*respTask
 	dxMax      int
+
+	// traceTab is the out-of-band trace-ID table shared with the peer
+	// ClientConn (see Connect); traceOf caches the resolved handle of each
+	// in-flight traced request ID. Both are nil/empty when untraced.
+	traceTab []atomic.Uint64
+	traceOf  map[uint16]*trace.Active
 
 	// reqBlocks tracks received request blocks in order; a block is
 	// acknowledged (via the next response preamble) once every request in
@@ -141,6 +155,9 @@ func newServerConn(cfg Config, qp *rdma.QP, sendCQ *rdma.CQ, sbuf []byte, rbuf *
 	}
 	s.Counters.MinCreditsSeen = uint64(cfg.Credits)
 	s.reqBlockOf = make(map[uint16]*reqBlockState)
+	if cfg.Tracer != nil {
+		s.traceOf = make(map[uint16]*trace.Active)
+	}
 	if cfg.HostWorkers > 1 {
 		s.dxMax = 4 * cfg.HostWorkers
 		s.duplex = newDuplexPool(cfg.HostWorkers, s.dxMax, h)
@@ -212,6 +229,13 @@ func (s *ServerConn) ReserveResponse(id uint16, size int) (*RespReservation, err
 	if s.broken != nil {
 		return nil, s.broken
 	}
+	var act *trace.Active
+	var actT0 int64
+	if s.traceOf != nil {
+		if act = s.traceOf[id]; act != nil {
+			actT0 = nowNS()
+		}
+	}
 	slot := slotSize(size)
 	if PreambleSize+slot > len(s.sbuf) {
 		return nil, fmt.Errorf("%w: response needs %d bytes", ErrTooLargeForBuffer, slot)
@@ -244,6 +268,9 @@ func (s *ServerConn) ReserveResponse(id uint16, size int) (*RespReservation, err
 	b.ids = append(b.ids, id)
 	b.msgs++
 	b.pending++
+	if act != nil {
+		act.Span(trace.StageRespReserve, trace.ProcHost, 0, actT0, nowNS())
+	}
 	return r, nil
 }
 
@@ -261,6 +288,13 @@ func (s *ServerConn) CommitResponse(r *RespReservation, status uint16, errFlag, 
 	if used > r.size {
 		r.done = true
 		return fmt.Errorf("%w: build used %d > reserved %d", ErrPayloadSize, used, r.size)
+	}
+	var act *trace.Active
+	var actT0 int64
+	if s.traceOf != nil {
+		if act = s.traceOf[r.id]; act != nil {
+			actT0 = nowNS()
+		}
 	}
 	b := r.b
 	var pad int
@@ -297,6 +331,9 @@ func (s *ServerConn) CommitResponse(r *RespReservation, status uint16, errFlag, 
 	b.pending--
 	s.Counters.ResponsesSent++
 	s.markAnswered(r.id)
+	if act != nil {
+		act.Span(trace.StageRespCommit, trace.ProcHost, 0, actT0, nowNS())
+	}
 	if b == s.cur && b.pending == 0 && b.used >= s.cfg.BlockSize {
 		s.sealResp()
 	}
@@ -336,10 +373,20 @@ func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
 	var root uint32
 	used := spec.Size
 	if spec.Build != nil {
+		var act *trace.Active
+		var actT0 int64
+		if s.traceOf != nil {
+			if act = s.traceOf[id]; act != nil {
+				actT0 = nowNS()
+			}
+		}
 		root, used, err = spec.Build(r.Dst, r.RegionOff)
 		if err != nil {
 			s.CancelResponse(r)
 			return err
+		}
+		if act != nil {
+			act.Span(trace.StageRespBuild, trace.ProcHost, 0, actT0, nowNS())
 		}
 	}
 	return s.CommitResponse(r, spec.Status, spec.Err, spec.Object, root, used)
@@ -387,9 +434,22 @@ func (s *ServerConn) trySendResponses() {
 			blockLen:  uint32(b.used),
 			seq:       s.seq,
 		})
+		var dbT0 int64
+		if s.traceOf != nil {
+			dbT0 = nowNS()
+		}
 		if err := s.qp.PostWriteImm(uint64(s.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
 			s.fail(err)
 			return
+		}
+		if s.traceOf != nil {
+			dbEnd := nowNS()
+			for _, id := range b.ids {
+				if act := s.traceOf[id]; act != nil {
+					act.Span(trace.StageRespDoorbell, trace.ProcHost, 0, dbT0, dbEnd)
+					delete(s.traceOf, id)
+				}
+			}
 		}
 		s.seq++
 		s.credits--
@@ -456,6 +516,10 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 	// safe (Sec. IV-B).
 	pos := PreambleSize
 	for i := 0; i < int(p.msgCount); i++ {
+		var reqT0 int64
+		if s.traceOf != nil {
+			reqT0 = nowNS()
+		}
 		if pos+HeaderSize > int(p.blockLen) {
 			return fmt.Errorf("%w: header %d beyond block", ErrBlockCorrupt, i)
 		}
@@ -477,6 +541,17 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 			Payload:   blk[pos+HeaderSize : end],
 			RegionOff: off + uint64(pos+HeaderSize),
 			Root:      h.rootOff,
+		}
+		// Resolve the propagated trace ID: the client published it in the
+		// shared table under the request ID this side just replayed.
+		if s.traceOf != nil && s.traceTab != nil {
+			if tid := s.traceTab[ids[i]].Load(); tid != 0 {
+				if act := s.cfg.Tracer.Lookup(tid); act != nil {
+					req.Trace = tid
+					s.traceOf[ids[i]] = act
+					act.Span(trace.StageHostDispatch, trace.ProcHost, 0, reqT0, nowNS())
+				}
+			}
 		}
 		if s.duplex != nil {
 			// Duplex pipeline: handler AND response build run on the

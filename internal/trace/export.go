@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Chrome trace-event export. The output is the legacy "JSON Array Format"
+// ({"traceEvents":[...]}) that both chrome://tracing and Perfetto load
+// directly: one complete ("X") event per span, pid 1 = DPU, pid 2 = Host,
+// tid 0 = the poller lane and tid 1..N = worker lanes, plus "M" metadata
+// events naming the processes and threads. Timestamps are microseconds
+// relative to the earliest span so the viewport opens on the data.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes traces as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, traces []Trace) error {
+	base := int64(math.MaxInt64)
+	lanes := map[[2]int]bool{}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			if s.Start < base {
+				base = s.Start
+			}
+			lanes[[2]int{s.Proc, s.TID}] = true
+		}
+	}
+	if base == int64(math.MaxInt64) {
+		base = 0
+	}
+	var evs []chromeEvent
+	for _, proc := range []int{ProcDPU, ProcHost} {
+		name := "DPU"
+		if proc == ProcHost {
+			name = "Host"
+		}
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: proc,
+			Args: map[string]any{"name": name},
+		})
+	}
+	laneKeys := make([][2]int, 0, len(lanes))
+	for k := range lanes {
+		laneKeys = append(laneKeys, k)
+	}
+	sort.Slice(laneKeys, func(i, j int) bool {
+		if laneKeys[i][0] != laneKeys[j][0] {
+			return laneKeys[i][0] < laneKeys[j][0]
+		}
+		return laneKeys[i][1] < laneKeys[j][1]
+	})
+	for _, k := range laneKeys {
+		name := "poller"
+		if k[1] > 0 {
+			name = fmt.Sprintf("worker %d", k[1])
+		}
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			evs = append(evs, chromeEvent{
+				Name: s.Stage,
+				Ph:   "X",
+				Ts:   float64(s.Start-base) / 1e3,
+				Dur:  float64(s.End-s.Start) / 1e3,
+				Pid:  s.Proc,
+				Tid:  s.TID,
+				Args: map[string]any{"trace": tr.ID, "method": tr.Method},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: evs})
+}
+
+// StageStat is one row of the aggregated latency anatomy: the per-trace
+// duration distribution of one stage (or one named wait gap).
+type StageStat struct {
+	Stage   string
+	Count   int     // traces that contained this stage
+	P50US   float64 // per-trace duration percentiles, microseconds
+	P90US   float64
+	P99US   float64
+	MeanUS  float64
+	TotalUS float64 // sum over all traces; Σ TotalUS over stages == Σ e2e
+}
+
+// Breakdown partitions each trace's end-to-end window exactly into its
+// recorded stages plus named wait gaps, then aggregates per stage across
+// traces. The partition is exact by construction: spans are sorted by
+// start, a running cursor clamps overlap, the idle time before a span is
+// charged to "wait:<stage>", and the tail after the last span to
+// "wait:deliver". Therefore for every trace the stage durations sum to
+// End-Start, and the acceptance property "stage sums are consistent with
+// end-to-end latency" holds identically, not approximately.
+//
+// Stages appear in first-seen order across traces; an "e2e" row is
+// appended last.
+func Breakdown(traces []Trace) []StageStat {
+	type agg struct {
+		samples []float64
+		total   float64
+	}
+	byStage := map[string]*agg{}
+	var order []string
+	add := func(stage string, ns int64) {
+		if ns <= 0 {
+			return
+		}
+		a := byStage[stage]
+		if a == nil {
+			a = &agg{}
+			byStage[stage] = a
+			order = append(order, stage)
+		}
+		us := float64(ns) / 1e3
+		a.samples = append(a.samples, us)
+		a.total += us
+	}
+	for _, tr := range traces {
+		spans := append([]Span(nil), tr.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		cursor := tr.Start
+		perStage := map[string]int64{}
+		for _, s := range spans {
+			start := s.Start
+			if start > tr.End {
+				start = tr.End
+			}
+			if start > cursor {
+				perStage["wait:"+s.Stage] += start - cursor
+				cursor = start
+			}
+			end := s.End
+			if end > tr.End {
+				end = tr.End
+			}
+			if end > cursor {
+				perStage[s.Stage] += end - cursor
+				cursor = end
+			}
+		}
+		if tr.End > cursor {
+			perStage["wait:deliver"] += tr.End - cursor
+		}
+		// Deterministic order: canonical stage list first, then the rest.
+		keys := make([]string, 0, len(perStage))
+		for k := range perStage {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			ri, rj := stageRank(keys[i]), stageRank(keys[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return keys[i] < keys[j]
+		})
+		for _, k := range keys {
+			add(k, perStage[k])
+		}
+		add("e2e", tr.End-tr.Start)
+	}
+	// Move e2e last regardless of when it was first seen.
+	out := make([]StageStat, 0, len(order))
+	emit := func(stage string) StageStat {
+		a := byStage[stage]
+		sort.Float64s(a.samples)
+		return StageStat{
+			Stage:   stage,
+			Count:   len(a.samples),
+			P50US:   quantile(a.samples, 0.50),
+			P90US:   quantile(a.samples, 0.90),
+			P99US:   quantile(a.samples, 0.99),
+			MeanUS:  a.total / float64(len(a.samples)),
+			TotalUS: a.total,
+		}
+	}
+	for _, st := range order {
+		if st == "e2e" {
+			continue
+		}
+		out = append(out, emit(st))
+	}
+	if _, ok := byStage["e2e"]; ok {
+		out = append(out, emit("e2e"))
+	}
+	return out
+}
+
+// stageOrder is the canonical datapath order, used to keep breakdown rows
+// readable; a stage's wait gap sorts just before the stage itself.
+var stageOrder = []string{
+	StageMeasure, StageReserve, StageBuild, StageCommit, StageDoorbell,
+	StageHostDispatch, StageHostHandler, StageRespReserve, StageRespBuild,
+	StageRespCommit, StageRespDoorbell, StageRespSerialize, StageDeliver,
+}
+
+func stageRank(stage string) int {
+	s := stage
+	wait := false
+	if len(s) > 5 && s[:5] == "wait:" {
+		s = s[5:]
+		wait = true
+	}
+	for i, name := range stageOrder {
+		if name == s {
+			if wait {
+				return 2 * i
+			}
+			return 2*i + 1
+		}
+	}
+	if s == "deliver" && wait { // wait:deliver tail gap
+		return 2 * len(stageOrder)
+	}
+	return 2*len(stageOrder) + 1
+}
+
+// quantile returns the q-th quantile of sorted samples using the same
+// ceil-rank convention as metrics.Histogram.Quantile.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+
+	"dpurpc/internal/metrics"
+)
+
+// Debug HTTP server: live telemetry for a running stack or benchmark,
+// served on a side port behind -debug-addr. Stdlib only.
+//
+//	/metrics  Prometheus text exposition of the metrics.Registry
+//	/trace    completed traces as Chrome trace-event JSON (Perfetto-loadable);
+//	          ?drain=1 clears the rings after reading
+//	/anatomy  aggregated per-stage latency breakdown, plain text
+//	/healthz  liveness probe
+
+// NewDebugMux builds the debug handler. reg and t may each be nil (the
+// corresponding endpoints report 404). refresh, when non-nil, runs before
+// each /metrics render so gauges sampled on demand can be brought up to
+// date.
+func NewDebugMux(reg *metrics.Registry, t *Tracer, refresh func()) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.Error(w, "no metrics registry configured", http.StatusNotFound)
+			return
+		}
+		if refresh != nil {
+			refresh()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, reg.Render())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "no tracer configured", http.StatusNotFound)
+			return
+		}
+		var traces []Trace
+		if r.URL.Query().Get("drain") != "" {
+			traces = t.Drain()
+		} else {
+			traces = t.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChrome(w, traces); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/anatomy", func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "no tracer configured", http.StatusNotFound)
+			return
+		}
+		stats := Breakdown(t.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(stats) == 0 {
+			fmt.Fprintln(w, "no completed traces")
+			return
+		}
+		wtr := &strings.Builder{}
+		fmt.Fprintf(wtr, "%-22s %8s %10s %10s %10s %10s\n",
+			"stage", "count", "p50_us", "p90_us", "p99_us", "mean_us")
+		for _, s := range stats {
+			fmt.Fprintf(wtr, "%-22s %8d %10.1f %10.1f %10.1f %10.1f\n",
+				s.Stage, s.Count, s.P50US, s.P90US, s.P99US, s.MeanUS)
+		}
+		st := t.Stats()
+		fmt.Fprintf(wtr, "\ntraces: started=%d finished=%d dropped_active=%d dropped_ring=%d\n",
+			st.Started, st.Finished, st.DroppedActive, st.DroppedRing)
+		fmt.Fprint(w, wtr.String())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		paths := []string{"/metrics", "/trace", "/anatomy", "/healthz"}
+		sort.Strings(paths)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "dpurpc debug server")
+		for _, p := range paths {
+			fmt.Fprintln(w, "  "+p)
+		}
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenDebug binds addr (e.g. "localhost:6060"; ":0" picks a free port)
+// and serves mux on it in a background goroutine.
+func ListenDebug(addr string, mux http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

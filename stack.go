@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"dpurpc/internal/metrics"
 	"dpurpc/internal/offload"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/xrpc"
 )
 
@@ -49,6 +51,16 @@ type StackOptions struct {
 	// Supersedes BackgroundWorkers when set. 0 or 1 keeps the serial
 	// response path. Handlers must be safe for concurrent invocation.
 	HostWorkers int
+	// Registry, when non-nil, receives per-method RPC series (requests,
+	// errors, request/response bytes, in-flight gauge) recorded at the
+	// xRPC admission layer. Expose it live with trace.NewDebugMux.
+	Registry *metrics.Registry
+	// Tracer, when non-nil, stamps every admitted RPC with a trace ID and
+	// records per-stage spans along the whole datapath (DPU measure/build/
+	// commit, PCIe doorbells, host dispatch/handler/response build, DPU
+	// response serialize and delivery). Offloaded stacks only; the
+	// recording cost is bounded and the datapath never blocks on it.
+	Tracer *trace.Tracer
 }
 
 func (o *StackOptions) fill() {
@@ -74,6 +86,10 @@ type Stack struct {
 
 	// Offloaded-only internals (nil for the baseline).
 	deployment *offload.Deployment
+
+	// Observability (nil unless configured in StackOptions).
+	registry *metrics.Registry
+	tracer   *trace.Tracer
 }
 
 // NewOffloadedStack wires the paper's deployment: ADT handshake, DPU
@@ -90,11 +106,12 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		HostPollers:                  opts.HostPollers,
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
+		Tracer:                       opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	st := &Stack{deployment: d}
+	st := &Stack{deployment: d, registry: opts.Registry, tracer: opts.Tracer}
 	// One poller goroutine per DPU connection plus one host server poller.
 	for _, dpuSrv := range d.DPUs {
 		stop := make(chan struct{})
@@ -151,6 +168,7 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 			h(method, payload, respond)
 		}
 	}
+	st.instrument()
 	return st, nil
 }
 
@@ -161,8 +179,27 @@ func NewBaselineStack(schema *Schema, impls map[string]Impl, opts StackOptions) 
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{handler: base.XRPCHandler()}, nil
+	st := &Stack{handler: base.XRPCHandler(), registry: opts.Registry}
+	st.instrument()
+	return st, nil
 }
+
+// instrument wraps the xRPC entry points with per-method metrics when a
+// registry is configured. Must run before Serve.
+func (s *Stack) instrument() {
+	if s.registry == nil {
+		return
+	}
+	rm := newRPCMetrics(s.registry)
+	s.handler = rm.wrapHandler(s.handler)
+	s.stream = rm.wrapStream(s.stream)
+}
+
+// Metrics returns the registry configured in StackOptions (nil if none).
+func (s *Stack) Metrics() *metrics.Registry { return s.registry }
+
+// Tracer returns the tracer configured in StackOptions (nil if none).
+func (s *Stack) Tracer() *trace.Tracer { return s.tracer }
 
 // Handler exposes the raw xRPC handler (useful for in-process testing
 // without TCP).
