@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test fmt-check race cover bench experiments fuzz clean
+.PHONY: all build test fmt-check race cover bench experiments chaos fuzz clean
 
 all: build test
 
@@ -21,9 +21,10 @@ fmt-check:
 # and response-serialization pipelines (worker pools + pollers), the host
 # duplex pool, the protocol layer they reserve/commit into, the xRPC
 # transport that feeds them, the generated-bindings byte-identity tests,
-# and the datapath span recorder.
+# the datapath span recorder, and the fault-injection layers (per-QP
+# delay lines, injector, link staller).
 race:
-	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/... ./internal/rdma/... ./internal/fault/... ./internal/fabric/...
 
 # Aggregate coverage over every package, with a summary and an HTML-ready
 # profile at cover.out.
@@ -37,6 +38,15 @@ bench:
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	go run ./cmd/dpurpc-bench -experiment all
+
+# Fault-injection sweep: goodput and latency of the offloaded stack at
+# 0/1/5/10% injected fault rates, plus the race-detector chaos soak over
+# randomized fault plans. The deterministic-seed fault matrix runs in the
+# ordinary `make test` (TestDeterministicFaultMatrix, TestChaosSoak).
+chaos:
+	go test -race -run 'TestChaosSoak|TestDeterministicFaultMatrix|TestRunChaos' -count=1 -v \
+		./internal/offload ./internal/rpcrdma ./internal/harness
+	go run ./cmd/dpurpc-bench -experiment chaos
 
 # Short fuzz pass over the three untrusted-input surfaces.
 fuzz:

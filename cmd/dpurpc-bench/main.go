@@ -30,7 +30,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy, chaos")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -154,6 +154,19 @@ func main() {
 			return printAnatomyCSV(rep)
 		}
 		return printAnatomy(rep)
+	})
+	run("chaos", func() error {
+		rows, err := harness.RunChaos(opts, harness.DefaultChaosRates())
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printChaosJSON(rows)
+		}
+		if csv {
+			return printChaosCSV(rows)
+		}
+		return printChaos(rows)
 	})
 	run("blocksweep", func() error { return printBlockSweep(opts) })
 	run("busypoll", func() error { return printPollModes(opts) })
@@ -391,6 +404,40 @@ func printFig8c(opts harness.Options, rows []harness.Fig8Row) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+func printChaos(rows []harness.ChaosRow) error {
+	fmt.Println("== Chaos sweep (fault injection + failure recovery; beyond the paper) ==")
+	fmt.Println("   (Echo workload over the full offloaded stack; every call resolves")
+	fmt.Println("    OK after transparent/client retries or with a typed status)")
+	w := tw()
+	fmt.Fprintln(w, "fault rate\trequests\tok\ttyped fail\tretries\tin-place retries\ttimed out\tconns lost\tgoodput req/s\tp50 us\tp99 us")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.0f%%\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.0f\t%.0f\n",
+			100*r.FaultRate, r.Requests, r.Succeeded, r.Failed, r.Retries,
+			r.SendFaultRetries, r.TimedOut, r.ConnsBroken, r.GoodputRPS,
+			r.P50US, r.P99US)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printChaosCSV(rows []harness.ChaosRow) error {
+	fmt.Println("fault_rate,plan,requests,succeeded,failed,retries,send_fault_retries,timed_out,late_dropped,conns_broken,goodput_rps,p50_us,p99_us,wall_seconds")
+	for _, r := range rows {
+		fmt.Printf("%.4f,%q,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.3f\n",
+			r.FaultRate, r.Plan, r.Requests, r.Succeeded, r.Failed, r.Retries,
+			r.SendFaultRetries, r.TimedOut, r.LateDropped, r.ConnsBroken,
+			r.GoodputRPS, r.P50US, r.P99US, r.WallSeconds)
+	}
+	return nil
+}
+
+func printChaosJSON(rows []harness.ChaosRow) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func printBlockSweep(opts harness.Options) error {

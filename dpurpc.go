@@ -39,11 +39,13 @@ import (
 
 	"dpurpc/internal/abi"
 	"dpurpc/internal/adt"
+	"dpurpc/internal/fault"
 	"dpurpc/internal/offload"
 	"dpurpc/internal/protodesc"
 	"dpurpc/internal/protodsl"
 	"dpurpc/internal/protomsg"
 	"dpurpc/internal/rpcrdma"
+	"dpurpc/internal/xrpc"
 )
 
 // Message is a dynamic protobuf message (client-side requests and host-side
@@ -61,6 +63,14 @@ type Impl = offload.Impl
 // Config tunes one side of an RPC-over-RDMA connection (Table I defaults
 // apply to zero values).
 type Config = rpcrdma.Config
+
+// FaultPlan describes a deterministic fault-injection schedule for the
+// simulated RDMA fabric (StackOptions.Faults). See internal/fault.
+type FaultPlan = fault.Plan
+
+// RetryPolicy governs Client.CallRetry: transparent retries of transient
+// failures with exponential backoff and a token-bucket budget.
+type RetryPolicy = xrpc.RetryPolicy
 
 // Schema bundles the parsed proto3 types, the registry, and the ADT.
 type Schema struct {

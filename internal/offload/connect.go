@@ -6,6 +6,7 @@ import (
 
 	"dpurpc/internal/adt"
 	"dpurpc/internal/fabric"
+	"dpurpc/internal/fault"
 	"dpurpc/internal/metrics"
 	"dpurpc/internal/rdma"
 	"dpurpc/internal/rpcrdma"
@@ -132,6 +133,22 @@ type DeployConfig struct {
 	// request-ID replay to the host and back, and each datapath stage
 	// records a span against it (see internal/trace).
 	Tracer *trace.Tracer
+	// ClientFaults/ServerFaults inject faults into the DPU->host and
+	// host->DPU RDMA paths respectively (see internal/fault). Each
+	// connection derives its own deterministic schedule (plan seed + index)
+	// so multi-connection chaos runs are reproducible but not in lockstep.
+	// Nil (the default) keeps the datapath byte-identical to a fault-free
+	// build.
+	ClientFaults *fault.Plan
+	ServerFaults *fault.Plan
+	// LinkFaults attaches a stall hook to the simulated PCIe link (StallRate
+	// / Stall of the plan; other rates are ignored here).
+	LinkFaults *fault.Plan
+	// RequestTimeout bounds each offloaded request from enqueue to response
+	// on the client (DPU->host) side; expired requests fail typed instead
+	// of hanging. Zero disables deadlines — only enable under fault
+	// injection (see rpcrdma.Config.RequestTimeout).
+	RequestTimeout time.Duration
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -155,7 +172,15 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	scfg.HostWorkers = cfg.HostWorkers
 	ccfg.Tracer = cfg.Tracer
 	scfg.Tracer = cfg.Tracer
+	if cfg.RequestTimeout > 0 {
+		ccfg.RequestTimeout = cfg.RequestTimeout
+	}
 	link := fabric.NewLink()
+	if cfg.LinkFaults != nil {
+		if inj := fault.New(*cfg.LinkFaults); inj != nil {
+			link.SetStaller(inj.Staller)
+		}
+	}
 	dpuDev := rdma.NewDevice("dpu", link, fabric.DPUToHost)
 	hostDev := rdma.NewDevice("host", link, fabric.HostToDPU)
 
@@ -191,7 +216,18 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	d.Poller = d.Pollers[0]
 	for i := 0; i < conns; i++ {
 		poller := d.Pollers[i%hostPollers]
-		client, _, err := rpcrdma.Connect(dpuDev, hostDev, ccfg, scfg, poller, host.Handler())
+		ccfgi, scfgi := ccfg, scfg
+		if cfg.ClientFaults != nil {
+			p := *cfg.ClientFaults
+			p.Seed += uint32(i)
+			ccfgi.Faults = &p
+		}
+		if cfg.ServerFaults != nil {
+			p := *cfg.ServerFaults
+			p.Seed += uint32(i)
+			scfgi.Faults = &p
+		}
+		client, _, err := rpcrdma.Connect(dpuDev, hostDev, ccfgi, scfgi, poller, host.Handler())
 		if err != nil {
 			return nil, err
 		}

@@ -426,7 +426,7 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 	}
 	if d.closed.Load() {
 		d.cfg.Tracer.Finish(task.tr, true)
-		return xrpc.StatusInternal, nil, nil
+		return xrpc.StatusUnavailable, nil, nil
 	}
 	done := make(chan callResult, 1)
 	task.deliver = func(r callResult) { done <- r }
@@ -857,9 +857,25 @@ func (d *DPUServer) progressClient() (int, error) {
 	return n, err
 }
 
+// failStatus classifies a datapath error into the xRPC status the caller
+// sees. Transient transport conditions (shutdown, broken connection) map to
+// UNAVAILABLE and deadline expiry to DEADLINE_EXCEEDED so the xrpc retry
+// layer (Retryable) can distinguish them from genuine server bugs, which
+// stay INTERNAL and are never retried.
+func failStatus(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrShuttingDown),
+		errors.Is(err, rpcrdma.ErrConnBroken):
+		return xrpc.StatusUnavailable
+	case errors.Is(err, rpcrdma.ErrRequestTimeout):
+		return xrpc.StatusDeadlineExceeded
+	}
+	return xrpc.StatusInternal
+}
+
 func (d *DPUServer) failTask(task *callTask, err error) {
 	d.errors.Add(1)
-	d.finish(task, callResult{status: xrpc.StatusInternal, err: true,
+	d.finish(task, callResult{status: failStatus(err), err: true,
 		resp: []byte(fmt.Sprintf("offload: %v", err))})
 }
 
@@ -939,7 +955,7 @@ func (d *DPUServer) shutdown(err error) {
 	d.failAll(err)
 	// Outstanding protocol requests will never see responses now that
 	// the poller is gone; fail their continuations.
-	d.client.Abort(xrpc.StatusInternal)
+	d.client.Abort(failStatus(err))
 }
 
 // Close shuts the server down. If a Run loop is active it is signalled and

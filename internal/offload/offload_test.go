@@ -459,7 +459,7 @@ func TestDPUServerShutdownFailsPending(t *testing.T) {
 	for time.Now().Before(deadline) {
 		st, _ := dpu.XRPCHandler()("/benchpb.Bench/CallSmall",
 			env.GenSmall(mt19937.New(4)).Marshal(nil))
-		if st == xrpc.StatusInternal {
+		if st == xrpc.StatusUnavailable {
 			return
 		}
 	}

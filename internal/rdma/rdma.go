@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dpurpc/internal/fabric"
+	"dpurpc/internal/fault"
 )
 
 // Errors returned by verbs operations.
@@ -42,6 +43,11 @@ var (
 	ErrOutOfBounds = errors.New("rdma: remote access out of registered bounds")
 	ErrRecvQFull   = errors.New("rdma: receive queue full")
 	ErrTooLarge    = errors.New("rdma: send payload exceeds receive buffer")
+	// ErrOpFault is an injected synchronous post failure (fault.Fail): the
+	// operation was rejected before any bytes moved and no completion was
+	// generated on either side. Protocol layers may treat it as
+	// block-scoped and recoverable.
+	ErrOpFault = errors.New("rdma: injected post fault")
 )
 
 // Opcode identifies the completed operation.
@@ -79,12 +85,20 @@ type CQE struct {
 type CQ struct {
 	ch       chan CQE
 	overflow atomic.Bool
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // NewCQ returns a CQ of the given depth.
 func NewCQ(depth int) *CQ {
-	return &CQ{ch: make(chan CQE, depth)}
+	return &CQ{ch: make(chan CQE, depth), done: make(chan struct{})}
 }
+
+// Shutdown wakes every current and future Wait caller. Completions already
+// queued (and any still arriving from in-flight posts) remain pollable:
+// after shutdown Wait degrades to a non-blocking Poll, so teardown paths
+// stop sleeping out their full WaitTimeout without losing entries.
+func (cq *CQ) Shutdown() { cq.doneOnce.Do(func() { close(cq.done) }) }
 
 // push delivers a completion; on overflow the CQ is poisoned.
 func (cq *CQ) push(e CQE) error {
@@ -99,6 +113,14 @@ func (cq *CQ) push(e CQE) error {
 
 // Overflowed reports whether the CQ ever overflowed.
 func (cq *CQ) Overflowed() bool { return cq.overflow.Load() }
+
+// poison marks the CQ overflowed (sticky, as in Sec. III-C) and wakes any
+// blocked waiter so the owner observes the failure promptly. Used by
+// injected CQ-overflow faults.
+func (cq *CQ) poison() {
+	cq.overflow.Store(true)
+	cq.Shutdown()
+}
 
 // Poll drains up to len(out) completions without blocking and returns the
 // count (busy-polling mode, Sec. III-C).
@@ -140,6 +162,11 @@ func (cq *CQ) Wait(out []CQE, timeout time.Duration) int {
 		return 1 + cq.Poll(out[1:])
 	case <-t.C:
 		return 0
+	case <-cq.done:
+		// Shut down while blocked: drain whatever is pollable and return,
+		// so pollers notice teardown immediately instead of sleeping out
+		// the timer.
+		return cq.Poll(out)
 	}
 }
 
@@ -204,8 +231,27 @@ type QP struct {
 
 	peer   atomic.Pointer[QP]
 	closed atomic.Bool
+	// sharedRecvCQ marks recvCQ as shared with other QPs (a poller CQ), in
+	// which case Close must not shut it down.
+	sharedRecvCQ bool
 
 	rnrCount atomic.Uint64
+
+	// injector, when non-nil, injects faults into this QP's outbound
+	// operations (one injection point per QP per direction). Set before
+	// traffic starts; nil costs a single pointer test per post.
+	injector *fault.Injector
+	// line serializes deliveries to the peer when delay injection is
+	// active, preserving the in-order guarantee of reliable connections
+	// even for delayed operations. nil unless the plan has a DelayRate.
+	line     chan delayedOp
+	lineDone chan struct{}
+	lineOnce sync.Once
+}
+
+type delayedOp struct {
+	delay time.Duration
+	fn    func()
 }
 
 var qpCounter atomic.Uint32
@@ -232,8 +278,84 @@ func Connect(a, b *QP) {
 // RNRCount returns how many inbound operations failed receiver-not-ready.
 func (qp *QP) RNRCount() uint64 { return qp.rnrCount.Load() }
 
-// Close marks the QP unusable.
-func (qp *QP) Close() { qp.closed.Store(true) }
+// MarkSharedRecvCQ tells Close to leave the receive CQ running because
+// other QPs complete into it (a server poller's shared CQ).
+func (qp *QP) MarkSharedRecvCQ() { qp.sharedRecvCQ = true }
+
+// SetInjector attaches a fault injector to this QP's outbound operations
+// (nil detaches). Must be called before traffic starts on the QP.
+func (qp *QP) SetInjector(inj *fault.Injector) {
+	qp.injector = inj
+	if inj != nil && inj.Plan().DelayRate > 0 && qp.line == nil {
+		qp.line = make(chan delayedOp, 1024)
+		qp.lineDone = make(chan struct{})
+		go qp.runDelayLine()
+	}
+}
+
+// Injector returns the attached fault injector (nil when none).
+func (qp *QP) Injector() *fault.Injector { return qp.injector }
+
+// runDelayLine executes deliveries strictly in posting order, sleeping
+// before the delayed ones. When the QP closes, queued deliveries are
+// flushed without further delay and the goroutine exits.
+func (qp *QP) runDelayLine() {
+	for {
+		select {
+		case op := <-qp.line:
+			if op.delay > 0 {
+				t := time.NewTimer(op.delay)
+				select {
+				case <-t.C:
+				case <-qp.lineDone:
+					t.Stop()
+				}
+			}
+			op.fn()
+		case <-qp.lineDone:
+			for {
+				select {
+				case op := <-qp.line:
+					op.fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver routes fn through the delay line when one is active (all
+// deliveries must share the line to stay FIFO), else runs it inline.
+func (qp *QP) deliver(delay time.Duration, fn func()) {
+	if qp.line == nil {
+		fn()
+		return
+	}
+	select {
+	case qp.line <- delayedOp{delay: delay, fn: fn}:
+	case <-qp.lineDone:
+		// QP closed under us: the wire is gone, drop the delivery.
+	}
+}
+
+// Close marks the QP unusable, wakes waiters on its completion queues
+// (teardown latency must not be bounded by poll timeouts), and stops the
+// delay line if one is running.
+func (qp *QP) Close() {
+	if !qp.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if qp.line != nil {
+		qp.lineOnce.Do(func() { close(qp.lineDone) })
+	}
+	if qp.sendCQ != nil {
+		qp.sendCQ.Shutdown()
+	}
+	if qp.recvCQ != nil && !qp.sharedRecvCQ {
+		qp.recvCQ.Shutdown()
+	}
+}
 
 // PostRecv posts a receive work request.
 func (qp *QP) PostRecv(wr RecvWR) error {
@@ -288,6 +410,11 @@ func (qp *QP) connectedPeer() (*QP, error) {
 // the peer's receive MR at remoteOff, one peer receive WR is consumed, the
 // peer gets an OpRecvWriteImm completion carrying imm, and the sender gets
 // an OpWriteImm completion.
+//
+// With a fault injector attached the post may instead fail synchronously
+// (ErrOpFault, no completions, no bytes moved), be dropped (sender
+// completes, receiver never hears), be delayed (delivered intact and in
+// order, late), or poison the receiver's CQ (ErrCQOverflow).
 func (qp *QP) PostWriteImm(wrID uint64, src []byte, remoteOff uint64, imm uint32) error {
 	peer, err := qp.connectedPeer()
 	if err != nil {
@@ -297,15 +424,43 @@ func (qp *QP) PostWriteImm(wrID uint64, src []byte, remoteOff uint64, imm uint32
 		return fmt.Errorf("%w: off=%d len=%d region=%d", ErrOutOfBounds,
 			remoteOff, len(src), peer.recvMR.Len())
 	}
+	if inj := qp.injector; inj != nil {
+		act, delay := inj.Decide()
+		switch act {
+		case fault.Fail:
+			return fmt.Errorf("%w: write-imm wr %d", ErrOpFault, wrID)
+		case fault.Overflow:
+			peer.recvCQ.poison()
+			return ErrCQOverflow
+		case fault.Drop:
+			// Lost DMA: the sender believes the write landed; the receiver
+			// never consumes a WR, sees no bytes and no completion.
+			return qp.sendCQ.push(CQE{WRID: wrID, QPNum: qp.Num,
+				Opcode: OpWriteImm, Status: StatusOK, ByteLen: uint32(len(src))})
+		}
+		if qp.line != nil {
+			// Delay injection active: every delivery rides the FIFO line so
+			// delayed and undelayed operations cannot reorder. src is safe
+			// to read at delivery time — senders reuse buffers only after
+			// the receiver acknowledges, which requires delivery first.
+			qp.deliver(delay, func() { _ = qp.deliverWriteImm(peer, wrID, src, remoteOff, imm) })
+			return nil
+		}
+	}
+	return qp.deliverWriteImm(peer, wrID, src, remoteOff, imm)
+}
+
+// deliverWriteImm is the delivery half of PostWriteImm: consume a peer
+// receive WR, place the bytes, account them on the fabric, then complete
+// both sides. Completing after the copy gives the receiver the required
+// memory-visibility ordering.
+func (qp *QP) deliverWriteImm(peer *QP, wrID uint64, src []byte, remoteOff uint64, imm uint32) error {
 	wr, ok := peer.popRecv()
 	if !ok {
 		qp.rnrCount.Add(1)
 		_ = qp.sendCQ.push(CQE{WRID: wrID, QPNum: qp.Num, Opcode: OpWriteImm, Status: StatusRNR})
 		return ErrRNR
 	}
-	// The DMA: place the bytes, account them, then complete. Delivering the
-	// completion after the copy gives the receiver the required
-	// memory-visibility ordering.
 	copy(peer.recvMR.buf[remoteOff:], src)
 	qp.pd.dev.link.Record(qp.pd.dev.out, len(src))
 	if err := peer.recvCQ.push(CQE{

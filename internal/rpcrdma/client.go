@@ -7,14 +7,58 @@ import (
 	"time"
 
 	"dpurpc/internal/arena"
+	"dpurpc/internal/fault"
 	"dpurpc/internal/rdma"
 	"dpurpc/internal/trace"
 )
+
+// idDeadline is one in-flight request's deadline (FIFO-ordered: a single
+// RequestTimeout means send order is expiry order). gen pins the entry to
+// one tenancy of the ID so a stale entry cannot reap a recycled ID.
+type idDeadline struct {
+	id  uint16
+	gen uint32
+	at  int64
+}
+
+// pendingFail is a locally-failed request awaiting continuation dispatch.
+type pendingFail struct {
+	cont func(Response)
+	resp Response
+}
 
 // Errors returned by the client.
 var (
 	ErrTooLargeForBuffer = errors.New("rpcrdma: message larger than send buffer")
 	ErrConnBroken        = errors.New("rpcrdma: connection broken")
+	// ErrSendBufferFull is returned by Reserve when the send arena stayed
+	// exhausted through the bounded completion-drain wait (SendFullWait).
+	// It is always wrapped together with arena.ErrOutOfMemory so pipelined
+	// owners' backpressure checks (errors.Is against either) keep working.
+	ErrSendBufferFull = errors.New("rpcrdma: send buffer full")
+	// ErrRequestTimeout is the LocalErr of a request reaped at its
+	// RequestTimeout deadline.
+	ErrRequestTimeout = errors.New("rpcrdma: request timed out")
+	// ErrSeqGap is the connection failure raised when a receiver observes a
+	// block-sequence discontinuity — the footprint of a lost block, which
+	// would otherwise desynchronize the deterministic ID replay of
+	// Sec. IV-D and silently misdeliver responses.
+	ErrSeqGap = errors.New("rpcrdma: block sequence gap (lost block)")
+	// ErrDrainTimeout is returned by the graceful-drain paths when in-flight
+	// work did not resolve within the allowed time.
+	ErrDrainTimeout = errors.New("rpcrdma: drain timed out")
+)
+
+// Status codes stamped on locally-generated failure responses
+// (Response.LocalErr != nil). They mirror the equivalent xrpc/gRPC codes —
+// rpcrdma deliberately does not import xrpc — so transport-level failures
+// keep their meaning when forwarded to RPC callers (and the retry layer
+// treats them as retryable).
+const (
+	// StatusDeadlineExceeded marks a request reaped at RequestTimeout.
+	StatusDeadlineExceeded uint16 = 4
+	// StatusUnavailable marks a request failed by connection loss.
+	StatusUnavailable uint16 = 14
 )
 
 // Response is delivered to a request's continuation. Payload aliases the
@@ -35,6 +79,13 @@ type Response struct {
 	RegionOff uint64
 	// Root is the root-object offset relative to Payload[0].
 	Root uint32
+	// LocalErr is non-nil when this response was generated locally by the
+	// failure machinery rather than received from the server: the request
+	// timed out (ErrRequestTimeout) or the connection broke with the
+	// request in flight (ErrConnBroken). Payload is always empty for such
+	// responses, and Status carries the matching transport code
+	// (StatusDeadlineExceeded / StatusUnavailable).
+	LocalErr error
 }
 
 // CallSpec describes one request to enqueue.
@@ -60,15 +111,16 @@ type CallSpec struct {
 
 // block is a request block under construction or awaiting send/ack.
 type block struct {
-	off     uint64 // SBuf offset (== remote RBuf offset, mirrored)
-	buf     []byte // SBuf slice, cap = allocated size
-	used    int
-	pending int // reserved slots whose payload is still being built
-	conts   []func(Response)
-	times   []int64         // enqueue timestamps, parallel to conts (instrumentation)
-	trs     []*trace.Active // trace handles, parallel to conts (nil when untraced)
-	seq     uint32          // assigned at send
-	ids     []uint16
+	off      uint64 // SBuf offset (== remote RBuf offset, mirrored)
+	buf      []byte // SBuf slice, cap = allocated size
+	used     int
+	pending  int // reserved slots whose payload is still being built
+	conts    []func(Response)
+	times    []int64         // enqueue timestamps, parallel to conts (instrumentation)
+	trs      []*trace.Active // trace handles, parallel to conts (nil when untraced)
+	seq      uint32          // assigned at send
+	ids      []uint16
+	sealedAt int64 // when the block entered the send queue (deadline reaping)
 }
 
 // ClientConn is the RPC-over-RDMA client endpoint — the role the DPU plays
@@ -99,6 +151,28 @@ type ClientConn struct {
 	// ServerConn, indexed by request ID (see Connect); nil when neither
 	// side configured a Tracer.
 	traceTab []atomic.Uint64
+
+	// expectSeq is the next response-block sequence number; a mismatch
+	// means a block was lost in flight (ErrSeqGap, connection-fatal — the
+	// deterministic ID replay cannot survive a gap).
+	expectSeq uint32
+	// injector is this side's outbound fault injector (nil when disabled).
+	injector *fault.Injector
+	// Deadline machinery, active only when cfg.RequestTimeout > 0:
+	// deadlines is the FIFO of in-flight request deadlines (monotonic — a
+	// single timeout value means send order is deadline order); idGen
+	// versions each request ID so a deadline entry outliving its request
+	// cannot reap the ID's next tenant; timedOut parks reaped IDs until
+	// their (possibly never-arriving) late response retires them.
+	deadlines []idDeadline
+	idGen     []uint32
+	timedOut  map[uint16]struct{}
+	// pendingFails queues locally-failed requests (timeouts, reaped queued
+	// blocks) for dispatch at a safe point of the event loop, keeping
+	// trySend and the reaper free of reentrant continuations.
+	pendingFails []pendingFail
+	// reclaiming guards the arena-exhaustion drain wait against reentry.
+	reclaiming bool
 
 	outstanding int
 	broken      error
@@ -134,6 +208,10 @@ func newClientConn(cfg Config, qp *rdma.QP, sendCQ, recvCQ *rdma.CQ, sbuf []byte
 	}
 	if cfg.LatencyObserver != nil {
 		c.started = make([]int64, IDPoolSize)
+	}
+	if cfg.RequestTimeout > 0 {
+		c.idGen = make([]uint32, IDPoolSize)
+		c.timedOut = make(map[uint16]struct{})
 	}
 	c.Counters.MinCreditsSeen = uint64(cfg.Credits)
 	// Reserve offset 0: region offsets must never be 0 (NullRef), and the
@@ -175,6 +253,47 @@ func (c *ClientConn) newBlock(firstSlot int) (*block, error) {
 		buf:  c.sbuf[off : off+uint64(size)],
 		used: PreambleSize,
 	}, nil
+}
+
+// reclaimBlock recovers from send-arena exhaustion. Under load the arena is
+// full only because acknowledgments are in flight — outstanding completions
+// free a block microseconds later — so hard-failing the reservation wastes
+// the request. First transmit anything queued, then (when allowed) drain
+// response completions for up to SendFullWait, retrying the allocation as
+// acknowledgments land. The wait is skipped inside a response dispatch or a
+// nested reclaim, where draining would reenter the event loop. If the arena
+// stays full, the typed ErrSendBufferFull is returned wrapped with
+// arena.ErrOutOfMemory so pipelined owners' backpressure checks
+// (errors.Is on either sentinel) behave exactly as before.
+func (c *ClientConn) reclaimBlock(slot int) (*block, error) {
+	c.trySend()
+	if b, err := c.newBlock(slot); err == nil {
+		return b, nil
+	}
+	if wait := c.cfg.SendFullWait; wait > 0 && !c.inDispatch && !c.reclaiming {
+		c.reclaiming = true
+		defer func() { c.reclaiming = false }()
+		deadline := time.Now().Add(wait)
+		for {
+			remain := time.Until(deadline)
+			if remain <= 0 || c.broken != nil {
+				break
+			}
+			n := c.recvCQ.Wait(c.cqes, remain)
+			if n == 0 {
+				continue
+			}
+			if _, err := c.processRecvCQEs(c.cqes[:n]); err != nil {
+				return nil, err
+			}
+			c.trySend()
+			if b, err := c.newBlock(slot); err == nil {
+				c.Counters.SendFullRecoveries++
+				return b, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %w", ErrSendBufferFull, arena.ErrOutOfMemory)
 }
 
 // Enqueue buffers one request into the current block, sealing and queueing
@@ -265,15 +384,11 @@ func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response))
 	if c.cur == nil {
 		b, err := c.newBlock(slot)
 		if err != nil {
-			// Send buffer exhausted: try to drain and retry once.
-			c.trySend()
-			if b, err = c.newBlock(slot); err != nil {
+			if b, err = c.reclaimBlock(slot); err != nil {
 				return nil, err
 			}
-			c.cur = b
-		} else {
-			c.cur = b
 		}
+		c.cur = b
 	}
 	b := c.cur
 	hdrPos := b.used
@@ -379,6 +494,9 @@ func (c *ClientConn) seal() {
 	if c.cur.used < c.cfg.BlockSize {
 		c.Counters.PartialFlushes++
 	}
+	if c.cfg.RequestTimeout > 0 {
+		c.cur.sealedAt = nowNS()
+	}
 	c.sendQ = append(c.sendQ, c.cur)
 	c.cur = nil
 }
@@ -440,6 +558,22 @@ func (c *ClientConn) trySend() {
 			dbStart = nowNS()
 		}
 		if err := c.qp.PostWriteImm(uint64(b.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+			if errors.Is(err, rdma.ErrOpFault) {
+				// The wire rejected the post before any bytes moved: the
+				// server never observed it, so rewind the ID allocations
+				// (no frees ran since them — Unalloc restores the pool
+				// bit-for-bit), restore the unsent acknowledgment counter,
+				// and leave the block at the head of the queue. The next
+				// event-loop pass retries it with identical IDs; requests
+				// that stay stuck are reaped by the deadline machinery.
+				for _, id := range b.ids {
+					c.conts[id] = nil
+				}
+				c.pool.Unalloc(len(b.ids))
+				c.ackBlocks += ack
+				c.Counters.SendFaultRetries++
+				return
+			}
 			c.fail(err)
 			return
 		}
@@ -447,6 +581,13 @@ func (c *ClientConn) trySend() {
 			dbEnd := nowNS()
 			for _, a := range b.trs {
 				a.Span(trace.StageDoorbell, trace.ProcDPU, 0, dbStart, dbEnd)
+			}
+		}
+		if c.idGen != nil {
+			at := nowNS() + c.cfg.RequestTimeout.Nanoseconds()
+			for _, id := range b.ids {
+				c.idGen[id]++
+				c.deadlines = append(c.deadlines, idDeadline{id: id, gen: c.idGen[id], at: at})
 			}
 		}
 		c.seq++
@@ -464,7 +605,11 @@ func (c *ClientConn) trySend() {
 
 func (c *ClientConn) fail(err error) {
 	if c.broken == nil {
-		c.broken = fmt.Errorf("%w: %v", ErrConnBroken, err)
+		c.broken = fmt.Errorf("%w: %w", ErrConnBroken, err)
+		// Close the QP so the peer observes the failure on its next post
+		// (ErrClosed) instead of waiting out its own timeouts, and so
+		// waiters on this side's CQs wake immediately.
+		c.qp.Close()
 	}
 }
 
@@ -505,6 +650,14 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 	if err != nil {
 		return err
 	}
+	// Reliable connections deliver in order, so the only way to observe a
+	// sequence discontinuity is a lost block — which would desynchronize
+	// the deterministic ID replay and silently misdeliver every response
+	// after it. Fail fast instead.
+	if p.seq != c.expectSeq {
+		return fmt.Errorf("%w: response block seq %d, expected %d", ErrSeqGap, p.seq, c.expectSeq)
+	}
+	c.expectSeq++
 	// The response preamble acknowledges fully-answered request blocks.
 	if err := c.processRequestBlockAcks(int(p.ackBlocks)); err != nil {
 		return err
@@ -536,6 +689,16 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 		}
 		cont := c.conts[h.reqID]
 		if cont == nil {
+			if _, late := c.timedOut[h.reqID]; late {
+				// The request was reaped at its deadline and its caller
+				// already saw ErrRequestTimeout; retire the parked ID and
+				// drop the payload.
+				delete(c.timedOut, h.reqID)
+				c.freeIDs = append(c.freeIDs, h.reqID)
+				c.Counters.LateResponsesDropped++
+				pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
+				continue
+			}
 			return fmt.Errorf("%w: response for idle request ID %d", ErrBlockCorrupt, h.reqID)
 		}
 		c.conts[h.reqID] = nil
@@ -662,14 +825,47 @@ func (c *ClientConn) Progress() (int, error) {
 	if c.broken != nil {
 		return 0, c.broken
 	}
-	events := 0
 	n := c.recvCQ.Poll(c.cqes)
 	if n == 0 && !c.cfg.BusyPoll && c.Counters.BlocksSent == sentBefore {
 		// Idle: sleep on the completion channel (the poll() path of
 		// Sec. III-C).
 		n = c.recvCQ.Wait(c.cqes, c.cfg.WaitTimeout)
 	}
-	for _, e := range c.cqes[:n] {
+	events, err := c.processRecvCQEs(c.cqes[:n])
+	if err != nil {
+		return events, err
+	}
+	// Reap expired requests and dispatch their (and any other locally
+	// queued) failure continuations before flushing, so re-enqueues from
+	// those continuations ride this pass.
+	if c.cfg.RequestTimeout > 0 {
+		c.reapDeadlines()
+	}
+	c.dispatchLocalFailures()
+	// Flush again: continuations may have enqueued follow-up requests, and
+	// acknowledgments may have freed credits for queued blocks.
+	if !c.holdPartial {
+		c.seal()
+	}
+	c.trySend()
+	// Low-workload path: if response-block acknowledgments are pending but
+	// no request traffic will carry them, ship them in an empty block so
+	// the server's response credits do not starve (the deadlock-avoidance
+	// flush of Sec. IV: partial blocks are still sent by the event loop).
+	if c.ackBlocks > 0 && (c.outstanding > 0 || len(c.timedOut) > 0) &&
+		len(c.sendQ) == 0 &&
+		(c.cur == nil || len(c.cur.conts) == 0) && c.credits > 0 {
+		c.sendAckOnly()
+	}
+	return events, c.broken
+}
+
+// processRecvCQEs dispatches a batch of receive completions, each an inbound
+// response block, reposting one receive WR per block consumed. It returns
+// the number of blocks processed; on error the connection is already failed.
+func (c *ClientConn) processRecvCQEs(cqes []rdma.CQE) (int, error) {
+	events := 0
+	for _, e := range cqes {
 		if e.Status != rdma.StatusOK {
 			c.fail(fmt.Errorf("recv completion status %d", e.Status))
 			return events, c.broken
@@ -684,21 +880,72 @@ func (c *ClientConn) Progress() (int, error) {
 			return events, c.broken
 		}
 	}
-	// Flush again: continuations may have enqueued follow-up requests, and
-	// acknowledgments may have freed credits for queued blocks.
-	if !c.holdPartial {
-		c.seal()
+	return events, nil
+}
+
+// reapDeadlines fails every request whose RequestTimeout expired. The
+// deadlines FIFO matches send order (a single timeout value makes send order
+// expiry order), so the scan stops at the first live entry. Reaped IDs are
+// parked in timedOut — not freed — until their late response retires them,
+// which keeps the deterministic ID replay of Sec. IV-D aligned even though
+// the caller already moved on. Sealed blocks that never reached the wire
+// (e.g. a persistently faulting post) are reaped wholesale once they age
+// past the timeout; their IDs were rolled back at the failed post, so
+// dropping the block is invisible to the replay. Continuations are queued on
+// pendingFails, not invoked here.
+func (c *ClientConn) reapDeadlines() {
+	now := nowNS()
+	for len(c.deadlines) > 0 && c.deadlines[0].at <= now {
+		d := c.deadlines[0]
+		c.deadlines = c.deadlines[0:copy(c.deadlines, c.deadlines[1:])]
+		if d.gen != c.idGen[d.id] {
+			continue // the ID has been retired since; stale entry
+		}
+		cont := c.conts[d.id]
+		if cont == nil {
+			continue // the response arrived in time
+		}
+		c.conts[d.id] = nil
+		c.outstanding--
+		c.timedOut[d.id] = struct{}{}
+		c.Counters.RequestsTimedOut++
+		c.pendingFails = append(c.pendingFails, pendingFail{cont, Response{
+			Status: StatusDeadlineExceeded, Err: true, LocalErr: ErrRequestTimeout,
+		}})
 	}
-	c.trySend()
-	// Low-workload path: if response-block acknowledgments are pending but
-	// no request traffic will carry them, ship them in an empty block so
-	// the server's response credits do not starve (the deadlock-avoidance
-	// flush of Sec. IV: partial blocks are still sent by the event loop).
-	if c.ackBlocks > 0 && c.outstanding > 0 && len(c.sendQ) == 0 &&
-		(c.cur == nil || len(c.cur.conts) == 0) && c.credits > 0 {
-		c.sendAckOnly()
+	for len(c.sendQ) > 0 {
+		b := c.sendQ[0]
+		if b.pending > 0 || b.sealedAt == 0 ||
+			now-b.sealedAt <= c.cfg.RequestTimeout.Nanoseconds() {
+			break
+		}
+		c.sendQ = c.sendQ[0:copy(c.sendQ, c.sendQ[1:])]
+		if err := c.alloc.Free(b.off); err != nil {
+			c.fail(err)
+			return
+		}
+		for _, cont := range b.conts {
+			if cont != nil {
+				c.pendingFails = append(c.pendingFails, pendingFail{cont, Response{
+					Status: StatusDeadlineExceeded, Err: true, LocalErr: ErrRequestTimeout,
+				}})
+			}
+			c.outstanding--
+			c.Counters.RequestsTimedOut++
+		}
+		b.conts = nil
 	}
-	return events, c.broken
+}
+
+// dispatchLocalFailures invokes the continuations of locally-failed requests
+// (deadline reaps, reaped unsent blocks). It runs at a fixed point of the
+// event loop so neither trySend nor the reaper ever reenters user code.
+func (c *ClientConn) dispatchLocalFailures() {
+	for len(c.pendingFails) > 0 {
+		p := c.pendingFails[0]
+		c.pendingFails = c.pendingFails[0:copy(c.pendingFails, c.pendingFails[1:])]
+		p.cont(p.resp)
+	}
 }
 
 // sendAckOnly transmits a zero-message block carrying only the preamble
@@ -719,6 +966,14 @@ func (c *ClientConn) sendAckOnly() {
 	b.seq = c.seq
 	putPreamble(b.buf, preamble{msgCount: 0, ackBlocks: ack, blockLen: PreambleSize, seq: b.seq})
 	if err := c.qp.PostWriteImm(uint64(b.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+		if errors.Is(err, rdma.ErrOpFault) {
+			// Nothing reached the wire: restore the acknowledgment counter
+			// and give the block back; a later pass resends the acks.
+			c.ackBlocks += ack
+			_ = c.alloc.Free(b.off)
+			c.Counters.SendFaultRetries++
+			return
+		}
 		c.fail(err)
 		return
 	}
@@ -739,7 +994,14 @@ func (c *ClientConn) sendAckOnly() {
 // that can never arrive.
 func (c *ClientConn) Abort(status uint16) {
 	c.fail(errors.New("aborted"))
-	fail := Response{Status: status, Err: true}
+	// Requests already reaped by the deadline machinery have seen their
+	// failure; flush any still queued for dispatch, then drop the machinery.
+	c.dispatchLocalFailures()
+	c.deadlines = nil
+	for id := range c.timedOut {
+		delete(c.timedOut, id)
+	}
+	fail := Response{Status: status, Err: true, LocalErr: ErrConnBroken}
 	for _, b := range append(append([]*block(nil), c.sendQ...), c.cur) {
 		if b == nil {
 			continue
@@ -779,6 +1041,38 @@ func (c *ClientConn) Flush() error {
 	c.trySend()
 	return c.broken
 }
+
+// Drain runs the event loop until every in-flight request has resolved
+// (response, timeout, or connection failure) and nothing remains buffered,
+// or the allowed time expires (ErrDrainTimeout). On a broken connection the
+// remaining requests can never resolve on their own, so Drain fails them
+// (Abort with StatusUnavailable) and returns the sticky error — either way,
+// every continuation has run exactly once when Drain returns non-timeout.
+// Owner-only.
+func (c *ClientConn) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.broken != nil {
+			c.Abort(StatusUnavailable)
+			return c.broken
+		}
+		if c.outstanding == 0 && len(c.sendQ) == 0 &&
+			(c.cur == nil || len(c.cur.conts) == 0) && len(c.pendingFails) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrDrainTimeout
+		}
+		if _, err := c.Progress(); err != nil {
+			c.Abort(StatusUnavailable)
+			return err
+		}
+	}
+}
+
+// FaultInjector returns the fault injector attached to this side's QP, nil
+// when fault injection is disabled.
+func (c *ClientConn) FaultInjector() *fault.Injector { return c.injector }
 
 // Close tears down the connection.
 func (c *ClientConn) Close() {

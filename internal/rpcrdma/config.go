@@ -48,6 +48,7 @@ package rpcrdma
 import (
 	"time"
 
+	"dpurpc/internal/fault"
 	"dpurpc/internal/trace"
 )
 
@@ -111,6 +112,26 @@ type Config struct {
 	// instruments the library itself with a Prometheus client (Sec. VI);
 	// plug a metrics.Histogram's Observe here.
 	LatencyObserver func(ns float64)
+	// RequestTimeout (client side) bounds each request from enqueue to
+	// response. Expired requests fail with a typed error response
+	// (Response.LocalErr == ErrRequestTimeout); a response that arrives
+	// after its request was reaped is discarded. Zero disables deadlines
+	// (the default — request IDs for responses that never arrive are
+	// parked until the late response lands, so only enable this on
+	// connections that can actually lose traffic, i.e. under fault
+	// injection).
+	RequestTimeout time.Duration
+	// SendFullWait (client side) bounds the completion-drain wait Reserve
+	// performs when the send arena is exhausted: instead of hard-failing,
+	// the connection drains acknowledgments for up to this long, retrying
+	// the allocation as blocks free. Zero selects 2*WaitTimeout; negative
+	// disables the wait (Reserve fails immediately with ErrSendBufferFull).
+	SendFullWait time.Duration
+	// Faults, when non-nil and enabled, injects faults into this side's
+	// outbound RDMA operations (see internal/fault). Both sides default to
+	// nil; with no injector the datapath is byte-identical to an
+	// injector-free build.
+	Faults *fault.Plan
 	// Tracer, when non-nil, enables span recording for traced requests.
 	// Trace IDs ride the deterministic request-ID replay of Sec. IV-D out
 	// of band (a shared table indexed by request ID, see Connect), so the
@@ -170,6 +191,9 @@ func (c *Config) fillDefaults(client bool) {
 	if c.WaitTimeout == 0 {
 		c.WaitTimeout = time.Millisecond
 	}
+	if c.SendFullWait == 0 {
+		c.SendFullWait = 2 * c.WaitTimeout
+	}
 }
 
 // Counters instrument one connection endpoint. They are read by the
@@ -193,4 +217,11 @@ type Counters struct {
 	DuplexHandled     uint64 // handler stages completed on the duplex pool
 	DuplexBuilt       uint64 // response builds completed on the duplex pool
 	DuplexTombstones  uint64 // failed builds committed as error responses
+
+	// Failure-path counters (all zero unless faults are injected or
+	// deadlines enabled).
+	SendFaultRetries     uint64 // posts rejected by the wire, rolled back and retried
+	RequestsTimedOut     uint64 // requests reaped at RequestTimeout
+	LateResponsesDropped uint64 // responses discarded because their request timed out
+	SendFullRecoveries   uint64 // arena exhaustions recovered by the bounded drain wait
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"dpurpc/internal/fault"
 	"dpurpc/internal/rdma"
 )
 
@@ -52,6 +53,9 @@ func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *Serve
 
 	clientQP := clientPD.CreateQP(clientSendCQ, clientRecvCQ, clientRBuf)
 	serverQP := serverPD.CreateQP(serverSendCQ, poller.recvCQ, serverRBuf)
+	// The poller CQ outlives any one connection: closing this QP (teardown
+	// or failure isolation) must not shut it down.
+	serverQP.MarkSharedRecvCQ()
 	rdma.Connect(clientQP, serverQP)
 
 	cc, err := newClientConn(ccfg, clientQP, clientSendCQ, clientRecvCQ, clientSBuf, clientRBuf, scfg.Credits+recvSlack)
@@ -61,6 +65,16 @@ func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *Serve
 	sc, err := newServerConn(scfg, serverQP, serverSendCQ, serverSBuf, serverRBuf, h, needed)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Fault injection (per side, outbound ops only). With both plans nil the
+	// QPs carry no injector and the datapath is byte-identical to before.
+	if ccfg.Faults != nil {
+		cc.injector = fault.New(*ccfg.Faults)
+		clientQP.SetInjector(cc.injector)
+	}
+	if scfg.Faults != nil {
+		sc.injector = fault.New(*scfg.Faults)
+		serverQP.SetInjector(sc.injector)
 	}
 	// Trace-ID propagation (out of band, Sec. IV-D): request IDs are never
 	// transmitted — both sides replay the same free-then-allocate sequence —

@@ -140,9 +140,11 @@ func TestDoubleResponseRejected(t *testing.T) {
 	if got != 1 {
 		t.Fatalf("got %d responses", got)
 	}
-	// Now forge a second response for the (already freed) ID 0.
+	// Now forge a second response for the (already freed) ID 0. The forgery
+	// must be in-sequence (the server already sent block 0) so it reaches
+	// the duplicate-ID check rather than tripping the seq-gap guard.
 	raw := make([]byte, PreambleSize+HeaderSize)
-	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw))})
+	putPreamble(raw, preamble{msgCount: 1, blockLen: uint32(len(raw)), seq: 1})
 	putHeader(raw[PreambleSize:], header{response: true, reqID: 0})
 	if err := writeRawToClient(r, 100, raw); !errors.Is(err, ErrBlockCorrupt) {
 		t.Errorf("forged duplicate response: %v", err)

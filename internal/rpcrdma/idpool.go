@@ -47,3 +47,15 @@ func (p *idPool) Free(id uint16) {
 	p.free[tail] = id
 	p.n++
 }
+
+// Unalloc exactly reverses the k most recent Alloc calls, provided no Free
+// ran since them: Alloc only reads ring slots (Free is what overwrites
+// them), so the popped IDs are still in place and rewinding the head
+// restores the pool bit-for-bit. The send path uses this to roll back a
+// block whose post failed before transmission — the peer never observed the
+// allocations, so rewinding keeps the replayed ID sequence of Sec. IV-D
+// identical on both sides.
+func (p *idPool) Unalloc(k int) {
+	p.head = (p.head - k%len(p.free) + len(p.free)) % len(p.free)
+	p.n += k
+}

@@ -1,10 +1,13 @@
 package rpcrdma
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"dpurpc/internal/arena"
+	"dpurpc/internal/fault"
 	"dpurpc/internal/rdma"
 	"dpurpc/internal/trace"
 )
@@ -139,6 +142,13 @@ type ServerConn struct {
 	reqBlockOf map[uint16]*reqBlockState
 	ackReady   uint16 // fully-answered leading blocks not yet acknowledged
 
+	// expectSeq is the next request-block sequence number; a mismatch means
+	// a block was lost in flight (ErrSeqGap, connection-fatal — see the
+	// client-side twin).
+	expectSeq uint32
+	// injector is this side's outbound fault injector (nil when disabled).
+	injector *fault.Injector
+
 	broken error
 
 	// Counters instrument the endpoint.
@@ -184,9 +194,17 @@ func (s *ServerConn) Credits() int { return s.credits }
 
 func (s *ServerConn) fail(err error) {
 	if s.broken == nil {
-		s.broken = fmt.Errorf("%w: %v", ErrConnBroken, err)
+		s.broken = fmt.Errorf("%w: %w", ErrConnBroken, err)
+		// Close the QP so the peer observes the failure on its next post
+		// (ErrClosed) instead of waiting out its own timeouts. The shared
+		// poller CQ survives (MarkSharedRecvCQ); only this connection dies.
+		s.qp.Close()
 	}
 }
+
+// FaultInjector returns the fault injector attached to this side's QP, nil
+// when fault injection is disabled.
+func (s *ServerConn) FaultInjector() *fault.Injector { return s.injector }
 
 func (s *ServerConn) newRespBlock(firstSlot int) (*respBlock, error) {
 	size := s.cfg.BlockSize
@@ -439,6 +457,16 @@ func (s *ServerConn) trySendResponses() {
 			dbT0 = nowNS()
 		}
 		if err := s.qp.PostWriteImm(uint64(s.seq), b.buf[:b.used], b.off, uint32(b.off/BlockAlign)); err != nil {
+			if errors.Is(err, rdma.ErrOpFault) {
+				// The wire rejected the post before any bytes moved: restore
+				// the unsent acknowledgment counter and leave the block at
+				// the head of the queue — no IDs were consumed (response IDs
+				// are frees, applied only on the client's receipt), so the
+				// next poller pass retries it verbatim.
+				s.ackReady += ack
+				s.Counters.SendFaultRetries++
+				return
+			}
 			s.fail(err)
 			return
 		}
@@ -468,6 +496,9 @@ func (s *ServerConn) trySendResponses() {
 // ID allocation for the block's requests, then foreground execution of each
 // request in order (Sec. IV-D ordering contract).
 func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
+	if s.broken != nil {
+		return s.broken
+	}
 	off := uint64(imm) * BlockAlign
 	if off+uint64(byteLen) > uint64(s.rbuf.Len()) {
 		return fmt.Errorf("%w: bucket %d beyond receive buffer", ErrBlockCorrupt, imm)
@@ -477,6 +508,14 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 	if err != nil {
 		return err
 	}
+	// Reliable connections deliver in order, so a sequence discontinuity
+	// means a lost request block — fatal, because the deterministic ID
+	// replay of Sec. IV-D cannot survive a gap (every later allocation
+	// would desynchronize and misdeliver responses).
+	if p.seq != s.expectSeq {
+		return fmt.Errorf("%w: request block seq %d, expected %d", ErrSeqGap, p.seq, s.expectSeq)
+	}
+	s.expectSeq++
 	// 1. Process the client's implicit acks: pop that many sent response
 	// blocks, free their request IDs in order, reclaim memory and credits.
 	for i := 0; i < int(p.ackBlocks); i++ {
@@ -723,9 +762,43 @@ func (sp *ServerPoller) duplexBusy() bool {
 	return false
 }
 
-// Close stops the background and duplex worker pools (if any). The poller
-// itself is driven by the caller and needs no teardown.
+// Drain runs the poller until every live connection has no buffered or
+// in-flight response work — send queues empty, no open partial block, no
+// background or duplex work pending — or the allowed time expires
+// (ErrDrainTimeout). Broken connections are skipped (their work can never
+// drain; their sticky errors stay observable via Broken). Owner-only.
+func (sp *ServerPoller) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		for _, conn := range sp.conns {
+			if conn.broken != nil {
+				continue
+			}
+			if len(conn.sendQ) > 0 || (conn.cur != nil && conn.cur.msgs > 0) ||
+				(conn.bg != nil && conn.bg.Pending() > 0) ||
+				(conn.duplex != nil && (conn.dxInflight > 0 || len(conn.dxBacklog) > 0)) {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrDrainTimeout
+		}
+		if _, err := sp.Progress(); err != nil && !errors.Is(err, ErrConnBroken) {
+			return err
+		}
+	}
+}
+
+// Close stops the background and duplex worker pools (if any) and shuts
+// down the shared receive CQ so a poller goroutine blocked in Wait wakes
+// immediately instead of finishing its timeout.
 func (sp *ServerPoller) Close() {
+	sp.recvCQ.Shutdown()
 	for _, conn := range sp.conns {
 		if conn.bg != nil {
 			conn.bg.close()

@@ -46,11 +46,13 @@ const MaxFrameSize = 16 << 20
 
 // Status codes (the gRPC subset used here).
 const (
-	StatusOK              uint16 = 0
-	StatusInvalidArgument uint16 = 3
-	StatusNotFound        uint16 = 5
-	StatusUnimplemented   uint16 = 12
-	StatusInternal        uint16 = 13
+	StatusOK               uint16 = 0
+	StatusInvalidArgument  uint16 = 3
+	StatusDeadlineExceeded uint16 = 4
+	StatusNotFound         uint16 = 5
+	StatusUnimplemented    uint16 = 12
+	StatusInternal         uint16 = 13
+	StatusUnavailable      uint16 = 14
 )
 
 // StatusText renders a status code.
@@ -60,12 +62,16 @@ func StatusText(s uint16) string {
 		return "OK"
 	case StatusInvalidArgument:
 		return "INVALID_ARGUMENT"
+	case StatusDeadlineExceeded:
+		return "DEADLINE_EXCEEDED"
 	case StatusNotFound:
 		return "NOT_FOUND"
 	case StatusUnimplemented:
 		return "UNIMPLEMENTED"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusUnavailable:
+		return "UNAVAILABLE"
 	}
 	return fmt.Sprintf("STATUS(%d)", s)
 }
@@ -298,6 +304,12 @@ type Client struct {
 	closed  bool
 	werr    error
 
+	// Retry state (see retry.go): policy, the token-bucket budget level,
+	// and the cumulative retry count.
+	retry       RetryPolicy
+	retryTokens float64
+	retries     uint64
+
 	readerDone chan struct{}
 }
 
@@ -389,8 +401,18 @@ func (c *Client) goWithID(method string, payload []byte, idOut *uint32, cb func(
 		c.mu.Unlock()
 		return err
 	}
+	// Stream IDs wrap at 2^32; after a wrap the next candidate may still be
+	// held by a slow in-flight call, and silently overwriting its callback
+	// would both leak that call and misdeliver its response. Skip in-use
+	// IDs (the pending map is finite, so this terminates).
 	id := c.nextID
-	c.nextID++
+	for {
+		if _, inUse := c.pending[id]; !inUse {
+			break
+		}
+		id++
+	}
+	c.nextID = id + 1
 	*idOut = id
 	c.pending[id] = cb
 	err := writeFrame(c.bw, frameRequest, id, mlen[:], []byte(method), payload)

@@ -61,6 +61,17 @@ type StackOptions struct {
 	// response serialize and delivery). Offloaded stacks only; the
 	// recording cost is bounded and the datapath never blocks on it.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, injects deterministic faults (error CQEs,
+	// drops, delivery delays, CQ overflows) into both RDMA directions of
+	// every connection — chaos testing only. Each connection derives its
+	// own schedule from the plan seed. Nil keeps the datapath
+	// byte-identical to a fault-free build. Offloaded stacks only.
+	Faults *FaultPlan
+	// RequestTimeout bounds each offloaded request from enqueue on the DPU
+	// to its response; expired requests fail with DEADLINE_EXCEEDED
+	// instead of hanging. Zero disables deadlines — enable it whenever
+	// Faults is set. Offloaded stacks only.
+	RequestTimeout time.Duration
 }
 
 func (o *StackOptions) fill() {
@@ -107,6 +118,9 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
 		Tracer:                       opts.Tracer,
+		ClientFaults:                 opts.Faults,
+		ServerFaults:                 opts.Faults,
+		RequestTimeout:               opts.RequestTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -130,7 +144,10 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 				case <-hostStop:
 					return
 				default:
-					if _, err := poller.Progress(); err != nil {
+					// One broken connection (fault injection, peer death)
+					// must not stop service for its siblings on this poller.
+					if _, err := poller.Progress(); err != nil &&
+						!errors.Is(err, rpcrdma.ErrConnBroken) {
 						return
 					}
 				}
@@ -288,8 +305,24 @@ func (c *Client) Call(schema *Schema, service, method string, req *Message) (*Me
 	return c.CallTimeout(schema, service, method, req, 0)
 }
 
+// SetRetryPolicy installs the retry policy used by CallRetry and resets
+// its token-bucket budget to full.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.c.SetRetryPolicy(p) }
+
+// CallRetry is CallTimeout with the installed RetryPolicy applied:
+// transient failures (timeouts, DEADLINE_EXCEEDED, UNAVAILABLE) are retried
+// with exponential backoff while attempts and the retry budget allow. The
+// timeout applies per attempt.
+func (c *Client) CallRetry(schema *Schema, service, method string, req *Message, timeout time.Duration) (*Message, error) {
+	return c.call(schema, service, method, req, timeout, true)
+}
+
 // CallTimeout is Call with a deadline (0 means none).
 func (c *Client) CallTimeout(schema *Schema, service, method string, req *Message, timeout time.Duration) (*Message, error) {
+	return c.call(schema, service, method, req, timeout, false)
+}
+
+func (c *Client) call(schema *Schema, service, method string, req *Message, timeout time.Duration, retry bool) (*Message, error) {
 	svc := schema.Registry.Service(service)
 	if svc == nil {
 		return nil, errors.New("dpurpc: unknown service " + service)
@@ -301,7 +334,14 @@ func (c *Client) CallTimeout(schema *Schema, service, method string, req *Messag
 	if req.Descriptor() != m.Input {
 		return nil, errors.New("dpurpc: request type mismatch")
 	}
-	status, payload, err := c.c.CallTimeout(xrpc.FullMethodName(service, method), req.Marshal(nil), timeout)
+	var status uint16
+	var payload []byte
+	var err error
+	if retry {
+		status, payload, err = c.c.CallRetry(xrpc.FullMethodName(service, method), req.Marshal(nil), timeout)
+	} else {
+		status, payload, err = c.c.CallTimeout(xrpc.FullMethodName(service, method), req.Marshal(nil), timeout)
+	}
 	if err != nil {
 		return nil, err
 	}
