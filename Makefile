@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test fmt-check race cover bench experiments chaos fuzz clean
+.PHONY: all build test fmt-check race cover bench bench-all experiments chaos fuzz clean
 
 all: build test
 
@@ -32,7 +32,15 @@ cover:
 	go test -coverprofile=cover.out -covermode=atomic ./...
 	go tool cover -func=cover.out | tail -1
 
+# Decode-path benchmark snapshot: the deser + wire benchmarks (planned vs
+# interpretive decode, varint/tag micro-benchmarks) parsed into
+# BENCH_deser.json (ns/op, B/op, allocs/op), which is checked in.
 bench:
+	go test -bench . -benchmem -count 1 -run '^$$' ./internal/deser ./internal/wire \
+		| go run ./cmd/benchjson -out BENCH_deser.json
+
+# Full benchmark sweep across every package (nothing written).
+bench-all:
 	go test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation.

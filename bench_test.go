@@ -33,11 +33,11 @@ import (
 // --- Fig. 7: single-message deserialization ---------------------------------
 
 func benchDeser(b *testing.B, data []byte, lay *abi.Layout) {
-	need, err := deser.Measure(lay, data)
+	need, err := deser.MeasureExact(lay, data)
 	if err != nil {
 		b.Fatal(err)
 	}
-	bump := arena.NewBump(make([]byte, need))
+	bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 	d := deser.New(deser.Options{ValidateUTF8: true})
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
@@ -218,7 +218,7 @@ func BenchmarkDatapathAllocs(b *testing.B) {
 	lay := env.SmallLay
 
 	// Deserialize once into a block, as the DPU would.
-	need, _ := deser.Measure(lay, data)
+	need, _ := deser.MeasureExact(lay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := deser.New(deser.Options{ValidateUTF8: true})
 	root, err := d.Deserialize(lay, data, bump, 4096)

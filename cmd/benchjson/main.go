@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of benchmark results. The raw lines pass through to stdout so the
+// terminal still shows the run; the JSON goes to -out (default
+// BENCH.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/deser | go run ./cmd/benchjson -out BENCH_deser.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. MBs, BOp, and AllocsOp are present only
+// when the run reported them (-benchmem, b.SetBytes).
+type Result struct {
+	Name       string   `json:"name"`
+	Package    string   `json:"package,omitempty"`
+	Iterations int64    `json:"iterations"`
+	NsOp       float64  `json:"ns_op"`
+	MBs        *float64 `json:"mb_s,omitempty"`
+	BOp        *int64   `json:"b_op,omitempty"`
+	AllocsOp   *int64   `json:"allocs_op,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "file to write the JSON array to")
+	flag.Parse()
+
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		nsOp, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsOp: nsOp}
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			r.MBs = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			r.BOp = &v
+		}
+		if m[6] != "" {
+			v, _ := strconv.ParseInt(m[6], 10, 64)
+			r.AllocsOp = &v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}

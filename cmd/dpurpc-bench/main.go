@@ -30,7 +30,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy, chaos")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy, chaos, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -167,6 +167,19 @@ func main() {
 			return printChaosCSV(rows)
 		}
 		return printChaos(rows)
+	})
+	run("deserspeed", func() error {
+		rows, err := harness.DeserSpeed(opts, harness.DefaultDeserSpeedIters)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printDeserSpeedJSON(rows)
+		}
+		if csv {
+			return printDeserSpeedCSV(rows)
+		}
+		return printDeserSpeed(rows)
 	})
 	run("blocksweep", func() error { return printBlockSweep(opts) })
 	run("busypoll", func() error { return printPollModes(opts) })
@@ -435,6 +448,38 @@ func printChaosCSV(rows []harness.ChaosRow) error {
 }
 
 func printChaosJSON(rows []harness.ChaosRow) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+func printDeserSpeed(rows []harness.DeserSpeedRow) error {
+	fmt.Println("== Decode-plan speedup (interpretive measure+decode vs planned scan+fill) ==")
+	fmt.Println("   (wall times on this machine; modeled columns price the planned fill's")
+	fmt.Println("    note replay at copy cost instead of re-decoding)")
+	w := tw()
+	fmt.Fprintln(w, "workload\twire B\tinterp ns\tplanned ns\tspeedup\thost model ns (i->p)\tDPU model ns (i->p)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.2fx\t%.0f -> %.0f\t%.0f -> %.0f\n",
+			r.Workload, r.WireBytes, r.InterpNS, r.PlannedNS, r.Speedup,
+			r.HostInterpNS, r.HostPlannedNS, r.DPUInterpNS, r.DPUPlannedNS)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printDeserSpeedCSV(rows []harness.DeserSpeedRow) error {
+	fmt.Println("workload,wire_bytes,interp_ns,planned_ns,speedup,host_interp_ns,host_planned_ns,dpu_interp_ns,dpu_planned_ns")
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.1f,%.1f,%.3f,%.1f,%.1f,%.1f,%.1f\n",
+			r.Workload, r.WireBytes, r.InterpNS, r.PlannedNS, r.Speedup,
+			r.HostInterpNS, r.HostPlannedNS, r.DPUInterpNS, r.DPUPlannedNS)
+	}
+	return nil
+}
+
+func printDeserSpeedJSON(rows []harness.DeserSpeedRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)

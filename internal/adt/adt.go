@@ -207,7 +207,7 @@ type decoder struct {
 }
 
 func (d *decoder) varint() (uint64, error) {
-	v, n := wire.Varint(d.buf[d.pos:])
+	v, n := wire.Uvarint(d.buf[d.pos:])
 	if n <= 0 {
 		return 0, ErrTruncated
 	}

@@ -34,6 +34,10 @@ type Platform struct {
 	FixedByteNS  float64 // per fixed32/64 byte decoded
 	CopyByteNS   float64 // per payload byte copied
 	UTF8ByteNS   float64 // per byte of UTF-8 validation
+	// ReplayByteNS is the per-byte cost of replaying pre-decoded parse
+	// notes during the planned fill pass (sequential stores from the scan's
+	// scratch, no wire re-decoding) — priced like a copy, not a decode.
+	ReplayByteNS float64
 	FieldNS      float64 // per decoded field value (dispatch)
 	MessageNS    float64 // per message object (arena alloc + default copy)
 
@@ -86,6 +90,7 @@ func HostX86() *Platform {
 		FixedByteNS:  0.0215,
 		CopyByteNS:   0.0215,
 		UTF8ByteNS:   0.020, // SIMD-validated on x86
+		ReplayByteNS: 0.0215,
 		FieldNS:      2.4,
 		MessageNS:    22.0,
 
@@ -114,6 +119,7 @@ func DPUBlueField3() *Platform {
 		FixedByteNS:  0.042,
 		CopyByteNS:   0.042,
 		UTF8ByteNS:   0.062, // no wide SIMD: validation suffers most
+		ReplayByteNS: 0.042,
 		FieldNS:      4.8,
 		MessageNS:    44.0,
 
@@ -141,12 +147,16 @@ func (p *Platform) BlockCostNS(blockBytes int) float64 {
 }
 
 // DeserNS converts deserialization operation counts into nanoseconds of
-// core time on this platform.
+// core time on this platform. Interpretive decodes report zero
+// ReplayedBytes; planned decodes charge the fill pass's note replay at
+// copy-like cost (the wire bytes were already decoded once during the scan
+// and appear in the VarintBytes/FixedBytes/UTF8Bytes terms).
 func (p *Platform) DeserNS(s deser.Stats) float64 {
 	return p.VarintByteNS*float64(s.VarintBytes) +
 		p.FixedByteNS*float64(s.FixedBytes) +
 		p.CopyByteNS*float64(s.CopyBytes) +
 		p.UTF8ByteNS*float64(s.UTF8Bytes) +
+		p.ReplayByteNS*float64(s.ReplayedBytes) +
 		p.FieldNS*float64(s.Fields) +
 		p.MessageNS*float64(s.Messages)
 }

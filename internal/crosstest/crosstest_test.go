@@ -202,11 +202,11 @@ func TestAllPathsAgree(t *testing.T) {
 		}
 
 		// Path 2: arena deserializer + re-serialization.
-		need, err := deser.Measure(nodeLay, wireBytes)
+		need, err := deser.MeasureExact(nodeLay, wireBytes)
 		if err != nil {
 			t.Fatalf("trial %d: measure: %v", trial, err)
 		}
-		bump := arena.NewBump(make([]byte, need))
+		bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 		off, err := d.Deserialize(nodeLay, wireBytes, bump, 0)
 		if err != nil {
 			t.Fatalf("trial %d: deserialize: %v", trial, err)

@@ -46,6 +46,12 @@ var (
 // DefaultMaxDepth matches protobuf's default recursion limit.
 const DefaultMaxDepth = 100
 
+// GuardBytes is the size of the NullRef guard Deserialize and Fill prepend
+// when decoding into a fresh arena at base region offset 0, so offset 0
+// stays unambiguous. MeasureExact and Notes.Need do not include it; base-0
+// callers must add it to the reported size.
+const GuardBytes = 8
+
 // Options configure a Deserializer.
 type Options struct {
 	// ValidateUTF8 enables UTF-8 validation of string fields (on by
@@ -69,6 +75,13 @@ type Stats struct {
 	Messages    uint64 // message bodies deserialized (incl. nested)
 	Fields      uint64 // field values decoded
 	ArenaBytes  uint64 // arena bytes consumed
+	// The compiled-plan path (Scan + Fill) splits its work into decode and
+	// replay. ScannedBytes counts wire bytes covered by the single
+	// structure-discovery pass; ReplayedBytes counts arena bytes stored by
+	// replaying pre-decoded parse notes (no re-decode, no re-validation).
+	// Both stay zero on the interpretive path.
+	ScannedBytes  uint64
+	ReplayedBytes uint64
 }
 
 // Reset zeroes all counters.
@@ -83,6 +96,8 @@ func (s *Stats) Add(other Stats) {
 	s.Messages += other.Messages
 	s.Fields += other.Fields
 	s.ArenaBytes += other.ArenaBytes
+	s.ScannedBytes += other.ScannedBytes
+	s.ReplayedBytes += other.ReplayedBytes
 }
 
 // frame is per-nesting-level scratch (counts and cursors per field),
@@ -116,6 +131,7 @@ func (f *frame) prepare(n int) {
 type Deserializer struct {
 	opts   Options
 	frames []*frame
+	notes  *Notes // DeserializePlanned's owned parse-notes scratch
 	// Stats accumulates instrumentation across calls.
 	Stats Stats
 }
@@ -152,7 +168,7 @@ func (d *Deserializer) validateUTF8(b []byte) bool {
 func (d *Deserializer) Deserialize(lay *abi.Layout, data []byte, bump *arena.Bump, base uint64) (uint64, error) {
 	if base == 0 && bump.Used() == 0 {
 		// Reserve offset 0 so NullRef stays unambiguous.
-		if _, _, err := bump.Alloc(8, 8); err != nil {
+		if _, _, err := bump.Alloc(GuardBytes, 8); err != nil {
 			return 0, err
 		}
 	}
@@ -238,16 +254,15 @@ func (d *Deserializer) fill(lay *abi.Layout, body []byte, obj []byte, objOff uin
 	// Pass 2: decode values.
 	pos := 0
 	for pos < len(body) {
-		tagv, n := wire.Varint(body[pos:])
-		if n <= 0 {
+		num, wt, n, err := wire.Tag(body[pos:])
+		if err != nil {
+			if errors.Is(err, wire.ErrInvalidTag) {
+				return err
+			}
 			return fmt.Errorf("%w: bad tag", ErrMalformed)
 		}
 		d.Stats.VarintBytes += uint64(n)
 		pos += n
-		num, wt, err := wire.DecodeTag(tagv)
-		if err != nil {
-			return err
-		}
 		f := lay.Msg.FieldByNumber(num)
 		if f == nil {
 			skipped, err := wire.SkipValue(body[pos:], wt)
@@ -279,15 +294,14 @@ func (d *Deserializer) countPass(lay *abi.Layout, body []byte, fr *frame) error 
 func countRepeated(lay *abi.Layout, body []byte, counts []uint32) error {
 	pos := 0
 	for pos < len(body) {
-		tagv, n := wire.Varint(body[pos:])
-		if n <= 0 {
+		num, wt, n, err := wire.Tag(body[pos:])
+		if err != nil {
+			if errors.Is(err, wire.ErrInvalidTag) {
+				return err
+			}
 			return fmt.Errorf("%w: bad tag in count pass", ErrMalformed)
 		}
 		pos += n
-		num, wt, err := wire.DecodeTag(tagv)
-		if err != nil {
-			return err
-		}
 		f := lay.Msg.FieldByNumber(num)
 		if f == nil || !f.Repeated {
 			skipped, err := wire.SkipValue(body[pos:], wt)
@@ -523,7 +537,7 @@ func (d *Deserializer) repeatedScalar(fl *abi.FieldLayout, fr *frame, rest []byt
 		// Packed varints: the paper's "high computational cost" class.
 		pos := 0
 		for pos < len(payload) {
-			v, vn := wire.Varint(payload[pos:])
+			v, vn := wire.Uvarint(payload[pos:])
 			if vn <= 0 {
 				return 0, fmt.Errorf("%w: bad packed varint", ErrMalformed)
 			}
@@ -597,7 +611,7 @@ func (d *Deserializer) scalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint
 		if wt != wire.TypeVarint {
 			return 0, 0, ErrWireTypeMismatch
 		}
-		v, n := wire.Varint(rest)
+		v, n := wire.Uvarint(rest)
 		if n <= 0 {
 			return 0, 0, ErrMalformed
 		}

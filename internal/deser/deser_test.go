@@ -96,12 +96,19 @@ func init() {
 	}
 }
 
+// measureBase0 sizes a base-0 deserialization: the exact arena bytes plus
+// the GuardBytes prefix Deserialize prepends at base 0.
+func measureBase0(lay *abi.Layout, data []byte) (int, error) {
+	need, err := MeasureExact(lay, data)
+	return need + GuardBytes, err
+}
+
 // roundTrip deserializes data into a fresh arena and returns the root view.
 func roundTrip(t *testing.T, lay *abi.Layout, data []byte) abi.View {
 	t.Helper()
-	need, err := Measure(lay, data)
+	need, err := measureBase0(lay, data)
 	if err != nil {
-		t.Fatalf("Measure: %v", err)
+		t.Fatalf("MeasureExact: %v", err)
 	}
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{ValidateUTF8: true})
@@ -109,8 +116,8 @@ func roundTrip(t *testing.T, lay *abi.Layout, data []byte) abi.View {
 	if err != nil {
 		t.Fatalf("Deserialize: %v", err)
 	}
-	if bump.Used() > need {
-		t.Fatalf("Measure bound %d exceeded: used %d", need, bump.Used())
+	if bump.Used() != need {
+		t.Fatalf("exact size %d missed: used %d", need, bump.Used())
 	}
 	return abi.MakeView(&abi.Region{Buf: bump.Bytes(), Base: 0}, off, lay)
 }
@@ -360,12 +367,12 @@ func TestDepthLimit(t *testing.T) {
 	if _, err := d.Deserialize(deepLay, data, bump, 0); err == nil {
 		t.Error("over-deep message accepted")
 	}
-	if _, err := Measure(deepLay, data); err == nil {
+	if _, err := measureBase0(deepLay, data); err == nil {
 		t.Error("Measure accepted over-deep message")
 	}
 	// Just inside the limit is fine.
 	ok := build(DefaultMaxDepth - 2).Marshal(nil)
-	need, err := Measure(deepLay, ok)
+	need, err := measureBase0(deepLay, ok)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,12 +424,8 @@ func TestMalformedInputs(t *testing.T) {
 		if _, err := d.Deserialize(everyLay, c.data, bump, 0); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
-		if _, err := Measure(everyLay, c.data); err == nil {
-			// Measure does not check wire-type against kind for scalars, so
-			// only structural cases must fail; skip semantic-only cases.
-			if c.name != "wrong wire type scalar" {
-				t.Errorf("%s: Measure accepted", c.name)
-			}
+		if _, err := measureBase0(everyLay, c.data); err == nil {
+			t.Errorf("%s: MeasureExact accepted", c.name)
 		}
 	}
 }
@@ -431,7 +434,7 @@ func TestTruncatedPackedVarint(t *testing.T) {
 	var data []byte
 	data = wire.AppendTag(data, 1, wire.TypeBytes) // IntArray.values
 	data = wire.AppendBytes(data, []byte{0x80})    // dangling continuation
-	if _, err := Measure(intArrLay, data); err == nil {
+	if _, err := measureBase0(intArrLay, data); err == nil {
 		t.Error("Measure accepted truncated packed varint")
 	}
 	bump := arena.NewBump(make([]byte, 4096))
@@ -533,7 +536,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		m.AppendNum("values", uint64(i))
 	}
 	data := m.Marshal(nil)
-	need, _ := Measure(intArrLay, data)
+	need, _ := measureBase0(intArrLay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{ValidateUTF8: true})
 	// Warm up frame scratch.
@@ -551,7 +554,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
-func TestMeasureIsUpperBoundAcrossShapes(t *testing.T) {
+func TestExactSizeAcrossShapes(t *testing.T) {
 	rng := mt19937.New(99)
 	for trial := 0; trial < 50; trial++ {
 		m := protomsg.New(everyDesc)
@@ -569,16 +572,16 @@ func TestMeasureIsUpperBoundAcrossShapes(t *testing.T) {
 			m.AppendMessage("kids", c)
 		}
 		data := m.Marshal(nil)
-		need, err := Measure(everyLay, data)
+		need, err := measureBase0(everyLay, data)
 		if err != nil {
 			t.Fatal(err)
 		}
 		bump := arena.NewBump(make([]byte, need))
 		if _, err := New(Options{}).Deserialize(everyLay, data, bump, 0); err != nil {
-			t.Fatalf("trial %d: deserialize within Measure bound failed: %v", trial, err)
+			t.Fatalf("trial %d: deserialize into exact buffer failed: %v", trial, err)
 		}
-		if bump.Used() > need {
-			t.Fatalf("trial %d: used %d > measured %d", trial, bump.Used(), need)
+		if bump.Used() != need {
+			t.Fatalf("trial %d: used %d != measured %d", trial, bump.Used(), need)
 		}
 	}
 }
@@ -602,7 +605,7 @@ func BenchmarkDeserializeInts512(b *testing.B) {
 		m.AppendNum("values", uint64(rng.Uint32()>>shift))
 	}
 	data := m.Marshal(nil)
-	need, _ := Measure(intArrLay, data)
+	need, _ := measureBase0(intArrLay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{ValidateUTF8: true})
 	b.ReportAllocs()
@@ -620,7 +623,7 @@ func BenchmarkDeserializeChars8000(b *testing.B) {
 	m := protomsg.New(charDesc)
 	m.SetString("data", strings.Repeat("abcdefgh", 1000))
 	data := m.Marshal(nil)
-	need, _ := Measure(charLay, data)
+	need, _ := measureBase0(charLay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{ValidateUTF8: true})
 	b.ReportAllocs()
@@ -641,7 +644,7 @@ func BenchmarkDeserializeSmall(b *testing.B) {
 	m.SetInt32("delta", -17)
 	m.SetFloat("ratio", 0.75)
 	data := m.Marshal(nil)
-	need, _ := Measure(smallLay, data)
+	need, _ := measureBase0(smallLay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{ValidateUTF8: true})
 	b.ReportAllocs()
@@ -663,7 +666,7 @@ func BenchmarkSerializeView(b *testing.B) {
 		m.AppendNum("nums", uint64(i))
 	}
 	data := m.Marshal(nil)
-	need, _ := Measure(everyLay, data)
+	need, _ := measureBase0(everyLay, data)
 	bump := arena.NewBump(make([]byte, need))
 	d := New(Options{})
 	off, err := d.Deserialize(everyLay, data, bump, 0)

@@ -8,10 +8,10 @@ import (
 	"dpurpc/internal/protomsg"
 )
 
-// FuzzDeserialize feeds arbitrary bytes to Measure/Deserialize for every
+// FuzzDeserialize feeds arbitrary bytes to MeasureExact/Deserialize for every
 // benchmark layout. Run with `go test -fuzz FuzzDeserialize ./internal/deser`
 // for continuous fuzzing; without -fuzz the seed corpus runs as a
-// regression test. Invariants: no panic, Measure bounds honored, and any
+// regression test. Invariants: no panic, exact sizing honored, and any
 // accepted object verifies and re-serializes.
 func FuzzDeserialize(f *testing.F) {
 	m := protomsg.New(everyDesc)
@@ -41,7 +41,7 @@ func FuzzDeserialize(f *testing.F) {
 	buf := make([]byte, 1<<20)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, lay := range layouts {
-			need, err := Measure(lay, data)
+			need, err := measureBase0(lay, data)
 			if err != nil {
 				continue
 			}
@@ -55,7 +55,7 @@ func FuzzDeserialize(f *testing.F) {
 				continue
 			}
 			if bump.Used() > need {
-				t.Fatalf("Measure bound %d exceeded: %d", need, bump.Used())
+				t.Fatalf("exact size %d exceeded: %d", need, bump.Used())
 			}
 			v := abi.MakeView(&abi.Region{Buf: bump.Bytes()}, off, lay)
 			if err := abi.Verify(v); err != nil {

@@ -1,159 +1,13 @@
 package deser
 
 import (
+	"errors"
 	"fmt"
 
 	"dpurpc/internal/abi"
 	"dpurpc/internal/protodesc"
 	"dpurpc/internal/wire"
 )
-
-// Measure computes an upper bound on the arena bytes Deserialize will
-// consume for data, including alignment padding. The DPU runs Measure before
-// allocating the block from the send buffer, so blocks are sized exactly and
-// the send-buffer allocator never over-commits.
-//
-// The bound is tight up to per-allocation alignment padding (at most 8 bytes
-// per allocation, counted here pessimistically).
-func Measure(lay *abi.Layout, data []byte) (int, error) {
-	n, err := measureBody(lay, data, 0, DefaultMaxDepth)
-	if err != nil {
-		return 0, err
-	}
-	// Root-object alignment plus the offset-0 guard.
-	return n + 16, nil
-}
-
-func measureBody(lay *abi.Layout, body []byte, depth, maxDepth int) (int, error) {
-	if depth >= maxDepth {
-		return 0, ErrDepthExceeded
-	}
-	total := int(lay.Size) + abi.ObjectAlign // object + worst-case padding
-
-	// Per-field repeated accounting (element counts translate into one
-	// array allocation each).
-	var counts []uint32
-	pos := 0
-	for pos < len(body) {
-		tagv, n := wire.Varint(body[pos:])
-		if n <= 0 {
-			return 0, fmt.Errorf("%w: bad tag", ErrMalformed)
-		}
-		pos += n
-		num, wt, err := wire.DecodeTag(tagv)
-		if err != nil {
-			return 0, err
-		}
-		f := lay.Msg.FieldByNumber(num)
-		if f == nil {
-			skipped, err := wire.SkipValue(body[pos:], wt)
-			if err != nil {
-				return 0, err
-			}
-			pos += skipped
-			continue
-		}
-		fl := &lay.Fields[f.Index]
-		switch {
-		case f.Repeated && fl.ElemSize != 0:
-			if counts == nil {
-				counts = make([]uint32, len(lay.Fields))
-			}
-			if wt == wire.TypeBytes {
-				payload, n := wire.Bytes(body[pos:])
-				if n == 0 {
-					return 0, fmt.Errorf("%w: truncated packed field", ErrMalformed)
-				}
-				pos += n
-				if fs := f.Kind.FixedSize(); fs != 0 {
-					if len(payload)%fs != 0 {
-						return 0, fmt.Errorf("%w: packed fixed payload not a multiple of %d", ErrMalformed, fs)
-					}
-					counts[f.Index] += uint32(len(payload) / fs)
-				} else {
-					for _, c := range payload {
-						if c < 0x80 {
-							counts[f.Index]++
-						}
-					}
-					if len(payload) > 0 && payload[len(payload)-1] >= 0x80 {
-						return 0, fmt.Errorf("%w: packed varint payload truncated", ErrMalformed)
-					}
-				}
-			} else {
-				skipped, err := wire.SkipValue(body[pos:], wt)
-				if err != nil {
-					return 0, err
-				}
-				pos += skipped
-				counts[f.Index]++
-			}
-		case f.Repeated && (f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes):
-			payload, n := wire.Bytes(body[pos:])
-			if n == 0 {
-				return 0, fmt.Errorf("%w: truncated string element", ErrMalformed)
-			}
-			pos += n
-			if counts == nil {
-				counts = make([]uint32, len(lay.Fields))
-			}
-			counts[f.Index]++
-			if len(payload) > abi.SSOCapacity {
-				total += len(payload)
-			}
-		case f.Repeated: // repeated message
-			payload, n := wire.Bytes(body[pos:])
-			if n == 0 {
-				return 0, fmt.Errorf("%w: truncated message element", ErrMalformed)
-			}
-			pos += n
-			if counts == nil {
-				counts = make([]uint32, len(lay.Fields))
-			}
-			counts[f.Index]++
-			sub, err := measureBody(fl.Child, payload, depth+1, maxDepth)
-			if err != nil {
-				return 0, err
-			}
-			total += sub
-		case f.Kind == protodesc.KindMessage:
-			payload, n := wire.Bytes(body[pos:])
-			if n == 0 {
-				return 0, fmt.Errorf("%w: truncated nested message", ErrMalformed)
-			}
-			pos += n
-			sub, err := measureBody(fl.Child, payload, depth+1, maxDepth)
-			if err != nil {
-				return 0, err
-			}
-			total += sub
-		case f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes:
-			payload, n := wire.Bytes(body[pos:])
-			if n == 0 {
-				return 0, fmt.Errorf("%w: truncated string", ErrMalformed)
-			}
-			pos += n
-			if len(payload) > abi.SSOCapacity {
-				total += len(payload)
-			}
-		default:
-			skipped, err := wire.SkipValue(body[pos:], wt)
-			if err != nil {
-				return 0, err
-			}
-			pos += skipped
-		}
-	}
-	// One array allocation (plus padding) per non-empty repeated field.
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		fl := &lay.Fields[i]
-		total += int(c)*elemSize(fl) + 8
-	}
-	return total, nil
-}
 
 // elemSize returns the arena element width of a repeated field.
 func elemSize(fl *abi.FieldLayout) int {
@@ -239,15 +93,14 @@ func measureExactBody(lay *abi.Layout, body []byte, s *bumpSizer, depth, maxDept
 	// only allocations left.
 	pos := 0
 	for pos < len(body) {
-		tagv, n := wire.Varint(body[pos:])
-		if n <= 0 {
+		num, wt, n, err := wire.Tag(body[pos:])
+		if err != nil {
+			if errors.Is(err, wire.ErrInvalidTag) {
+				return err
+			}
 			return fmt.Errorf("%w: bad tag", ErrMalformed)
 		}
 		pos += n
-		num, wt, err := wire.DecodeTag(tagv)
-		if err != nil {
-			return err
-		}
 		f := lay.Msg.FieldByNumber(num)
 		if f == nil {
 			skipped, err := wire.SkipValue(body[pos:], wt)

@@ -10,7 +10,7 @@ import (
 )
 
 // TestMutationRobustness flips, truncates, and splices bytes of valid wire
-// messages and feeds the result to Measure and Deserialize. The DPU
+// messages and feeds the result to MeasureExact and Deserialize. The DPU
 // terminates untrusted client connections, so arbitrary bytes must never
 // panic, never overrun the arena, and either fail cleanly or produce an
 // object that can be read and re-serialized without fault.
@@ -85,14 +85,14 @@ func TestMutationRobustness(t *testing.T) {
 		lay := layouts[rng.Uint32n(uint32(len(layouts)))]
 		data := mutate(src)
 
-		need, err := Measure(lay, data)
+		need, err := measureBase0(lay, data)
 		if err != nil {
 			continue // rejected at sizing: correct behaviour for garbage
 		}
 		if need > len(buf) {
 			// Implausibly large demand from garbage must still be bounded
 			// by the input (objects + arrays derive from wire content).
-			t.Fatalf("trial %d: Measure demanded %d bytes for %d input bytes",
+			t.Fatalf("trial %d: MeasureExact demanded %d bytes for %d input bytes",
 				trial, need, len(data))
 		}
 		bump := arena.NewBump(buf[:need])
@@ -116,10 +116,10 @@ func TestMutationRobustness(t *testing.T) {
 	}
 }
 
-// TestMeasureDemandBounded: Measure's demand must be linear in the input
+// TestMeasureExactDemandBounded: the sizer's demand must be linear in the input
 // (objects and arrays all derive from wire bytes), so a small message can
 // never request an enormous arena.
-func TestMeasureDemandBounded(t *testing.T) {
+func TestMeasureExactDemandBounded(t *testing.T) {
 	rng := mt19937.New(7)
 	for trial := 0; trial < 2000; trial++ {
 		n := 1 + rng.Uint32n(200)
@@ -128,7 +128,7 @@ func TestMeasureDemandBounded(t *testing.T) {
 			data[i] = byte(rng.Uint32())
 		}
 		for _, lay := range []*abi.Layout{smallLay, everyLay, intArrLay, deepLay} {
-			need, err := Measure(lay, data)
+			need, err := measureBase0(lay, data)
 			if err != nil {
 				continue
 			}

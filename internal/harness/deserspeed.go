@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"dpurpc/internal/abi"
+	"dpurpc/internal/adt"
+	"dpurpc/internal/arena"
+	"dpurpc/internal/deser"
+	"dpurpc/internal/mt19937"
+	"dpurpc/internal/protodesc"
+	"dpurpc/internal/protodsl"
+	"dpurpc/internal/protomsg"
+	"dpurpc/internal/workload"
+)
+
+// DeserSpeedRow compares the interpretive decode path (MeasureExact +
+// Deserialize, the sizing pass every offload datapath ran before decoding)
+// against the plan-compiled path (one structure-discovery scan + a fill
+// that replays the parse notes) on one workload shape.
+type DeserSpeedRow struct {
+	// Workload names the shape; WireBytes is its serialized size.
+	Workload  string
+	WireBytes int
+	// InterpNS / PlannedNS are measured wall ns per decode on this machine;
+	// Speedup is their ratio.
+	InterpNS  float64
+	PlannedNS float64
+	Speedup   float64
+	// Modeled single-core times (ns per decode) from the operation counts.
+	// The interpretive rows include the sizing pass (MeasureExact re-walks
+	// the structure and re-decodes every varint before the fill decodes it
+	// again); the planned rows decode each byte once during the scan and
+	// charge the fill's note replay at ReplayByteNS.
+	HostInterpNS  float64
+	HostPlannedNS float64
+	DPUInterpNS   float64
+	DPUPlannedNS  float64
+}
+
+// namesSchema is the string-heavy shape beyond the paper's three messages:
+// many short strings stress per-field dispatch and string-record writes
+// rather than one big copy, which is where note replay pays off most.
+const namesSchema = `
+syntax = "proto3";
+package deserspeedpb;
+message Names {
+  repeated string names = 1;
+}
+`
+
+// DefaultDeserSpeedIters is the per-shape decode count; small enough that
+// the full sweep stays under a second, large enough to stabilize ns/op.
+const DefaultDeserSpeedIters = 4000
+
+// DeserSpeed runs the decode-path comparison over the paper's workload
+// suite plus the string-heavy Names shape, with iters decodes per mode.
+func DeserSpeed(opts Options, iters int) ([]DeserSpeedRow, error) {
+	if iters <= 0 {
+		iters = DefaultDeserSpeedIters
+	}
+	env := workload.NewEnv()
+	rng := mt19937.New(opts.Seed)
+
+	type shape struct {
+		name string
+		lay  *abi.Layout
+		data []byte
+	}
+	shapes := []shape{
+		{"Small", env.SmallLay, env.GenSmall(rng).Marshal(nil)},
+		{"x512 Ints", env.IntsLay, env.GenInts(rng, 512).Marshal(nil)},
+		{"x8000 Chars", env.CharsLay, env.GenChars(rng, 8000).Marshal(nil)},
+	}
+	namesLay, namesData, err := genNames(rng, 200)
+	if err != nil {
+		return nil, err
+	}
+	shapes = append(shapes, shape{"x200 Names", namesLay, namesData})
+
+	host := opts.Machine.Host
+	dpuP := opts.Machine.DPU
+	rows := make([]DeserSpeedRow, 0, len(shapes))
+	for _, s := range shapes {
+		need, err := deser.MeasureExact(s.lay, s.data)
+		if err != nil {
+			return nil, fmt.Errorf("deserspeed %s: %w", s.name, err)
+		}
+		buf := make([]byte, need+deser.GuardBytes)
+		di := deser.New(deser.Options{ValidateUTF8: true})
+		dp := deser.New(deser.Options{ValidateUTF8: true})
+		plan := deser.PlanFor(s.lay)
+
+		// Interpretive: size + decode every iteration, as the datapath did.
+		bump := arena.NewBump(buf)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := deser.MeasureExact(s.lay, s.data); err != nil {
+				return nil, err
+			}
+			bump.Reset()
+			if _, err := di.Deserialize(s.lay, s.data, bump, 0); err != nil {
+				return nil, err
+			}
+		}
+		interpNS := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		// Planned: one scan (sizing included) + note-replaying fill.
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			bump.Reset()
+			if _, err := dp.DeserializePlanned(plan, s.data, bump, 0); err != nil {
+				return nil, err
+			}
+		}
+		plannedNS := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		// Modeled per-decode cost from one decode's operation counts.
+		di.Stats.Reset()
+		bump.Reset()
+		if _, err := di.Deserialize(s.lay, s.data, bump, 0); err != nil {
+			return nil, err
+		}
+		dp.Stats.Reset()
+		bump.Reset()
+		if _, err := dp.DeserializePlanned(plan, s.data, bump, 0); err != nil {
+			return nil, err
+		}
+
+		// The interpretive datapath paid for the sizing pass too: a full
+		// structure walk that re-decodes tags and varints but copies no
+		// payloads, validates no UTF-8, and allocates no objects.
+		sizing := deser.Stats{
+			VarintBytes: di.Stats.VarintBytes,
+			FixedBytes:  di.Stats.FixedBytes,
+			Fields:      di.Stats.Fields,
+		}
+		rows = append(rows, DeserSpeedRow{
+			Workload:      s.name,
+			WireBytes:     len(s.data),
+			InterpNS:      interpNS,
+			PlannedNS:     plannedNS,
+			Speedup:       safeDiv(interpNS, plannedNS),
+			HostInterpNS:  host.DeserNS(di.Stats) + host.DeserNS(sizing),
+			HostPlannedNS: host.DeserNS(dp.Stats),
+			DPUInterpNS:   dpuP.DeserNS(di.Stats) + dpuP.DeserNS(sizing),
+			DPUPlannedNS:  dpuP.DeserNS(dp.Stats),
+		})
+	}
+	return rows, nil
+}
+
+// genNames builds the Names layout and a message of n short random strings.
+func genNames(rng *mt19937.Source, n int) (*abi.Layout, []byte, error) {
+	f, err := protodsl.Parse("deserspeed.proto", namesSchema)
+	if err != nil {
+		return nil, nil, fmt.Errorf("deserspeed: schema: %w", err)
+	}
+	reg := protodesc.NewRegistry()
+	if err := reg.Register(f); err != nil {
+		return nil, nil, fmt.Errorf("deserspeed: register: %w", err)
+	}
+	table, err := adt.Build(reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("deserspeed: adt: %w", err)
+	}
+	m := protomsg.New(reg.Message("deserspeedpb.Names"))
+	const alphabet = "abcdefghijklmnopqrstuvwxyz"
+	for i := 0; i < n; i++ {
+		// 4..19 bytes: a mix of SSO-resident and heap-record strings.
+		ln := 4 + int(rng.Uint32n(16))
+		b := make([]byte, ln)
+		for j := range b {
+			b[j] = alphabet[rng.Uint32n(26)]
+		}
+		m.AppendString("names", string(b))
+	}
+	return table.ByName("deserspeedpb.Names"), m.Marshal(nil), nil
+}

@@ -59,11 +59,11 @@ func Fig7(opts Options, counts []int, wallIters int) ([]Fig7Row, error) {
 				lay = env.CharsLay
 				data = env.GenChars(rng, n).Marshal(nil)
 			}
-			need, err := deser.Measure(lay, data)
+			need, err := deser.MeasureExact(lay, data)
 			if err != nil {
 				return nil, err
 			}
-			bump := arena.NewBump(make([]byte, need))
+			bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 			d := deser.New(deser.Options{ValidateUTF8: true})
 			if _, err := d.Deserialize(lay, data, bump, 0); err != nil {
 				return nil, err

@@ -158,11 +158,11 @@ func TestToArenaMatchesDeserializer(t *testing.T) {
 func TestFromArenaOnDeserializedObject(t *testing.T) {
 	m := bigMessage(t)
 	data := m.Marshal(nil)
-	needW, err := deser.Measure(everyLay, data)
+	needW, err := deser.MeasureExact(everyLay, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bump := arena.NewBump(make([]byte, needW))
+	bump := arena.NewBump(make([]byte, needW+deser.GuardBytes))
 	d := deser.New(deser.Options{ValidateUTF8: true})
 	off, err := d.Deserialize(everyLay, data, bump, 0)
 	if err != nil {

@@ -62,8 +62,9 @@ func (b *BaselineServer) Stats() BaselineStats {
 	}
 }
 
-// XRPCHandler terminates xRPC on the host: deserialize (on a host core,
-// into a pooled scratch arena), dispatch, serialize the response.
+// XRPCHandler terminates xRPC on the host: one planned scan sizes and
+// validates the payload (on a host core), one fill replays it into a pooled
+// scratch arena sized exactly, then dispatch and response serialization.
 func (b *BaselineServer) XRPCHandler() xrpc.ServerHandler {
 	return func(method string, payload []byte) (uint16, []byte) {
 		id, ok := b.procs.byName[method]
@@ -72,11 +73,6 @@ func (b *BaselineServer) XRPCHandler() xrpc.ServerHandler {
 			return xrpc.StatusUnimplemented, nil
 		}
 		e := b.procs.byID(id)
-		need, err := deser.Measure(e.in, payload)
-		if err != nil {
-			b.errors.Add(1)
-			return xrpc.StatusInvalidArgument, nil
-		}
 		sc := scratchPool.Get().(*scratch)
 		defer func() {
 			<-b.deserMu
@@ -85,11 +81,18 @@ func (b *BaselineServer) XRPCHandler() xrpc.ServerHandler {
 			sc.d.Stats.Reset()
 			scratchPool.Put(sc)
 		}()
+		notes, err := sc.d.Scan(e.plan, payload)
+		if err != nil {
+			b.errors.Add(1)
+			return xrpc.StatusInvalidArgument, nil
+		}
+		need := notes.Need() + deser.GuardBytes
 		if need > len(sc.buf) {
 			sc.buf = make([]byte, need)
 		}
 		bump := arena.NewBump(sc.buf)
-		root, err := sc.d.Deserialize(e.in, payload, bump, 0)
+		root, err := sc.d.Fill(e.plan, payload, notes, bump, 0)
+		notes.Release()
 		if err != nil {
 			b.errors.Add(1)
 			return xrpc.StatusInvalidArgument, nil

@@ -36,19 +36,20 @@ type DPUStats struct {
 
 // Pipeline stages a task moves through when the worker pool is enabled.
 const (
-	stageMeasure   = iota // deser.Measure on a worker
-	stageBuild            // deser.Deserialize into the reserved slot on a worker
+	stageMeasure   = iota // planned scan (exact size + parse notes) on a worker
+	stageBuild            // plan fill replaying the notes into the reserved slot
 	stageSerialize        // response serialization (or copy-out) on a worker
 )
 
 // callTask carries one xRPC request from its connection goroutine to the
 // connection's poller, and (in pooled mode) between the poller and the
-// build workers. Worker-written fields (need, root, used, err) are
+// build workers. Worker-written fields (need, notes, root, used, err) are
 // synchronized by the workQ/compQ channel handoffs.
 type callTask struct {
 	procID  uint16
 	entry   *procEntry
 	need    int
+	notes   *deser.Notes // parse notes from the scan, consumed by the fill
 	data    []byte
 	deliver func(callResult)
 	tr      *trace.Active // span recorder handle (nil when untraced)
@@ -125,12 +126,12 @@ func (w *wscratch) put(b []byte) {
 // DPUConfig tunes one DPU server.
 type DPUConfig struct {
 	// Workers is the number of deserialization worker goroutines. <= 1
-	// selects the serial path: the poller runs Measure+Deserialize inline,
-	// byte-identically to the pre-pipeline implementation. > 1 enables the
-	// reserve → parallel build → commit pipeline: the poller reserves
-	// block slots in admission order, workers deserialize in place and in
-	// parallel directly into them, and the poller commits completed slots
-	// — it alone still owns QP/CQ progress.
+	// selects the serial path: the planned scan runs where the call enters
+	// (connection goroutine or poller) and the poller replays the fill
+	// inline. > 1 enables the reserve → parallel build → commit pipeline:
+	// the poller reserves block slots in admission order, workers fill in
+	// place and in parallel directly into them, and the poller commits
+	// completed slots — it alone still owns QP/CQ progress.
 	Workers int
 	// MaxInflight bounds tasks inside the pipeline (admitted but not yet
 	// committed); 0 means 4x Workers.
@@ -302,13 +303,19 @@ func (d *DPUServer) worker(wid int) {
 		start := time.Now()
 		switch task.stage {
 		case stageMeasure:
-			task.need, task.err = deser.MeasureExact(task.entry.in, task.data)
+			task.notes, task.err = dd.Scan(task.entry.plan, task.data)
+			if task.err == nil {
+				task.need = task.notes.Need()
+			}
+			d.foldStats(dd)
 			if m := d.cfg.Pipeline; m != nil {
 				m.Measures.Inc()
 			}
 		case stageBuild:
 			bump := arena.NewBump(task.res.Dst)
-			rootAbs, err := dd.Deserialize(task.entry.in, task.data, bump, task.res.RegionOff)
+			rootAbs, err := dd.Fill(task.entry.plan, task.data, task.notes, bump, task.res.RegionOff)
+			task.notes.Release()
+			task.notes = nil
 			if err != nil {
 				task.err = err
 			} else {
@@ -368,8 +375,18 @@ func (d *DPUServer) worker(wid int) {
 	}
 }
 
-// XRPCHandler terminates xRPC calls: it resolves the method, sizes the
-// deserialized form (deser.Measure), and hands the request to the poller.
+// scanDeserPool holds deserializers for the serial path's scans, which run
+// on xRPC connection goroutines (d.d is poller-owned and must not be shared
+// with them).
+var scanDeserPool = sync.Pool{
+	New: func() any {
+		return deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
+	},
+}
+
+// XRPCHandler terminates xRPC calls: it resolves the method, scans the
+// payload with its compiled decode plan (sizing it exactly and pre-decoding
+// the structure), and hands the request to the poller for the fill.
 // It blocks until the host's response arrives, preserving the synchronous
 // xRPC contract per connection. Response buffers returned through this
 // legacy interface cannot be recycled (the transport writes them after the
@@ -404,27 +421,33 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 	task := &callTask{procID: id, entry: e, data: payload}
 	task.tr = d.cfg.Tracer.Begin(method)
 	if d.pooled() {
-		// Measure runs on a pipeline worker; a failure surfaces as
+		// The planned scan runs on a pipeline worker; a failure surfaces as
 		// StatusInvalidArgument below, exactly like the inline path.
 	} else {
-		// Serial path: the legacy Measure bound, so blocks stay
-		// byte-identical to the pre-pipeline implementation (the tail
-		// commit shrinks the slot to the built size).
+		// Serial path: scan here on the connection goroutine (the poller
+		// owns d.d), so the poller's Build only replays the notes. The scan
+		// sizes exactly, making the tail-commit shrink a no-op.
 		var mT0 int64
 		if task.tr != nil {
 			mT0 = trace.Now()
 		}
-		need, err := deser.Measure(e.in, payload)
+		sd := scanDeserPool.Get().(*deser.Deserializer)
+		notes, err := sd.Scan(e.plan, payload)
+		d.foldStats(sd)
+		scanDeserPool.Put(sd)
 		if err != nil {
 			d.errors.Add(1)
 			d.cfg.Tracer.Finish(task.tr, true)
 			return xrpc.StatusInvalidArgument, nil, nil
 		}
 		task.tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
-		task.need = need
+		task.need = notes.Need()
+		task.notes = notes
 		task.measured = true
 	}
 	if d.closed.Load() {
+		task.notes.Release()
+		task.notes = nil
 		d.cfg.Tracer.Finish(task.tr, true)
 		return xrpc.StatusUnavailable, nil, nil
 	}
@@ -456,19 +479,17 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return fmt.Errorf("offload: unknown method %q", fullMethod)
 	}
 	e := d.procs.byID(id)
-	// Pipelined slots cannot shrink after interior commits, so their
-	// reserve size must be exact; the serial path keeps the legacy bound
-	// (and the tail-commit shrink) for byte-identical blocks.
-	measure := deser.Measure
-	if d.pooled() {
-		measure = deser.MeasureExact
-	}
+	// SubmitLocal runs on the poller goroutine, so the poller-owned
+	// deserializer scans here directly. The planned scan sizes exactly —
+	// required by the pipeline (interior commits cannot shrink) and a no-op
+	// tail shrink on the serial path — and its notes ride the task so the
+	// fill never re-decodes the structure.
 	tr := d.cfg.Tracer.Begin(fullMethod)
 	var mT0 int64
 	if tr != nil {
 		mT0 = trace.Now()
 	}
-	need, err := measure(e.in, payload)
+	notes, err := d.d.Scan(e.plan, payload)
 	if err != nil {
 		d.cfg.Tracer.Finish(tr, true)
 		return err
@@ -477,7 +498,8 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 	d.retry = append(d.retry, &callTask{
 		procID:   id,
 		entry:    e,
-		need:     need,
+		need:     notes.Need(),
+		notes:    notes,
 		data:     payload,
 		measured: true,
 		tr:       tr,
@@ -502,6 +524,11 @@ func (d *DPUServer) finish(task *callTask, r callResult) {
 		return
 	}
 	task.finished = true
+	// Failure paths can finish a task that never reached its fill; recycle
+	// its parse notes. Nil-safe, and workers that already consumed the notes
+	// cleared the field before the compQ handoff.
+	task.notes.Release()
+	task.notes = nil
 	if task.tr != nil {
 		now := trace.Now()
 		task.tr.Span(trace.StageDeliver, trace.ProcDPU, 0, now, now)
@@ -604,8 +631,9 @@ func (d *DPUServer) admitResponses() {
 }
 
 // enqueue registers one task with the protocol client on the serial path.
-// The deserialization runs inside Build, writing the object graph directly
-// into the outgoing block — the in-place deserialization of Sec. V.
+// The fill runs inside Build, replaying the scan's parse notes and writing
+// the object graph directly into the outgoing block — the in-place
+// deserialization of Sec. V.
 func (d *DPUServer) enqueue(task *callTask) error {
 	return d.client.Enqueue(rpcrdma.CallSpec{
 		Method: task.procID,
@@ -617,7 +645,9 @@ func (d *DPUServer) enqueue(task *callTask) error {
 				bT0 = trace.Now()
 			}
 			bump := arena.NewBump(dst)
-			rootAbs, err := d.d.Deserialize(task.entry.in, task.data, bump, regionOff)
+			rootAbs, err := d.d.Fill(task.entry.plan, task.data, task.notes, bump, regionOff)
+			task.notes.Release()
+			task.notes = nil
 			if err != nil {
 				return 0, 0, err
 			}

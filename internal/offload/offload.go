@@ -38,10 +38,14 @@ type ViewHandler func(req abi.View) (*protomsg.Message, uint16)
 type Impl map[string]ViewHandler
 
 // procEntry is the resolved dispatch record for one global procedure ID.
+// plan is the request layout's compiled decode plan, built once here at
+// stack build time so the datapath never compiles or looks plans up in the
+// global cache under load.
 type procEntry struct {
 	fullName string // "/pkg.Service/Method"
 	in       *abi.Layout
 	out      *abi.Layout
+	plan     *deser.Plan
 	handler  ViewHandler
 }
 
@@ -71,6 +75,7 @@ func buildProcTable(table *adt.Table, impls map[string]Impl, needHandlers bool) 
 				fullName: xrpc.FullMethodName(svc.Name, m.Name),
 				in:       in,
 				out:      out,
+				plan:     deser.PlanFor(in),
 			}
 			if impl != nil {
 				h, ok := impl[m.Name]

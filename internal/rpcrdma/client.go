@@ -93,7 +93,7 @@ type CallSpec struct {
 	// Method is the procedure ID.
 	Method uint16
 	// Size is the payload space to reserve (exact or an upper bound; the
-	// deserialization layer computes it with deser.Measure).
+	// deserialization layer computes it exactly with its planned scan).
 	Size int
 	// Build writes the payload into dst (len(dst) == Size, zeroed), whose
 	// first byte sits at region offset regionOff in the request

@@ -339,3 +339,124 @@ func BenchmarkVarintEncode(b *testing.B) {
 		PutVarint(buf[:], uint64(i)<<20)
 	}
 }
+
+func TestUvarint(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0x7f, 0x80, 300, 1 << 20, 1<<64 - 1} {
+		buf := AppendVarint(nil, v)
+		got, n := Uvarint(buf)
+		if got != v || n != len(buf) {
+			t.Errorf("Uvarint(%x) = %d, %d; want %d, %d", buf, got, n, v, len(buf))
+		}
+		// Varint must agree byte for byte.
+		got2, n2 := Varint(buf)
+		if got2 != got || n2 != n {
+			t.Errorf("Varint(%x) = %d, %d disagrees with Uvarint", buf, got2, n2)
+		}
+	}
+	if _, n := Uvarint(nil); n != 0 {
+		t.Errorf("Uvarint(nil) n = %d, want 0", n)
+	}
+	if _, n := Uvarint([]byte{0x80, 0x80}); n != 0 {
+		t.Errorf("Uvarint(truncated) n = %d, want 0", n)
+	}
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	if _, n := Uvarint(over); n >= 0 {
+		t.Errorf("Uvarint(overflow) n = %d, want < 0", n)
+	}
+}
+
+func TestTagFused(t *testing.T) {
+	// The fused Tag must agree with the split Varint+DecodeTag decode on
+	// every field number boundary the fast path touches and beyond.
+	for _, num := range []int32{1, 2, 15, 16, 100, 1 << 10, MaxFieldNumber} {
+		for _, wt := range []Type{TypeVarint, TypeFixed64, TypeBytes, TypeFixed32} {
+			buf := AppendTag(nil, num, wt)
+			gn, gt, n, err := Tag(buf)
+			if err != nil || gn != num || gt != wt || n != len(buf) {
+				t.Errorf("Tag(%x) = %d, %v, %d, %v; want %d, %v, %d, nil",
+					buf, gn, gt, n, err, num, wt, len(buf))
+			}
+		}
+	}
+	// Field number 0 is invalid in both one-byte and multi-byte encodings.
+	for _, buf := range [][]byte{{0x00}, {0x02}, {0x80, 0x00}} {
+		if _, _, _, err := Tag(buf); err != ErrInvalidTag {
+			t.Errorf("Tag(%x) err = %v, want ErrInvalidTag", buf, err)
+		}
+	}
+	if _, _, _, err := Tag(nil); err != ErrTruncated {
+		t.Errorf("Tag(nil) err = %v, want ErrTruncated", err)
+	}
+	if _, _, _, err := Tag([]byte{0x80}); err != ErrTruncated {
+		t.Errorf("Tag(truncated) err = %v, want ErrTruncated", err)
+	}
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	if _, _, _, err := Tag(over); err != ErrOverflow {
+		t.Errorf("Tag(overflow) err = %v, want ErrOverflow", err)
+	}
+	// Out-of-range field number (> MaxFieldNumber).
+	big := AppendVarint(nil, uint64(MaxFieldNumber+1)<<3)
+	if _, _, _, err := Tag(big); err != ErrInvalidTag {
+		t.Errorf("Tag(out-of-range) err = %v, want ErrInvalidTag", err)
+	}
+}
+
+// tagStream is a realistic run of one-byte tags (field numbers 1..15) as
+// produced by typical small RPC messages.
+func tagStream() []byte {
+	var buf []byte
+	for i := 0; i < 64; i++ {
+		buf = AppendTag(buf, int32(i%15)+1, TypeVarint)
+	}
+	return buf
+}
+
+func BenchmarkUvarintOneByte(b *testing.B) {
+	buf := AppendVarint(nil, 42)
+	for i := 0; i < b.N; i++ {
+		Uvarint(buf)
+	}
+}
+
+func BenchmarkUvarintMultiByte(b *testing.B) {
+	buf := AppendVarint(nil, 1<<34)
+	for i := 0; i < b.N; i++ {
+		Uvarint(buf)
+	}
+}
+
+// BenchmarkTagFused vs BenchmarkTagSplit measures the satellite-1 delta:
+// one fused call with a one-byte fast path against the historical
+// Varint-then-DecodeTag pair over the same one-byte-heavy tag stream.
+func BenchmarkTagFused(b *testing.B) {
+	buf := tagStream()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		pos := 0
+		for pos < len(buf) {
+			_, _, n, err := Tag(buf[pos:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			pos += n
+		}
+	}
+}
+
+func BenchmarkTagSplit(b *testing.B) {
+	buf := tagStream()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		pos := 0
+		for pos < len(buf) {
+			v, n := Varint(buf[pos:])
+			if n <= 0 {
+				b.Fatal("bad varint")
+			}
+			if _, _, err := DecodeTag(v); err != nil {
+				b.Fatal(err)
+			}
+			pos += n
+		}
+	}
+}

@@ -58,11 +58,11 @@ func TestIntsCompressionFactorNear2(t *testing.T) {
 	rng := mt19937.New(mt19937.DefaultSeed)
 	m := e.GenIntsCalibrated(rng)
 	data := m.Marshal(nil)
-	need, err := deser.Measure(e.IntsLay, data)
+	need, err := deser.MeasureExact(e.IntsLay, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bump := arena.NewBump(make([]byte, need))
+	bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 	d := deser.New(deser.Options{})
 	if _, err := d.Deserialize(e.IntsLay, data, bump, 0); err != nil {
 		t.Fatal(err)
@@ -96,8 +96,8 @@ func TestCharsWireSizeIs8003Bytes(t *testing.T) {
 	if len(data) != CharsWireSize {
 		t.Fatalf("chars wire size = %d, want %d", len(data), CharsWireSize)
 	}
-	need, _ := deser.Measure(e.CharsLay, data)
-	bump := arena.NewBump(make([]byte, need))
+	need, _ := deser.MeasureExact(e.CharsLay, data)
+	bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 	d := deser.New(deser.Options{ValidateUTF8: true})
 	if _, err := d.Deserialize(e.CharsLay, data, bump, 0); err != nil {
 		t.Fatal(err)
@@ -193,11 +193,11 @@ func TestRoundTripThroughArenaDeserializer(t *testing.T) {
 		m := e.Gen(s, rng)
 		data := m.Marshal(nil)
 		lay := e.Layout(s)
-		need, err := deser.Measure(lay, data)
+		need, err := deser.MeasureExact(lay, data)
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		bump := arena.NewBump(make([]byte, need))
+		bump := arena.NewBump(make([]byte, need+deser.GuardBytes))
 		d := deser.New(deser.Options{ValidateUTF8: true})
 		off, err := d.Deserialize(lay, data, bump, 0)
 		if err != nil {
