@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test fmt-check race cover bench bench-all experiments chaos fuzz clean
+.PHONY: all build test fmt-check race cover bench bench-check bench-all experiments chaos fuzz clean
 
 all: build test
 
@@ -11,6 +11,9 @@ build:
 test: fmt-check
 	go vet ./...
 	go test ./...
+	@echo "advisory: quick benchmark comparison against the checked-in snapshots"
+	@$(MAKE) --no-print-directory bench-check BENCHTIME=20000x \
+		|| echo "bench-check: regressions above are ADVISORY here; run 'make bench-check' for a full-length pass"
 
 # Fail on unformatted files (gofmt prints the offenders).
 fmt-check:
@@ -34,10 +37,23 @@ cover:
 
 # Decode-path benchmark snapshot: the deser + wire benchmarks (planned vs
 # interpretive decode, varint/tag micro-benchmarks) parsed into
-# BENCH_deser.json (ns/op, B/op, allocs/op), which is checked in.
+# BENCH_deser.json, plus the commit-coalescing echo round trip parsed into
+# BENCH_batch.json (ns/op, B/op, allocs/op). Both files are checked in.
 bench:
 	go test -bench . -benchmem -count 1 -run '^$$' ./internal/deser ./internal/wire \
 		| go run ./cmd/benchjson -out BENCH_deser.json
+	go test -bench 'EchoBatch|EchoRoundTrip' -benchmem -count 1 -run '^$$' ./internal/rpcrdma \
+		| go run ./cmd/benchjson -out BENCH_batch.json
+
+# Compare a fresh benchmark run against the checked-in snapshots; fails on
+# >10% ns/op regressions. BENCHTIME shortens the pass (e.g. make bench-check
+# BENCHTIME=20000x) at the price of noisier numbers.
+BENCHTIME ?= 1s
+bench-check:
+	go test -bench . -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/deser ./internal/wire \
+		| go run ./cmd/benchjson -compare BENCH_deser.json
+	go test -bench 'EchoBatch|EchoRoundTrip' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/rpcrdma \
+		| go run ./cmd/benchjson -compare BENCH_batch.json
 
 # Full benchmark sweep across every package (nothing written).
 bench-all:

@@ -3,9 +3,15 @@
 // terminal still shows the run; the JSON goes to -out (default
 // BENCH.json).
 //
+// With -compare BASELINE.json the fresh results are diffed against a
+// checked-in snapshot instead: benchmarks whose ns/op regressed more than
+// -tolerance fail the run (exit 1). Unless -out is given explicitly,
+// compare mode writes nothing.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/deser | go run ./cmd/benchjson -out BENCH_deser.json
+//	go test -bench . -benchmem ./internal/deser | go run ./cmd/benchjson -compare BENCH_deser.json
 package main
 
 import (
@@ -36,7 +42,17 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "BENCH.json", "file to write the JSON array to")
+	compare := flag.String("compare", "",
+		"baseline JSON to diff the fresh results against; regressions beyond -tolerance exit 1")
+	tolerance := flag.Float64("tolerance", 0.10,
+		"fractional ns/op regression allowed by -compare")
 	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 
 	var results []Result
 	pkg := ""
@@ -74,15 +90,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	buf, err := json.MarshalIndent(results, "", "  ")
+	if *compare == "" || outSet {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+	if *compare != "" {
+		if !compareResults(results, *compare, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareResults diffs fresh ns/op against the baseline file and reports
+// every matched benchmark to stderr. Returns false if any benchmark
+// regressed beyond tol. Benchmarks present on only one side are reported
+// but never fail the comparison — adding a benchmark must not break the
+// check before the snapshot is regenerated.
+func compareResults(fresh []Result, baselinePath string, tol float64) bool {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return false
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return false
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	base := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		base[r.Package+"/"+r.Name] = r
+	}
+	regressions, matched := 0, 0
+	for _, r := range fresh {
+		key := r.Package + "/" + r.Name
+		b, ok := base[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: new (not in %s): %s\n", baselinePath, key)
+			continue
+		}
+		matched++
+		delete(base, key)
+		if b.NsOp <= 0 {
+			continue
+		}
+		delta := (r.NsOp - b.NsOp) / b.NsOp
+		mark := ""
+		if delta > tol {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-60s %10.2f -> %10.2f ns/op  %+6.1f%%%s\n",
+			key, b.NsOp, r.NsOp, 100*delta, mark)
+	}
+	for key := range base {
+		fmt.Fprintf(os.Stderr, "benchjson: missing from this run: %s\n", key)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %s\n", baselinePath)
+		return false
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% vs %s\n",
+			regressions, matched, 100*tol, baselinePath)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		matched, 100*tol, baselinePath)
+	return true
 }

@@ -7,7 +7,8 @@
 //	dpurpc-bench -experiment all
 //	dpurpc-bench -experiment fig7|fig8a|fig8b|fig8c|table1|blocksweep|busypoll|llc
 //	dpurpc-bench -experiment fig8a -requests 50000
-//	dpurpc-bench -experiment respscale -host-workers 8
+//	dpurpc-bench -experiment respscale -host-workers 8 -connections 4
+//	dpurpc-bench -experiment batchscale -commit-batch 32
 //	dpurpc-bench -experiment anatomy -requests 4000
 //	dpurpc-bench -experiment all -debug-addr localhost:9090   # live /metrics, /trace
 package main
@@ -19,6 +20,7 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"dpurpc/internal/arena"
 	"dpurpc/internal/dpu"
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, anatomy, chaos, deserspeed")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, anatomy, chaos, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -38,6 +40,10 @@ func main() {
 		"deserialization workers per DPU poller; >1 enables the reserve/build/commit pipeline (1 = serial datapath)")
 	hostWorkers := flag.Int("host-workers", dpu.Default().Host.Cores,
 		"host-side duplex workers per connection; >1 runs handlers + response builds in parallel (1 = serial response path); also the top of the respscale sweep")
+	commitBatch := flag.Int("commit-batch", 1,
+		"commit/doorbell coalescing target on both sides of every connection (1 = flush every pass); >1 also sets the top of the batchscale sweep")
+	commitFlushUS := flag.Int("commit-flush-us", 0,
+		"coalescing flush timeout in microseconds (0 = the 50us default when batching)")
 	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, respscale, and anatomy)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve live telemetry on this address while the experiments run (/metrics Prometheus text, /trace Chrome trace JSON for Perfetto, /anatomy, /healthz); empty disables")
@@ -50,6 +56,8 @@ func main() {
 	opts.Connections = *connections
 	opts.DPUWorkers = *dpuWorkers
 	opts.HostWorkers = *hostWorkers
+	opts.CommitBatch = *commitBatch
+	opts.CommitFlushTimeout = time.Duration(*commitFlushUS) * time.Microsecond
 	csv := *format == "csv"
 	jsonOut := *format == "json"
 
@@ -129,8 +137,9 @@ func main() {
 		run("fig8c", func() error { return printFig8c(opts, fig8) })
 	}
 	run("respscale", func() error {
-		workers := respScaleWorkers(*hostWorkers)
-		rows, err := harness.ResponseScaling(opts, workers)
+		workers := doublingSweep(*hostWorkers)
+		conns := doublingSweep(*connections)
+		rows, err := harness.ResponseScalingGrid(opts, conns, workers)
 		if err != nil {
 			return err
 		}
@@ -141,6 +150,23 @@ func main() {
 			return printRespScaleCSV(rows)
 		}
 		return printRespScale(rows)
+	})
+	run("batchscale", func() error {
+		batches := harness.DefaultCommitBatches()
+		if *commitBatch > 1 {
+			batches = doublingSweep(*commitBatch)
+		}
+		rows, err := harness.BatchScale(opts, batches)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printBatchScaleJSON(rows)
+		}
+		if csv {
+			return printBatchScaleCSV(rows)
+		}
+		return printBatchScale(rows)
 	})
 	run("anatomy", func() error {
 		rep, err := harness.RunAnatomy(opts)
@@ -238,8 +264,8 @@ func printFig7JSON(opts harness.Options, wallIters int) error {
 	return enc.Encode(rows)
 }
 
-// respScaleWorkers builds the doubling sweep 1, 2, 4, ... capped at max.
-func respScaleWorkers(max int) []int {
+// doublingSweep builds the sweep 1, 2, 4, ... capped at max.
+func doublingSweep(max int) []int {
 	if max < 1 {
 		max = 1
 	}
@@ -253,12 +279,12 @@ func respScaleWorkers(max int) []int {
 func printRespScale(rows []harness.RespScaleRow) error {
 	fmt.Println("== Response-direction scaling (duplex pipeline, Echo workload) ==")
 	fmt.Println("   (host build workers = DPU serialization workers = width; modeled")
-	fmt.Println("    core spread capped at the width on both sides)")
+	fmt.Println("    core spread capped at conns x width on both sides)")
 	w := tw()
-	fmt.Fprintln(w, "workers\tRPS\tbottleneck\thost cores\tDPU cores\tresp B/req\tdeser util\tserial util\twall req/s (this machine)")
+	fmt.Fprintln(w, "conns\tworkers\tRPS\tbottleneck\thost cores\tDPU cores\tresp B/req\tdeser util\tserial util\twall req/s (this machine)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%.3g\t%s\t%.2f\t%.2f\t%.0f\t%.0f%%\t%.0f%%\t%.3g\n",
-			r.Workers, r.Result.RPS, r.Result.Bottleneck,
+		fmt.Fprintf(w, "%d\t%d\t%.3g\t%s\t%.2f\t%.2f\t%.0f\t%.0f%%\t%.0f%%\t%.3g\n",
+			r.Connections, r.Workers, r.Result.RPS, r.Result.Bottleneck,
 			r.Result.HostCores, r.Result.DPUCores, r.RespBytesPerReq,
 			100*r.DPUUtilization, 100*r.RespUtilization, r.WallRPS)
 	}
@@ -268,14 +294,50 @@ func printRespScale(rows []harness.RespScaleRow) error {
 }
 
 func printRespScaleCSV(rows []harness.RespScaleRow) error {
-	fmt.Println("workers,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,resp_bytes_per_req,dpu_utilization,resp_utilization,wall_rps")
+	fmt.Println("connections,workers,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,resp_bytes_per_req,dpu_utilization,resp_utilization,wall_rps")
 	for _, r := range rows {
-		fmt.Printf("%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.3f,%.3f,%.0f\n",
-			r.Workers, r.Result.RPS, r.Result.BandwidthGbps,
+		fmt.Printf("%d,%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.3f,%.3f,%.0f\n",
+			r.Connections, r.Workers, r.Result.RPS, r.Result.BandwidthGbps,
 			r.Result.HostCores, r.Result.DPUCores, r.Result.Bottleneck,
 			r.RespBytesPerReq, r.DPUUtilization, r.RespUtilization, r.WallRPS)
 	}
 	return nil
+}
+
+func printBatchScale(rows []harness.BatchScaleRow) error {
+	fmt.Println("== Commit-coalescing sweep (goodput vs batch size x message size) ==")
+	fmt.Println("   (one doorbell per sealed block; up to CommitBatch messages share it")
+	fmt.Println("    unless the block fills first, so Small amortizes the doorbell while")
+	fmt.Println("    Chars seals full regardless; flush columns say why blocks sealed)")
+	w := tw()
+	fmt.Fprintln(w, "scenario\tbatch\tRPS\tmsgs/block\tdoorbells/req\tfull\tbatch\ttimer\texplicit\twall req/s (this machine)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.3g\t%.1f\t%.2f\t%d\t%d\t%d\t%d\t%.3g\n",
+			r.Scenario, r.CommitBatch, r.Result.RPS, r.MsgsPerBlock,
+			r.DoorbellsPerReq, r.FlushFull, r.FlushBatch, r.FlushTimer,
+			r.FlushExplicit, r.WallRPS)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printBatchScaleCSV(rows []harness.BatchScaleRow) error {
+	fmt.Println("scenario,commit_batch,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,msgs_per_block,doorbells_per_req,flush_full,flush_batch,flush_timer,flush_explicit,wall_rps")
+	for _, r := range rows {
+		fmt.Printf("%s,%d,%.0f,%.2f,%.3f,%.3f,%s,%.2f,%.3f,%d,%d,%d,%d,%.0f\n",
+			r.Scenario, r.CommitBatch, r.Result.RPS, r.Result.BandwidthGbps,
+			r.Result.HostCores, r.Result.DPUCores, r.Result.Bottleneck,
+			r.MsgsPerBlock, r.DoorbellsPerReq, r.FlushFull, r.FlushBatch,
+			r.FlushTimer, r.FlushExplicit, r.WallRPS)
+	}
+	return nil
+}
+
+func printBatchScaleJSON(rows []harness.BatchScaleRow) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func printRespScaleJSON(rows []harness.RespScaleRow) error {
@@ -301,8 +363,11 @@ func printAnatomy(rep *harness.AnatomyReport) error {
 		fmt.Fprintf(w, "e2e\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.0f%%\n",
 			m.E2E.Count, m.E2E.P50US, m.E2E.P90US, m.E2E.P99US, m.E2E.MeanUS, 100*m.E2E.Share)
 		w.Flush()
-		fmt.Printf("   stage-sum mean %.2f us vs e2e mean %.2f us\n\n",
+		fmt.Printf("   stage-sum mean %.2f us vs e2e mean %.2f us\n",
 			m.StageSumMeanUS, m.E2E.MeanUS)
+		fmt.Printf("   doorbells/req %.2f (sealed: full %d, batch %d, timer %d, explicit %d; commit-batch %d)\n\n",
+			m.DoorbellsPerReq, m.FlushFull, m.FlushBatch, m.FlushTimer,
+			m.FlushExplicit, m.CommitBatch)
 	}
 	return nil
 }

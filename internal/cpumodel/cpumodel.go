@@ -49,8 +49,14 @@ type Platform struct {
 	// RPC stack costs.
 	ReqNS     float64 // per request: full server stack (xRPC termination, dispatch)
 	RDMAReqNS float64 // per request: RPC-over-RDMA server side (callback dispatch, response build, ack bookkeeping)
-	BlockNS   float64 // per block: RDMA post/poll, preamble handling, allocator work
-	NetByteNS float64 // per TCP byte moved through the terminating side's socket stack
+	BlockNS   float64 // per block: poll, preamble handling, allocator work
+	// DoorbellNS is the fixed cost of ringing one doorbell: the MMIO
+	// write and commit barrier of posting an RDMA write-with-immediate.
+	// It is charged per block, not per message, so commit coalescing
+	// (many messages per doorbell) amortizes exactly this term — the
+	// fixed cost the batchscale experiment sweeps.
+	DoorbellNS float64
+	NetByteNS  float64 // per TCP byte moved through the terminating side's socket stack
 	// WakeupNS is the extra per-block cost of the blocking poll() path
 	// versus busy polling (Sec. III-C: busy polling is ~10% faster at the
 	// cost of 100% CPU).
@@ -100,7 +106,8 @@ func HostX86() *Platform {
 
 		ReqNS:       42.0,
 		RDMAReqNS:   48.0,
-		BlockNS:     400.0,
+		BlockNS:     250.0,
+		DoorbellNS:  150.0,
 		NetByteNS:   0.05,
 		WakeupNS:    800.0,
 		CacheByteNS: 0.12,
@@ -129,17 +136,21 @@ func DPUBlueField3() *Platform {
 
 		ReqNS:       84.0,
 		RDMAReqNS:   96.0,
-		BlockNS:     800.0,
+		BlockNS:     500.0,
+		DoorbellNS:  300.0,
 		NetByteNS:   0.10,
 		WakeupNS:    2000.0,
 		CacheByteNS: 0.25,
 	}
 }
 
-// BlockCostNS returns the per-block cost including the cache-spill penalty
-// for blocks beyond SweetBlockBytes.
+// BlockCostNS returns the per-block cost — per-block bookkeeping plus one
+// doorbell — including the cache-spill penalty for blocks beyond
+// SweetBlockBytes. The doorbell term is fixed per block regardless of how
+// many messages it carries, which is why commit coalescing pays off for
+// small messages: batch N of them and the doorbell costs DoorbellNS/N each.
 func (p *Platform) BlockCostNS(blockBytes int) float64 {
-	cost := p.BlockNS
+	cost := p.BlockNS + p.DoorbellNS
 	if blockBytes > SweetBlockBytes {
 		cost += p.CacheByteNS * float64(blockBytes-SweetBlockBytes)
 	}

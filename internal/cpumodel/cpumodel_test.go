@@ -108,23 +108,27 @@ func TestBlockCostCachePenalty(t *testing.T) {
 	// the fixed cost; larger blocks pay per excess byte, which creates the
 	// 8 KiB optimum of the sweep.
 	for _, p := range []*Platform{HostX86(), DPUBlueField3()} {
+		fixed := p.BlockNS + p.DoorbellNS // per-block bookkeeping + one doorbell
 		base := p.BlockCostNS(SweetBlockBytes)
-		if base != p.BlockNS {
-			t.Errorf("%s: cost at sweet size = %g, want %g", p.Name, base, p.BlockNS)
+		if base != fixed {
+			t.Errorf("%s: cost at sweet size = %g, want %g", p.Name, base, fixed)
 		}
-		if got := p.BlockCostNS(1024); got != p.BlockNS {
+		if got := p.BlockCostNS(1024); got != fixed {
 			t.Errorf("%s: small block penalized", p.Name)
 		}
 		double := p.BlockCostNS(2 * SweetBlockBytes)
-		want := p.BlockNS + p.CacheByteNS*SweetBlockBytes
+		want := fixed + p.CacheByteNS*SweetBlockBytes
 		if double != want {
 			t.Errorf("%s: cost at 2x sweet = %g, want %g", p.Name, double, want)
 		}
 		// The penalty must be strong enough that growing past the sweet
 		// size raises the per-message share (the sweep's right edge):
-		// d/dS of (BlockNS + C*(S-8K))/S > 0 requires C*8K > BlockNS.
-		if p.CacheByteNS*SweetBlockBytes <= p.BlockNS {
+		// d/dS of (fixed + C*(S-8K))/S > 0 requires C*8K > fixed.
+		if p.CacheByteNS*SweetBlockBytes <= fixed {
 			t.Errorf("%s: cache penalty too weak for an interior optimum", p.Name)
+		}
+		if p.DoorbellNS <= 0 {
+			t.Errorf("%s: doorbell cost must be positive", p.Name)
 		}
 	}
 }

@@ -584,8 +584,27 @@ func (d *Deserializer) putString(k protodesc.Kind, rec []byte, recOff uint64, pa
 	return nil
 }
 
-// scalar decodes one singular scalar value.
+// scalar decodes one singular scalar value, charging decode stats.
 func (d *Deserializer) scalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint64, int, error) {
+	v, n, err := decodeScalar(rest, k, wt)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch k.WireType() {
+	case wire.TypeFixed32:
+		d.Stats.FixedBytes += 4
+	case wire.TypeFixed64:
+		d.Stats.FixedBytes += 8
+	default:
+		d.Stats.VarintBytes += uint64(n)
+	}
+	return v, n, nil
+}
+
+// scalarBits is the stat-free decode of one singular scalar value, shared
+// between the charging path above and the fast path's replay mode (where
+// the scan already charged the decode).
+func decodeScalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint64, int, error) {
 	switch k.WireType() {
 	case wire.TypeFixed32:
 		if wt != wire.TypeFixed32 {
@@ -595,7 +614,6 @@ func (d *Deserializer) scalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint
 		if n == 0 {
 			return 0, 0, ErrMalformed
 		}
-		d.Stats.FixedBytes += 4
 		return uint64(v), n, nil
 	case wire.TypeFixed64:
 		if wt != wire.TypeFixed64 {
@@ -605,7 +623,6 @@ func (d *Deserializer) scalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint
 		if n == 0 {
 			return 0, 0, ErrMalformed
 		}
-		d.Stats.FixedBytes += 8
 		return v, n, nil
 	default:
 		if wt != wire.TypeVarint {
@@ -615,7 +632,6 @@ func (d *Deserializer) scalar(rest []byte, k protodesc.Kind, wt wire.Type) (uint
 		if n <= 0 {
 			return 0, 0, ErrMalformed
 		}
-		d.Stats.VarintBytes += uint64(n)
 		return storedScalar(k, v), n, nil
 	}
 }

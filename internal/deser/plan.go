@@ -81,7 +81,17 @@ type Plan struct {
 	sparse map[int32]int32 // fallback when field numbers exceed maxDenseFieldNum
 	rep    []repSlot
 	numRep int
+	// simple marks a flat layout — no repeated and no message fields — whose
+	// messages can take the scan-bypass fast path below SmallFastPathMax:
+	// one fused tag→action loop decodes straight into the object with no
+	// parse notes materialized.
+	simple bool
 }
+
+// SmallFastPathMax is the wire-size threshold (bytes) under which messages
+// of a simple layout decode through the fused fast path. Past it the
+// notes-based pipeline amortizes its bookkeeping and wins on replay.
+const SmallFastPathMax = 128
 
 // Layout returns the layout the plan was compiled from.
 func (p *Plan) Layout() *abi.Layout { return p.lay }
@@ -173,8 +183,19 @@ func compilePlan(lay *abi.Layout, local map[*abi.Layout]*Plan) *Plan {
 			p.sparse[lay.Fields[i].Desc.Number] = int32(i) + 1
 		}
 	}
+	p.simple = true
+	for i := range p.acts {
+		if p.acts[i].repeated || p.acts[i].sub != nil {
+			p.simple = false
+			break
+		}
+	}
 	return p
 }
+
+// Simple reports whether the plan's layout qualifies for the small-message
+// fast path (no repeated fields, no nested messages).
+func (p *Plan) Simple() bool { return p.simple }
 
 // lookup resolves a field number to its action, or nil for unknown fields.
 func (p *Plan) lookup(num int32) *action {
@@ -209,6 +230,11 @@ type Notes struct {
 	vals   []uint64
 	counts []uint32
 	need   int
+	// bypass marks the scan-bypass shape: the scan validated the message and
+	// computed need but recorded no ops; Fill re-runs the fused decode loop
+	// instead of replaying notes. Only produced for simple plans under
+	// SmallFastPathMax.
+	bypass bool
 }
 
 func (no *Notes) reset() {
@@ -216,7 +242,12 @@ func (no *Notes) reset() {
 	no.vals = no.vals[:0]
 	no.counts = no.counts[:0]
 	no.need = 0
+	no.bypass = false
 }
+
+// Bypass reports whether the notes carry the scan-bypass shape (no replay
+// stream; Fill runs the fused fast path).
+func (no *Notes) Bypass() bool { return no.bypass }
 
 // Need returns the exact arena bytes Fill will consume, excluding the
 // GuardBytes NullRef guard prepended at base 0 — the same convention as
@@ -252,11 +283,86 @@ func payloadOf(data []byte, v uint64) []byte {
 func (d *Deserializer) Scan(p *Plan, data []byte) (*Notes, error) {
 	no := notesPool.Get().(*Notes)
 	no.reset()
+	if p.simple && len(data) <= SmallFastPathMax {
+		need, err := d.scanSimple(p, data)
+		if err != nil {
+			no.Release()
+			return nil, err
+		}
+		no.need = need
+		no.bypass = true
+		return no, nil
+	}
 	if err := d.scanInto(p, data, no); err != nil {
 		no.Release()
 		return nil, err
 	}
 	return no, nil
+}
+
+// scanSimple is the structure-discovery half of the fast path: it validates
+// a simple-layout message (same checks, same sentinel errors as scanBody)
+// and returns the exact arena need, recording nothing. Decode-side stats are
+// charged here, mirroring scanBody, so the split pipeline's accounting is
+// unchanged.
+func (d *Deserializer) scanSimple(p *Plan, data []byte) (int, error) {
+	lay := p.lay
+	spill := 0
+	pos := 0
+	for pos < len(data) {
+		var num int32
+		var wt wire.Type
+		var n int
+		if c := data[pos]; c >= 8 && c < 0x80 {
+			num, wt, n = int32(c>>3), wire.Type(c&7), 1
+		} else {
+			var err error
+			num, wt, n, err = wire.Tag(data[pos:])
+			if err != nil {
+				if errors.Is(err, wire.ErrInvalidTag) {
+					return 0, err
+				}
+				return 0, fmt.Errorf("%w: bad tag", ErrMalformed)
+			}
+		}
+		d.Stats.VarintBytes += uint64(n)
+		pos += n
+		a := p.lookup(num)
+		if a == nil {
+			skipped, err := wire.SkipValue(data[pos:], wt)
+			if err != nil {
+				return 0, err
+			}
+			pos += skipped
+			continue
+		}
+		d.Stats.Fields++
+		if a.str {
+			if wt != wire.TypeBytes {
+				return 0, wireErr(lay, a.fld, wt)
+			}
+			payload, n := wire.Bytes(data[pos:])
+			if n == 0 {
+				return 0, fmt.Errorf("%w: truncated string", ErrMalformed)
+			}
+			d.Stats.VarintBytes += uint64(n - len(payload))
+			if a.kind == protodesc.KindString && !d.validateUTF8(payload) {
+				return 0, wire.ErrInvalidUTF8
+			}
+			if len(payload) > abi.SSOCapacity {
+				spill += len(payload)
+			}
+			pos += n
+			continue
+		}
+		_, n, err := d.scalar(data[pos:], a.kind, wt)
+		if err != nil {
+			return 0, wrapScalarErr(lay, a.fld, err)
+		}
+		pos += n
+	}
+	d.Stats.ScannedBytes += uint64(len(data))
+	return int(lay.Size) + spill, nil
 }
 
 func (d *Deserializer) scanInto(p *Plan, data []byte, no *Notes) error {
@@ -538,6 +644,12 @@ func sizeNotes(p *Plan, no *Notes, opi, cti *int, s *bumpSizer) {
 // scanned from. The allocation sequence is byte-identical to Deserialize's,
 // including the base-0 NullRef guard.
 func (d *Deserializer) Fill(p *Plan, data []byte, no *Notes, bump *arena.Bump, base uint64) (uint64, error) {
+	if no.bypass {
+		// Scan-bypass shape: no notes to replay, run the fused decode. The
+		// scan already validated and charged decode stats, so this pass
+		// charges only replay-side work.
+		return d.fillSimple(p, data, bump, base, false)
+	}
 	if base == 0 && bump.Used() == 0 {
 		// Reserve offset 0 so NullRef stays unambiguous.
 		if _, _, err := bump.Alloc(GuardBytes, 8); err != nil {
@@ -552,6 +664,107 @@ func (d *Deserializer) Fill(p *Plan, data []byte, no *Notes, bump *arena.Bump, b
 	}
 	d.Stats.ArenaBytes += uint64(bump.Used() - before)
 	return off, nil
+}
+
+// fillSimple is the fused small-message fast path: one tag→action loop that
+// decodes a simple-layout message straight into a fresh object, with no
+// parse notes in between. The allocation sequence (object, then wire-order
+// string spills) and every validation decision are byte-identical to the
+// interpretive path. With charge set (the one-call DeserializePlanned path)
+// it validates and charges decode stats; without it (Fill after a
+// validating scanSimple) it only replays, charging replay-side stats.
+func (d *Deserializer) fillSimple(p *Plan, data []byte, bump *arena.Bump, base uint64, charge bool) (uint64, error) {
+	if base == 0 && bump.Used() == 0 {
+		// Reserve offset 0 so NullRef stays unambiguous.
+		if _, _, err := bump.Alloc(GuardBytes, 8); err != nil {
+			return 0, err
+		}
+	}
+	before := bump.Used()
+	lay := p.lay
+	obj, bumpOff, err := bump.Alloc(int(lay.Size), abi.ObjectAlign)
+	if err != nil {
+		return 0, err
+	}
+	copy(obj, lay.Default) // vptr/classID comes along, as in Sec. V-B
+	objOff := base + uint64(bumpOff)
+	d.Stats.Messages++
+	pos := 0
+	for pos < len(data) {
+		var num int32
+		var wt wire.Type
+		var n int
+		if c := data[pos]; c >= 8 && c < 0x80 {
+			num, wt, n = int32(c>>3), wire.Type(c&7), 1
+		} else {
+			var err error
+			num, wt, n, err = wire.Tag(data[pos:])
+			if err != nil {
+				if errors.Is(err, wire.ErrInvalidTag) {
+					return 0, err
+				}
+				return 0, fmt.Errorf("%w: bad tag", ErrMalformed)
+			}
+		}
+		if charge {
+			d.Stats.VarintBytes += uint64(n)
+		}
+		pos += n
+		a := p.lookup(num)
+		if a == nil {
+			skipped, err := wire.SkipValue(data[pos:], wt)
+			if err != nil {
+				return 0, err
+			}
+			pos += skipped
+			continue
+		}
+		if charge {
+			d.Stats.Fields++
+		}
+		if a.str {
+			if wt != wire.TypeBytes {
+				return 0, wireErr(lay, a.fld, wt)
+			}
+			payload, n := wire.Bytes(data[pos:])
+			if n == 0 {
+				return 0, fmt.Errorf("%w: truncated string", ErrMalformed)
+			}
+			if charge {
+				d.Stats.VarintBytes += uint64(n - len(payload))
+				if a.kind == protodesc.KindString && !d.validateUTF8(payload) {
+					return 0, wire.ErrInvalidUTF8
+				}
+			}
+			rec := obj[a.offset : a.offset+abi.StringRecordSize]
+			if err := d.replayString(rec, objOff+uint64(a.offset), payload, bump, base); err != nil {
+				return 0, err
+			}
+			setPresence(obj, lay, int(a.index))
+			pos += n
+			continue
+		}
+		var bits uint64
+		if charge {
+			bits, n, err = d.scalar(data[pos:], a.kind, wt)
+		} else {
+			bits, n, err = decodeScalar(data[pos:], a.kind, wt)
+		}
+		if err != nil {
+			return 0, wrapScalarErr(lay, a.fld, err)
+		}
+		writeSlot(obj[a.offset:a.offset+a.size], a.size, bits)
+		if !charge {
+			d.Stats.ReplayedBytes += uint64(a.size)
+		}
+		setPresence(obj, lay, int(a.index))
+		pos += n
+	}
+	d.Stats.ArenaBytes += uint64(bump.Used() - before)
+	if charge {
+		d.Stats.ScannedBytes += uint64(len(data))
+	}
+	return objOff, nil
 }
 
 func (d *Deserializer) fillBody(p *Plan, data []byte, no *Notes, opi, cti, vi *int, bump *arena.Bump, base uint64, depth int) (uint64, error) {
@@ -720,6 +933,9 @@ func (d *Deserializer) replayString(rec []byte, recOff uint64, payload []byte, b
 // (structure discovery) plus one Fill (replay), using a deserializer-owned
 // notes scratch so the steady state allocates nothing.
 func (d *Deserializer) DeserializePlanned(p *Plan, data []byte, bump *arena.Bump, base uint64) (uint64, error) {
+	if p.simple && len(data) <= SmallFastPathMax {
+		return d.fillSimple(p, data, bump, base, true)
+	}
 	if d.notes == nil {
 		d.notes = new(Notes)
 	}

@@ -367,6 +367,7 @@ func FuzzPlannedDecode(f *testing.F) {
 	}
 	bufI := make([]byte, 1<<20)
 	bufP := make([]byte, 1<<20)
+	bufD := make([]byte, 1<<20)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for i, lay := range layouts {
 			var ioff uint64
@@ -397,11 +398,30 @@ func FuzzPlannedDecode(f *testing.F) {
 			if (ierr == nil) != (perr == nil) {
 				t.Fatalf("layout %d: accept/reject divergence: interpretive %v, planned %v", i, ierr, perr)
 			}
+
+			// The fused DeserializePlanned entry must make the same
+			// accept/reject decision — for simple layouts under
+			// SmallFastPathMax this drives the scan-bypass fast path's own
+			// validation.
+			dd := New(Options{ValidateUTF8: true})
+			var bd *arena.Bump
+			if ierr == nil {
+				bd = arena.NewBump(bufD[:need+GuardBytes])
+			} else {
+				bd = arena.NewBump(bufD)
+			}
+			doff, derr := dd.DeserializePlanned(plans[i], data, bd, 0)
+			if (ierr == nil) != (derr == nil) {
+				t.Fatalf("layout %d: fused accept/reject divergence: interpretive %v, fused %v", i, ierr, derr)
+			}
 			if ierr != nil {
 				continue
 			}
 			if poff != ioff || !bytes.Equal(bp.Bytes(), bi.Bytes()) {
 				t.Fatalf("layout %d: planned arena diverges from interpretive", i)
+			}
+			if doff != ioff || !bytes.Equal(bd.Bytes(), bi.Bytes()) {
+				t.Fatalf("layout %d: fused arena diverges from interpretive", i)
 			}
 
 			// protomsg reference: if the one-copy reference decoder accepts
@@ -427,6 +447,122 @@ func FuzzPlannedDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestScanBypassShape: simple layouts under SmallFastPathMax must take the
+// scan-bypass fast path — Notes with no replay stream, Fill running the
+// fused loop — on the split entry points, and the fused DeserializePlanned
+// must agree, staying byte-identical to the interpretive decoder including
+// wire-order string spills past SSO capacity and unknown-field skips.
+func TestScanBypassShape(t *testing.T) {
+	spilly := protomsg.New(charDesc)
+	spilly.SetString("data", strings.Repeat("spill-me!", 8))
+	unknown := append(smallData(), wire.AppendTag(nil, 99, wire.TypeVarint)...)
+	unknown = append(unknown, 0x7f)
+	big := protomsg.New(charDesc)
+	big.SetString("data", strings.Repeat("x", SmallFastPathMax+1))
+
+	cases := []struct {
+		name   string
+		lay    *abi.Layout
+		data   []byte
+		bypass bool
+	}{
+		{"Small", smallLay, smallData(), true},
+		{"CharSpill", charLay, spilly.Marshal(nil), true},
+		{"UnknownField", smallLay, unknown, true},
+		{"OverThreshold", charLay, big.Marshal(nil), false},
+		{"NonSimple", everyLay, smallData()[:0], false},
+	}
+	for _, c := range cases {
+		if got := PlanFor(c.lay).Simple(); got != (c.lay != everyLay) {
+			t.Fatalf("%s: Plan.Simple() = %v", c.name, got)
+		}
+		for _, base := range []uint64{0, 4096} {
+			need, err := MeasureExact(c.lay, c.data)
+			if err != nil {
+				t.Fatalf("%s: MeasureExact: %v", c.name, err)
+			}
+			guard := 0
+			if base == 0 {
+				guard = GuardBytes
+			}
+			di := New(Options{ValidateUTF8: true})
+			bi := arena.NewBump(make([]byte, need+guard))
+			ioff, err := di.Deserialize(c.lay, c.data, bi, base)
+			if err != nil {
+				t.Fatalf("%s: Deserialize: %v", c.name, err)
+			}
+
+			p := PlanFor(c.lay)
+			dp := New(Options{ValidateUTF8: true})
+			no, err := dp.Scan(p, c.data)
+			if err != nil {
+				t.Fatalf("%s: Scan: %v", c.name, err)
+			}
+			if no.Bypass() != c.bypass {
+				t.Fatalf("%s: Bypass() = %v, want %v", c.name, no.Bypass(), c.bypass)
+			}
+			if no.Need() != need {
+				t.Fatalf("%s: Need %d != MeasureExact %d", c.name, no.Need(), need)
+			}
+			bp := arena.NewBump(make([]byte, need+guard))
+			poff, err := dp.Fill(p, c.data, no, bp, base)
+			no.Release()
+			if err != nil {
+				t.Fatalf("%s: Fill: %v", c.name, err)
+			}
+			if poff != ioff || !bytes.Equal(bp.Bytes(), bi.Bytes()) {
+				t.Fatalf("%s base %d: bypass fill diverges from interpretive", c.name, base)
+			}
+
+			df := New(Options{ValidateUTF8: true})
+			bf := arena.NewBump(make([]byte, need+guard))
+			foff, err := df.DeserializePlanned(p, c.data, bf, base)
+			if err != nil {
+				t.Fatalf("%s: DeserializePlanned: %v", c.name, err)
+			}
+			if foff != ioff || !bytes.Equal(bf.Bytes(), bi.Bytes()) {
+				t.Fatalf("%s base %d: fused decode diverges from interpretive", c.name, base)
+			}
+		}
+	}
+}
+
+// TestScanBypassErrorParity: the fast path's validation (both the split
+// scanSimple and the fused charge-mode loop) must report the interpretive
+// sentinels on defective small inputs.
+func TestScanBypassErrorParity(t *testing.T) {
+	cases := []struct {
+		name string
+		lay  *abi.Layout
+		data []byte
+		want error
+	}{
+		{"truncated tag", smallLay, []byte{0x80}, ErrMalformed},
+		{"invalid tag", smallLay, []byte{0x00}, wire.ErrInvalidTag},
+		{"wire type mismatch", smallLay, append(wire.AppendTag(nil, 1, wire.TypeFixed64), 1, 2, 3, 4, 5, 6, 7, 8), ErrWireTypeMismatch},
+		{"invalid utf8", charLay, append(wire.AppendTag(nil, 1, wire.TypeBytes), 0x02, 0xff, 0xfe), wire.ErrInvalidUTF8},
+		{"truncated string", charLay, append(wire.AppendTag(nil, 1, wire.TypeBytes), 0x7f, 'x'), ErrMalformed},
+		{"truncated scalar", smallLay, wire.AppendTag(nil, 1, wire.TypeVarint), ErrMalformed},
+	}
+	for _, c := range cases {
+		p := PlanFor(c.lay)
+		d := New(Options{ValidateUTF8: true})
+		if no, err := d.Scan(p, c.data); err == nil {
+			no.Release()
+			t.Errorf("%s: bypass scan accepted", c.name)
+		} else if !errors.Is(err, c.want) {
+			t.Errorf("%s: bypass scan err = %v, want %v", c.name, err, c.want)
+		}
+		df := New(Options{ValidateUTF8: true})
+		bump := arena.NewBump(make([]byte, 1<<12))
+		if _, err := df.DeserializePlanned(p, c.data, bump, 0); err == nil {
+			t.Errorf("%s: fused decode accepted", c.name)
+		} else if !errors.Is(err, c.want) {
+			t.Errorf("%s: fused err = %v, want %v", c.name, err, c.want)
+		}
+	}
 }
 
 // benchInterpSized measures the interpretive datapath unit of work — exact

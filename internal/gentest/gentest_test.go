@@ -230,9 +230,10 @@ func TestGeneratedBindingsOffloaded(t *testing.T) {
 // TestResponseModesByteIdentical pins the wire contract of the response
 // direction: the raw xRPC response payload for the same request must be
 // byte-identical whether the host serializes responses itself or ships
-// response objects for the DPU to serialize, and whether the response path
+// response objects for the DPU to serialize, whether the response path
 // runs serially or through the duplex pipeline (host build workers + DPU
-// serialization workers).
+// serialization workers), and whether commit/doorbell coalescing is on —
+// batching may change when blocks seal, never the bytes they carry.
 func TestResponseModesByteIdentical(t *testing.T) {
 	s, err := LoadSchema()
 	if err != nil {
@@ -248,6 +249,14 @@ func TestResponseModesByteIdentical(t *testing.T) {
 		{"object duplex", dpurpc.StackOptions{
 			OffloadResponseSerialization: true, HostWorkers: 4, DPUWorkers: 4}},
 		{"host-serialized duplex", dpurpc.StackOptions{HostWorkers: 4, DPUWorkers: 4}},
+		{"host-serialized serial batched", dpurpc.StackOptions{CommitBatch: 8}},
+		{"object serial batched", dpurpc.StackOptions{
+			OffloadResponseSerialization: true, CommitBatch: 8}},
+		{"object duplex batched", dpurpc.StackOptions{
+			OffloadResponseSerialization: true, HostWorkers: 4, DPUWorkers: 4,
+			CommitBatch: 8}},
+		{"host-serialized duplex batched", dpurpc.StackOptions{
+			HostWorkers: 4, DPUWorkers: 4, CommitBatch: 8}},
 	}
 	var want []byte
 	for _, mode := range modes {

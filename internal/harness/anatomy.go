@@ -59,6 +59,18 @@ type AnatomyMode struct {
 	WallRPS     float64
 	// TraceStats exposes the tracer's shed counters for the run.
 	TraceStats trace.Stats
+	// Commit-coalescing view of the same run: CommitBatch echoes the
+	// coalescing target (0/1 = flush every pass), DoorbellsPerReq is the
+	// message-carrying blocks sealed per request (both directions, all
+	// connections), and the Flush* counters say why each sealed — the
+	// per-request share of the fixed doorbell cost, next to the stage
+	// latencies it buys down.
+	CommitBatch     int
+	DoorbellsPerReq float64
+	FlushFull       uint64
+	FlushBatch      uint64
+	FlushTimer      uint64
+	FlushExplicit   uint64
 }
 
 // AnatomyReport is the full experiment output: the same workload's anatomy
@@ -116,6 +128,8 @@ func runAnatomyMode(opts Options, mode string, dpuWorkers, hostWorkers int) (Ana
 		DPUWorkers:                   dpuWorkers,
 		HostWorkers:                  hostWorkers,
 		OffloadResponseSerialization: true,
+		CommitBatch:                  opts.CommitBatch,
+		CommitFlushTimeout:           opts.CommitFlushTimeout,
 		Tracer:                       tr,
 	})
 	if err != nil {
@@ -167,7 +181,25 @@ func runAnatomyMode(opts Options, mode string, dpuWorkers, hostWorkers int) (Ana
 		WallSeconds: wall.Seconds(),
 		WallRPS:     safeDiv(float64(opts.Requests), wall.Seconds()),
 		TraceStats:  stats,
+		CommitBatch: opts.CommitBatch,
 	}
+	for _, dpuSrv := range d.DPUs {
+		c := dpuSrv.Client().Counters
+		m.FlushFull += c.FlushFull
+		m.FlushBatch += c.FlushBatch
+		m.FlushTimer += c.FlushTimer
+		m.FlushExplicit += c.FlushExplicit
+	}
+	for _, conn := range d.Poller.Conns() {
+		c := conn.Counters
+		m.FlushFull += c.FlushFull
+		m.FlushBatch += c.FlushBatch
+		m.FlushTimer += c.FlushTimer
+		m.FlushExplicit += c.FlushExplicit
+	}
+	m.DoorbellsPerReq = safeDiv(
+		float64(m.FlushFull+m.FlushBatch+m.FlushTimer+m.FlushExplicit),
+		float64(opts.Requests))
 	var e2eTotal, stageTotal float64
 	for _, r := range rows {
 		if r.Stage == "e2e" {

@@ -30,6 +30,10 @@ type ChaosRow struct {
 	// Plan is the compact fault.Plan label actually injected.
 	Plan     string
 	Requests int
+	// CommitBatch is the commit-coalescing target the point ran with: chaos
+	// always soaks the batching path, so injected faults land inside
+	// coalesced runs and the typed-error recovery must stay batch-safe.
+	CommitBatch int
 	// Succeeded are calls that returned OK (possibly after retries).
 	Succeeded uint64
 	// Failed are calls that exhausted retries and surfaced a typed
@@ -119,12 +123,20 @@ func runChaosPoint(opts Options, rate float64) (ChaosRow, error) {
 	ccfg.BusyPoll, scfg.BusyPoll = false, false
 	ccfg.WaitTimeout, scfg.WaitTimeout = 100*time.Microsecond, 100*time.Microsecond
 	plan := chaosPlan(rate, opts.Seed)
+	commitBatch := opts.CommitBatch
+	if commitBatch == 0 {
+		// Chaos soaks the coalescing path by default: faults must recover
+		// typed even when they land inside a multi-message doorbell batch.
+		commitBatch = 8
+	}
 	dcfg := offload.DeployConfig{
-		Connections: conns,
-		ClientCfg:   ccfg,
-		ServerCfg:   scfg,
-		DPUWorkers:  opts.DPUWorkers,
-		HostWorkers: opts.HostWorkers,
+		Connections:        conns,
+		ClientCfg:          ccfg,
+		ServerCfg:          scfg,
+		DPUWorkers:         opts.DPUWorkers,
+		HostWorkers:        opts.HostWorkers,
+		CommitBatch:        commitBatch,
+		CommitFlushTimeout: opts.CommitFlushTimeout,
 	}
 	if plan.Enabled() {
 		dcfg.ClientFaults = &plan
@@ -273,6 +285,7 @@ func runChaosPoint(opts Options, rate float64) (ChaosRow, error) {
 		FaultRate:   rate,
 		Plan:        plan.String(),
 		Requests:    total,
+		CommitBatch: commitBatch,
 		Succeeded:   succeeded.Load(),
 		Failed:      failed.Load(),
 		WallSeconds: wall.Seconds(),

@@ -61,6 +61,13 @@ type Options struct {
 	// OffloadResponseSerialization ships response objects to the DPU and
 	// serializes them there (the response direction of the offload).
 	OffloadResponseSerialization bool
+	// CommitBatch > 1 enables commit/doorbell coalescing on both sides of
+	// every connection (see offload.DeployConfig.CommitBatch). 0 keeps the
+	// flush-every-pass baseline.
+	CommitBatch int
+	// CommitFlushTimeout caps how long a partial batch may wait for more
+	// messages (0 = rpcrdma.DefaultCommitFlushTimeout when CommitBatch > 1).
+	CommitFlushTimeout time.Duration
 	// Tracer, when non-nil, records per-stage spans for every request of
 	// the offloaded runs (see internal/trace). The anatomy experiment
 	// provisions its own tracer per mode; set this to observe other
@@ -123,6 +130,16 @@ type Fig8Row struct {
 	// be observed directly.
 	WallSeconds float64
 	WallRPS     float64
+	// CommitBatch echoes the coalescing target the row ran with (offload
+	// mode; 0 means flush-every-pass). The Flush* counters break down why
+	// message-carrying blocks sealed, summed over both directions of every
+	// connection — the batchscale experiment's view of where the fixed
+	// doorbell cost went.
+	CommitBatch   int
+	FlushFull     uint64
+	FlushBatch    uint64
+	FlushTimer    uint64
+	FlushExplicit uint64
 }
 
 // emptyImpls returns benchmark service implementations with empty business
@@ -260,6 +277,8 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
+		CommitBatch:                  opts.CommitBatch,
+		CommitFlushTimeout:           opts.CommitFlushTimeout,
 		Tracer:                       opts.Tracer,
 	}
 	if opts.Registry != nil {
@@ -306,6 +325,20 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 	}
 
 	usage, row := offloadUsage(d, method, opts)
+	if opts.Registry != nil {
+		// Post-run is the only safe time to read the non-atomic transport
+		// counters; the registry series accumulate across runs, so live
+		// /metrics shows the flush mix of everything driven so far.
+		for _, f := range []struct {
+			reason string
+			n      uint64
+		}{{"full", row.FlushFull}, {"batch", row.FlushBatch},
+			{"timer", row.FlushTimer}, {"explicit", row.FlushExplicit}} {
+			opts.Registry.Counter("rpcrdma_flush_total",
+				"message-carrying blocks sealed (one doorbell each), by flush reason",
+				map[string]string{"reason": f.reason}).Add(f.n)
+		}
+	}
 	if opts.DPUWorkers > 1 {
 		// The pipeline bounds how many DPU cores the deployment can keep
 		// busy; the serial path (0/1) keeps the paper's ideal even spread.
@@ -344,6 +377,10 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		cc.BlocksSent += c.BlocksSent
 		cc.BlocksReceived += c.BlocksReceived
 		cc.PayloadBytesSent += c.PayloadBytesSent
+		cc.FlushFull += c.FlushFull
+		cc.FlushBatch += c.FlushBatch
+		cc.FlushTimer += c.FlushTimer
+		cc.FlushExplicit += c.FlushExplicit
 		if c.MinCreditsSeen < minCredits {
 			minCredits = c.MinCreditsSeen
 		}
@@ -353,6 +390,10 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		sc.BlocksSent += c.BlocksSent
 		sc.BlocksReceived += c.BlocksReceived
 		sc.PayloadBytesSent += c.PayloadBytesSent
+		sc.FlushFull += c.FlushFull
+		sc.FlushBatch += c.FlushBatch
+		sc.FlushTimer += c.FlushTimer
+		sc.FlushExplicit += c.FlushExplicit
 		if c.MinCreditsSeen < minCredits {
 			minCredits = c.MinCreditsSeen
 		}
@@ -412,6 +453,11 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		WireBytesPerReq: safeDiv(float64(st.MeasuredBytes), n),
 		PCIeBytesPerReq: safeDiv(float64(linkBytes), n),
 		ReqMsgsPerBlock: safeDiv(n, float64(cc.BlocksSent)),
+		CommitBatch:     opts.CommitBatch,
+		FlushFull:       cc.FlushFull + sc.FlushFull,
+		FlushBatch:      cc.FlushBatch + sc.FlushBatch,
+		FlushTimer:      cc.FlushTimer + sc.FlushTimer,
+		FlushExplicit:   cc.FlushExplicit + sc.FlushExplicit,
 	}
 	return dpu.Usage{
 		Requests:  st.Responses,

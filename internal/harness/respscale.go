@@ -17,6 +17,9 @@ import (
 // at a given width, driven by the Echo workload whose responses carry the
 // full request payload back.
 type RespScaleRow struct {
+	// Connections is the number of host<->DPU connections the row ran with
+	// (each with its own Workers-wide pipeline on both sides).
+	Connections int
 	// Workers is the pipeline width (HostWorkers = DPUWorkers = Workers).
 	Workers int
 	// Result is the machine-model projection with the core spread capped at
@@ -42,13 +45,29 @@ type RespScaleRow struct {
 // throughput (host/DPU core time capped at the worker count) alongside the
 // wall-clock rate of the real datapath.
 func ResponseScaling(opts Options, workers []int) ([]RespScaleRow, error) {
-	rows := make([]RespScaleRow, 0, len(workers))
-	for _, w := range workers {
-		row, err := runRespScale(opts, w)
-		if err != nil {
-			return nil, fmt.Errorf("respscale workers=%d: %w", w, err)
+	conns := opts.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	return ResponseScalingGrid(opts, []int{conns}, workers)
+}
+
+// ResponseScalingGrid is ResponseScaling over a connection-count axis too:
+// every (connections, workers) pair gets its own deployment, so the sweep
+// separates scaling by adding pollers (more connections) from scaling by
+// widening each connection's pipeline (more workers).
+func ResponseScalingGrid(opts Options, conns, workers []int) ([]RespScaleRow, error) {
+	rows := make([]RespScaleRow, 0, len(conns)*len(workers))
+	for _, c := range conns {
+		for _, w := range workers {
+			o := opts
+			o.Connections = c
+			row, err := runRespScale(o, w)
+			if err != nil {
+				return nil, fmt.Errorf("respscale conns=%d workers=%d: %w", c, w, err)
+			}
+			rows = append(rows, row)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -125,6 +144,7 @@ func runRespScale(opts Options, workers int) (RespScaleRow, error) {
 	usage.DPUWorkers = conns * workers
 	usage.HostWorkers = conns * workers
 	return RespScaleRow{
+		Connections:     conns,
 		Workers:         workers,
 		Result:          opts.Machine.Analyze(usage),
 		RespBytesPerReq: safeDiv(float64(respBytes), float64(opts.Requests)),

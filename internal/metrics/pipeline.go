@@ -12,6 +12,12 @@ type PipelineMetrics struct {
 	// Measures / Builds count completed worker stages.
 	Measures *Counter
 	Builds   *Counter
+	// Runs counts worker claims (one channel handoff each); RunTasks
+	// counts the tasks those claims carried. RunTasks/Runs is the average
+	// run length — how well small-request batching amortizes the
+	// per-message channel op.
+	Runs     *Counter
+	RunTasks *Counter
 	// BusyNS accumulates worker busy time in nanoseconds; divide by
 	// wall-time x workers for utilization (see Utilization).
 	BusyNS *Counter
@@ -32,6 +38,8 @@ func NewPipelineMetrics(r *Registry, labels map[string]string) *PipelineMetrics 
 			QueueDepth:      &Gauge{},
 			Measures:        &Counter{},
 			Builds:          &Counter{},
+			Runs:            &Counter{},
+			RunTasks:        &Counter{},
 			BusyNS:          &Counter{},
 			CommitLatencyUS: NewHistogram(DefaultCommitLatencyBounds),
 		}
@@ -43,6 +51,10 @@ func NewPipelineMetrics(r *Registry, labels map[string]string) *PipelineMetrics 
 			"measure stages completed by pipeline workers", labels),
 		Builds: r.Counter("dpu_pipeline_builds_total",
 			"build stages completed by pipeline workers", labels),
+		Runs: r.Counter("dpu_pipeline_runs_total",
+			"worker claims (channel handoffs) of task runs", labels),
+		RunTasks: r.Counter("dpu_pipeline_run_tasks_total",
+			"tasks carried by worker claims", labels),
 		BusyNS: r.Counter("dpu_pipeline_worker_busy_ns_total",
 			"cumulative pipeline worker busy time in nanoseconds", labels),
 		CommitLatencyUS: r.Histogram("dpu_pipeline_commit_latency_us",

@@ -101,6 +101,15 @@ type DeployConfig struct {
 	// too: the host writes response objects into the shared region and the
 	// DPU produces the protobuf bytes (Sec. III-A's symmetric extension).
 	OffloadResponseSerialization bool
+	// CommitBatch > 1 enables commit/doorbell coalescing on both sides of
+	// every connection: blocks seal after accumulating this many messages
+	// (or CommitFlushTimeout), so one doorbell carries a run of messages.
+	// Overrides ClientCfg/ServerCfg when set; 0 leaves the per-side
+	// configs in charge (see rpcrdma.Config.CommitBatch).
+	CommitBatch int
+	// CommitFlushTimeout is the coalescing latency cap paired with
+	// CommitBatch (0 = rpcrdma.DefaultCommitFlushTimeout).
+	CommitFlushTimeout time.Duration
 	// HostPollers is the number of host-side poller threads; connections
 	// are distributed round-robin (Sec. III-C: a server poller may share
 	// several connections; Table I runs 8 host threads). Default 1.
@@ -165,6 +174,14 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	conns := cfg.Connections
 	if conns == 0 {
 		conns = 1
+	}
+	if cfg.CommitBatch != 0 {
+		cfg.ClientCfg.CommitBatch = cfg.CommitBatch
+		cfg.ServerCfg.CommitBatch = cfg.CommitBatch
+	}
+	if cfg.CommitFlushTimeout != 0 {
+		cfg.ClientCfg.CommitFlushTimeout = cfg.CommitFlushTimeout
+		cfg.ServerCfg.CommitFlushTimeout = cfg.CommitFlushTimeout
 	}
 	ccfg := cfg.ClientCfg.WithDefaults(true)
 	scfg := cfg.ServerCfg.WithDefaults(false)

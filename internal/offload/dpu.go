@@ -57,6 +57,7 @@ type callTask struct {
 	// Pipeline fields (pooled mode only).
 	seq      uint64 // admission order; reserves replay it exactly
 	stage    uint8
+	next     *callTask // intrusive run link: small tasks claimed together (see queueWork)
 	res      *rpcrdma.Reservation
 	root     uint32
 	used     int
@@ -185,6 +186,12 @@ type DPUServer struct {
 	measuredQ map[uint64]*callTask // measured tasks awaiting their reserve turn
 	inflight  int
 
+	// Run accumulation (poller-owned): consecutive small tasks chained
+	// through callTask.next, handed to one worker as a single claim.
+	runHead *callTask
+	runTail *callTask
+	runLen  int
+
 	// Poller-owned response-pipeline state: serialize tasks in flight on
 	// the pool, and the overflow queue keeping workQ occupancy bounded.
 	respInflight int
@@ -294,84 +301,93 @@ func (d *DPUServer) foldStats(dd *deser.Deserializer) {
 
 // worker is one pipeline build core: it measures payloads and deserializes
 // them in place into reserved block slots, never touching protocol state.
+// Each claim off workQ may be a run of tasks chained through next (see
+// queueWork); the whole run is processed and returned in one compQ handoff.
 // wid (1..N) is its lane in trace output.
 func (d *DPUServer) worker(wid int) {
 	defer d.wg.Done()
 	dd := deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
 	ws := newWScratch()
-	for task := range d.workQ {
-		start := time.Now()
-		switch task.stage {
-		case stageMeasure:
-			task.notes, task.err = dd.Scan(task.entry.plan, task.data)
-			if task.err == nil {
-				task.need = task.notes.Need()
-			}
-			d.foldStats(dd)
-			if m := d.cfg.Pipeline; m != nil {
-				m.Measures.Inc()
-			}
-		case stageBuild:
-			bump := arena.NewBump(task.res.Dst)
-			rootAbs, err := dd.Fill(task.entry.plan, task.data, task.notes, bump, task.res.RegionOff)
-			task.notes.Release()
-			task.notes = nil
+	for head := range d.workQ {
+		for task := head; task != nil; task = task.next {
+			d.workTask(dd, ws, task, wid)
+		}
+		d.compQ <- head
+	}
+}
+
+// workTask runs one task's current stage on a worker goroutine.
+func (d *DPUServer) workTask(dd *deser.Deserializer, ws *wscratch, task *callTask, wid int) {
+	start := time.Now()
+	switch task.stage {
+	case stageMeasure:
+		task.notes, task.err = dd.Scan(task.entry.plan, task.data)
+		if task.err == nil {
+			task.need = task.notes.Need()
+		}
+		d.foldStats(dd)
+		if m := d.cfg.Pipeline; m != nil {
+			m.Measures.Inc()
+		}
+	case stageBuild:
+		bump := arena.NewBump(task.res.Dst)
+		rootAbs, err := dd.Fill(task.entry.plan, task.data, task.notes, bump, task.res.RegionOff)
+		task.notes.Release()
+		task.notes = nil
+		if err != nil {
+			task.err = err
+		} else {
+			task.root = uint32(rootAbs - task.res.RegionOff)
+			task.used = bump.Used()
+		}
+		d.foldStats(dd)
+		if m := d.cfg.Pipeline; m != nil {
+			m.Builds.Inc()
+		}
+	case stageSerialize:
+		if task.robject {
+			// Response-serialization offload: walk the shared-region
+			// object graph into wire bytes, in this worker's scratch.
+			view := abi.MakeView(
+				&abi.Region{Buf: task.rpayload, Base: task.rregion},
+				task.rregion+uint64(task.rroot), task.entry.out)
+			buf := ws.get()
+			out, err := deser.Serialize(view, buf)
 			if err != nil {
+				ws.put(buf) // recycle on the failure path too
 				task.err = err
 			} else {
-				task.root = uint32(rootAbs - task.res.RegionOff)
-				task.used = bump.Used()
-			}
-			d.foldStats(dd)
-			if m := d.cfg.Pipeline; m != nil {
-				m.Builds.Inc()
-			}
-		case stageSerialize:
-			if task.robject {
-				// Response-serialization offload: walk the shared-region
-				// object graph into wire bytes, in this worker's scratch.
-				view := abi.MakeView(
-					&abi.Region{Buf: task.rpayload, Base: task.rregion},
-					task.rregion+uint64(task.rroot), task.entry.out)
-				buf := ws.get()
-				out, err := deser.Serialize(view, buf)
-				if err != nil {
-					ws.put(buf) // recycle on the failure path too
-					task.err = err
-				} else {
-					task.out = out
-					task.outRelease = func() { ws.put(out) }
-				}
-			} else {
-				// Host-serialized protobuf: copy it out of the block.
-				out := append(ws.get(), task.rpayload...)
 				task.out = out
 				task.outRelease = func() { ws.put(out) }
 			}
-			if m := d.cfg.RespPipeline; m != nil {
-				m.Serializes.Inc()
-			}
+		} else {
+			// Host-serialized protobuf: copy it out of the block.
+			out := append(ws.get(), task.rpayload...)
+			task.out = out
+			task.outRelease = func() { ws.put(out) }
 		}
-		if task.tr != nil {
-			var stage string
-			switch task.stage {
-			case stageMeasure:
-				stage = trace.StageMeasure
-			case stageBuild:
-				stage = trace.StageBuild
-			case stageSerialize:
-				stage = trace.StageRespSerialize
-			}
-			task.tr.Span(stage, trace.ProcDPU, wid, start.UnixNano(), time.Now().UnixNano())
+		if m := d.cfg.RespPipeline; m != nil {
+			m.Serializes.Inc()
 		}
-		if task.stage == stageSerialize {
-			if m := d.cfg.RespPipeline; m != nil {
-				m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
-			}
-		} else if m := d.cfg.Pipeline; m != nil {
+	}
+	if task.tr != nil {
+		var stage string
+		switch task.stage {
+		case stageMeasure:
+			stage = trace.StageMeasure
+		case stageBuild:
+			stage = trace.StageBuild
+		case stageSerialize:
+			stage = trace.StageRespSerialize
+		}
+		task.tr.Span(stage, trace.ProcDPU, wid, start.UnixNano(), time.Now().UnixNano())
+	}
+	if task.stage == stageSerialize {
+		if m := d.cfg.RespPipeline; m != nil {
 			m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
 		}
-		d.compQ <- task
+	} else if m := d.cfg.Pipeline; m != nil {
+		m.BusyNS.Add(uint64(time.Since(start).Nanoseconds()))
 	}
 }
 
@@ -607,13 +623,61 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 	})
 }
 
+// maxRunLen caps a small-task run so claims still spread across workers.
+const maxRunLen = 8
+
+// queueWork hands one task to the worker pool. Small requests (payloads at
+// or under deser.SmallFastPathMax) are not sent immediately: consecutive
+// ones are chained through next and claimed by one worker in a single
+// channel op — the dispatch-side analogue of commit coalescing, amortizing
+// the per-message handoff that dominates small-message cost. Large and
+// serialize-stage tasks flush the pending run (preserving dispatch order)
+// and travel alone. The poller flushes the run each Progress pass
+// (flushRun), so batching never adds more than one pass of latency.
+// Poller-owned.
+func (d *DPUServer) queueWork(task *callTask) {
+	if task.stage == stageSerialize || len(task.data) > deser.SmallFastPathMax {
+		d.flushRun()
+		if m := d.cfg.Pipeline; m != nil && task.stage != stageSerialize {
+			m.Runs.Inc()
+			m.RunTasks.Add(1)
+		}
+		d.workQ <- task
+		return
+	}
+	if d.runHead == nil {
+		d.runHead, d.runTail = task, task
+	} else {
+		d.runTail.next = task
+		d.runTail = task
+	}
+	d.runLen++
+	if d.runLen >= maxRunLen {
+		d.flushRun()
+	}
+}
+
+// flushRun sends the accumulated small-task run as one worker claim.
+// Poller-owned.
+func (d *DPUServer) flushRun() {
+	if d.runHead == nil {
+		return
+	}
+	if m := d.cfg.Pipeline; m != nil {
+		m.Runs.Inc()
+		m.RunTasks.Add(uint64(d.runLen))
+	}
+	d.workQ <- d.runHead
+	d.runHead, d.runTail, d.runLen = nil, nil, 0
+}
+
 // dispatchResp enters one response into the serialization pipeline,
 // spilling to respPending when the in-flight bound is reached (keeping
 // workQ occupancy under the channel capacity). Poller-owned.
 func (d *DPUServer) dispatchResp(task *callTask) {
 	if d.respInflight < d.cfg.MaxInflight {
 		d.respInflight++
-		d.workQ <- task
+		d.queueWork(task)
 	} else {
 		d.respPending = append(d.respPending, task)
 	}
@@ -626,7 +690,7 @@ func (d *DPUServer) admitResponses() {
 		task := d.respPending[0]
 		d.respPending = d.respPending[0:copy(d.respPending, d.respPending[1:])]
 		d.respInflight++
-		d.workQ <- task
+		d.queueWork(task)
 	}
 }
 
@@ -706,6 +770,7 @@ func (d *DPUServer) progressPooled() (int, error) {
 	d.admit()
 	d.admitResponses()
 	d.reserveReady()
+	d.flushRun()
 	n, err := d.progressClient()
 	if err != nil {
 		return n, err
@@ -713,6 +778,7 @@ func (d *DPUServer) progressPooled() (int, error) {
 	drained += d.collectCompletions()
 	d.admitResponses()
 	d.reserveReady()
+	d.flushRun()
 	if drained == 0 && d.inflight+d.respInflight > 0 {
 		// Busy-poll cooperation: every outstanding task is on a worker
 		// goroutine and nothing completed this pass, so yield the poller's
@@ -739,66 +805,77 @@ func (d *DPUServer) progressPooled() (int, error) {
 
 // collectCompletions drains the worker completion queue: measured tasks
 // join the reserve reorder buffer; built tasks are committed (or cancelled
-// on failure). Never blocks.
+// on failure). Each claim may carry a run of tasks chained through next;
+// every task in the chain completes individually. Never blocks.
 func (d *DPUServer) collectCompletions() (drained int) {
 	for {
 		select {
-		case task := <-d.compQ:
-			drained++
-			switch task.stage {
-			case stageMeasure:
-				// Keep failed measures in the reorder buffer too: their
-				// admission slot must pass through nextRes so later
-				// reserves replay admission order exactly.
-				d.measuredQ[task.seq] = task
-			case stageBuild:
-				d.inflight--
-				if task.err != nil {
-					d.client.Cancel(task.res)
-					d.failTask(task, task.err)
-					continue
-				}
-				var cT0 int64
-				if task.tr != nil {
-					cT0 = trace.Now()
-				}
-				if err := d.client.Commit(task.res, task.root, task.used); err != nil {
-					d.failTask(task, err)
-					continue
-				}
-				task.tr.Span(trace.StageCommit, trace.ProcDPU, 0, cT0, trace.Now())
-				d.requests.Add(1)
-				d.measured.Add(uint64(len(task.data)))
-				if m := d.cfg.Pipeline; m != nil {
-					m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
-				}
-			case stageSerialize:
-				d.respInflight--
-				// The block payload is no longer referenced: let its ack go
-				// out (FIFO with any earlier held blocks).
-				d.client.ReleaseResponseBlock(task.hold)
-				task.hold = nil
-				if task.err != nil {
-					// The worker already recycled its scratch buffer.
-					d.failTask(task, task.err)
-					continue
-				}
-				if task.robject {
-					d.serialized.Add(uint64(len(task.out)))
-				}
-				if m := d.cfg.RespPipeline; m != nil {
-					m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
-				}
-				d.finish(task, callResult{
-					status:  task.rstatus,
-					err:     task.rerr,
-					resp:    task.out,
-					release: task.outRelease,
-				})
+		case head := <-d.compQ:
+			for task := head; task != nil; {
+				next := task.next
+				task.next = nil
+				drained++
+				d.completeTask(task)
+				task = next
 			}
 		default:
 			return
 		}
+	}
+}
+
+// completeTask applies one worker-completed task to poller state.
+func (d *DPUServer) completeTask(task *callTask) {
+	switch task.stage {
+	case stageMeasure:
+		// Keep failed measures in the reorder buffer too: their
+		// admission slot must pass through nextRes so later
+		// reserves replay admission order exactly.
+		d.measuredQ[task.seq] = task
+	case stageBuild:
+		d.inflight--
+		if task.err != nil {
+			d.client.Cancel(task.res)
+			d.failTask(task, task.err)
+			return
+		}
+		var cT0 int64
+		if task.tr != nil {
+			cT0 = trace.Now()
+		}
+		if err := d.client.Commit(task.res, task.root, task.used); err != nil {
+			d.failTask(task, err)
+			return
+		}
+		task.tr.Span(trace.StageCommit, trace.ProcDPU, 0, cT0, trace.Now())
+		d.requests.Add(1)
+		d.measured.Add(uint64(len(task.data)))
+		if m := d.cfg.Pipeline; m != nil {
+			m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
+		}
+	case stageSerialize:
+		d.respInflight--
+		// The block payload is no longer referenced: let its ack go
+		// out (FIFO with any earlier held blocks).
+		d.client.ReleaseResponseBlock(task.hold)
+		task.hold = nil
+		if task.err != nil {
+			// The worker already recycled its scratch buffer.
+			d.failTask(task, task.err)
+			return
+		}
+		if task.robject {
+			d.serialized.Add(uint64(len(task.out)))
+		}
+		if m := d.cfg.RespPipeline; m != nil {
+			m.CommitLatencyUS.Observe(float64(time.Now().UnixNano()-task.reserved) / 1e3)
+		}
+		d.finish(task, callResult{
+			status:  task.rstatus,
+			err:     task.rerr,
+			resp:    task.out,
+			release: task.outRelease,
+		})
 	}
 }
 
@@ -843,7 +920,7 @@ func (d *DPUServer) reserveReady() {
 		task.res = res
 		task.stage = stageBuild
 		task.reserved = time.Now().UnixNano()
-		d.workQ <- task
+		d.queueWork(task)
 	}
 }
 
@@ -875,7 +952,7 @@ func (d *DPUServer) admitTask(task *callTask) {
 		return
 	}
 	task.stage = stageMeasure
-	d.workQ <- task
+	d.queueWork(task)
 }
 
 func (d *DPUServer) progressClient() (int, error) {
@@ -943,27 +1020,52 @@ func (d *DPUServer) stopPool(err error) {
 	if d.workQ == nil {
 		return
 	}
+	// Fail tasks stranded in an unflushed dispatch run first (they were
+	// never handed to a worker).
+	for task := d.runHead; task != nil; {
+		next := task.next
+		task.next = nil
+		switch task.stage {
+		case stageSerialize:
+			d.respInflight--
+			d.client.ReleaseResponseBlock(task.hold)
+			task.hold = nil
+		case stageBuild:
+			d.inflight--
+			d.client.Cancel(task.res)
+		default:
+			d.inflight--
+		}
+		d.failTask(task, err)
+		task = next
+	}
+	d.runHead, d.runTail, d.runLen = nil, nil, 0
 	close(d.workQ)
 	d.wg.Wait()
 	d.workQ = nil
 	for {
 		select {
-		case task := <-d.compQ:
-			switch task.stage {
-			case stageBuild:
-				d.inflight--
-			case stageSerialize:
-				d.respInflight--
-				d.client.ReleaseResponseBlock(task.hold)
-				task.hold = nil
-				if task.outRelease != nil {
-					// Recycle the worker's scratch before failing the task.
-					task.outRelease()
-					task.outRelease = nil
-					task.out = nil
+		case head := <-d.compQ:
+			for task := head; task != nil; {
+				next := task.next
+				task.next = nil
+				switch task.stage {
+				case stageBuild:
+					d.inflight--
+				case stageSerialize:
+					d.respInflight--
+					d.client.ReleaseResponseBlock(task.hold)
+					task.hold = nil
+					if task.outRelease != nil {
+						// Recycle the worker's scratch before failing the task.
+						task.outRelease()
+						task.outRelease = nil
+						task.out = nil
+					}
 				}
+				d.failTask(task, err)
+				task = next
 			}
-			d.failTask(task, err)
 		default:
 			for seq, task := range d.measuredQ {
 				delete(d.measuredQ, seq)

@@ -121,6 +121,31 @@ type block struct {
 	seq      uint32          // assigned at send
 	ids      []uint16
 	sealedAt int64 // when the block entered the send queue (deadline reaping)
+	firstAt  int64 // when the first message was reserved (commit coalescing)
+}
+
+// flushReason classifies why a block sealed; each maps to one Counters
+// field so the batching experiments can see where doorbells came from.
+type flushReason uint8
+
+const (
+	flushExplicit flushReason = iota // Flush/Drain, or every-pass flush at CommitBatch <= 1
+	flushFull                        // block hit BlockSize (or an oversized message)
+	flushBatch                       // batch reached CommitBatch messages
+	flushTimer                       // CommitFlushTimeout expired on a partial batch
+)
+
+func (ct *Counters) countFlush(reason flushReason) {
+	switch reason {
+	case flushFull:
+		ct.FlushFull++
+	case flushBatch:
+		ct.FlushBatch++
+	case flushTimer:
+		ct.FlushTimer++
+	default:
+		ct.FlushExplicit++
+	}
 }
 
 // ClientConn is the RPC-over-RDMA client endpoint — the role the DPU plays
@@ -379,7 +404,7 @@ func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response))
 		return nil, fmt.Errorf("%w: need %d bytes", ErrTooLargeForBuffer, slot)
 	}
 	if c.cur != nil && c.cur.used+slot > len(c.cur.buf) {
-		c.seal()
+		c.seal(flushFull)
 	}
 	if c.cur == nil {
 		b, err := c.newBlock(slot)
@@ -391,6 +416,10 @@ func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response))
 		c.cur = b
 	}
 	b := c.cur
+	if c.cfg.CommitBatch > 1 && len(b.conts) == 0 {
+		// First message of a batch: start its CommitFlushTimeout clock.
+		b.firstAt = nowNS()
+	}
 	hdrPos := b.used
 	b.used = hdrPos + HeaderSize + alignUp(size)
 	b.pending++
@@ -448,7 +477,7 @@ func (c *ClientConn) Commit(r *Reservation, root uint32, used int) error {
 	r.done = true
 	b.pending--
 	if b == c.cur && b.pending == 0 && b.used >= c.cfg.BlockSize {
-		c.seal()
+		c.seal(flushFull)
 	}
 	return nil
 }
@@ -487,18 +516,58 @@ func (c *ClientConn) Cancel(r *Reservation) {
 }
 
 // seal moves the current block to the send queue.
-func (c *ClientConn) seal() {
+func (c *ClientConn) seal(reason flushReason) {
 	if c.cur == nil || len(c.cur.conts) == 0 {
 		return
 	}
 	if c.cur.used < c.cfg.BlockSize {
 		c.Counters.PartialFlushes++
 	}
+	c.Counters.countFlush(reason)
 	if c.cfg.RequestTimeout > 0 {
 		c.cur.sealedAt = nowNS()
 	}
 	c.sendQ = append(c.sendQ, c.cur)
 	c.cur = nil
+}
+
+// maybeSeal applies the commit-coalescing policy (Config.CommitBatch) to
+// the current partial block: seal — one doorbell for the whole run — once
+// it holds CommitBatch messages, or once its oldest message has waited out
+// CommitFlushTimeout. CommitBatch <= 1 seals every pass, the pre-batching
+// behavior, so low-load p99 is unchanged by default.
+func (c *ClientConn) maybeSeal() {
+	if c.cur == nil || len(c.cur.conts) == 0 {
+		return
+	}
+	if c.cfg.CommitBatch <= 1 {
+		c.seal(flushExplicit)
+		return
+	}
+	if len(c.cur.conts) >= c.cfg.CommitBatch {
+		c.seal(flushBatch)
+		return
+	}
+	if nowNS()-c.cur.firstAt >= c.cfg.CommitFlushTimeout.Nanoseconds() {
+		c.seal(flushTimer)
+	}
+}
+
+// waitBudget bounds the idle blocking wait so a partially-filled commit
+// batch seals near its CommitFlushTimeout deadline instead of sleeping out
+// the full WaitTimeout. May return <= 0, which degrades the wait to a
+// non-blocking poll.
+func (c *ClientConn) waitBudget() time.Duration {
+	w := c.cfg.WaitTimeout
+	if c.cfg.CommitBatch > 1 && !c.holdPartial &&
+		c.cur != nil && len(c.cur.conts) > 0 {
+		remain := time.Duration(c.cur.firstAt +
+			c.cfg.CommitFlushTimeout.Nanoseconds() - nowNS())
+		if remain < w {
+			w = remain
+		}
+	}
+	return w
 }
 
 // trySend transmits queued blocks while credits and request IDs allow.
@@ -819,7 +888,7 @@ func (c *ClientConn) Progress() (int, error) {
 	// the partial-block flush until their build stages drain (holdPartial).
 	sentBefore := c.Counters.BlocksSent
 	if !c.holdPartial {
-		c.seal()
+		c.maybeSeal()
 	}
 	c.trySend()
 	if c.broken != nil {
@@ -828,8 +897,8 @@ func (c *ClientConn) Progress() (int, error) {
 	n := c.recvCQ.Poll(c.cqes)
 	if n == 0 && !c.cfg.BusyPoll && c.Counters.BlocksSent == sentBefore {
 		// Idle: sleep on the completion channel (the poll() path of
-		// Sec. III-C).
-		n = c.recvCQ.Wait(c.cqes, c.cfg.WaitTimeout)
+		// Sec. III-C), but never past a pending commit-batch deadline.
+		n = c.recvCQ.Wait(c.cqes, c.waitBudget())
 	}
 	events, err := c.processRecvCQEs(c.cqes[:n])
 	if err != nil {
@@ -845,7 +914,7 @@ func (c *ClientConn) Progress() (int, error) {
 	// Flush again: continuations may have enqueued follow-up requests, and
 	// acknowledgments may have freed credits for queued blocks.
 	if !c.holdPartial {
-		c.seal()
+		c.maybeSeal()
 	}
 	c.trySend()
 	// Low-workload path: if response-block acknowledgments are pending but
@@ -1037,7 +1106,7 @@ func (c *ClientConn) Flush() error {
 	if c.broken != nil {
 		return c.broken
 	}
-	c.seal()
+	c.seal(flushExplicit)
 	c.trySend()
 	return c.broken
 }
@@ -1062,6 +1131,11 @@ func (c *ClientConn) Drain(timeout time.Duration) error {
 		}
 		if time.Now().After(deadline) {
 			return ErrDrainTimeout
+		}
+		// Draining means no more traffic is coming: force partial batches
+		// out now instead of waiting out CommitFlushTimeout.
+		if !c.holdPartial {
+			c.seal(flushExplicit)
 		}
 		if _, err := c.Progress(); err != nil {
 			c.Abort(StatusUnavailable)

@@ -93,6 +93,7 @@ type respBlock struct {
 	pending int      // reserved slots whose payload is still being built
 	ids     []uint16 // request IDs answered, in slot order (for the ack protocol)
 	msgs    uint16
+	firstAt int64 // when the first slot was reserved (commit coalescing)
 }
 
 // ServerConn is the host-side endpoint of one connection.
@@ -259,7 +260,7 @@ func (s *ServerConn) ReserveResponse(id uint16, size int) (*RespReservation, err
 		return nil, fmt.Errorf("%w: response needs %d bytes", ErrTooLargeForBuffer, slot)
 	}
 	if s.cur != nil && s.cur.used+slot > len(s.cur.buf) {
-		s.sealResp()
+		s.sealResp(flushFull)
 	}
 	if s.cur == nil {
 		b, err := s.newRespBlock(slot)
@@ -272,6 +273,10 @@ func (s *ServerConn) ReserveResponse(id uint16, size int) (*RespReservation, err
 		s.cur = b
 	}
 	b := s.cur
+	if s.cfg.CommitBatch > 1 && b.msgs == 0 {
+		// First response of a batch: start its CommitFlushTimeout clock.
+		b.firstAt = nowNS()
+	}
 	hdrPos := b.used
 	b.used = hdrPos + HeaderSize + alignUp(size)
 	r := &RespReservation{
@@ -353,7 +358,7 @@ func (s *ServerConn) CommitResponse(r *RespReservation, status uint16, errFlag, 
 		act.Span(trace.StageRespCommit, trace.ProcHost, 0, actT0, nowNS())
 	}
 	if b == s.cur && b.pending == 0 && b.used >= s.cfg.BlockSize {
-		s.sealResp()
+		s.sealResp(flushFull)
 	}
 	return nil
 }
@@ -410,25 +415,42 @@ func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
 	return s.CommitResponse(r, spec.Status, spec.Err, spec.Object, root, used)
 }
 
-func (s *ServerConn) sealResp() {
+func (s *ServerConn) sealResp(reason flushReason) {
 	if s.cur == nil || s.cur.msgs == 0 {
 		return
 	}
 	if s.cur.used < s.cfg.BlockSize {
 		s.Counters.PartialFlushes++
 	}
+	s.Counters.countFlush(reason)
 	s.sendQ = append(s.sendQ, s.cur)
 	s.cur = nil
 }
 
 // flushPartial seals the partial current block unless reserved slots are
 // still building — the response-direction analogue of the client's
-// holdPartial batching.
+// holdPartial batching. With CommitBatch > 1 it applies the coalescing
+// policy instead of sealing every pass: the block waits for CommitBatch
+// responses or its CommitFlushTimeout, whichever comes first.
 func (s *ServerConn) flushPartial() {
-	if s.cur != nil && s.cur.pending > 0 {
+	if s.cur == nil || s.cur.msgs == 0 {
 		return
 	}
-	s.sealResp()
+	if s.cur.pending > 0 {
+		return
+	}
+	if s.cfg.CommitBatch > 1 {
+		if int(s.cur.msgs) >= s.cfg.CommitBatch {
+			s.sealResp(flushBatch)
+			return
+		}
+		if nowNS()-s.cur.firstAt < s.cfg.CommitFlushTimeout.Nanoseconds() {
+			return
+		}
+		s.sealResp(flushTimer)
+		return
+	}
+	s.sealResp(flushExplicit)
 }
 
 func (s *ServerConn) trySendResponses() {
@@ -673,7 +695,7 @@ func (sp *ServerPoller) Progress() (int, error) {
 	events := 0
 	n := sp.recvCQ.Poll(sp.cqes)
 	if n == 0 && !sp.cfg.BusyPoll && !sp.duplexBusy() {
-		n = sp.recvCQ.Wait(sp.cqes, sp.cfg.WaitTimeout)
+		n = sp.recvCQ.Wait(sp.cqes, sp.waitBudget())
 	}
 	var firstErr error
 	for _, e := range sp.cqes[:n] {
@@ -750,6 +772,30 @@ func (sp *ServerPoller) ResponsePending() int {
 	return n
 }
 
+// waitBudget bounds the idle blocking wait by the tightest commit-batch
+// deadline across connections, so partially-filled response batches seal
+// near their CommitFlushTimeout instead of sleeping out the full
+// WaitTimeout. May return <= 0, degrading the wait to a non-blocking poll.
+func (sp *ServerPoller) waitBudget() time.Duration {
+	w := sp.cfg.WaitTimeout
+	now := int64(0)
+	for _, conn := range sp.conns {
+		if conn.cfg.CommitBatch <= 1 || conn.cur == nil ||
+			conn.cur.msgs == 0 || conn.cur.pending > 0 {
+			continue
+		}
+		if now == 0 {
+			now = nowNS()
+		}
+		remain := time.Duration(conn.cur.firstAt +
+			conn.cfg.CommitFlushTimeout.Nanoseconds() - now)
+		if remain < w {
+			w = remain
+		}
+	}
+	return w
+}
+
 // duplexBusy reports whether any connection has duplex work in flight, in
 // which case the poller must keep spinning to commit completions instead of
 // blocking on the receive CQ.
@@ -787,6 +833,13 @@ func (sp *ServerPoller) Drain(timeout time.Duration) error {
 		}
 		if time.Now().After(deadline) {
 			return ErrDrainTimeout
+		}
+		// Draining: force partial batches out instead of waiting out their
+		// CommitFlushTimeout (pending slots still hold their block).
+		for _, conn := range sp.conns {
+			if conn.broken == nil && (conn.cur == nil || conn.cur.pending == 0) {
+				conn.sealResp(flushExplicit)
+			}
 		}
 		if _, err := sp.Progress(); err != nil && !errors.Is(err, ErrConnBroken) {
 			return err

@@ -33,6 +33,14 @@ type StackOptions struct {
 	// handlers that must not stall the datapath. Handlers must then be
 	// safe for concurrent invocation.
 	BackgroundWorkers int
+	// CommitBatch > 1 enables commit/doorbell coalescing on both
+	// directions of every connection: blocks seal after accumulating this
+	// many messages (or CommitFlushTimeout elapses), so one doorbell
+	// carries a whole run. 0 or 1 keeps flush-every-pass behavior.
+	CommitBatch int
+	// CommitFlushTimeout is the coalescing latency cap paired with
+	// CommitBatch (0 = the 50µs default), bounding p99 at low load.
+	CommitFlushTimeout time.Duration
 	// HostPollers is the number of host-side poller goroutines;
 	// connections are distributed round-robin across them (Table I runs 8
 	// host threads). Default 1; capped at Connections.
@@ -114,6 +122,8 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		ServerCfg:                    opts.ServerConfig,
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
 		BackgroundWorkers:            opts.BackgroundWorkers,
+		CommitBatch:                  opts.CommitBatch,
+		CommitFlushTimeout:           opts.CommitFlushTimeout,
 		HostPollers:                  opts.HostPollers,
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
