@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test fmt-check race cover bench bench-check bench-all experiments chaos fuzz clean
+.PHONY: all build test fmt-check race cover bench bench-payload bench-check bench-all experiments chaos fuzz clean
 
 all: build test
 
@@ -39,21 +39,32 @@ cover:
 # interpretive decode, varint/tag micro-benchmarks) parsed into
 # BENCH_deser.json, plus the commit-coalescing echo round trip parsed into
 # BENCH_batch.json (ns/op, B/op, allocs/op). Both files are checked in.
+# The Payload* scatter-gather benchmarks have their own snapshot (see
+# bench-payload below), so the deser selector names its families explicitly.
+DESER_BENCH = ^Benchmark(Deserialize|Serialize|Sized|Planned|Varint|Uvarint|Tag)
 bench:
-	go test -bench . -benchmem -count 1 -run '^$$' ./internal/deser ./internal/wire \
+	go test -bench '$(DESER_BENCH)' -benchmem -count 1 -run '^$$' ./internal/deser ./internal/wire \
 		| go run ./cmd/benchjson -out BENCH_deser.json
 	go test -bench 'EchoBatch|EchoRoundTrip' -benchmem -count 1 -run '^$$' ./internal/rpcrdma \
 		| go run ./cmd/benchjson -out BENCH_batch.json
+
+# Scatter-gather payload snapshot: copy-fill vs SG-fill vs segment placement
+# at 4KiB..1MiB payloads, parsed into BENCH_payload.json (checked in).
+bench-payload:
+	go test -bench 'Payload' -benchmem -count 1 -run '^$$' ./internal/deser \
+		| go run ./cmd/benchjson -out BENCH_payload.json
 
 # Compare a fresh benchmark run against the checked-in snapshots; fails on
 # >10% ns/op regressions. BENCHTIME shortens the pass (e.g. make bench-check
 # BENCHTIME=20000x) at the price of noisier numbers.
 BENCHTIME ?= 1s
 bench-check:
-	go test -bench . -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/deser ./internal/wire \
+	go test -bench '$(DESER_BENCH)' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/deser ./internal/wire \
 		| go run ./cmd/benchjson -compare BENCH_deser.json
 	go test -bench 'EchoBatch|EchoRoundTrip' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/rpcrdma \
 		| go run ./cmd/benchjson -compare BENCH_batch.json
+	go test -bench 'Payload' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/deser \
+		| go run ./cmd/benchjson -compare BENCH_payload.json
 
 # Full benchmark sweep across every package (nothing written).
 bench-all:

@@ -287,7 +287,7 @@ func BenchmarkDPUWorkerScaling(b *testing.B) {
 	method := xrpc.FullMethodName("benchpb.Bench", "CallChars")
 	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
 	impls := map[string]offload.Impl{
-		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty},
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty, "EchoBlob": empty},
 	}
 
 	newDeployment := func(workers int) *offload.Deployment {
@@ -397,7 +397,7 @@ func BenchmarkResponseSerializationScaling(b *testing.B) {
 	empty := func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 }
 	impls := map[string]offload.Impl{
 		"benchpb.Bench": {
-			"CallSmall": empty, "CallInts": empty, "CallChars": empty,
+			"CallSmall": empty, "CallInts": empty, "CallChars": empty, "EchoBlob": empty,
 			"Echo": func(req abi.View) (*protomsg.Message, uint16) {
 				out := protomsg.New(env.CharArray)
 				out.SetString("data", string(req.StrName("data")))

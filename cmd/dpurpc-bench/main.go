@@ -9,7 +9,8 @@
 //	dpurpc-bench -experiment fig8a -requests 50000
 //	dpurpc-bench -experiment respscale -host-workers 8 -connections 4
 //	dpurpc-bench -experiment batchscale -commit-batch 32
-//	dpurpc-bench -experiment anatomy -requests 4000
+//	dpurpc-bench -experiment payloadscale -payload-size 4194304 -sg-min 1024
+//	dpurpc-bench -experiment anatomy -requests 4000 -sg-min 1024
 //	dpurpc-bench -experiment all -debug-addr localhost:9090   # live /metrics, /trace
 package main
 
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, anatomy, chaos, deserspeed")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -44,6 +45,10 @@ func main() {
 		"commit/doorbell coalescing target on both sides of every connection (1 = flush every pass); >1 also sets the top of the batchscale sweep")
 	commitFlushUS := flag.Int("commit-flush-us", 0,
 		"coalescing flush timeout in microseconds (0 = the 50us default when batching)")
+	payloadSize := flag.Int("payload-size", 0,
+		"top of the payloadscale payload sweep in bytes (0 = the 1KiB..4MiB default grid)")
+	sgMin := flag.Int("sg-min", 0,
+		"scatter-gather payload threshold in bytes; >0 enables SG framing for every experiment and sets the payloadscale on-legs (payloadscale defaults its on-legs to 1KiB)")
 	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, respscale, and anatomy)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve live telemetry on this address while the experiments run (/metrics Prometheus text, /trace Chrome trace JSON for Perfetto, /anatomy, /healthz); empty disables")
@@ -58,6 +63,7 @@ func main() {
 	opts.HostWorkers = *hostWorkers
 	opts.CommitBatch = *commitBatch
 	opts.CommitFlushTimeout = time.Duration(*commitFlushUS) * time.Microsecond
+	opts.SGPayloadMin = *sgMin
 	csv := *format == "csv"
 	jsonOut := *format == "json"
 
@@ -168,6 +174,23 @@ func main() {
 		}
 		return printBatchScale(rows)
 	})
+	run("payloadscale", func() error {
+		sizes := harness.DefaultPayloadSizes()
+		if *payloadSize > 0 {
+			sizes = quadruplingSizes(*payloadSize)
+		}
+		rows, err := harness.PayloadScale(opts, sizes)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printPayloadScaleJSON(rows)
+		}
+		if csv {
+			return printPayloadScaleCSV(rows)
+		}
+		return printPayloadScale(rows)
+	})
 	run("anatomy", func() error {
 		rep, err := harness.RunAnatomy(opts)
 		if err != nil {
@@ -259,6 +282,67 @@ func printFig7JSON(opts harness.Options, wallIters int) error {
 	if err != nil {
 		return err
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// quadruplingSizes builds the payload sweep 1 KiB, 4 KiB, 16 KiB, ...
+// capped at max.
+func quadruplingSizes(max int) []int {
+	if max < 1<<10 {
+		max = 1 << 10
+	}
+	var out []int
+	for s := 1 << 10; s < max; s *= 4 {
+		out = append(out, s)
+	}
+	return append(out, max)
+}
+
+func printPayloadScale(rows []harness.PayloadScaleRow) error {
+	fmt.Println("== Scatter-gather payload sweep (EchoBlob workload, bytes payloads) ==")
+	fmt.Println("   (sg_min=0 copies every payload byte through the object arena; sg_min>0")
+	fmt.Println("    places payloads >= sg_min once into descriptor-framed segments and the")
+	fmt.Println("    object references them by offset — copied B/req collapses, goodput is")
+	fmt.Println("    the deserializer-limited payload rate under the DPU cost model)")
+	w := tw()
+	fmt.Fprintln(w, "payload\tworkers\tsg min\tRPS\tcopied B/req\tref B/req\tsg msgs/req\tdeser MB/s\twall req/s (this machine)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3g\t%.0f\t%.0f\t%.2f\t%.0f\t%.3g\n",
+			fmtBytes(r.PayloadBytes), r.DPUWorkers, r.SGPayloadMin, r.Result.RPS,
+			r.CopiedBytesPerReq, r.RefBytesPerReq, r.SGMsgsPerReq,
+			r.DeserGoodputMBps, r.WallRPS)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// fmtBytes renders a payload size compactly (1 KiB, 4 MiB, ...).
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%d KiB", n>>10)
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func printPayloadScaleCSV(rows []harness.PayloadScaleRow) error {
+	fmt.Println("payload_bytes,dpu_workers,sg_min,requests,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,copied_bytes_per_req,ref_bytes_per_req,sg_msgs_per_req,deser_goodput_mbps,wall_rps")
+	for _, r := range rows {
+		fmt.Printf("%d,%d,%d,%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.1f,%.3f,%.1f,%.0f\n",
+			r.PayloadBytes, r.DPUWorkers, r.SGPayloadMin, r.Requests,
+			r.Result.RPS, r.Result.BandwidthGbps, r.Result.HostCores,
+			r.Result.DPUCores, r.Result.Bottleneck, r.CopiedBytesPerReq,
+			r.RefBytesPerReq, r.SGMsgsPerReq, r.DeserGoodputMBps, r.WallRPS)
+	}
+	return nil
+}
+
+func printPayloadScaleJSON(rows []harness.PayloadScaleRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
@@ -365,9 +449,11 @@ func printAnatomy(rep *harness.AnatomyReport) error {
 		w.Flush()
 		fmt.Printf("   stage-sum mean %.2f us vs e2e mean %.2f us\n",
 			m.StageSumMeanUS, m.E2E.MeanUS)
-		fmt.Printf("   doorbells/req %.2f (sealed: full %d, batch %d, timer %d, explicit %d; commit-batch %d)\n\n",
+		fmt.Printf("   doorbells/req %.2f (sealed: full %d, batch %d, timer %d, explicit %d; commit-batch %d)\n",
 			m.DoorbellsPerReq, m.FlushFull, m.FlushBatch, m.FlushTimer,
 			m.FlushExplicit, m.CommitBatch)
+		fmt.Printf("   payload bytes/req: copied %.0f, referenced %.0f (sg-min %d)\n\n",
+			m.CopiedBytesPerReq, m.RefBytesPerReq, m.SGPayloadMin)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
@@ -36,19 +37,22 @@ func main() {
 	serve := flag.Bool("serve", false, "run a server instead of generating load")
 	mode := flag.String("mode", "offload", "server mode: offload | baseline")
 	addr := flag.String("addr", "127.0.0.1:7788", "xRPC address")
-	scenario := flag.String("scenario", "small", "workload: small | ints | chars")
+	scenario := flag.String("scenario", "small", "workload: small | ints | chars | blob (EchoBlob, sized by -payload-size)")
 	n := flag.Int("n", 100000, "requests to send")
 	pipeline := flag.Int("pipeline", 256, "in-flight requests per connection")
 	conns := flag.Int("conns", 1, "client connections")
+	payloadSize := flag.Int("payload-size", 64<<10, "blob scenario payload bytes")
+	sgMin := flag.Int("sg-min", 0,
+		"scatter-gather payload threshold in bytes for the offload server (0 disables SG framing)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve live telemetry on this address while serving (/metrics, /trace, /anatomy, /healthz); empty disables")
 	flag.Parse()
 
 	if *serve {
-		runServer(*mode, *addr, *debugAddr)
+		runServer(*mode, *addr, *debugAddr, *sgMin)
 		return
 	}
-	runClient(*addr, *scenario, *n, *pipeline, *conns)
+	runClient(*addr, *scenario, *n, *pipeline, *conns, *payloadSize)
 }
 
 func benchSchema() *dpurpc.Schema {
@@ -62,14 +66,15 @@ func benchSchema() *dpurpc.Schema {
 func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
 	empty := func(req dpurpc.View) (*dpurpc.Message, uint16) { return nil, 0 }
 	return map[string]dpurpc.Impl{
-		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty},
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty, "EchoBlob": empty},
 	}
 }
 
-func runServer(mode, addr, debugAddr string) {
+func runServer(mode, addr, debugAddr string, sgMin int) {
 	schema := benchSchema()
 	var opts dpurpc.StackOptions
 	var tracer *trace.Tracer
+	opts.SGPayloadMin = sgMin
 	if debugAddr != "" {
 		opts.Registry = metrics.NewRegistry()
 		if mode == "offload" {
@@ -93,7 +98,26 @@ func runServer(mode, addr, debugAddr string) {
 	}
 	defer stack.Close()
 	if debugAddr != "" {
-		dbg, err := trace.ListenDebug(debugAddr, trace.NewDebugMux(opts.Registry, tracer, nil))
+		// /anatomy footer: the live copied-vs-referenced payload split of the
+		// deserialization stage (the byte movement SG framing removes).
+		var anatomyExtra func(w io.Writer)
+		if d := stack.Deployment(); d != nil {
+			anatomyExtra = func(w io.Writer) {
+				var copied, reffed, reqs uint64
+				for _, dpuSrv := range d.DPUs {
+					st := dpuSrv.Stats()
+					copied += st.Deser.CopyBytes
+					reffed += st.Deser.RefBytes
+					reqs += st.Requests
+				}
+				if reqs == 0 {
+					return
+				}
+				fmt.Fprintf(w, "payload bytes/req (sg_min=%d): copied=%.1f referenced=%.1f\n",
+					sgMin, float64(copied)/float64(reqs), float64(reffed)/float64(reqs))
+			}
+		}
+		dbg, err := trace.ListenDebug(debugAddr, trace.NewDebugMuxWith(opts.Registry, tracer, nil, anatomyExtra))
 		if err != nil {
 			fatal(err)
 		}
@@ -111,23 +135,27 @@ func runServer(mode, addr, debugAddr string) {
 	fmt.Println("xrpcload: shutting down")
 }
 
-func scenarioOf(name string) workload.Scenario {
-	switch name {
-	case "small":
-		return workload.ScenarioSmall
-	case "ints":
-		return workload.ScenarioInts
-	case "chars":
-		return workload.ScenarioChars
-	}
-	fatal(fmt.Errorf("unknown scenario %q", name))
-	return 0
-}
-
-func runClient(addr, scenarioName string, n, pipeline, conns int) {
+func runClient(addr, scenarioName string, n, pipeline, conns, payloadSize int) {
 	env := workload.NewEnv()
-	s := scenarioOf(scenarioName)
-	method := xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[s.Method()].Name)
+	var methodID uint16
+	var gen func(rng *mt19937.Source) []byte
+	switch scenarioName {
+	case "small":
+		methodID = workload.MethodSmall
+		gen = func(rng *mt19937.Source) []byte { return env.GenSmall(rng).Marshal(nil) }
+	case "ints":
+		methodID = workload.MethodInts
+		gen = func(rng *mt19937.Source) []byte { return env.GenIntsFig8(rng).Marshal(nil) }
+	case "chars":
+		methodID = workload.MethodChars
+		gen = func(rng *mt19937.Source) []byte { return env.GenChars(rng, workload.CharsCount).Marshal(nil) }
+	case "blob":
+		methodID = workload.MethodEchoBlob
+		gen = func(rng *mt19937.Source) []byte { return env.GenBlob(rng, payloadSize).Marshal(nil) }
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", scenarioName))
+	}
+	method := xrpc.FullMethodName("benchpb.Bench", env.Service.Methods[methodID].Name)
 
 	// Pre-generate distinct payloads per connection.
 	perConn := n / conns
@@ -141,7 +169,7 @@ func runClient(addr, scenarioName string, n, pipeline, conns int) {
 			rng := mt19937.New(uint32(mt19937.DefaultSeed + c))
 			payloads := make([][]byte, 32)
 			for i := range payloads {
-				payloads[i] = env.Gen(s, rng).Marshal(nil)
+				payloads[i] = gen(rng)
 			}
 			client, err := xrpc.Dial(addr)
 			if err != nil {

@@ -38,7 +38,7 @@ func main() {
 	opts := dpurpc.StackOptions{}
 	opts.ClientConfig.LatencyObserver = func(ns float64) { rdmaLatency.Observe(ns / 1e3) }
 	stack, err := dpurpc.NewOffloadedStack(schema, map[string]dpurpc.Impl{
-		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty},
+		"benchpb.Bench": {"CallSmall": empty, "CallInts": empty, "CallChars": empty, "Echo": empty, "EchoBlob": empty},
 	}, opts)
 	if err != nil {
 		log.Fatal(err)

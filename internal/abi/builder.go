@@ -153,6 +153,24 @@ func (o Obj) SetStr(name string, data []byte) error {
 	return nil
 }
 
+// SetStrRef writes a string/bytes field as a reference to bytes that live
+// elsewhere in the region (e.g. a scatter-gather payload segment placed by
+// the caller), without copying anything into the arena. The caller owns
+// placing size bytes at region offset ref.
+func (o Obj) SetStrRef(name string, ref uint64, size int) error {
+	fl, err := o.fieldByName(name)
+	if err != nil {
+		return err
+	}
+	if fl.Repeated || (fl.Kind != protodesc.KindString && fl.Kind != protodesc.KindBytes) {
+		return fmt.Errorf("%w: %s is not a singular string/bytes field", ErrWrongKind, name)
+	}
+	rec := o.buf[fl.Offset : fl.Offset+StringRecordSize]
+	PutStringRef(rec, ref, size)
+	o.markPresent(fl.Desc.Index)
+	return nil
+}
+
 // SetMsg links a previously built child object into a message field. The
 // child must be of the field's type and from the same builder.
 func (o Obj) SetMsg(name string, child Obj) error {

@@ -1,0 +1,146 @@
+package arena
+
+import (
+	"errors"
+	"testing"
+)
+
+// The large-segment spill region: a spill-backed ring routes allocations
+// bigger than the ring itself into a separate first-fit region where frees
+// may come in any order — the escape hatch for jumbo scatter-gather
+// payloads that would otherwise pin the whole ring behind one block.
+
+func TestRingSpillRoutesOversized(t *testing.T) {
+	r := NewRingWithSpill(1024, 8192)
+	small, err := r.Alloc(256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatalf("oversized alloc: %v", err)
+	}
+	if big < r.Size() {
+		t.Fatalf("oversized offset %d inside the ring (size %d)", big, r.Size())
+	}
+	if r.SpillLive() != 1 {
+		t.Fatalf("SpillLive = %d, want 1", r.SpillLive())
+	}
+	// The spill allocation must not consume ring capacity.
+	if got := r.InUse(); got != 256 {
+		t.Fatalf("ring InUse = %d after spill alloc, want 256", got)
+	}
+	// Spill frees are order-free: release the jumbo before the older ring
+	// block without tripping the FIFO rule.
+	if err := r.Free(big); err != nil {
+		t.Fatalf("spill free: %v", err)
+	}
+	if err := r.Free(small); err != nil {
+		t.Fatalf("ring free: %v", err)
+	}
+}
+
+func TestRingSpillOutOfOrderFree(t *testing.T) {
+	r := NewRingWithSpill(1024, 16384)
+	a, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(b); err != nil {
+		t.Fatalf("newest-first spill free: %v", err)
+	}
+	if err := r.Free(a); err != nil {
+		t.Fatalf("second spill free: %v", err)
+	}
+	if r.SpillLive() != 0 {
+		t.Fatalf("SpillLive = %d after both frees", r.SpillLive())
+	}
+}
+
+func TestRingSpillExhaustedTyped(t *testing.T) {
+	r := NewRingWithSpill(1024, 8192)
+	if _, err := r.Alloc(4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Alloc(4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Alloc(4096, 8)
+	if !errors.Is(err, ErrLargeSegmentExhausted) {
+		t.Fatalf("err = %v, want ErrLargeSegmentExhausted", err)
+	}
+	// Backpressure paths match on the general OOM sentinel too.
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v does not match ErrOutOfMemory", err)
+	}
+	_, _, failures := r.Stats()
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1", failures)
+	}
+}
+
+func TestRingSpillReusesFreedSpan(t *testing.T) {
+	r := NewRingWithSpill(1024, 8192)
+	a, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Alloc(2048, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatalf("re-alloc after free: %v", err)
+	}
+	if c != a {
+		t.Fatalf("first-fit did not reuse freed span: got %d, want %d", c, a)
+	}
+}
+
+func TestRingSpillInvalidFree(t *testing.T) {
+	r := NewRingWithSpill(1024, 8192)
+	if _, err := r.Alloc(4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(r.Size() + 8); !errors.Is(err, ErrInvalidFree) {
+		t.Fatalf("err = %v, want ErrInvalidFree", err)
+	}
+}
+
+func TestRingWithoutSpillStillRejectsOversized(t *testing.T) {
+	r := NewRing(1024)
+	_, err := r.Alloc(4096, 8)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if errors.Is(err, ErrLargeSegmentExhausted) {
+		t.Fatal("plain ring reported a spill error with no spill region")
+	}
+}
+
+func TestRingSpillDoesNotRelaxFIFORule(t *testing.T) {
+	// In-ring allocations keep the FIFO-free limitation even on a
+	// spill-backed ring: the spill exempts only oversized blocks.
+	r := NewRingWithSpill(1024, 8192)
+	a, err := r.Alloc(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Alloc(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Free(b); !errors.Is(err, ErrOutOfOrderFree) {
+		t.Fatalf("err = %v, want ErrOutOfOrderFree", err)
+	}
+	if err := r.Free(a); err != nil {
+		t.Fatal(err)
+	}
+}

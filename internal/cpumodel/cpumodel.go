@@ -38,6 +38,12 @@ type Platform struct {
 	// notes during the planned fill pass (sequential stores from the scan's
 	// scratch, no wire re-decoding) — priced like a copy, not a decode.
 	ReplayByteNS float64
+	// PayloadRefNS is the per-byte cost of carrying a payload as a
+	// scatter-gather segment reference instead of copying it through the
+	// object arena: one bulk memcpy into the 8-aligned segment area at
+	// streaming-store bandwidth, no second touch at fill time. Roughly 5x
+	// cheaper than CopyByteNS — the term the payloadscale experiment sweeps.
+	PayloadRefNS float64
 	FieldNS      float64 // per decoded field value (dispatch)
 	MessageNS    float64 // per message object (arena alloc + default copy)
 
@@ -97,6 +103,7 @@ func HostX86() *Platform {
 		CopyByteNS:   0.0215,
 		UTF8ByteNS:   0.020, // SIMD-validated on x86
 		ReplayByteNS: 0.0215,
+		PayloadRefNS: 0.004,
 		FieldNS:      2.4,
 		MessageNS:    22.0,
 
@@ -127,6 +134,7 @@ func DPUBlueField3() *Platform {
 		CopyByteNS:   0.042,
 		UTF8ByteNS:   0.062, // no wide SIMD: validation suffers most
 		ReplayByteNS: 0.042,
+		PayloadRefNS: 0.008,
 		FieldNS:      4.8,
 		MessageNS:    44.0,
 
@@ -168,6 +176,7 @@ func (p *Platform) DeserNS(s deser.Stats) float64 {
 		p.CopyByteNS*float64(s.CopyBytes) +
 		p.UTF8ByteNS*float64(s.UTF8Bytes) +
 		p.ReplayByteNS*float64(s.ReplayedBytes) +
+		p.PayloadRefNS*float64(s.RefBytes) +
 		p.FieldNS*float64(s.Fields) +
 		p.MessageNS*float64(s.Messages)
 }

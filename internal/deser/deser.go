@@ -63,6 +63,14 @@ type Options struct {
 	// without vector units (the DPU side). The word-at-a-time validator
 	// stands in for the host's SIMD path.
 	ScalarUTF8 bool
+	// SGPayloadMin, when > 0, enables scatter-gather payload notes on the
+	// planned path: a singular string/bytes payload of at least this many
+	// bytes is not copied into the object area during Fill — the scan
+	// emits a payload-ref note and FillSG writes the SSO offset form
+	// pointing at a dedicated payload segment of the registered region
+	// (placed once by PlaceSegments). 0 (the default) keeps every payload
+	// inline, byte-identical to the pre-SG deserializer.
+	SGPayloadMin int
 }
 
 // Stats counts the operations the cost models charge for. All counters are
@@ -82,6 +90,12 @@ type Stats struct {
 	// Both stay zero on the interpretive path.
 	ScannedBytes  uint64
 	ReplayedBytes uint64
+	// RefBytes counts payload bytes carried as scatter-gather segments and
+	// referenced by offset instead of copied by the fill: the deserializer
+	// never touches them again after the single placement memcpy, so the
+	// cost models price them at PayloadRefNS instead of CopyByteNS /
+	// ReplayByteNS. Zero unless Options.SGPayloadMin is configured.
+	RefBytes uint64
 }
 
 // Reset zeroes all counters.
@@ -98,6 +112,7 @@ func (s *Stats) Add(other Stats) {
 	s.ArenaBytes += other.ArenaBytes
 	s.ScannedBytes += other.ScannedBytes
 	s.ReplayedBytes += other.ReplayedBytes
+	s.RefBytes += other.RefBytes
 }
 
 // frame is per-nesting-level scratch (counts and cursors per field),
@@ -132,6 +147,7 @@ type Deserializer struct {
 	opts   Options
 	frames []*frame
 	notes  *Notes // DeserializePlanned's owned parse-notes scratch
+	segCur uint64 // FillSG's cursor into the payload-segment area (region offset)
 	// Stats accumulates instrumentation across calls.
 	Stats Stats
 }

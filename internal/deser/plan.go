@@ -44,6 +44,7 @@ const (
 	nopRepCopy                 // packed fixed-width run; val references the payload (bulk copy)
 	nopRepString               // one repeated string/bytes element; val references the payload
 	nopRepMessage              // one repeated message element; a nested body follows
+	nopStringRef               // singular string/bytes carried as an SG payload segment; val references the payload
 )
 
 // action is one field's pre-resolved decode recipe: everything the scan and
@@ -230,6 +231,12 @@ type Notes struct {
 	vals   []uint64
 	counts []uint32
 	need   int
+	// Scatter-gather accounting (Options.SGPayloadMin > 0): segBytes is the
+	// 8-aligned byte total of the payload-segment area the message needs in
+	// addition to need, segCount the number of payload-ref notes. Both stay
+	// zero with SG disabled.
+	segBytes int
+	segCount int
 	// bypass marks the scan-bypass shape: the scan validated the message and
 	// computed need but recorded no ops; Fill re-runs the fused decode loop
 	// instead of replaying notes. Only produced for simple plans under
@@ -242,8 +249,17 @@ func (no *Notes) reset() {
 	no.vals = no.vals[:0]
 	no.counts = no.counts[:0]
 	no.need = 0
+	no.segBytes = 0
+	no.segCount = 0
 	no.bypass = false
 }
+
+// SegBytes returns the payload-segment area size (8-aligned payload runs)
+// the scatter-gather framing reserves on top of Need. Zero with SG disabled.
+func (no *Notes) SegBytes() int { return no.segBytes }
+
+// SegCount returns the number of descriptor-backed payloads the scan found.
+func (no *Notes) SegCount() int { return no.segCount }
 
 // Bypass reports whether the notes carry the scan-bypass shape (no replay
 // stream; Fill runs the fused fast path).
@@ -489,8 +505,18 @@ func (d *Deserializer) scanBody(p *Plan, body []byte, bodyOff int, no *Notes, de
 			if a.kind == protodesc.KindString && !d.validateUTF8(payload) {
 				return wire.ErrInvalidUTF8
 			}
-			no.ops = append(no.ops, noteOp{act: a, op: nopString,
-				val: packRef(bodyOff+pos+n-len(payload), len(payload))})
+			if d.opts.SGPayloadMin > 0 && len(payload) >= d.opts.SGPayloadMin {
+				// Scatter-gather: the payload rides as a dedicated segment
+				// and the fill writes an offset reference — no spill alloc
+				// (sizeNotes skips this op) and no copy in fillBody.
+				no.ops = append(no.ops, noteOp{act: a, op: nopStringRef,
+					val: packRef(bodyOff+pos+n-len(payload), len(payload))})
+				no.segBytes += alignUp8(len(payload))
+				no.segCount++
+			} else {
+				no.ops = append(no.ops, noteOp{act: a, op: nopString,
+					val: packRef(bodyOff+pos+n-len(payload), len(payload))})
+			}
 			pos += n
 		default: // singular scalar
 			bits, n, err := d.scalar(body[pos:], a.kind, wt)
@@ -815,6 +841,16 @@ func (d *Deserializer) fillBody(p *Plan, data []byte, no *Notes, opi, cti, vi *i
 				return 0, err
 			}
 			setPresence(obj, lay, int(a.index))
+		case nopStringRef:
+			// Scatter-gather payload: write the offset form pointing at the
+			// segment PlaceSegments put (or will put) at the cursor — zero
+			// bytes copied here; the single placement memcpy is charged as
+			// RefBytes in PlaceSegments.
+			ln := int(op.val & 0xffffffff)
+			rec := obj[a.offset : a.offset+abi.StringRecordSize]
+			abi.PutStringRef(rec, d.segCur, ln)
+			d.segCur += uint64(alignUp8(ln))
+			setPresence(obj, lay, int(a.index))
 		case nopMessage:
 			childOff, err := d.fillBody(a.sub, data, no, opi, cti, vi, bump, base, depth+1)
 			if err != nil {
@@ -927,6 +963,64 @@ func (d *Deserializer) replayString(rec []byte, recOff uint64, payload []byte, b
 	copy(dst, payload)
 	abi.PutStringRef(rec, base+uint64(dstOff), len(payload))
 	return nil
+}
+
+// alignUp8 rounds n up to a multiple of 8, the payload-segment packing
+// granularity (matching rpcrdma's payload alignment).
+func alignUp8(n int) int { return (n + 7) &^ 7 }
+
+// FillSG is Fill for a scatter-gather framed message: every payload-ref note
+// writes the SSO offset form pointing into the payload-segment area that
+// starts at region offset segBase, advancing an internal cursor in note
+// order — the same order PlaceSegments packs the segments — so the two walks
+// agree without communicating. The caller lays the slot out as
+// [SG table][object area][segments] and passes base = the object area's
+// region offset, segBase = the segment area's.
+func (d *Deserializer) FillSG(p *Plan, data []byte, no *Notes, bump *arena.Bump, base, segBase uint64) (uint64, error) {
+	d.segCur = segBase
+	return d.Fill(p, data, no, bump, base)
+}
+
+// SegRef describes one placed payload segment: the protobuf field number it
+// backs, its offset within the segment area, and its exact byte length.
+type SegRef struct {
+	FieldNum uint32
+	Off      uint32
+	Len      uint32
+}
+
+// PlaceSegments copies every payload-ref payload of no into segDst, packed
+// back to back at 8-byte alignment in note order, and appends one SegRef per
+// segment to refs (pass nil to allocate). This is the single memcpy an SG
+// payload ever gets — it lands in the registered region and is referenced by
+// offset from then on — so the bytes are charged to Stats.RefBytes, not
+// CopyBytes. segDst must be at least no.SegBytes() long; alignment padding
+// is zeroed so reserved-slot garbage never rides the wire.
+func (d *Deserializer) PlaceSegments(data []byte, no *Notes, segDst []byte, refs []SegRef) []SegRef {
+	if no.segCount == 0 {
+		return refs
+	}
+	cur := 0
+	for i := range no.ops {
+		op := &no.ops[i]
+		if op.op != nopStringRef {
+			continue
+		}
+		payload := payloadOf(data, op.val)
+		end := cur + len(payload)
+		copy(segDst[cur:end], payload)
+		for pad := end; pad < cur+alignUp8(len(payload)); pad++ {
+			segDst[pad] = 0
+		}
+		refs = append(refs, SegRef{
+			FieldNum: uint32(op.act.fld.Number),
+			Off:      uint32(cur),
+			Len:      uint32(len(payload)),
+		})
+		d.Stats.RefBytes += uint64(len(payload))
+		cur += alignUp8(len(payload))
+	}
+	return refs
 }
 
 // DeserializePlanned is Deserialize through the compiled plan: one Scan

@@ -368,6 +368,7 @@ func FuzzPlannedDecode(f *testing.F) {
 	bufI := make([]byte, 1<<20)
 	bufP := make([]byte, 1<<20)
 	bufD := make([]byte, 1<<20)
+	bufS := make([]byte, 2<<20)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for i, lay := range layouts {
 			var ioff uint64
@@ -444,6 +445,43 @@ func FuzzPlannedDecode(f *testing.F) {
 				if !protomsg.Equal(ref, ref2) {
 					t.Fatalf("layout %d: arena object disagrees with protomsg reference", i)
 				}
+			}
+
+			// Scatter-gather leg: with a low threshold the SG scan must
+			// make the same accept decision, and the descriptor-backed
+			// object (FillSG + PlaceSegments) must re-serialize to the
+			// same bytes as the copy-fill object.
+			ds := New(Options{ValidateUTF8: true, SGPayloadMin: 16})
+			ns, serr := ds.Scan(plans[i], data)
+			if serr != nil {
+				t.Fatalf("layout %d: SG scan rejects input the inline scan accepts: %v", i, serr)
+			}
+			const sgBase = 64
+			objArea := alignUp8(ns.Need())
+			if sgBase+objArea+ns.SegBytes() > len(bufS) {
+				ns.Release()
+				continue
+			}
+			bs := arena.NewBump(bufS[sgBase : sgBase+objArea])
+			soff, serr := ds.FillSG(plans[i], data, ns, bs, sgBase, uint64(sgBase+objArea))
+			if serr != nil {
+				t.Fatalf("layout %d: FillSG fails on scanned input: %v", i, serr)
+			}
+			refs := ds.PlaceSegments(data, ns, bufS[sgBase+objArea:sgBase+objArea+ns.SegBytes()], nil)
+			if len(refs) != ns.SegCount() {
+				t.Fatalf("layout %d: placed %d refs, notes say %d", i, len(refs), ns.SegCount())
+			}
+			ns.Release()
+			sv := abi.MakeView(&abi.Region{Buf: bufS}, soff, lay)
+			if err := abi.Verify(sv); err != nil {
+				t.Fatalf("layout %d: SG object fails Verify: %v", i, err)
+			}
+			sser, err := Serialize(sv, nil)
+			if err != nil {
+				t.Fatalf("layout %d: SG object cannot re-serialize: %v", i, err)
+			}
+			if !bytes.Equal(sser, reser) {
+				t.Fatalf("layout %d: SG object re-serializes differently from copy-fill object", i)
 			}
 		}
 	})

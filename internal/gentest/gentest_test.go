@@ -257,6 +257,16 @@ func TestResponseModesByteIdentical(t *testing.T) {
 			CommitBatch: 8}},
 		{"host-serialized duplex batched", dpurpc.StackOptions{
 			HostWorkers: 4, DPUWorkers: 4, CommitBatch: 8}},
+		// Scatter-gather framing with a tiny threshold, so the mirror's
+		// string/bytes fields actually ride as descriptor-backed segments
+		// in both datapath directions — the descriptors must be invisible
+		// at the xRPC layer.
+		{"sg serial", dpurpc.StackOptions{SGPayloadMin: 16}},
+		{"sg object serial", dpurpc.StackOptions{
+			OffloadResponseSerialization: true, SGPayloadMin: 16}},
+		{"sg object duplex batched", dpurpc.StackOptions{
+			OffloadResponseSerialization: true, HostWorkers: 4, DPUWorkers: 4,
+			CommitBatch: 8, SGPayloadMin: 16}},
 	}
 	var want []byte
 	for _, mode := range modes {

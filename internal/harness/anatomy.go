@@ -71,6 +71,16 @@ type AnatomyMode struct {
 	FlushBatch      uint64
 	FlushTimer      uint64
 	FlushExplicit   uint64
+	// Scatter-gather view of the same run: SGPayloadMin echoes the payload
+	// threshold (0 = every byte copies), and the two per-request columns
+	// split each request's payload bytes between the inline path (copied
+	// through the object arena) and the descriptor path (placed once into
+	// SG segments, referenced by offset). Together they show how much of
+	// the deserialization stage's time is raw byte movement that SG framing
+	// removes.
+	SGPayloadMin      int
+	CopiedBytesPerReq float64
+	RefBytesPerReq    float64
 }
 
 // AnatomyReport is the full experiment output: the same workload's anatomy
@@ -130,6 +140,7 @@ func runAnatomyMode(opts Options, mode string, dpuWorkers, hostWorkers int) (Ana
 		OffloadResponseSerialization: true,
 		CommitBatch:                  opts.CommitBatch,
 		CommitFlushTimeout:           opts.CommitFlushTimeout,
+		SGPayloadMin:                 opts.SGPayloadMin,
 		Tracer:                       tr,
 	})
 	if err != nil {
@@ -183,13 +194,20 @@ func runAnatomyMode(opts Options, mode string, dpuWorkers, hostWorkers int) (Ana
 		TraceStats:  stats,
 		CommitBatch: opts.CommitBatch,
 	}
+	m.SGPayloadMin = opts.SGPayloadMin
+	var copied, reffed uint64
 	for _, dpuSrv := range d.DPUs {
 		c := dpuSrv.Client().Counters
 		m.FlushFull += c.FlushFull
 		m.FlushBatch += c.FlushBatch
 		m.FlushTimer += c.FlushTimer
 		m.FlushExplicit += c.FlushExplicit
+		st := dpuSrv.Stats()
+		copied += st.Deser.CopyBytes
+		reffed += st.Deser.RefBytes
 	}
+	m.CopiedBytesPerReq = safeDiv(float64(copied), float64(opts.Requests))
+	m.RefBytesPerReq = safeDiv(float64(reffed), float64(opts.Requests))
 	for _, conn := range d.Poller.Conns() {
 		c := conn.Counters
 		m.FlushFull += c.FlushFull

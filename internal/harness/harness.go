@@ -68,6 +68,13 @@ type Options struct {
 	// CommitFlushTimeout caps how long a partial batch may wait for more
 	// messages (0 = rpcrdma.DefaultCommitFlushTimeout when CommitBatch > 1).
 	CommitFlushTimeout time.Duration
+	// SGPayloadMin > 0 enables scatter-gather payload framing: singular
+	// string/bytes payloads of at least this many bytes ride in dedicated
+	// block segments referenced by offset instead of being copied through
+	// the object arena (see offload.DeployConfig.SGPayloadMin). 0 keeps
+	// the copy-everything baseline; the payloadscale experiment sweeps
+	// both legs.
+	SGPayloadMin int
 	// Tracer, when non-nil, records per-stage spans for every request of
 	// the offloaded runs (see internal/trace). The anatomy experiment
 	// provisions its own tracer per mode; set this to observe other
@@ -155,6 +162,11 @@ func emptyImpls(env *workload.Env) map[string]offload.Impl {
 			"Echo": func(req abi.View) (*protomsg.Message, uint16) {
 				out := protomsg.New(env.CharArray)
 				out.SetString("data", string(req.StrName("data")))
+				return out, 0
+			},
+			"EchoBlob": func(req abi.View) (*protomsg.Message, uint16) {
+				out := protomsg.New(env.Blob)
+				out.SetBytes("data", req.StrName("data"))
 				return out, 0
 			},
 		},
@@ -279,6 +291,7 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
 		CommitBatch:                  opts.CommitBatch,
 		CommitFlushTimeout:           opts.CommitFlushTimeout,
+		SGPayloadMin:                 opts.SGPayloadMin,
 		Tracer:                       opts.Tracer,
 	}
 	if opts.Registry != nil {

@@ -1,0 +1,65 @@
+package harness
+
+import "testing"
+
+// TestPayloadScaleSGWins pins the headline acceptance of the SG payload
+// path: at 1 MiB payloads the SG leg copies (near) zero payload bytes per
+// request through the object arena and at least doubles the
+// deserializer-limited goodput of the inline leg.
+func TestPayloadScaleSGWins(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Requests = 256
+	sizes := []int{1 << 10, 1 << 20}
+	rows, err := PayloadScale(opts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sizes x {serial, pipelined} x {inline, SG}.
+	if len(rows) != len(sizes)*4 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(sizes)*4)
+	}
+
+	find := func(size, workers, sgMin int) *PayloadScaleRow {
+		for i := range rows {
+			r := &rows[i]
+			if r.PayloadBytes == size && r.DPUWorkers == workers && r.SGPayloadMin == sgMin {
+				return r
+			}
+		}
+		t.Fatalf("row size=%d workers=%d sg=%d missing", size, workers, sgMin)
+		return nil
+	}
+
+	for _, workers := range []int{1, 4} {
+		inline := find(1<<20, workers, 0)
+		sg := find(1<<20, workers, 1<<10)
+
+		// Inline leg copies the whole payload; SG leg references it.
+		if inline.CopiedBytesPerReq < float64(1<<20) {
+			t.Errorf("workers=%d inline CopiedBytesPerReq = %.0f, want >= %d",
+				workers, inline.CopiedBytesPerReq, 1<<20)
+		}
+		if sg.CopiedBytesPerReq > 1024 {
+			t.Errorf("workers=%d SG CopiedBytesPerReq = %.0f, want ~0",
+				workers, sg.CopiedBytesPerReq)
+		}
+		if sg.RefBytesPerReq < float64(1<<20) {
+			t.Errorf("workers=%d SG RefBytesPerReq = %.0f, want >= %d",
+				workers, sg.RefBytesPerReq, 1<<20)
+		}
+		if sg.SGMsgsPerReq < 0.99 {
+			t.Errorf("workers=%d SGMsgsPerReq = %.2f, want ~1", workers, sg.SGMsgsPerReq)
+		}
+		if sg.DeserGoodputMBps < 2*inline.DeserGoodputMBps {
+			t.Errorf("workers=%d SG goodput %.0f MB/s < 2x inline %.0f MB/s",
+				workers, sg.DeserGoodputMBps, inline.DeserGoodputMBps)
+		}
+	}
+
+	// Below-threshold sanity: at 1 KiB with sgMin = 1 KiB the payload is
+	// exactly at the threshold and still rides as an SG segment.
+	small := find(1<<10, 1, 1<<10)
+	if small.RefBytesPerReq < float64(1<<10) {
+		t.Errorf("1KiB SG RefBytesPerReq = %.0f, want >= %d", small.RefBytesPerReq, 1<<10)
+	}
+}

@@ -73,6 +73,20 @@ func measure(lay *abi.Layout, m *protomsg.Message) int {
 
 // ToArena builds an ABI object from m using builder b and returns it.
 func ToArena(b *abi.Builder, lay *abi.Layout, m *protomsg.Message) (abi.Obj, error) {
+	return ToArenaPlaced(b, lay, m, nil)
+}
+
+// StrPlacer lets a caller divert singular string/bytes fields out of the
+// arena: when it returns ok, the field's record becomes a reference to size
+// bytes the caller has already placed at region offset ref (scatter-gather
+// payload segments), and nothing is copied into the arena. Fields it
+// declines (and every field when the placer is nil) spill normally.
+type StrPlacer func(f *protodesc.Field, data []byte) (ref uint64, ok bool)
+
+// ToArenaPlaced is ToArena with a StrPlacer applied to the root message's
+// singular string/bytes fields (nested messages always spill inline — SG
+// descriptors only describe top-level payload fields).
+func ToArenaPlaced(b *abi.Builder, lay *abi.Layout, m *protomsg.Message, placer StrPlacer) (abi.Obj, error) {
 	if m.Descriptor() != lay.Msg {
 		return abi.Obj{}, fmt.Errorf("objconv: message is %s, layout is %s",
 			m.Descriptor().Name, lay.Msg.Name)
@@ -81,13 +95,13 @@ func ToArena(b *abi.Builder, lay *abi.Layout, m *protomsg.Message) (abi.Obj, err
 	if err != nil {
 		return abi.Obj{}, err
 	}
-	if err := fill(b, obj, lay, m); err != nil {
+	if err := fill(b, obj, lay, m, placer); err != nil {
 		return abi.Obj{}, err
 	}
 	return obj, nil
 }
 
-func fill(b *abi.Builder, obj abi.Obj, lay *abi.Layout, m *protomsg.Message) error {
+func fill(b *abi.Builder, obj abi.Obj, lay *abi.Layout, m *protomsg.Message, placer StrPlacer) error {
 	for i := range lay.Fields {
 		fl := &lay.Fields[i]
 		f := fl.Desc
@@ -125,7 +139,16 @@ func fill(b *abi.Builder, obj abi.Obj, lay *abi.Layout, m *protomsg.Message) err
 				return err
 			}
 		case f.Kind == protodesc.KindString || f.Kind == protodesc.KindBytes:
-			if err := obj.SetStr(f.Name, m.Bytes(f.Name)); err != nil {
+			data := m.Bytes(f.Name)
+			if placer != nil {
+				if ref, ok := placer(f, data); ok {
+					if err := obj.SetStrRef(f.Name, ref, len(data)); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			if err := obj.SetStr(f.Name, data); err != nil {
 				return err
 			}
 		default:

@@ -101,6 +101,12 @@ type DeployConfig struct {
 	// too: the host writes response objects into the shared region and the
 	// DPU produces the protobuf bytes (Sec. III-A's symmetric extension).
 	OffloadResponseSerialization bool
+	// SGPayloadMin > 0 enables the zero-copy scatter-gather payload path on
+	// every connection: singular string/bytes payloads of at least this many
+	// wire bytes travel in dedicated 8-aligned segments referenced by offset
+	// from the built object (request direction always; response direction
+	// when OffloadResponseSerialization is on). 0 keeps all payloads inline.
+	SGPayloadMin int
 	// CommitBatch > 1 enables commit/doorbell coalescing on both sides of
 	// every connection: blocks seal after accumulating this many messages
 	// (or CommitFlushTimeout), so one doorbell carries a run of messages.
@@ -210,6 +216,7 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 		return nil, err
 	}
 	host.SetResponseObjects(cfg.OffloadResponseSerialization)
+	host.SetSGPayloadMin(cfg.SGPayloadMin)
 	if cfg.Tracer != nil {
 		host.SetTracer(cfg.Tracer)
 	}
@@ -254,6 +261,7 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 			Pipeline:     cfg.DPUPipeline,
 			RespPipeline: cfg.DPURespPipeline,
 			Tracer:       cfg.Tracer,
+			SGPayloadMin: cfg.SGPayloadMin,
 		})
 		if err != nil {
 			return nil, err

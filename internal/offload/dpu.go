@@ -61,6 +61,8 @@ type callTask struct {
 	res      *rpcrdma.Reservation
 	root     uint32
 	used     int
+	segs     int // SG payload segments the scan found (0 = inline message)
+	segBytes int // 8-aligned bytes of the segment area
 	err      error
 	measured bool  // need already computed (SubmitLocal path)
 	finished bool  // poller-owned: result delivered, ignore later signals
@@ -149,6 +151,14 @@ type DPUConfig struct {
 	// (measure/reserve/build/commit, PCIe doorbells, the host's dispatch,
 	// handler and response stages, and response serialization/delivery).
 	Tracer *trace.Tracer
+	// SGPayloadMin > 0 enables the scatter-gather payload path: singular
+	// string/bytes payloads of at least this many wire bytes are carried in
+	// dedicated 8-aligned segments after the object area, referenced by
+	// offset from the object's string records and described by an SG table
+	// at the front of the message — the deserializer never copies them into
+	// the object arena. 0 (the default) keeps every payload inline,
+	// byte-identical to pre-SG builds.
+	SGPayloadMin int
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -162,11 +172,17 @@ type DPUServer struct {
 	procs  *procTable
 	client *rpcrdma.ClientConn
 	cfg    DPUConfig
+	dopts  deser.Options // options for every deserializer this server creates
 
 	submit chan *callTask
 	retry  []*callTask
 	d      *deser.Deserializer
-	closed atomic.Bool
+	// scanPool holds deserializers for the serial path's scans, which run on
+	// xRPC connection goroutines (d.d is poller-owned and must not be shared
+	// with them). Per-server so every deserializer carries this server's
+	// options (SGPayloadMin in particular).
+	scanPool sync.Pool
+	closed   atomic.Bool
 
 	// Run/Close coordination: Close signals an active Run loop through
 	// stopCh and waits for runDone so teardown never races the poller.
@@ -223,16 +239,19 @@ func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfi
 	if err != nil {
 		return nil, err
 	}
+	dopts := deser.Options{ValidateUTF8: true, ScalarUTF8: true, SGPayloadMin: cfg.SGPayloadMin}
 	d := &DPUServer{
 		table:   table,
 		procs:   procs,
 		client:  client,
 		cfg:     cfg,
 		submit:  make(chan *callTask, 4096),
-		d:       deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true}),
+		dopts:   dopts,
+		d:       deser.New(dopts),
 		stopCh:  make(chan struct{}),
 		runDone: make(chan struct{}),
 	}
+	d.scanPool.New = func() any { return deser.New(dopts) }
 	if cfg.Workers > 1 {
 		if d.cfg.MaxInflight <= 0 {
 			d.cfg.MaxInflight = 4 * cfg.Workers
@@ -306,7 +325,7 @@ func (d *DPUServer) foldStats(dd *deser.Deserializer) {
 // wid (1..N) is its lane in trace output.
 func (d *DPUServer) worker(wid int) {
 	defer d.wg.Done()
-	dd := deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
+	dd := deser.New(d.dopts)
 	ws := newWScratch()
 	for head := range d.workQ {
 		for task := head; task != nil; task = task.next {
@@ -324,21 +343,22 @@ func (d *DPUServer) workTask(dd *deser.Deserializer, ws *wscratch, task *callTas
 		task.notes, task.err = dd.Scan(task.entry.plan, task.data)
 		if task.err == nil {
 			task.need = task.notes.Need()
+			task.segs = task.notes.SegCount()
+			task.segBytes = task.notes.SegBytes()
 		}
 		d.foldStats(dd)
 		if m := d.cfg.Pipeline; m != nil {
 			m.Measures.Inc()
 		}
 	case stageBuild:
-		bump := arena.NewBump(task.res.Dst)
-		rootAbs, err := dd.Fill(task.entry.plan, task.data, task.notes, bump, task.res.RegionOff)
+		rootAbs, used, err := d.buildInto(dd, task, task.res.Dst, task.res.RegionOff)
 		task.notes.Release()
 		task.notes = nil
 		if err != nil {
 			task.err = err
 		} else {
 			task.root = uint32(rootAbs - task.res.RegionOff)
-			task.used = bump.Used()
+			task.used = used
 		}
 		d.foldStats(dd)
 		if m := d.cfg.Pipeline; m != nil {
@@ -391,13 +411,51 @@ func (d *DPUServer) workTask(dd *deser.Deserializer, ws *wscratch, task *callTas
 	}
 }
 
-// scanDeserPool holds deserializers for the serial path's scans, which run
-// on xRPC connection goroutines (d.d is poller-owned and must not be shared
-// with them).
-var scanDeserPool = sync.Pool{
-	New: func() any {
-		return deser.New(deser.Options{ValidateUTF8: true, ScalarUTF8: true})
-	},
+// alignUp8 rounds n up to the next multiple of 8 (SG segment alignment).
+func alignUp8(n int) int { return (n + 7) &^ 7 }
+
+// sgSlotSize returns the reservation size for a scanned request: the exact
+// object size alone on the inline path, or — when the scan found SG payload
+// segments — the SG table, the 8-aligned object area, and the segment area.
+func sgSlotSize(need, segs, segBytes int) int {
+	if segs == 0 {
+		return need
+	}
+	return rpcrdma.SGTableSize(segs) + alignUp8(need) + segBytes
+}
+
+// buildInto replays the task's parse notes into a reserved slot. On the
+// inline path the fill owns the whole slot. On the SG path the slot splits
+// into [SG table][object area][payload segments]: the fill builds the object
+// with its base shifted past the table, large string/bytes payloads become
+// offset references into the segment area (never copied through the object
+// arena), the wire bytes are placed once into the 8-aligned segments, and
+// the table describing them is written at the front. Returns the root's
+// absolute region offset and the slot bytes used.
+func (d *DPUServer) buildInto(dd *deser.Deserializer, task *callTask, dst []byte, regionOff uint64) (uint64, int, error) {
+	if task.segs == 0 {
+		bump := arena.NewBump(dst)
+		rootAbs, err := dd.Fill(task.entry.plan, task.data, task.notes, bump, regionOff)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rootAbs, bump.Used(), nil
+	}
+	tbl := rpcrdma.SGTableSize(task.segs)
+	segOff := tbl + alignUp8(task.need)
+	bump := arena.NewBump(dst[tbl:segOff])
+	rootAbs, err := dd.FillSG(task.entry.plan, task.data, task.notes, bump,
+		regionOff+uint64(tbl), regionOff+uint64(segOff))
+	if err != nil {
+		return 0, 0, err
+	}
+	refs := dd.PlaceSegments(task.data, task.notes, dst[segOff:segOff+task.segBytes], nil)
+	descs := make([]rpcrdma.SGDesc, len(refs))
+	for i, r := range refs {
+		descs[i] = rpcrdma.SGDesc{Field: r.FieldNum, Off: uint32(segOff) + r.Off, Len: r.Len}
+	}
+	rpcrdma.PutSGTable(dst[:tbl], descs)
+	return rootAbs, segOff + task.segBytes, nil
 }
 
 // XRPCHandler terminates xRPC calls: it resolves the method, scans the
@@ -447,10 +505,10 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 		if task.tr != nil {
 			mT0 = trace.Now()
 		}
-		sd := scanDeserPool.Get().(*deser.Deserializer)
+		sd := d.scanPool.Get().(*deser.Deserializer)
 		notes, err := sd.Scan(e.plan, payload)
 		d.foldStats(sd)
-		scanDeserPool.Put(sd)
+		d.scanPool.Put(sd)
 		if err != nil {
 			d.errors.Add(1)
 			d.cfg.Tracer.Finish(task.tr, true)
@@ -458,6 +516,8 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 		}
 		task.tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
 		task.need = notes.Need()
+		task.segs = notes.SegCount()
+		task.segBytes = notes.SegBytes()
 		task.notes = notes
 		task.measured = true
 	}
@@ -515,6 +575,8 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		procID:   id,
 		entry:    e,
 		need:     notes.Need(),
+		segs:     notes.SegCount(),
+		segBytes: notes.SegBytes(),
 		notes:    notes,
 		data:     payload,
 		measured: true,
@@ -700,16 +762,18 @@ func (d *DPUServer) admitResponses() {
 // deserialization of Sec. V.
 func (d *DPUServer) enqueue(task *callTask) error {
 	return d.client.Enqueue(rpcrdma.CallSpec{
-		Method: task.procID,
-		Size:   task.need,
-		Trace:  task.tr,
+		Method:  task.procID,
+		Size:    sgSlotSize(task.need, task.segs, task.segBytes),
+		SG:      task.segs > 0,
+		SGSegs:  task.segs,
+		SGBytes: task.segBytes,
+		Trace:   task.tr,
 		Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
 			var bT0 int64
 			if task.tr != nil {
 				bT0 = trace.Now()
 			}
-			bump := arena.NewBump(dst)
-			rootAbs, err := d.d.Fill(task.entry.plan, task.data, task.notes, bump, regionOff)
+			rootAbs, used, err := d.buildInto(d.d, task, dst, regionOff)
 			task.notes.Release()
 			task.notes = nil
 			if err != nil {
@@ -717,7 +781,7 @@ func (d *DPUServer) enqueue(task *callTask) error {
 			}
 			task.tr.Span(trace.StageBuild, trace.ProcDPU, 0, bT0, trace.Now())
 			d.measured.Add(uint64(len(task.data)))
-			return uint32(rootAbs - regionOff), bump.Used(), nil
+			return uint32(rootAbs - regionOff), used, nil
 		},
 		OnResponse: func(resp rpcrdma.Response) { d.respond(task, resp) },
 	})
@@ -901,7 +965,7 @@ func (d *DPUServer) reserveReady() {
 		if task.tr != nil {
 			rT0 = trace.Now()
 		}
-		res, err := d.client.Reserve(task.procID, task.need,
+		res, err := d.client.Reserve(task.procID, sgSlotSize(task.need, task.segs, task.segBytes),
 			func(resp rpcrdma.Response) { d.respond(task, resp) })
 		if err != nil {
 			if errors.Is(err, arena.ErrOutOfMemory) {
@@ -915,6 +979,9 @@ func (d *DPUServer) reserveReady() {
 		}
 		task.tr.Span(trace.StageReserve, trace.ProcDPU, 0, rT0, trace.Now())
 		d.client.AttachTrace(res, task.tr)
+		if task.segs > 0 {
+			res.SG, res.SGSegs, res.SGBytes = true, task.segs, task.segBytes
+		}
 		delete(d.measuredQ, d.nextRes)
 		d.nextRes++
 		task.res = res

@@ -152,6 +152,7 @@ func TestBackgroundDeployment(t *testing.T) {
 			},
 			"CallChars": func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
 			"Echo":      func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
+			"EchoBlob":  func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
 		},
 	}
 	ccfg, scfg := smallTestCfg()

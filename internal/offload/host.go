@@ -7,6 +7,7 @@ import (
 	"dpurpc/internal/adt"
 	"dpurpc/internal/arena"
 	"dpurpc/internal/objconv"
+	"dpurpc/internal/protodesc"
 	"dpurpc/internal/rpcrdma"
 	"dpurpc/internal/trace"
 )
@@ -33,6 +34,12 @@ type HostServer struct {
 	// response *objects* into the shared region and the DPU serializes
 	// them for the xRPC client.
 	respObjects bool
+	// sgPayloadMin > 0 enables scatter-gather framing on object responses:
+	// top-level singular string/bytes payloads of at least this many bytes
+	// are placed once into dedicated 8-aligned segments of the response slot
+	// and the object references them by offset, instead of spilling a second
+	// copy through the object arena. Only effective with respObjects.
+	sgPayloadMin int
 	// reqObserver, when set, sees every dispatched request before its
 	// handler runs. Test hook (byte-identity pins). Called from whichever
 	// goroutine runs the handler — synchronize externally when pollers or
@@ -71,6 +78,17 @@ func (h *HostServer) SetResponseObjects(on bool) {
 		panic("offload: HostServer.SetResponseObjects called after serving started")
 	}
 	h.respObjects = on
+}
+
+// SetSGPayloadMin sets the scatter-gather payload threshold for object
+// responses (0 disables SG framing). Must be called before serving: once the
+// first request has dispatched, changing the threshold would race the
+// handler goroutines, so this panics instead of silently corrupting state.
+func (h *HostServer) SetSGPayloadMin(min int) {
+	if h.started.Load() {
+		panic("offload: HostServer.SetSGPayloadMin called after serving started")
+	}
+	h.sgPayloadMin = min
 }
 
 // SetRequestObserver installs a hook that sees every dispatched request
@@ -169,17 +187,91 @@ func (h *HostServer) dispatch(req rpcrdma.Request) rpcrdma.ResponseSpec {
 			return rpcrdma.ResponseSpec{Status: uint16(StatusInternal), Err: true}
 		}
 		h.responseBytes.Add(uint64(size))
+		// SG framing is decided here, at spec time: the spec is copied by
+		// value into the response pipeline before Build runs, and Size must
+		// already cover the table and segment area.
+		var sgFields []*protodesc.Field
+		segBytes, objSize := 0, size
+		if h.sgPayloadMin > 0 {
+			// Strings at or under the SSO capacity are already inline in the
+			// record and never worth a segment, whatever the threshold says.
+			min := h.sgPayloadMin
+			if min <= abi.SSOCapacity {
+				min = abi.SSOCapacity + 1
+			}
+			for i := range e.out.Fields {
+				f := e.out.Fields[i].Desc
+				if f.Repeated || (f.Kind != protodesc.KindString && f.Kind != protodesc.KindBytes) {
+					continue
+				}
+				if !resp.Has(f.Name) {
+					continue
+				}
+				if n := len(resp.Bytes(f.Name)); n >= min {
+					sgFields = append(sgFields, f)
+					segBytes += alignUp8(n)
+					// MeasureMessage counted this payload as an arena spill;
+					// as a segment it leaves the object area.
+					objSize -= n
+				}
+			}
+		}
+		if len(sgFields) == 0 {
+			return rpcrdma.ResponseSpec{
+				Status: 0,
+				Object: true,
+				Size:   size,
+				Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
+					b := abi.NewBuilder(arena.NewBump(dst), regionOff)
+					obj, err := objconv.ToArena(b, e.out, resp)
+					if err != nil {
+						return 0, 0, err
+					}
+					return uint32(obj.Off() - regionOff), b.Used(), nil
+				},
+			}
+		}
+		// SG slot layout: [SG table][object area][payload segments].
+		tbl := rpcrdma.SGTableSize(len(sgFields))
+		segOff := tbl + alignUp8(objSize)
+		total := segOff + segBytes
 		return rpcrdma.ResponseSpec{
-			Status: 0,
-			Object: true,
-			Size:   size,
+			Status:  0,
+			Object:  true,
+			Size:    total,
+			SG:      true,
+			SGSegs:  len(sgFields),
+			SGBytes: segBytes,
 			Build: func(dst []byte, regionOff uint64) (uint32, int, error) {
-				b := abi.NewBuilder(arena.NewBump(dst), regionOff)
-				obj, err := objconv.ToArena(b, e.out, resp)
+				// Place each payload once into its 8-aligned segment
+				// (padding zeroed so reserved-slot garbage never rides the
+				// wire), then build the object referencing the segments.
+				descs := make([]rpcrdma.SGDesc, 0, len(sgFields))
+				refs := make(map[*protodesc.Field]uint64, len(sgFields))
+				cur := segOff
+				for _, f := range sgFields {
+					data := resp.Bytes(f.Name)
+					end := cur + len(data)
+					copy(dst[cur:end], data)
+					for pad := end; pad < cur+alignUp8(len(data)); pad++ {
+						dst[pad] = 0
+					}
+					refs[f] = regionOff + uint64(cur)
+					descs = append(descs, rpcrdma.SGDesc{
+						Field: uint32(f.Number), Off: uint32(cur), Len: uint32(len(data))})
+					cur += alignUp8(len(data))
+				}
+				b := abi.NewBuilder(arena.NewBump(dst[tbl:segOff]), regionOff+uint64(tbl))
+				obj, err := objconv.ToArenaPlaced(b, e.out, resp,
+					func(f *protodesc.Field, data []byte) (uint64, bool) {
+						ref, ok := refs[f]
+						return ref, ok
+					})
 				if err != nil {
 					return 0, 0, err
 				}
-				return uint32(obj.Off() - regionOff), b.Used(), nil
+				rpcrdma.PutSGTable(dst[:tbl], descs)
+				return uint32(obj.Off() - regionOff), total, nil
 			},
 		}
 	}

@@ -57,6 +57,11 @@ func (b *benchImpl) impls() map[string]Impl {
 				out.SetString("data", string(req.StrName("data")))
 				return out, 0
 			},
+			"EchoBlob": func(req abi.View) (*protomsg.Message, uint16) {
+				out := protomsg.New(b.env.Blob)
+				out.SetBytes("data", req.StrName("data"))
+				return out, 0
+			},
 		},
 	}
 }
@@ -333,7 +338,8 @@ func TestHostHandlerStatusPaths(t *testing.T) {
 				out.SetUint32("id", uint32(len(req.StrName("data"))))
 				return out, 0
 			},
-			"Echo": func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
+			"Echo":     func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
+			"EchoBlob": func(req abi.View) (*protomsg.Message, uint16) { return nil, 0 },
 		},
 	}
 	ccfg, scfg := smallTestCfg()

@@ -72,6 +72,10 @@ type Response struct {
 	// Object reports that the payload carries a shared-region object graph
 	// (response-serialization offload) rather than opaque bytes.
 	Object bool
+	// SG reports scatter-gather framing: the payload begins with a
+	// validated descriptor table (ParseSGTable) and the object area
+	// follows it at SGTableSize(count).
+	SG bool
 	// Payload is the zero-copy view of the response payload.
 	Payload []byte
 	// RegionOff is the region offset of Payload[0] in the response
@@ -107,6 +111,13 @@ type CallSpec struct {
 	// Trace, when non-nil, is the trace handle this request's ID should
 	// carry to the server (see Config.Tracer).
 	Trace *trace.Active
+	// SG marks the payload as scatter-gather framed: it begins with a
+	// descriptor table (see PutSGTable) and carries bulk payload in
+	// dedicated segments. SGSegs/SGBytes describe the segments for the
+	// endpoint counters.
+	SG      bool
+	SGSegs  int
+	SGBytes int
 }
 
 // block is a request block under construction or awaiting send/ack.
@@ -332,6 +343,7 @@ func (c *ClientConn) Enqueue(spec CallSpec) error {
 		return err
 	}
 	c.AttachTrace(r, spec.Trace)
+	r.SG, r.SGSegs, r.SGBytes = spec.SG, spec.SGSegs, spec.SGBytes
 	var root uint32
 	used := spec.Size
 	if spec.Build != nil {
@@ -378,6 +390,13 @@ type Reservation struct {
 	// RegionOff is the region offset of Dst[0] in the request direction's
 	// shared address space.
 	RegionOff uint64
+	// SG, set by the owner before Commit, stamps the scatter-gather flag
+	// on the message header: the payload starts with a descriptor table
+	// and carries bulk bytes in dedicated segments. SGSegs/SGBytes feed
+	// the endpoint counters.
+	SG      bool
+	SGSegs  int
+	SGBytes int
 
 	b      *block
 	idx    int // index into b.conts
@@ -473,7 +492,13 @@ func (c *ClientConn) Commit(r *Reservation, root uint32, used int) error {
 		payloadLen: uint32(payloadLen),
 		rootOff:    root,
 		method:     r.method,
+		sg:         r.SG,
 	})
+	if r.SG {
+		c.Counters.SGMessagesSent++
+		c.Counters.SGSegmentsSent += uint64(r.SGSegs)
+		c.Counters.SGBytesSent += uint64(r.SGBytes)
+	}
 	r.done = true
 	b.pending--
 	if b == c.cur && b.pending == 0 && b.used >= c.cfg.BlockSize {
@@ -756,6 +781,14 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 		if pos+HeaderSize+alignUp(int(h.payloadLen))+int(h.pad) > int(p.blockLen) {
 			return fmt.Errorf("%w: slot pad beyond block", ErrBlockCorrupt)
 		}
+		if h.sg {
+			// A torn or forged descriptor table must never reach a reader:
+			// validate before any continuation sees the payload.
+			if err := ValidateSGTable(blk[pos+HeaderSize : end]); err != nil {
+				return err
+			}
+			c.Counters.SGMessagesReceived++
+		}
 		cont := c.conts[h.reqID]
 		if cont == nil {
 			if _, late := c.timedOut[h.reqID]; late {
@@ -784,6 +817,7 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 			Status:    h.method,
 			Err:       h.errFlag,
 			Object:    h.object,
+			SG:        h.sg,
 			Payload:   blk[pos+HeaderSize : end],
 			RegionOff: off + uint64(pos+HeaderSize),
 			Root:      h.rootOff,

@@ -254,4 +254,11 @@ type Counters struct {
 	RequestsTimedOut     uint64 // requests reaped at RequestTimeout
 	LateResponsesDropped uint64 // responses discarded because their request timed out
 	SendFullRecoveries   uint64 // arena exhaustions recovered by the bounded drain wait
+
+	// Scatter-gather framing counters (all zero unless SGPayloadMin is
+	// configured and payloads cross it).
+	SGMessagesSent     uint64 // messages committed with the SG flag
+	SGSegmentsSent     uint64 // descriptor-backed segments placed
+	SGBytesSent        uint64 // payload bytes carried in segments (never re-copied by the receiver)
+	SGMessagesReceived uint64 // inbound messages whose SG table validated
 }

@@ -155,6 +155,9 @@ func (s *ServerConn) dxCollect() int {
 				s.dxInflight--
 				if t.err != nil {
 					s.Counters.DuplexTombstones++
+					// Tombstones carry an empty payload: drop the SG framing
+					// the spec requested before the failed build.
+					t.res.SG, t.res.SGSegs, t.res.SGBytes = false, 0, 0
 					if err := s.CommitResponse(t.res, duplexBuildFailed, true, false, 0, 0); err != nil {
 						s.fail(err)
 					}
@@ -195,6 +198,7 @@ func (s *ServerConn) dxReserveReady() {
 		}
 		delete(s.dxReadyQ, s.dxNextRes)
 		s.dxNextRes++
+		r.SG, r.SGSegs, r.SGBytes = t.spec.SG, t.spec.SGSegs, t.spec.SGBytes
 		if t.spec.Build == nil {
 			s.dxInflight--
 			if err := s.CommitResponse(r, t.spec.Status, t.spec.Err, t.spec.Object, 0, t.spec.Size); err != nil {

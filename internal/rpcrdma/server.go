@@ -29,6 +29,11 @@ type Request struct {
 	RegionOff uint64
 	// Root is the root-object offset relative to Payload[0].
 	Root uint32
+	// SG reports scatter-gather framing: the payload begins with a
+	// validated descriptor table (ParseSGTable) and the object area
+	// follows it; descriptor-backed fields reference payload segments at
+	// the slot's tail by region offset.
+	SG bool
 	// Trace is the trace ID propagated from the client side through the
 	// out-of-band request-ID table (0 = untraced; see Config.Tracer).
 	Trace uint64
@@ -50,6 +55,13 @@ type ResponseSpec struct {
 	// Size reserves payload space; Build fills it (see CallSpec.Build).
 	Size  int
 	Build func(dst []byte, regionOff uint64) (root uint32, used int, err error)
+	// SG marks the payload as scatter-gather framed (descriptor table +
+	// payload segments, see CallSpec.SG). It must be decided before Build
+	// runs — Size includes the table and segment area, and Build writes
+	// the table. SGSegs/SGBytes feed the endpoint counters.
+	SG      bool
+	SGSegs  int
+	SGBytes int
 }
 
 // Handler processes one request in the poller thread (foreground execution,
@@ -231,6 +243,12 @@ type RespReservation struct {
 	// RegionOff is the region offset of Dst[0] in the response direction's
 	// shared address space.
 	RegionOff uint64
+	// SG, set by the poller before CommitResponse, stamps the
+	// scatter-gather flag on the response header. SGSegs/SGBytes feed the
+	// endpoint counters.
+	SG      bool
+	SGSegs  int
+	SGBytes int
 
 	b      *respBlock
 	id     uint16
@@ -349,7 +367,13 @@ func (s *ServerConn) CommitResponse(r *RespReservation, status uint16, errFlag, 
 		response:   true,
 		errFlag:    errFlag,
 		object:     object,
+		sg:         r.SG,
 	})
+	if r.SG {
+		s.Counters.SGMessagesSent++
+		s.Counters.SGSegmentsSent += uint64(r.SGSegs)
+		s.Counters.SGBytesSent += uint64(r.SGBytes)
+	}
 	r.done = true
 	b.pending--
 	s.Counters.ResponsesSent++
@@ -381,6 +405,9 @@ func (s *ServerConn) CancelResponse(r *RespReservation) {
 		r.done = true
 		return
 	}
+	// Tombstones carry an empty payload: never stamp the SG flag a build
+	// may have requested before it failed.
+	r.SG, r.SGSegs, r.SGBytes = false, 0, 0
 	if err := s.CommitResponse(r, duplexBuildFailed, true, false, 0, 0); err != nil {
 		s.fail(err)
 	}
@@ -393,6 +420,7 @@ func (s *ServerConn) appendResponse(id uint16, spec ResponseSpec) error {
 	if err != nil {
 		return err
 	}
+	r.SG, r.SGSegs, r.SGBytes = spec.SG, spec.SGSegs, spec.SGBytes
 	var root uint32
 	used := spec.Size
 	if spec.Build != nil {
@@ -595,6 +623,14 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 		if end > int(p.blockLen) {
 			return fmt.Errorf("%w: payload beyond block", ErrBlockCorrupt)
 		}
+		if h.sg {
+			// Validate the descriptor table before any handler can follow a
+			// reference into it — a torn descriptor must never reach a view.
+			if err := ValidateSGTable(blk[pos+HeaderSize : end]); err != nil {
+				return err
+			}
+			s.Counters.SGMessagesReceived++
+		}
 		s.Counters.RequestsReceived++
 		req := Request{
 			Method:    h.method,
@@ -602,6 +638,7 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 			Payload:   blk[pos+HeaderSize : end],
 			RegionOff: off + uint64(pos+HeaderSize),
 			Root:      h.rootOff,
+			SG:        h.sg,
 		}
 		// Resolve the propagated trace ID: the client published it in the
 		// shared table under the request ID this side just replayed.

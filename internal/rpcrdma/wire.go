@@ -28,6 +28,13 @@ const (
 	// when response-*serialization* is offloaded to the DPU as well
 	// (Sec. III-A's "can be implemented similarly in our design").
 	flagObject = 1 << 2
+	// flagSG marks a payload framed scatter-gather style: the payload
+	// begins with a descriptor table (SG table) naming large bytes/string
+	// fields whose bulk bytes ride in dedicated payload segments at the
+	// tail of the slot instead of inline in the object area. The receiver
+	// resolves them by offset within the same registered region — zero
+	// copies on either side (Sec. IV-A's offset-based object model).
+	flagSG = 1 << 3
 )
 
 // preamble heads every block (Fig. 5). Little-endian, 8-byte aligned.
@@ -99,6 +106,7 @@ type header struct {
 	response   bool
 	errFlag    bool
 	object     bool
+	sg         bool
 }
 
 func putHeader(b []byte, h header) {
@@ -115,6 +123,9 @@ func putHeader(b []byte, h header) {
 	}
 	if h.object {
 		flags |= flagObject
+	}
+	if h.sg {
+		flags |= flagSG
 	}
 	binary.LittleEndian.PutUint16(b[12:14], flags)
 	binary.LittleEndian.PutUint16(b[14:16], uint16(h.pad/8))
@@ -134,7 +145,107 @@ func parseHeader(b []byte) (header, error) {
 		response:   flags&flagResponse != 0,
 		errFlag:    flags&flagError != 0,
 		object:     flags&flagObject != 0,
+		sg:         flags&flagSG != 0,
 	}, nil
+}
+
+// Scatter-gather descriptor table. A payload with flagSG set is laid out as
+//
+//	[SG table][object area][payload segments...]
+//
+// where the SG table is an 8-byte header (descriptor count, reserved) plus
+// SGDescSize bytes per descriptor. Object references computed against the
+// payload base resolve into the segments because the whole slot shares one
+// registered region; the table itself exists for validation and telemetry
+// (the receiver never rewrites refs).
+const (
+	// SGTableHdrSize is the fixed table header: u32 descriptor count +
+	// u32 reserved, keeping the object area 8-aligned.
+	SGTableHdrSize = 8
+	// SGDescSize is the wire size of one descriptor.
+	SGDescSize = 16
+	// SGMaxDescs bounds the descriptor count a receiver will accept; it
+	// exists only to reject forged tables cheaply (a real message has at
+	// most one descriptor per top-level large field).
+	SGMaxDescs = 4096
+)
+
+// SGDesc names one descriptor-backed payload: the protobuf field number it
+// fills, its offset from the payload start, and its byte length. Offsets are
+// 8-aligned; segments are packed back to back with 8-byte padding.
+//
+//	+0  field u32   protobuf field number
+//	+4  off   u32   segment offset from the payload start
+//	+8  len   u32   payload bytes (the segment occupies alignUp(len))
+//	+12 rsvd  u32
+type SGDesc struct {
+	Field uint32
+	Off   uint32
+	Len   uint32
+}
+
+// SGTableSize returns the payload bytes an n-descriptor table occupies.
+func SGTableSize(n int) int { return SGTableHdrSize + n*SGDescSize }
+
+// PutSGTable writes the descriptor table at the start of dst.
+func PutSGTable(dst []byte, descs []SGDesc) {
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(len(descs)))
+	binary.LittleEndian.PutUint32(dst[4:8], 0)
+	for i, d := range descs {
+		p := dst[SGTableHdrSize+i*SGDescSize:]
+		binary.LittleEndian.PutUint32(p[0:4], d.Field)
+		binary.LittleEndian.PutUint32(p[4:8], d.Off)
+		binary.LittleEndian.PutUint32(p[8:12], d.Len)
+		binary.LittleEndian.PutUint32(p[12:16], 0)
+	}
+}
+
+// ParseSGTable reads the descriptor table at the start of payload. It does
+// no bounds checking beyond the table itself; use ValidateSGTable on
+// untrusted input first.
+func ParseSGTable(payload []byte) []SGDesc {
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	descs := make([]SGDesc, n)
+	for i := range descs {
+		p := payload[SGTableHdrSize+i*SGDescSize:]
+		descs[i] = SGDesc{
+			Field: binary.LittleEndian.Uint32(p[0:4]),
+			Off:   binary.LittleEndian.Uint32(p[4:8]),
+			Len:   binary.LittleEndian.Uint32(p[8:12]),
+		}
+	}
+	return descs
+}
+
+// ValidateSGTable checks a flagSG payload's descriptor table: the table must
+// fit, and every descriptor must name an 8-aligned segment that lies fully
+// inside the payload and after the table. A payload that fails is corrupt —
+// a torn descriptor must never reach Fill.
+func ValidateSGTable(payload []byte) error {
+	if len(payload) < SGTableHdrSize {
+		return fmt.Errorf("%w: SG payload %d bytes, no table header", ErrBlockCorrupt, len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if n > SGMaxDescs {
+		return fmt.Errorf("%w: SG descriptor count %d exceeds %d", ErrBlockCorrupt, n, SGMaxDescs)
+	}
+	tbl := SGTableSize(n)
+	if tbl > len(payload) {
+		return fmt.Errorf("%w: SG table %d bytes exceeds payload %d", ErrBlockCorrupt, tbl, len(payload))
+	}
+	for i := 0; i < n; i++ {
+		p := payload[SGTableHdrSize+i*SGDescSize:]
+		off := binary.LittleEndian.Uint32(p[4:8])
+		ln := binary.LittleEndian.Uint32(p[8:12])
+		if off%8 != 0 {
+			return fmt.Errorf("%w: SG segment %d misaligned offset %d", ErrBlockCorrupt, i, off)
+		}
+		if int(off) < tbl || uint64(off)+uint64(ln) > uint64(len(payload)) {
+			return fmt.Errorf("%w: SG segment %d [%d,%d) outside payload [%d,%d)",
+				ErrBlockCorrupt, i, off, uint64(off)+uint64(ln), tbl, len(payload))
+		}
+	}
+	return nil
 }
 
 // alignUp rounds n up to a multiple of 8 (payload alignment, Sec. IV-A).

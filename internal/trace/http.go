@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -24,6 +25,15 @@ import (
 // each /metrics render so gauges sampled on demand can be brought up to
 // date.
 func NewDebugMux(reg *metrics.Registry, t *Tracer, refresh func()) *http.ServeMux {
+	return NewDebugMuxWith(reg, t, refresh, nil)
+}
+
+// NewDebugMuxWith is NewDebugMux with an /anatomy footer hook: anatomyExtra,
+// when non-nil, runs after the stage table on every /anatomy render and may
+// append extra report lines (e.g. the datapath's copied-vs-referenced
+// payload-byte split, which lives outside the tracer). It is called from the
+// HTTP serving goroutine — read shared state through atomics or snapshots.
+func NewDebugMuxWith(reg *metrics.Registry, t *Tracer, refresh func(), anatomyExtra func(w io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -77,6 +87,9 @@ func NewDebugMux(reg *metrics.Registry, t *Tracer, refresh func()) *http.ServeMu
 		st := t.Stats()
 		fmt.Fprintf(wtr, "\ntraces: started=%d finished=%d dropped_active=%d dropped_ring=%d\n",
 			st.Started, st.Finished, st.DroppedActive, st.DroppedRing)
+		if anatomyExtra != nil {
+			anatomyExtra(wtr)
+		}
 		fmt.Fprint(w, wtr.String())
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

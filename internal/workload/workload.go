@@ -56,6 +56,12 @@ message CharArray {
   string data = 1;
 }
 
+// Blob is the opaque-payload message: a bytes field carrying arbitrary
+// binary data (no UTF-8 validation), the canonical scatter-gather payload.
+message Blob {
+  bytes data = 1;
+}
+
 // Empty is the response of every benchmark RPC.
 message Empty {}
 
@@ -64,6 +70,7 @@ service Bench {
   rpc CallInts (IntArray) returns (Empty);
   rpc CallChars (CharArray) returns (Empty);
   rpc Echo (CharArray) returns (CharArray);
+  rpc EchoBlob (Blob) returns (Blob);
 }
 `
 
@@ -76,6 +83,11 @@ const (
 	// response-direction workload (duplex pipeline / response-serialization
 	// offload scaling).
 	MethodEcho uint16 = 3
+	// MethodEchoBlob returns its bytes-payload request verbatim: the
+	// scatter-gather workload (the payloadscale experiment), free of the
+	// UTF-8 validation cost that string payloads pay in both SG and inline
+	// modes.
+	MethodEchoBlob uint16 = 4
 )
 
 // Env bundles the parsed schema, registry, and ADT table for the benchmark
@@ -88,11 +100,13 @@ type Env struct {
 	Small     *protodesc.Message
 	IntArray  *protodesc.Message
 	CharArray *protodesc.Message
+	Blob      *protodesc.Message
 	Empty     *protodesc.Message
 
 	SmallLay *abi.Layout
 	IntsLay  *abi.Layout
 	CharsLay *abi.Layout
+	BlobLay  *abi.Layout
 	EmptyLay *abi.Layout
 }
 
@@ -118,10 +132,12 @@ func NewEnv() *Env {
 		Small:     reg.Message("benchpb.Small"),
 		IntArray:  reg.Message("benchpb.IntArray"),
 		CharArray: reg.Message("benchpb.CharArray"),
+		Blob:      reg.Message("benchpb.Blob"),
 		Empty:     reg.Message("benchpb.Empty"),
 		SmallLay:  table.ByName("benchpb.Small"),
 		IntsLay:   table.ByName("benchpb.IntArray"),
 		CharsLay:  table.ByName("benchpb.CharArray"),
+		BlobLay:   table.ByName("benchpb.Blob"),
 		EmptyLay:  table.ByName("benchpb.Empty"),
 	}
 }
@@ -271,6 +287,20 @@ func (e *Env) GenChars(rng *mt19937.Source, n int) *protomsg.Message {
 	m := protomsg.New(e.CharArray)
 	if err := m.SetString("data", string(buf)); err != nil {
 		panic(err) // ASCII is always valid UTF-8
+	}
+	return m
+}
+
+// GenBlob returns a Blob of n random bytes — the full byte range, since a
+// bytes field carries arbitrary binary data with no validation pass.
+func (e *Env) GenBlob(rng *mt19937.Source, n int) *protomsg.Message {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(rng.Uint32())
+	}
+	m := protomsg.New(e.Blob)
+	if err := m.SetBytes("data", buf); err != nil {
+		panic(err)
 	}
 	return m
 }

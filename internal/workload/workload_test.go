@@ -151,7 +151,7 @@ func TestGenCharsReproducible(t *testing.T) {
 
 func TestEnvWiring(t *testing.T) {
 	e := env(t)
-	if e.Service == nil || len(e.Service.Methods) != 4 {
+	if e.Service == nil || len(e.Service.Methods) != 5 {
 		t.Fatal("service missing")
 	}
 	if e.Service.Methods[MethodSmall].Input != e.Small ||
@@ -162,6 +162,10 @@ func TestEnvWiring(t *testing.T) {
 	if e.Service.Methods[MethodEcho].Input != e.CharArray ||
 		e.Service.Methods[MethodEcho].Output != e.CharArray {
 		t.Error("echo method types wrong")
+	}
+	if e.Service.Methods[MethodEchoBlob].Input != e.Blob ||
+		e.Service.Methods[MethodEchoBlob].Output != e.Blob {
+		t.Error("echo-blob method types wrong")
 	}
 	for _, s := range Scenarios() {
 		if e.Layout(s) == nil || e.Desc(s) == nil {

@@ -28,6 +28,15 @@ type StackOptions struct {
 	// return *Message, but the stack ships response objects through the
 	// shared region and the DPU produces the wire bytes.
 	OffloadResponseSerialization bool
+	// SGPayloadMin > 0 enables the zero-copy scatter-gather payload path:
+	// singular string/bytes payloads of at least this many wire bytes are
+	// carried in dedicated 8-aligned payload segments of the shared region,
+	// referenced by offset from the built object and described by an SG
+	// table at the front of the message — the deserializer stops copying
+	// bulk bytes through the object arena. Applies to the request direction
+	// always and to responses when OffloadResponseSerialization is on.
+	// 0 (the default) keeps every payload inline. Offloaded stacks only.
+	SGPayloadMin int
 	// BackgroundWorkers > 0 runs host handlers on a worker pool instead of
 	// the poller thread (Sec. III-D background RPCs) — for long-running
 	// handlers that must not stall the datapath. Handlers must then be
@@ -121,6 +130,7 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		ClientCfg:                    opts.ClientConfig,
 		ServerCfg:                    opts.ServerConfig,
 		OffloadResponseSerialization: opts.OffloadResponseSerialization,
+		SGPayloadMin:                 opts.SGPayloadMin,
 		BackgroundWorkers:            opts.BackgroundWorkers,
 		CommitBatch:                  opts.CommitBatch,
 		CommitFlushTimeout:           opts.CommitFlushTimeout,
