@@ -25,9 +25,10 @@ fmt-check:
 # duplex pool, the protocol layer they reserve/commit into, the xRPC
 # transport that feeds them, the generated-bindings byte-identity tests,
 # the datapath span recorder, and the fault-injection layers (per-QP
-# delay lines, injector, link staller).
+# delay lines, injector, link staller), plus the windowed-metrics shard
+# rotation and the gauge sampler.
 race:
-	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/... ./internal/rdma/... ./internal/fault/... ./internal/fabric/...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/... ./internal/rdma/... ./internal/fault/... ./internal/fabric/... ./internal/metrics/...
 
 # Aggregate coverage over every package, with a summary and an HTML-ready
 # profile at cover.out.
@@ -41,12 +42,19 @@ cover:
 # BENCH_batch.json (ns/op, B/op, allocs/op). Both files are checked in.
 # The Payload* scatter-gather benchmarks have their own snapshot (see
 # bench-payload below), so the deser selector names its families explicitly.
+# BENCH_telemetry.json snapshots the observability hot paths: the windowed
+# counter/histogram observe costs and the trace begin/span/finish cycle,
+# each with its disabled (nil-receiver) fast path. The disabled paths are
+# sub-nanosecond, so bench-check compares them at a loose 50% tolerance —
+# the hard gates are the AllocsPerRun==0 pins in the tests themselves.
 DESER_BENCH = ^Benchmark(Deserialize|Serialize|Sized|Planned|Varint|Uvarint|Tag)
 bench:
 	go test -bench '$(DESER_BENCH)' -benchmem -count 1 -run '^$$' ./internal/deser ./internal/wire \
 		| go run ./cmd/benchjson -out BENCH_deser.json
 	go test -bench 'EchoBatch|EchoRoundTrip' -benchmem -count 1 -run '^$$' ./internal/rpcrdma \
 		| go run ./cmd/benchjson -out BENCH_batch.json
+	go test -bench 'WindowedMetrics|TraceOverhead' -benchmem -count 1 -run '^$$' ./internal/metrics ./internal/trace \
+		| go run ./cmd/benchjson -out BENCH_telemetry.json
 
 # Scatter-gather payload snapshot: copy-fill vs SG-fill vs segment placement
 # at 4KiB..1MiB payloads, parsed into BENCH_payload.json (checked in).
@@ -65,6 +73,8 @@ bench-check:
 		| go run ./cmd/benchjson -compare BENCH_batch.json
 	go test -bench 'Payload' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/deser \
 		| go run ./cmd/benchjson -compare BENCH_payload.json
+	go test -bench 'WindowedMetrics|TraceOverhead' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/metrics ./internal/trace \
+		| go run ./cmd/benchjson -compare BENCH_telemetry.json -tolerance 0.5
 
 # Full benchmark sweep across every package (nothing written).
 bench-all:

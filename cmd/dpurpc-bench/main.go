@@ -11,7 +11,9 @@
 //	dpurpc-bench -experiment batchscale -commit-batch 32
 //	dpurpc-bench -experiment payloadscale -payload-size 4194304 -sg-min 1024
 //	dpurpc-bench -experiment anatomy -requests 4000 -sg-min 1024
-//	dpurpc-bench -experiment all -debug-addr localhost:9090   # live /metrics, /trace
+//	dpurpc-bench -experiment tailscale -requests 4000         # windowed p99 -> exemplar anatomies
+//	dpurpc-bench -experiment all -debug-addr localhost:9090   # live /metrics, /trace, /tail
+//	dpurpc-bench -experiment all -debug-addr localhost:9090 -pprof  # + /debug/pprof/
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, deserspeed")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, tailscale, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -51,9 +53,13 @@ func main() {
 		"scatter-gather payload threshold in bytes; >0 enables SG framing for every experiment and sets the payloadscale on-legs (payloadscale defaults its on-legs to 1KiB)")
 	format := flag.String("format", "table", "output format: table | csv | json (csv and json cover fig7, fig8, respscale, and anatomy)")
 	debugAddr := flag.String("debug-addr", "",
-		"serve live telemetry on this address while the experiments run (/metrics Prometheus text, /trace Chrome trace JSON for Perfetto, /anatomy, /healthz); empty disables")
+		"serve live telemetry on this address while the experiments run (/metrics Prometheus text incl. windowed rates/quantiles, /trace Chrome trace JSON for Perfetto, /anatomy, /tail, /healthz); empty disables")
 	traceOut := flag.String("trace-out", "",
 		"write the spans collected by -debug-addr's tracer as Chrome trace-event JSON to this file on exit")
+	tailExemplars := flag.Int("tail-exemplars", 0,
+		"how many windowed-histogram exemplars the tailscale experiment resolves to span anatomies (0 = 8)")
+	pprofFlag := flag.Bool("pprof", false,
+		"mount net/http/pprof profiles under /debug/pprof/ on the -debug-addr mux")
 	flag.Parse()
 
 	opts := harness.DefaultOptions()
@@ -64,6 +70,7 @@ func main() {
 	opts.CommitBatch = *commitBatch
 	opts.CommitFlushTimeout = time.Duration(*commitFlushUS) * time.Microsecond
 	opts.SGPayloadMin = *sgMin
+	opts.TailExemplars = *tailExemplars
 	csv := *format == "csv"
 	jsonOut := *format == "json"
 
@@ -75,13 +82,23 @@ func main() {
 		opts.Tracer = tracer
 	}
 	if *debugAddr != "" {
-		srv, err := trace.ListenDebug(*debugAddr, trace.NewDebugMux(opts.Registry, tracer, nil))
+		opts.Window = metrics.NewRPCWindow()
+		srv, err := trace.ListenDebug(*debugAddr, trace.NewDebugMuxOpts(trace.DebugOptions{
+			Registry: opts.Registry,
+			Tracer:   tracer,
+			Window:   opts.Window,
+			Pprof:    *pprofFlag,
+		}))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "debug-addr: %v\n", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s (/metrics /trace /anatomy /healthz)\n", srv.Addr())
+		endpoints := "/metrics /trace /anatomy /tail /healthz"
+		if *pprofFlag {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s (%s)\n", srv.Addr(), endpoints)
 	}
 	if *traceOut != "" {
 		defer func() {
@@ -216,6 +233,19 @@ func main() {
 			return printChaosCSV(rows)
 		}
 		return printChaos(rows)
+	})
+	run("tailscale", func() error {
+		rep, err := harness.RunTailscale(opts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printTailscaleJSON(rep)
+		}
+		if csv {
+			return printTailscaleCSV(rep)
+		}
+		return printTailscale(rep)
 	})
 	run("deserspeed", func() error {
 		rows, err := harness.DeserSpeed(opts, harness.DefaultDeserSpeedIters)
@@ -573,27 +603,39 @@ func printFig8c(opts harness.Options, rows []harness.Fig8Row) error {
 func printChaos(rows []harness.ChaosRow) error {
 	fmt.Println("== Chaos sweep (fault injection + failure recovery; beyond the paper) ==")
 	fmt.Println("   (Echo workload over the full offloaded stack; every call resolves")
-	fmt.Println("    OK after transparent/client retries or with a typed status)")
+	fmt.Println("    OK after transparent/client retries or with a typed status; each")
+	fmt.Println("    timeout or connection break dumps the flight recorder's black box)")
 	w := tw()
-	fmt.Fprintln(w, "fault rate\trequests\tok\ttyped fail\tretries\tin-place retries\ttimed out\tconns lost\tgoodput req/s\tp50 us\tp99 us")
+	fmt.Fprintln(w, "fault rate\trequests\tok\ttyped fail\tretries\tin-place retries\ttimed out\tconns lost\tflight dumps\tgoodput req/s\tp50 us\tp99 us")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%.0f%%\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.0f\t%.0f\n",
+		fmt.Fprintf(w, "%.0f%%\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.0f\t%.0f\n",
 			100*r.FaultRate, r.Requests, r.Succeeded, r.Failed, r.Retries,
-			r.SendFaultRetries, r.TimedOut, r.ConnsBroken, r.GoodputRPS,
-			r.P50US, r.P99US)
+			r.SendFaultRetries, r.TimedOut, r.ConnsBroken, r.FlightDumps,
+			r.GoodputRPS, r.P50US, r.P99US)
 	}
 	w.Flush()
+	for _, r := range rows {
+		if r.DumpSample == "" {
+			continue
+		}
+		fmt.Printf("   black-box sample at %.0f%% faults (first of %d dumps):\n",
+			100*r.FaultRate, r.FlightDumps)
+		for _, line := range strings.Split(strings.TrimRight(r.DumpSample, "\n"), "\n") {
+			fmt.Println("   " + line)
+		}
+		break
+	}
 	fmt.Println()
 	return nil
 }
 
 func printChaosCSV(rows []harness.ChaosRow) error {
-	fmt.Println("fault_rate,plan,requests,succeeded,failed,retries,send_fault_retries,timed_out,late_dropped,conns_broken,goodput_rps,p50_us,p99_us,wall_seconds")
+	fmt.Println("fault_rate,plan,requests,succeeded,failed,retries,send_fault_retries,timed_out,late_dropped,conns_broken,flight_dumps,goodput_rps,p50_us,p99_us,wall_seconds")
 	for _, r := range rows {
-		fmt.Printf("%.4f,%q,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.3f\n",
+		fmt.Printf("%.4f,%q,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.3f\n",
 			r.FaultRate, r.Plan, r.Requests, r.Succeeded, r.Failed, r.Retries,
 			r.SendFaultRetries, r.TimedOut, r.LateDropped, r.ConnsBroken,
-			r.GoodputRPS, r.P50US, r.P99US, r.WallSeconds)
+			r.FlightDumps, r.GoodputRPS, r.P50US, r.P99US, r.WallSeconds)
 	}
 	return nil
 }
@@ -602,6 +644,60 @@ func printChaosJSON(rows []harness.ChaosRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+func printTailscale(rep *harness.TailscaleReport) error {
+	fmt.Println("== Tail-latency exemplars (windowed histogram -> span anatomy) ==")
+	fmt.Println("   (the trailing window's slowest requests, worst first; each links")
+	fmt.Println("    through its histogram exemplar's trace ID to the stage-by-stage")
+	fmt.Println("    breakdown of that exact request — where anatomy averages over")
+	fmt.Println("    every request, tailscale explains the p99 outliers individually)")
+	fmt.Printf("window %v: %d req, %.3g req/s, p50 %.0f us  p90 %.0f us  p99 %.0f us  (wall %.2fs, %d/%d exemplars resolved)\n",
+		rep.Window, rep.WindowCount, rep.RPS, rep.P50US, rep.P90US, rep.P99US,
+		rep.WallSeconds, rep.ResolvedExemplars, len(rep.Exemplars))
+	for i, ex := range rep.Exemplars {
+		bucket := "+Inf"
+		if ex.BucketUS > 0 {
+			bucket = fmt.Sprintf("%d us", ex.BucketUS)
+		}
+		fmt.Printf("-- #%d trace=%d latency=%d us (bucket <= %s) method=%s err=%v --\n",
+			i+1, ex.TraceID, ex.LatencyUS, bucket, ex.Method, ex.Err)
+		if !ex.Resolved {
+			fmt.Println("   (trace no longer retained in the rings)")
+			continue
+		}
+		w := tw()
+		fmt.Fprintln(w, "  stage\tus")
+		for _, s := range ex.Stages {
+			fmt.Fprintf(w, "  %s\t%.1f\n", s.Stage, s.MeanUS)
+		}
+		w.Flush()
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTailscaleCSV(rep *harness.TailscaleReport) error {
+	fmt.Println("exemplar,trace_id,latency_us,bucket_us,method,err,resolved,stage,stage_us")
+	for i, ex := range rep.Exemplars {
+		if len(ex.Stages) == 0 {
+			fmt.Printf("%d,%d,%d,%d,%s,%t,%t,,\n",
+				i, ex.TraceID, ex.LatencyUS, ex.BucketUS, ex.Method, ex.Err, ex.Resolved)
+			continue
+		}
+		for _, s := range ex.Stages {
+			fmt.Printf("%d,%d,%d,%d,%s,%t,%t,%s,%.2f\n",
+				i, ex.TraceID, ex.LatencyUS, ex.BucketUS, ex.Method, ex.Err,
+				ex.Resolved, s.Stage, s.MeanUS)
+		}
+	}
+	return nil
+}
+
+func printTailscaleJSON(rep *harness.TailscaleReport) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func printDeserSpeed(rows []harness.DeserSpeedRow) error {

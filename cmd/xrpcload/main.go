@@ -45,11 +45,13 @@ func main() {
 	sgMin := flag.Int("sg-min", 0,
 		"scatter-gather payload threshold in bytes for the offload server (0 disables SG framing)")
 	debugAddr := flag.String("debug-addr", "",
-		"serve live telemetry on this address while serving (/metrics, /trace, /anatomy, /healthz); empty disables")
+		"serve live telemetry on this address while serving (/metrics, /trace, /anatomy, /tail, /gauges, /healthz); empty disables")
+	pprofFlag := flag.Bool("pprof", false,
+		"mount net/http/pprof profiles under /debug/pprof/ on the -debug-addr mux")
 	flag.Parse()
 
 	if *serve {
-		runServer(*mode, *addr, *debugAddr, *sgMin)
+		runServer(*mode, *addr, *debugAddr, *sgMin, *pprofFlag)
 		return
 	}
 	runClient(*addr, *scenario, *n, *pipeline, *conns, *payloadSize)
@@ -70,13 +72,14 @@ func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
 	}
 }
 
-func runServer(mode, addr, debugAddr string, sgMin int) {
+func runServer(mode, addr, debugAddr string, sgMin int, pprofEnabled bool) {
 	schema := benchSchema()
 	var opts dpurpc.StackOptions
 	var tracer *trace.Tracer
 	opts.SGPayloadMin = sgMin
 	if debugAddr != "" {
 		opts.Registry = metrics.NewRegistry()
+		opts.Window = metrics.NewRPCWindow()
 		if mode == "offload" {
 			tracer = trace.New(trace.Config{})
 			tracer.Enable()
@@ -117,12 +120,36 @@ func runServer(mode, addr, debugAddr string, sgMin int) {
 					sgMin, float64(copied)/float64(reqs), float64(reffed)/float64(reqs))
 			}
 		}
-		dbg, err := trace.ListenDebug(debugAddr, trace.NewDebugMuxWith(opts.Registry, tracer, nil, anatomyExtra))
+		// Resource gauges: poll the per-connection occupancy numbers (arena
+		// bytes, queue depths, credits) at a low rate into /gauges series and
+		// /metrics mirrors. Only the offloaded stack has rpcrdma connections.
+		var smp *metrics.Sampler
+		if stack.Deployment() != nil {
+			smp = metrics.NewSampler(100*time.Millisecond, 256, opts.Registry)
+			stack.RegisterGauges(smp)
+			smp.Start()
+			defer smp.Stop()
+		}
+		dbg, err := trace.ListenDebug(debugAddr, trace.NewDebugMuxOpts(trace.DebugOptions{
+			Registry:     opts.Registry,
+			Tracer:       tracer,
+			AnatomyExtra: anatomyExtra,
+			Window:       stack.Window(),
+			Sampler:      smp,
+			Pprof:        pprofEnabled,
+		}))
 		if err != nil {
 			fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Printf("xrpcload: telemetry on http://%s (/metrics /trace /anatomy /healthz)\n", dbg.Addr())
+		endpoints := "/metrics /trace /anatomy /tail /healthz"
+		if smp != nil {
+			endpoints += " /gauges"
+		}
+		if pprofEnabled {
+			endpoints += " /debug/pprof/"
+		}
+		fmt.Printf("xrpcload: telemetry on http://%s (%s)\n", dbg.Addr(), endpoints)
 	}
 	bound, err := stack.ListenAndServe(addr)
 	if err != nil {

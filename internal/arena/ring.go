@@ -145,6 +145,21 @@ func (r *Ring) allocSpill(size, align uint64) (uint64, error) {
 // SpillLive returns the number of live spill-region allocations.
 func (r *Ring) SpillLive() int { return len(r.spill) }
 
+// SpillSize returns the capacity of the large-segment spill region (0 when
+// the ring was built without one).
+func (r *Ring) SpillSize() uint64 { return r.spillSize }
+
+// SpillInUse returns the live bytes in the large-segment spill region — the
+// occupancy the resource gauges sample alongside the main arena, since jumbo
+// scatter-gather segments exhaust it independently of ring fill.
+func (r *Ring) SpillInUse() uint64 {
+	var used uint64
+	for _, s := range r.spill {
+		used += s.end - s.off
+	}
+	return used
+}
+
 // Free releases the OLDEST allocation; offset must be the value Alloc
 // returned for it. Releasing anything else fails — the ring's defining
 // limitation under out-of-order completion. Spill-region offsets

@@ -61,6 +61,46 @@ func TestRingSpillOutOfOrderFree(t *testing.T) {
 	}
 }
 
+// The spill occupancy accessors feed the resource gauges: byte-accurate
+// in-use tracking through alloc/free, independent of ring fill.
+func TestRingSpillOccupancy(t *testing.T) {
+	r := NewRingWithSpill(1024, 16384)
+	if r.SpillSize() != 16384 {
+		t.Fatalf("SpillSize = %d, want 16384", r.SpillSize())
+	}
+	if r.SpillInUse() != 0 {
+		t.Fatalf("SpillInUse = %d on a fresh ring", r.SpillInUse())
+	}
+	a, err := r.Alloc(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Alloc(2048, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SpillInUse(); got != 6144 {
+		t.Fatalf("SpillInUse = %d with two spans, want 6144", got)
+	}
+	if err := r.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SpillInUse(); got != 2048 {
+		t.Fatalf("SpillInUse = %d after first free, want 2048", got)
+	}
+	if err := r.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if r.SpillInUse() != 0 {
+		t.Fatalf("SpillInUse = %d after all frees", r.SpillInUse())
+	}
+	// A spill-less ring reports zero, not garbage.
+	plain := NewRing(1024)
+	if plain.SpillSize() != 0 || plain.SpillInUse() != 0 {
+		t.Fatal("plain ring reports spill occupancy")
+	}
+}
+
 func TestRingSpillExhaustedTyped(t *testing.T) {
 	r := NewRingWithSpill(1024, 8192)
 	if _, err := r.Alloc(4096, 8); err != nil {

@@ -62,6 +62,13 @@ type ChaosRow struct {
 	// retry loop (so a retried call's latency includes its backoff).
 	P50US float64
 	P99US float64
+	// FlightDumps counts the black-box flight-recorder dumps the point's
+	// connections emitted (deadline reaps and connection breaks trigger
+	// them automatically; see rpcrdma.Config.FlightRecorder).
+	FlightDumps int
+	// DumpSample is the rendered text of one captured dump (the first), so
+	// a chaos report carries the protocol-event post-mortem inline.
+	DumpSample string
 }
 
 // DefaultChaosRates is the published sweep: a fault-free control point plus
@@ -137,6 +144,20 @@ func runChaosPoint(opts Options, rate float64) (ChaosRow, error) {
 		HostWorkers:        opts.HostWorkers,
 		CommitBatch:        commitBatch,
 		CommitFlushTimeout: opts.CommitFlushTimeout,
+	}
+	// Flight recorders fly on every chaos connection: when a fault cascades
+	// into a typed failure, the dump carries the protocol events leading up
+	// to it. The sink is shared across connections and goroutine-safe.
+	var dumpMu sync.Mutex
+	var dumps []rpcrdma.FlightDump
+	sinkArmed := true
+	dcfg.ClientCfg.FlightRecorder = 256
+	dcfg.ClientCfg.FlightSink = func(d rpcrdma.FlightDump) {
+		dumpMu.Lock()
+		if sinkArmed {
+			dumps = append(dumps, d)
+		}
+		dumpMu.Unlock()
 	}
 	if plan.Enabled() {
 		dcfg.ClientFaults = &plan
@@ -297,6 +318,17 @@ func runChaosPoint(opts Options, rate float64) (ChaosRow, error) {
 		row.Retries += cl.Retries()
 		cl.Close()
 	}
+	// Disarm the sink and snapshot the black-box dumps before stopping the
+	// pollers: teardown closes every DPU server, and the deliberate aborts
+	// that causes record "connection broken" dumps on each surviving
+	// connection — shutdown noise, not chaos events.
+	dumpMu.Lock()
+	sinkArmed = false
+	row.FlightDumps = len(dumps)
+	if len(dumps) > 0 {
+		row.DumpSample = dumps[0].String()
+	}
+	dumpMu.Unlock()
 	close(stop)
 	for range d.DPUs {
 		rep := <-reports

@@ -25,6 +25,9 @@ func TestRunChaosResolvesEverything(t *testing.T) {
 	if control.Injected.Decisions != 0 {
 		t.Errorf("control point consulted the injector %d times", control.Injected.Decisions)
 	}
+	if control.FlightDumps != 0 {
+		t.Errorf("control point emitted %d flight dumps (teardown noise?)", control.FlightDumps)
+	}
 	faulty := rows[1]
 	if got := faulty.Succeeded + faulty.Failed; got != uint64(faulty.Requests) {
 		t.Errorf("faulty point resolved %d of %d calls", got, faulty.Requests)
@@ -34,5 +37,16 @@ func TestRunChaosResolvesEverything(t *testing.T) {
 	}
 	if faulty.Succeeded == 0 {
 		t.Error("no call succeeded at 5% faults")
+	}
+	// Timeouts and connection breaks auto-dump the flight recorder; a 5%
+	// point that saw either must carry at least one black-box post-mortem.
+	if faulty.TimedOut > 0 || faulty.ConnsBroken > 0 {
+		if faulty.FlightDumps == 0 {
+			t.Errorf("faulty point reaped %d and broke %d conns but emitted no flight dump",
+				faulty.TimedOut, faulty.ConnsBroken)
+		}
+		if faulty.DumpSample == "" {
+			t.Error("flight dumps emitted but no sample captured")
+		}
 	}
 }

@@ -83,6 +83,15 @@ type Options struct {
 	// Registry, when non-nil, receives the DPU pipeline series of the
 	// offloaded runs (queue depth, stage counts, worker busy time).
 	Registry *metrics.Registry
+	// Window, when non-nil, receives one windowed-latency observation per
+	// completed request of the offloaded runs, so a live debug mux
+	// (/metrics, /tail) reports trailing-window rates and quantiles while
+	// an experiment runs. The tailscale experiment provisions its own
+	// window when this is nil.
+	Window *metrics.RPCWindow
+	// TailExemplars bounds how many windowed-histogram exemplars the
+	// tailscale experiment resolves to span anatomies (0 = 8).
+	TailExemplars int
 	// Seed for the Mersenne Twister.
 	Seed uint32
 }
@@ -293,6 +302,7 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 		CommitFlushTimeout:           opts.CommitFlushTimeout,
 		SGPayloadMin:                 opts.SGPayloadMin,
 		Tracer:                       opts.Tracer,
+		Window:                       opts.Window,
 	}
 	if opts.Registry != nil {
 		dcfg.DPUPipeline = metrics.NewPipelineMetrics(opts.Registry, nil)

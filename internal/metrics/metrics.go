@@ -153,6 +153,11 @@ func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]*metric)}
 }
 
+// labelEscaper applies the Prometheus text-format label escaping: exactly
+// backslash, double quote, and newline. (Go's %q would also escape tabs and
+// non-ASCII runes, which the exposition format defines no sequences for.)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 func renderLabels(labels map[string]string) string {
 	if len(labels) == 0 {
 		return ""
@@ -164,7 +169,7 @@ func renderLabels(labels map[string]string) string {
 	sort.Strings(keys)
 	parts := make([]string, len(keys))
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+		parts[i] = k + `="` + labelEscaper.Replace(labels[k]) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }

@@ -264,3 +264,34 @@ lat_count{m="x"} 3
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestRegistryRenderHostileLabels pins the exposition for label values that
+// need escaping: the Prometheus text format defines exactly \\, \", and \n —
+// tabs and non-ASCII runes must pass through raw (Go's %q would mangle them
+// into \t and \uXXXX sequences no scraper understands).
+func TestRegistryRenderHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": "back\\slash"}).Add(1)
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": `say "hi"`}).Add(2)
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": "line1\nline2"}).Add(3)
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": "tab\there"}).Add(4)
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": "ünïcode→"}).Add(5)
+	r.Counter("hostile_total", "Hostile.", map[string]string{"v": "\\n is not \n"}).Add(6)
+	want := `# HELP hostile_total Hostile.
+# TYPE hostile_total counter
+hostile_total{v="back\\slash"} 1
+hostile_total{v="say \"hi\""} 2
+hostile_total{v="line1\nline2"} 3
+hostile_total{v="tab	here"} 4
+hostile_total{v="ünïcode→"} 5
+hostile_total{v="\\n is not \n"} 6
+`
+	if got := r.Render(); got != want {
+		t.Errorf("hostile-label exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The exposition must stay one line per sample: an unescaped newline in
+	// a label value would split its series line and corrupt the format.
+	if lines := strings.Count(r.Render(), "\n"); lines != 8 {
+		t.Errorf("exposition has %d lines, want 8 (2 header + 6 samples)", lines)
+	}
+}

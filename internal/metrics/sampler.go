@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Resource gauges: the datapath's occupancy numbers (arena bytes in use,
+// pending-commit depth, worker-pool queue length, busy fraction) are cheap
+// to read but only meaningful as a time series — a point read during a
+// scrape mostly sees the idle value. The Sampler polls registered sources
+// at a low fixed rate from one background goroutine and keeps each series
+// in a bounded ring, exposed on the debug mux (/gauges) and optionally
+// mirrored into registry gauges for /metrics.
+//
+// Source functions run on the sampler goroutine: they must read only
+// atomics or otherwise concurrency-safe state.
+
+// Sample is one point of a gauge time series.
+type Sample struct {
+	UnixNS int64   `json:"t"`
+	V      float64 `json:"v"`
+}
+
+// TimeSeries is a bounded ring of samples.
+type TimeSeries struct {
+	mu   sync.Mutex
+	buf  []Sample
+	next int
+	full bool
+}
+
+// NewTimeSeries returns a ring retaining the last depth samples.
+func NewTimeSeries(depth int) *TimeSeries {
+	if depth < 1 {
+		depth = 1
+	}
+	return &TimeSeries{buf: make([]Sample, depth)}
+}
+
+// Record appends one sample, evicting the oldest at capacity.
+func (ts *TimeSeries) Record(unixNS int64, v float64) {
+	ts.mu.Lock()
+	ts.buf[ts.next] = Sample{UnixNS: unixNS, V: v}
+	ts.next++
+	if ts.next == len(ts.buf) {
+		ts.next = 0
+		ts.full = true
+	}
+	ts.mu.Unlock()
+}
+
+// Samples copies out the retained points, oldest first.
+func (ts *TimeSeries) Samples() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if !ts.full {
+		return append([]Sample(nil), ts.buf[:ts.next]...)
+	}
+	out := make([]Sample, 0, len(ts.buf))
+	out = append(out, ts.buf[ts.next:]...)
+	out = append(out, ts.buf[:ts.next]...)
+	return out
+}
+
+type samplerSource struct {
+	key string
+	fn  func() float64
+	ts  *TimeSeries
+	g   *Gauge
+}
+
+// Sampler polls registered gauge sources on a fixed period. All methods
+// are safe on a nil receiver.
+type Sampler struct {
+	period time.Duration
+	depth  int
+	reg    *Registry // optional: mirror each series into a gauge
+
+	mu      sync.Mutex
+	sources []samplerSource
+	stop    chan struct{}
+	done    chan struct{}
+
+	nowNS func() int64 // test clock hook
+}
+
+// NewSampler builds a sampler with the given poll period and per-series
+// ring depth. reg may be nil; when set, each registered source is mirrored
+// into a registry gauge of the same name and labels so it shows on
+// /metrics as well.
+func NewSampler(period time.Duration, depth int, reg *Registry) *Sampler {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	return &Sampler{
+		period: period,
+		depth:  depth,
+		reg:    reg,
+		nowNS:  func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Register adds a gauge source. fn is called from the sampler goroutine
+// and must be safe to call concurrently with the datapath (read atomics
+// only). Registering the same name+labels twice replaces the source but
+// keeps the series.
+func (s *Sampler) Register(name, help string, labels map[string]string, fn func() float64) {
+	if s == nil || fn == nil {
+		return
+	}
+	key := name + renderLabels(labels)
+	var g *Gauge
+	if s.reg != nil {
+		g = s.reg.Gauge(name, help, labels)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.sources {
+		if s.sources[i].key == key {
+			s.sources[i].fn = fn
+			s.sources[i].g = g
+			return
+		}
+	}
+	s.sources = append(s.sources, samplerSource{key: key, fn: fn, ts: NewTimeSeries(s.depth), g: g})
+}
+
+// SampleOnce polls every source once (also used by tests and the /metrics
+// refresh hook so a scrape never reads a stale mirror).
+func (s *Sampler) SampleOnce() {
+	if s == nil {
+		return
+	}
+	now := s.nowNS()
+	s.mu.Lock()
+	srcs := append([]samplerSource(nil), s.sources...)
+	s.mu.Unlock()
+	for _, src := range srcs {
+		v := src.fn()
+		src.ts.Record(now, v)
+		if src.g != nil {
+			src.g.Set(v)
+		}
+	}
+}
+
+// Start launches the background poll loop. No-op if already running.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop and waits for it to exit. No-op if not running.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Series copies out every retained time series keyed by metric name (with
+// rendered labels), sorted keys for deterministic rendering.
+func (s *Sampler) Series() map[string][]Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srcs := append([]samplerSource(nil), s.sources...)
+	s.mu.Unlock()
+	out := make(map[string][]Sample, len(srcs))
+	for _, src := range srcs {
+		out[src.key] = src.ts.Samples()
+	}
+	return out
+}
+
+// SeriesKeys returns the registered series names in sorted order.
+func (s *Sampler) SeriesKeys() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, len(s.sources))
+	for i := range s.sources {
+		keys[i] = s.sources[i].key
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,390 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed telemetry: rate counters and latency histograms that report the
+// trailing window (e.g. the last 2 seconds) instead of process-lifetime
+// totals, so "/metrics p99" means "p99 right now".
+//
+// Both types share one mechanism: time is cut into fixed shards (default
+// 8 × 250ms) arranged in a ring indexed by epoch = now/shardDur. A writer
+// computes the current epoch, and if the ring slot still carries an older
+// epoch it CAS-claims the slot (one writer wins and zeroes it) before
+// adding. Steady state is therefore an atomic load + compare + atomic add;
+// no locks, no allocation, no background rotator goroutine.
+//
+// The rotation race is deliberately lossy: a writer that loses the epoch
+// CAS — or that adds into a slot while the winner is still zeroing it — can
+// have that one sample erased. This happens at most once per shard per
+// rotation boundary and only under concurrent writes straddling the
+// boundary; for telemetry the bias is negligible and the payoff is a
+// race-detector-clean hot path with no fences beyond the atomics. Readers
+// (Rate, Snapshot) simply skip slots whose epoch has fallen out of the
+// window.
+
+// wcShard is one time slice of a WindowedCounter.
+type wcShard struct {
+	epoch atomic.Int64
+	n     atomic.Uint64
+	_     [48]byte // pad to a cache line so adjacent shards don't false-share
+}
+
+// WindowedCounter counts events over a trailing time window. All methods
+// are safe on a nil receiver (no-ops / zeros), mirroring the trace
+// package's disabled idiom.
+type WindowedCounter struct {
+	shards   []wcShard
+	shardDur int64        // ns per shard
+	nowNS    func() int64 // test clock hook
+}
+
+// NewWindowedCounter returns a counter windowed over shards × shardDur.
+func NewWindowedCounter(shards int, shardDur time.Duration) *WindowedCounter {
+	if shards < 2 {
+		shards = 2
+	}
+	if shardDur <= 0 {
+		shardDur = 250 * time.Millisecond
+	}
+	return &WindowedCounter{
+		shards:   make([]wcShard, shards),
+		shardDur: int64(shardDur),
+		nowNS:    func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Add counts n events at the current time.
+func (c *WindowedCounter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	ep := c.nowNS() / c.shardDur
+	s := &c.shards[int(ep%int64(len(c.shards)))]
+	if old := s.epoch.Load(); old != ep {
+		if s.epoch.CompareAndSwap(old, ep) {
+			s.n.Store(0)
+		}
+	}
+	s.n.Add(n)
+}
+
+// Inc counts one event.
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// Total returns the number of events inside the trailing window.
+func (c *WindowedCounter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	ep := c.nowNS() / c.shardDur
+	min := ep - int64(len(c.shards)) + 1
+	var total uint64
+	for i := range c.shards {
+		s := &c.shards[i]
+		if e := s.epoch.Load(); e >= min && e <= ep {
+			total += s.n.Load()
+		}
+	}
+	return total
+}
+
+// Rate returns events per second over the trailing window. The divisor is
+// the full window span, so a freshly started counter under-reports until
+// one window has elapsed (documented bias; it converges within the window).
+func (c *WindowedCounter) Rate() float64 {
+	if c == nil {
+		return 0
+	}
+	span := float64(c.shardDur) * float64(len(c.shards)) / 1e9
+	return float64(c.Total()) / span
+}
+
+// Window returns the trailing window span.
+func (c *WindowedCounter) Window() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.shardDur * int64(len(c.shards)))
+}
+
+// whShard is one time slice of a WindowedHistogram. Exemplar value/ID
+// pairs are written under exMu (taken only when a sample beats the current
+// bucket maximum — rare in steady state) so a reader never sees the value
+// of one sample paired with the ID of another.
+type whShard struct {
+	epoch  atomic.Int64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64
+	exMu   []sync.Mutex    // per bucket
+	exVal  []atomic.Int64  // worst sample in bucket this shard
+	exID   []atomic.Uint64 // its trace ID (0 = untraced)
+}
+
+// WindowedHistogram buckets integer observations (the datapath uses
+// microseconds) over a trailing window, retaining per bucket the trace ID
+// of the worst recent sample — the hook that turns "p99 regressed" into a
+// specific request's stage-by-stage anatomy. Safe on a nil receiver.
+type WindowedHistogram struct {
+	bounds   []int64 // ascending upper bounds; implicit +Inf last
+	shards   []whShard
+	shardDur int64
+	nowNS    func() int64
+}
+
+// NewWindowedHistogram returns a histogram windowed over shards × shardDur
+// with the given ascending upper bounds.
+func NewWindowedHistogram(shards int, shardDur time.Duration, bounds []int64) *WindowedHistogram {
+	if shards < 2 {
+		shards = 2
+	}
+	if shardDur <= 0 {
+		shardDur = 250 * time.Millisecond
+	}
+	b := append([]int64(nil), bounds...)
+	h := &WindowedHistogram{
+		bounds:   b,
+		shards:   make([]whShard, shards),
+		shardDur: int64(shardDur),
+		nowNS:    func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.counts = make([]atomic.Uint64, len(b)+1)
+		s.exMu = make([]sync.Mutex, len(b)+1)
+		s.exVal = make([]atomic.Int64, len(b)+1)
+		s.exID = make([]atomic.Uint64, len(b)+1)
+	}
+	return h
+}
+
+// bucket returns the index of the bucket containing v (binary search, no
+// allocation).
+func (h *WindowedHistogram) bucket(v int64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one sample with an optional trace ID (0 = untraced).
+func (h *WindowedHistogram) Observe(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	ep := h.nowNS() / h.shardDur
+	s := &h.shards[int(ep%int64(len(h.shards)))]
+	if old := s.epoch.Load(); old != ep {
+		if s.epoch.CompareAndSwap(old, ep) {
+			for i := range s.counts {
+				s.counts[i].Store(0)
+				s.exVal[i].Store(0)
+				s.exID[i].Store(0)
+			}
+			s.sum.Store(0)
+		}
+	}
+	b := h.bucket(v)
+	s.counts[b].Add(1)
+	s.sum.Add(v)
+	// Exemplar: only the worst sample per bucket is retained, so the lock
+	// is taken only on a new maximum — once per bucket per shard rotation
+	// in steady state.
+	if v > s.exVal[b].Load() {
+		s.exMu[b].Lock()
+		if v > s.exVal[b].Load() {
+			s.exVal[b].Store(v)
+			s.exID[b].Store(traceID)
+		}
+		s.exMu[b].Unlock()
+	}
+}
+
+// WindowBucket is one bucket of a window snapshot.
+type WindowBucket struct {
+	Bound      int64  // upper bound; math.MaxInt64 for the +Inf bucket
+	Count      uint64 // samples in this bucket inside the window
+	ExemplarV  int64  // worst sample seen in this bucket (0 if none)
+	ExemplarID uint64 // its trace ID (0 = untraced or none)
+}
+
+// WindowSnapshot is a point-in-time read of the trailing window.
+type WindowSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Window  time.Duration
+	Buckets []WindowBucket
+}
+
+// Snapshot sums the live shards into one view. Nil receiver returns a zero
+// snapshot.
+func (h *WindowedHistogram) Snapshot() WindowSnapshot {
+	if h == nil {
+		return WindowSnapshot{}
+	}
+	ep := h.nowNS() / h.shardDur
+	min := ep - int64(len(h.shards)) + 1
+	snap := WindowSnapshot{
+		Window:  time.Duration(h.shardDur * int64(len(h.shards))),
+		Buckets: make([]WindowBucket, len(h.bounds)+1),
+	}
+	for i := range snap.Buckets {
+		if i < len(h.bounds) {
+			snap.Buckets[i].Bound = h.bounds[i]
+		} else {
+			snap.Buckets[i].Bound = math.MaxInt64
+		}
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		if e := s.epoch.Load(); e < min || e > ep {
+			continue
+		}
+		snap.Sum += s.sum.Load()
+		for b := range s.counts {
+			n := s.counts[b].Load()
+			if n == 0 {
+				continue
+			}
+			snap.Count += n
+			snap.Buckets[b].Count += n
+			s.exMu[b].Lock()
+			v, id := s.exVal[b].Load(), s.exID[b].Load()
+			s.exMu[b].Unlock()
+			if v > snap.Buckets[b].ExemplarV {
+				snap.Buckets[b].ExemplarV = v
+				snap.Buckets[b].ExemplarID = id
+			}
+		}
+	}
+	return snap
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile over the
+// window, in the histogram's units (ceil-rank, same convention as
+// Histogram.Quantile). NaN with no samples; +Inf when the rank lands in
+// the overflow bucket.
+func (s WindowSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			if i < len(s.Buckets)-1 {
+				return float64(b.Bound)
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Exemplar is one retained worst-of-bucket sample.
+type Exemplar struct {
+	V     int64  // the sample value (histogram units)
+	Bound int64  // upper bound of its bucket (MaxInt64 = +Inf)
+	ID    uint64 // trace ID, 0 if the request was untraced
+}
+
+// Exemplars returns up to max retained samples, worst first, deduplicated
+// by trace ID (untraced ID-0 entries are kept once per bucket).
+func (s WindowSnapshot) Exemplars(max int) []Exemplar {
+	var out []Exemplar
+	seen := map[uint64]bool{}
+	for i := len(s.Buckets) - 1; i >= 0 && len(out) < max; i-- {
+		b := s.Buckets[i]
+		if b.ExemplarV == 0 && b.ExemplarID == 0 {
+			continue
+		}
+		if b.ExemplarID != 0 {
+			if seen[b.ExemplarID] {
+				continue
+			}
+			seen[b.ExemplarID] = true
+		}
+		out = append(out, Exemplar{V: b.ExemplarV, Bound: b.Bound, ID: b.ExemplarID})
+	}
+	return out
+}
+
+// DefaultWindowShards / DefaultWindowShardDur give a 2-second trailing
+// window at 250ms resolution.
+const (
+	DefaultWindowShards = 8
+)
+
+// DefaultWindowShardDur is the default shard duration.
+const DefaultWindowShardDur = 250 * time.Millisecond
+
+// DefaultLatencyBoundsUS covers 1µs .. 1s in roughly-logarithmic steps.
+var DefaultLatencyBoundsUS = []int64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1000, 2000, 5000, 10000, 20000, 50000,
+	100000, 200000, 500000, 1000000,
+}
+
+// RPCWindow bundles the windowed series the datapath keeps per stack:
+// request and error rates plus a latency histogram with tail exemplars.
+// A nil *RPCWindow is the disabled state — Observe is a single pointer
+// test, cheaper than the tracer's disabled path.
+type RPCWindow struct {
+	Requests  *WindowedCounter
+	Errors    *WindowedCounter
+	LatencyUS *WindowedHistogram
+}
+
+// NewRPCWindow builds an RPCWindow with the default 8×250ms shape.
+func NewRPCWindow() *RPCWindow {
+	return &RPCWindow{
+		Requests:  NewWindowedCounter(DefaultWindowShards, DefaultWindowShardDur),
+		Errors:    NewWindowedCounter(DefaultWindowShards, DefaultWindowShardDur),
+		LatencyUS: NewWindowedHistogram(DefaultWindowShards, DefaultWindowShardDur, DefaultLatencyBoundsUS),
+	}
+}
+
+// Observe records one completed RPC: its end-to-end duration in
+// nanoseconds, the trace ID stamped at admission (0 if untraced), and
+// whether it resolved with an error. Safe on a nil receiver.
+func (w *RPCWindow) Observe(durNS int64, traceID uint64, errFlag bool) {
+	if w == nil {
+		return
+	}
+	w.Requests.Add(1)
+	if errFlag {
+		w.Errors.Add(1)
+	}
+	us := durNS / 1e3
+	if us < 0 {
+		us = 0
+	}
+	w.LatencyUS.Observe(us, traceID)
+}
+
+// setNow points every windowed series at one test clock (test hook).
+func (w *RPCWindow) setNow(now func() int64) {
+	w.Requests.nowNS = now
+	w.Errors.nowNS = now
+	w.LatencyUS.nowNS = now
+}

@@ -1,0 +1,348 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable test clock shared by the windowed series.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64      { return c.ns.Load() }
+func (c *fakeClock) set(d int64)     { c.ns.Store(d) }
+func (c *fakeClock) advance(d int64) { c.ns.Add(d) }
+
+func newTestWindow(clk *fakeClock) *RPCWindow {
+	w := NewRPCWindow()
+	w.setNow(clk.now)
+	return w
+}
+
+func TestWindowedCounterRotation(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1) // epoch 0 but nonzero time
+	c := NewWindowedCounter(4, 250*time.Millisecond)
+	c.nowNS = clk.now
+
+	c.Add(10)
+	if got := c.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	// One full window later the old shard has aged out.
+	clk.advance(4 * 250 * int64(time.Millisecond))
+	if got := c.Total(); got != 0 {
+		t.Fatalf("total after window = %d, want 0", got)
+	}
+	// Partially aged: shards drop out one at a time.
+	clk.set(1)
+	for i := 0; i < 4; i++ {
+		c.Add(1)
+		clk.advance(250 * int64(time.Millisecond))
+	}
+	// Now at epoch 4; epochs 1..4 are live, epoch 0 aged out.
+	if got := c.Total(); got != 3 {
+		t.Fatalf("total after partial aging = %d, want 3", got)
+	}
+	// Rate divides by the full window span (1s here).
+	if r := c.Rate(); r != 3 {
+		t.Fatalf("rate = %g, want 3", r)
+	}
+	if c.Window() != time.Second {
+		t.Fatalf("window = %v", c.Window())
+	}
+}
+
+func TestWindowedCounterReusesRotatedShard(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	c := NewWindowedCounter(2, 250*time.Millisecond)
+	c.nowNS = clk.now
+	c.Add(5)
+	// Land on the same ring slot two window-lengths later: the stale count
+	// must be zeroed, not added to.
+	clk.advance(2 * 2 * 250 * int64(time.Millisecond))
+	c.Add(1)
+	if got := c.Total(); got != 1 {
+		t.Fatalf("total = %d, want 1 (stale shard not reset)", got)
+	}
+}
+
+func TestWindowedHistogramSnapshot(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	h := NewWindowedHistogram(4, 250*time.Millisecond, []int64{10, 100, 1000})
+	h.nowNS = clk.now
+
+	h.Observe(5, 101)
+	h.Observe(7, 102)
+	h.Observe(50, 103)
+	h.Observe(5000, 104)
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if snap.Sum != 5062 {
+		t.Fatalf("sum = %d, want 5062", snap.Sum)
+	}
+	if got := snap.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %g, want 10", got)
+	}
+	if got := snap.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %g, want +Inf", got)
+	}
+	// Bucket exemplars: worst sample per bucket with its trace ID.
+	if b := snap.Buckets[0]; b.ExemplarV != 7 || b.ExemplarID != 102 {
+		t.Fatalf("bucket0 exemplar = (%d, %d), want (7, 102)", b.ExemplarV, b.ExemplarID)
+	}
+	if b := snap.Buckets[3]; b.ExemplarV != 5000 || b.ExemplarID != 104 || b.Bound != math.MaxInt64 {
+		t.Fatalf("overflow exemplar = %+v", b)
+	}
+
+	// Worst-first exemplar listing, deduplicated by trace ID.
+	ex := snap.Exemplars(10)
+	if len(ex) != 3 {
+		t.Fatalf("exemplars = %d, want 3 (one per non-empty bucket)", len(ex))
+	}
+	if ex[0].V != 5000 || ex[0].ID != 104 {
+		t.Fatalf("worst exemplar = %+v", ex[0])
+	}
+	if ex[1].V != 50 || ex[2].V != 7 {
+		t.Fatalf("exemplar order wrong: %+v", ex)
+	}
+
+	// Aging: a full window later everything is gone, quantile is NaN.
+	clk.advance(4 * 250 * int64(time.Millisecond))
+	snap = h.Snapshot()
+	if snap.Count != 0 || !math.IsNaN(snap.Quantile(0.99)) {
+		t.Fatalf("window did not age out: %+v", snap)
+	}
+}
+
+func TestWindowedHistogramExemplarDedup(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	h := NewWindowedHistogram(4, 250*time.Millisecond, []int64{10, 100})
+	h.nowNS = clk.now
+	// The same trace lands the worst sample in two buckets (e.g. retried):
+	// the listing must not show it twice.
+	h.Observe(5, 7)
+	h.Observe(50, 7)
+	ex := h.Snapshot().Exemplars(10)
+	if len(ex) != 1 || ex[0].V != 50 {
+		t.Fatalf("dedup failed: %+v", ex)
+	}
+	// Untraced (ID 0) exemplars are kept per bucket, not deduplicated away.
+	h.Observe(6, 0)
+	h.Observe(60, 0)
+	ex = h.Snapshot().Exemplars(10)
+	if len(ex) != 2 {
+		t.Fatalf("untraced exemplars dropped: %+v", ex)
+	}
+}
+
+func TestRPCWindowObserve(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	w := newTestWindow(clk)
+	w.Observe(1500, 1, false)   // 1.5µs -> 1µs bucket
+	w.Observe(250_000, 2, true) // 250µs
+	if got := w.Requests.Total(); got != 2 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := w.Errors.Total(); got != 1 {
+		t.Fatalf("errors = %d", got)
+	}
+	snap := w.LatencyUS.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("latency count = %d", snap.Count)
+	}
+	if q := snap.Quantile(0.99); q != 500 {
+		t.Fatalf("p99 = %g, want 500 (bucket bound above 250us)", q)
+	}
+	// Negative durations (clock skew) clamp to zero instead of corrupting
+	// the sum.
+	w.Observe(-5, 3, false)
+	if s := w.LatencyUS.Snapshot(); s.Sum != 251 {
+		t.Fatalf("sum = %d, want 251", s.Sum)
+	}
+}
+
+func TestRPCWindowNilSafety(t *testing.T) {
+	var w *RPCWindow
+	w.Observe(100, 1, true) // must not panic
+	var c *WindowedCounter
+	c.Add(1)
+	c.Inc()
+	if c.Total() != 0 || c.Rate() != 0 || c.Window() != 0 {
+		t.Fatal("nil counter not zero")
+	}
+	var h *WindowedHistogram
+	h.Observe(1, 1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not zero")
+	}
+}
+
+func TestWindowedConcurrent(t *testing.T) {
+	w := NewRPCWindow()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers while writers straddle shard rotations: the test
+	// asserts race-freedom (run under -race) and sane snapshots, not exact
+	// counts — rotation is documented as lossy at boundaries.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := w.LatencyUS.Snapshot()
+				if snap.Count > 0 {
+					snap.Quantile(0.99)
+					snap.Exemplars(4)
+				}
+				w.Requests.Rate()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				w.Observe(int64(i%3000)*1000, uint64(g*5000+i+1), i%97 == 0)
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if w.Requests.Total() == 0 {
+		t.Fatal("all samples lost")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(time.Hour, 4, reg) // manual SampleOnce; period irrelevant
+	clk := &fakeClock{}
+	clk.set(100)
+	s.nowNS = clk.now
+	var v atomic.Int64
+	s.Register("gauge_queue_depth", "Queue depth.", map[string]string{"pool": "dpu"}, func() float64 {
+		return float64(v.Load())
+	})
+	for i := 1; i <= 6; i++ {
+		v.Store(int64(i * 10))
+		s.SampleOnce()
+		clk.advance(1000)
+	}
+	series := s.Series()
+	key := `gauge_queue_depth{pool="dpu"}`
+	pts := series[key]
+	if len(pts) != 4 {
+		t.Fatalf("ring depth: %d points, want 4", len(pts))
+	}
+	// Oldest-first, last 4 of 6 samples.
+	if pts[0].V != 30 || pts[3].V != 60 {
+		t.Fatalf("ring contents wrong: %+v", pts)
+	}
+	if pts[0].UnixNS >= pts[3].UnixNS {
+		t.Fatal("samples not oldest-first")
+	}
+	// Mirrored into the registry gauge.
+	if g := reg.Gauge("gauge_queue_depth", "", map[string]string{"pool": "dpu"}); g.Value() != 60 {
+		t.Fatalf("mirrored gauge = %g", g.Value())
+	}
+	if keys := s.SeriesKeys(); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("series keys = %v", keys)
+	}
+	// Re-registering replaces the source but keeps the series.
+	s.Register("gauge_queue_depth", "", map[string]string{"pool": "dpu"}, func() float64 { return -1 })
+	s.SampleOnce()
+	if pts := s.Series()[key]; pts[len(pts)-1].V != -1 {
+		t.Fatal("re-register did not replace source")
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	s := NewSampler(time.Millisecond, 64, nil)
+	var n atomic.Int64
+	s.Register("g", "", nil, func() float64 { return float64(n.Add(1)) })
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if n.Load() < 3 {
+		t.Fatalf("sampler ticked %d times, want >= 3", n.Load())
+	}
+	var nilS *Sampler
+	nilS.Start()
+	nilS.Stop()
+	nilS.Register("x", "", nil, func() float64 { return 0 })
+	nilS.SampleOnce()
+	if nilS.Series() != nil || nilS.SeriesKeys() != nil {
+		t.Fatal("nil sampler not inert")
+	}
+}
+
+// TestWindowDisabledAllocs pins the disabled path (nil window) and the
+// enabled steady-state path at zero allocations per observation.
+func TestWindowDisabledAllocs(t *testing.T) {
+	var disabled *RPCWindow
+	if n := testing.AllocsPerRun(1000, func() {
+		disabled.Observe(1000, 42, false)
+	}); n != 0 {
+		t.Fatalf("disabled Observe allocates: %g allocs/op", n)
+	}
+	enabled := NewRPCWindow()
+	if n := testing.AllocsPerRun(1000, func() {
+		enabled.Observe(123_456, 42, false)
+	}); n != 0 {
+		t.Fatalf("enabled Observe allocates: %g allocs/op", n)
+	}
+}
+
+// BenchmarkWindowedMetricsOverhead mirrors BenchmarkTraceOverhead in
+// internal/trace: the disabled sub-benchmark is the cost every RPC pays
+// when windowed telemetry is off (one pointer test — it must stay within
+// the tracer's ~3ns disabled budget), the enabled one is the steady-state
+// atomic-add path.
+func BenchmarkWindowedMetricsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var w *RPCWindow
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Observe(int64(i), uint64(i), false)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		w := NewRPCWindow()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Observe(int64(i%1_000_000), uint64(i), i&1023 == 0)
+		}
+	})
+	b.Run("enabled-parallel", func(b *testing.B) {
+		w := NewRPCWindow()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int64(0)
+			for pb.Next() {
+				i++
+				w.Observe(i%1_000_000, uint64(i), false)
+			}
+		})
+	})
+}

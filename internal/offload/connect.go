@@ -148,6 +148,10 @@ type DeployConfig struct {
 	// request-ID replay to the host and back, and each datapath stage
 	// records a span against it (see internal/trace).
 	Tracer *trace.Tracer
+	// Window, when non-nil, is shared by every DPU server: each completed
+	// request adds one end-to-end latency observation (tagged with its trace
+	// ID) so /metrics, /anatomy, and /tail report the trailing window.
+	Window *metrics.RPCWindow
 	// ClientFaults/ServerFaults inject faults into the DPU->host and
 	// host->DPU RDMA paths respectively (see internal/fault). Each
 	// connection derives its own deterministic schedule (plan seed + index)
@@ -241,6 +245,9 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	for i := 0; i < conns; i++ {
 		poller := d.Pollers[i%hostPollers]
 		ccfgi, scfgi := ccfg, scfg
+		if ccfgi.FlightRecorder > 0 && ccfgi.FlightLabel == "" {
+			ccfgi.FlightLabel = fmt.Sprintf("conn%d", i)
+		}
 		if cfg.ClientFaults != nil {
 			p := *cfg.ClientFaults
 			p.Seed += uint32(i)
@@ -261,6 +268,7 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 			Pipeline:     cfg.DPUPipeline,
 			RespPipeline: cfg.DPURespPipeline,
 			Tracer:       cfg.Tracer,
+			Window:       cfg.Window,
 			SGPayloadMin: cfg.SGPayloadMin,
 		})
 		if err != nil {

@@ -67,6 +67,7 @@ type callTask struct {
 	measured bool  // need already computed (SubmitLocal path)
 	finished bool  // poller-owned: result delivered, ignore later signals
 	reserved int64 // ns timestamp at reserve (commit-latency metric)
+	admit    int64 // ns timestamp at admission (windowed-latency metric)
 
 	// Response-pipeline fields (stageSerialize, pooled mode only). The
 	// rpayload view stays valid while hold defers the block's ack.
@@ -151,6 +152,11 @@ type DPUConfig struct {
 	// (measure/reserve/build/commit, PCIe doorbells, the host's dispatch,
 	// handler and response stages, and response serialization/delivery).
 	Tracer *trace.Tracer
+	// Window, when non-nil, receives one end-to-end latency observation per
+	// completed request (admission to delivery), tagged with the request's
+	// trace ID so the windowed histogram's tail exemplars resolve to full
+	// span anatomies. Nil disables windowed telemetry at one pointer test.
+	Window *metrics.RPCWindow
 	// SGPayloadMin > 0 enables the scatter-gather payload path: singular
 	// string/bytes payloads of at least this many wire bytes are carried in
 	// dedicated 8-aligned segments after the object area, referenced by
@@ -494,6 +500,9 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 	e := d.procs.byID(id)
 	task := &callTask{procID: id, entry: e, data: payload}
 	task.tr = d.cfg.Tracer.Begin(method)
+	if d.cfg.Window != nil {
+		task.admit = trace.Now()
+	}
 	if d.pooled() {
 		// The planned scan runs on a pipeline worker; a failure surfaces as
 		// StatusInvalidArgument below, exactly like the inline path.
@@ -571,6 +580,10 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return err
 	}
 	tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
+	var admit int64
+	if d.cfg.Window != nil {
+		admit = trace.Now()
+	}
 	d.retry = append(d.retry, &callTask{
 		procID:   id,
 		entry:    e,
@@ -581,6 +594,7 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		data:     payload,
 		measured: true,
 		tr:       tr,
+		admit:    admit,
 		deliver: func(r callResult) {
 			cb(r.status, r.err, r.resp)
 			if r.release != nil {
@@ -611,6 +625,11 @@ func (d *DPUServer) finish(task *callTask, r callResult) {
 		now := trace.Now()
 		task.tr.Span(trace.StageDeliver, trace.ProcDPU, 0, now, now)
 		d.cfg.Tracer.Finish(task.tr, r.err)
+	}
+	if d.cfg.Window != nil && task.admit != 0 {
+		// Observe after Finish so a /tail scrape that lands between the two
+		// can already resolve the exemplar's trace from the completed rings.
+		d.cfg.Window.Observe(trace.Now()-task.admit, task.tr.ID(), r.err)
 	}
 	task.deliver(r)
 }

@@ -226,10 +226,55 @@ type ClientConn struct {
 	// drains. Serial owners leave it off.
 	holdPartial bool
 
+	// Flight recorder (Config.FlightRecorder > 0): fr is the black-box
+	// event ring, dumpsLeft rate-limits automatic dumps per connection so a
+	// flapping link cannot flood the sink, lastDump retains the most recent
+	// dump for cross-goroutine retrieval.
+	fr        *FlightRecorder
+	dumpsLeft int
+	lastDump  atomic.Pointer[FlightDump]
+	// gauges are atomic occupancy mirrors refreshed once per Progress pass
+	// (the connection state itself is single-owner and must not be read
+	// cross-goroutine).
+	gauges ConnGauges
+
 	// Counters instrument the endpoint.
 	Counters Counters
 
 	cqes []rdma.CQE
+}
+
+// ConnGauges are atomic occupancy mirrors of one ClientConn, refreshed by
+// its owner during Progress so cross-goroutine samplers (the resource-gauge
+// poller behind /gauges) can read send-arena occupancy and queue depths
+// without touching the single-owner connection state.
+type ConnGauges struct {
+	ArenaInUse  atomic.Uint64 // send-arena bytes in use (incl. SG segments)
+	ArenaSize   atomic.Uint64 // send-arena capacity
+	SendQueued  atomic.Int64  // sealed blocks waiting for credits/IDs
+	PartialMsgs atomic.Int64  // messages in the open partial commit batch
+	Unacked     atomic.Int64  // sent blocks awaiting acknowledgment
+	Outstanding atomic.Int64  // requests awaiting responses
+	Credits     atomic.Int64  // current send credits
+}
+
+// Gauges returns the connection's atomic occupancy mirrors. Safe to read
+// from any goroutine; values refresh once per Progress pass.
+func (c *ClientConn) Gauges() *ConnGauges { return &c.gauges }
+
+// refreshGauges mirrors owner-private occupancy into the atomics.
+func (c *ClientConn) refreshGauges() {
+	c.gauges.ArenaInUse.Store(c.alloc.InUse())
+	c.gauges.ArenaSize.Store(c.alloc.Size())
+	c.gauges.SendQueued.Store(int64(len(c.sendQ)))
+	partial := 0
+	if c.cur != nil {
+		partial = len(c.cur.conts)
+	}
+	c.gauges.PartialMsgs.Store(int64(partial))
+	c.gauges.Unacked.Store(int64(len(c.unacked)))
+	c.gauges.Outstanding.Store(int64(c.outstanding))
+	c.gauges.Credits.Store(int64(c.credits))
 }
 
 func newClientConn(cfg Config, qp *rdma.QP, sendCQ, recvCQ *rdma.CQ, sbuf []byte, rbuf *rdma.MR, recvPosts int) (*ClientConn, error) {
@@ -248,6 +293,10 @@ func newClientConn(cfg Config, qp *rdma.QP, sendCQ, recvCQ *rdma.CQ, sbuf []byte
 	if cfg.RequestTimeout > 0 {
 		c.idGen = make([]uint32, IDPoolSize)
 		c.timedOut = make(map[uint16]struct{})
+	}
+	if cfg.FlightRecorder > 0 {
+		c.fr = NewFlightRecorder(cfg.FlightLabel, cfg.FlightRecorder)
+		c.dumpsLeft = maxFlightDumps
 	}
 	c.Counters.MinCreditsSeen = uint64(cfg.Credits)
 	// Reserve offset 0: region offsets must never be 0 (NullRef), and the
@@ -450,6 +499,7 @@ func (c *ClientConn) Reserve(method uint16, size int, onResponse func(Response))
 		b.trs = append(b.trs, nil)
 	}
 	c.outstanding++
+	c.fr.Record(FlightReserve, int64(size), int64(len(b.conts)-1))
 	return &Reservation{
 		Dst:       b.buf[hdrPos+HeaderSize : hdrPos+HeaderSize+size],
 		RegionOff: b.off + uint64(hdrPos+HeaderSize),
@@ -501,6 +551,7 @@ func (c *ClientConn) Commit(r *Reservation, root uint32, used int) error {
 	}
 	r.done = true
 	b.pending--
+	c.fr.Record(FlightCommit, int64(used), int64(r.method))
 	if b == c.cur && b.pending == 0 && b.used >= c.cfg.BlockSize {
 		c.seal(flushFull)
 	}
@@ -519,6 +570,7 @@ func (c *ClientConn) Cancel(r *Reservation) {
 	r.done = true
 	b := r.b
 	b.pending--
+	c.fr.Record(FlightCancel, int64(r.size), 0)
 	if b == c.cur && r.idx == len(b.conts)-1 &&
 		r.hdrPos+HeaderSize+alignUp(r.size) == b.used {
 		b.used = r.hdrPos
@@ -549,6 +601,7 @@ func (c *ClientConn) seal(reason flushReason) {
 		c.Counters.PartialFlushes++
 	}
 	c.Counters.countFlush(reason)
+	c.fr.Record(FlightSeal, int64(reason), int64(len(c.cur.conts)))
 	if c.cfg.RequestTimeout > 0 {
 		c.cur.sealedAt = nowNS()
 	}
@@ -600,6 +653,7 @@ func (c *ClientConn) trySend() {
 	for len(c.sendQ) > 0 {
 		if c.credits == 0 {
 			c.Counters.CreditStalls++
+			c.fr.Record(FlightCreditStall, int64(len(c.sendQ)), 0)
 			return
 		}
 		b := c.sendQ[0]
@@ -666,6 +720,7 @@ func (c *ClientConn) trySend() {
 				c.pool.Unalloc(len(b.ids))
 				c.ackBlocks += ack
 				c.Counters.SendFaultRetries++
+				c.fr.Record(FlightSendRetry, int64(b.seq), 0)
 				return
 			}
 			c.fail(err)
@@ -692,6 +747,7 @@ func (c *ClientConn) trySend() {
 		c.Counters.BlocksSent++
 		c.Counters.RequestsSent += uint64(len(b.conts))
 		c.Counters.PayloadBytesSent += uint64(b.used)
+		c.fr.Record(FlightSend, int64(b.seq), int64(b.used))
 		c.unacked = append(c.unacked, b)
 		c.sendQ = c.sendQ[0:copy(c.sendQ, c.sendQ[1:])]
 	}
@@ -700,11 +756,44 @@ func (c *ClientConn) trySend() {
 func (c *ClientConn) fail(err error) {
 	if c.broken == nil {
 		c.broken = fmt.Errorf("%w: %w", ErrConnBroken, err)
+		c.fr.Record(FlightBroken, 0, 0)
+		c.dumpFlight("connection broken: " + err.Error())
 		// Close the QP so the peer observes the failure on its next post
 		// (ErrClosed) instead of waiting out its own timeouts, and so
 		// waiters on this side's CQs wake immediately.
 		c.qp.Close()
 	}
+}
+
+// maxFlightDumps bounds the black-box dumps one connection will emit, so a
+// flapping connection under sustained chaos cannot flood the sink.
+const maxFlightDumps = 8
+
+// dumpFlight snapshots the flight recorder and publishes the dump: the last
+// one is kept for LastFlightDump, and Config.FlightSink (when set) gets every
+// dump up to the per-connection cap. Owner-only; no-op when recording is off.
+func (c *ClientConn) dumpFlight(reason string) {
+	if c.fr == nil || c.dumpsLeft <= 0 {
+		return
+	}
+	c.dumpsLeft--
+	d := c.fr.dump(reason)
+	c.lastDump.Store(&d)
+	if c.cfg.FlightSink != nil {
+		c.cfg.FlightSink(d)
+	}
+}
+
+// LastFlightDump returns the most recent black-box dump, or nil if none has
+// fired. Safe from any goroutine.
+func (c *ClientConn) LastFlightDump() *FlightDump {
+	return c.lastDump.Load()
+}
+
+// FlightEvents copies out the flight recorder's retained events (oldest
+// first); nil when recording is disabled.
+func (c *ClientConn) FlightEvents() []FlightEvent {
+	return c.fr.Events()
 }
 
 // processRequestBlockAcks frees the count oldest unacknowledged request
@@ -749,6 +838,7 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 	// the deterministic ID replay and silently misdeliver every response
 	// after it. Fail fast instead.
 	if p.seq != c.expectSeq {
+		c.fr.Record(FlightSeqGap, int64(p.seq), int64(c.expectSeq))
 		return fmt.Errorf("%w: response block seq %d, expected %d", ErrSeqGap, p.seq, c.expectSeq)
 	}
 	c.expectSeq++
@@ -798,6 +888,7 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 				delete(c.timedOut, h.reqID)
 				c.freeIDs = append(c.freeIDs, h.reqID)
 				c.Counters.LateResponsesDropped++
+				c.fr.Record(FlightLateResp, int64(h.reqID), 0)
 				pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
 				continue
 			}
@@ -825,6 +916,7 @@ func (c *ClientConn) handleResponseBlock(imm uint32, byteLen uint32) error {
 		pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
 	}
 	c.Counters.BlocksReceived++
+	c.fr.Record(FlightRecvBlock, int64(p.seq), int64(p.msgCount))
 	c.inDispatch = true
 	for _, d := range ready {
 		if d.cont != nil {
@@ -960,6 +1052,7 @@ func (c *ClientConn) Progress() (int, error) {
 		(c.cur == nil || len(c.cur.conts) == 0) && c.credits > 0 {
 		c.sendAckOnly()
 	}
+	c.refreshGauges()
 	return events, c.broken
 }
 
@@ -998,6 +1091,7 @@ func (c *ClientConn) processRecvCQEs(cqes []rdma.CQE) (int, error) {
 // pendingFails, not invoked here.
 func (c *ClientConn) reapDeadlines() {
 	now := nowNS()
+	reaped := 0
 	for len(c.deadlines) > 0 && c.deadlines[0].at <= now {
 		d := c.deadlines[0]
 		c.deadlines = c.deadlines[0:copy(c.deadlines, c.deadlines[1:])]
@@ -1012,6 +1106,8 @@ func (c *ClientConn) reapDeadlines() {
 		c.outstanding--
 		c.timedOut[d.id] = struct{}{}
 		c.Counters.RequestsTimedOut++
+		c.fr.Record(FlightTimeout, int64(d.id), 0)
+		reaped++
 		c.pendingFails = append(c.pendingFails, pendingFail{cont, Response{
 			Status: StatusDeadlineExceeded, Err: true, LocalErr: ErrRequestTimeout,
 		}})
@@ -1027,6 +1123,7 @@ func (c *ClientConn) reapDeadlines() {
 			c.fail(err)
 			return
 		}
+		c.fr.Record(FlightBlockReap, int64(len(b.conts)), 0)
 		for _, cont := range b.conts {
 			if cont != nil {
 				c.pendingFails = append(c.pendingFails, pendingFail{cont, Response{
@@ -1035,8 +1132,12 @@ func (c *ClientConn) reapDeadlines() {
 			}
 			c.outstanding--
 			c.Counters.RequestsTimedOut++
+			reaped++
 		}
 		b.conts = nil
+	}
+	if reaped > 0 {
+		c.dumpFlight(fmt.Sprintf("request timeout (%d reaped)", reaped))
 	}
 }
 
@@ -1075,6 +1176,7 @@ func (c *ClientConn) sendAckOnly() {
 			c.ackBlocks += ack
 			_ = c.alloc.Free(b.off)
 			c.Counters.SendFaultRetries++
+			c.fr.Record(FlightSendRetry, int64(b.seq), 0)
 			return
 		}
 		c.fail(err)
@@ -1087,6 +1189,7 @@ func (c *ClientConn) sendAckOnly() {
 	}
 	c.Counters.BlocksSent++
 	c.Counters.AckOnlyBlocks++
+	c.fr.Record(FlightAckOnly, int64(ack), 0)
 	c.unacked = append(c.unacked, b)
 }
 

@@ -151,6 +151,22 @@ type Config struct {
 	// nil; with no injector the datapath is byte-identical to an
 	// injector-free build.
 	Faults *fault.Plan
+	// FlightRecorder (client side) > 0 enables the per-connection
+	// black-box ring: the last N protocol events (reserves, commits,
+	// seals, sends, retries, seq-gaps, timeouts) are retained and dumped
+	// automatically when the failure machinery fires — a typed error
+	// breaks the connection or the deadline reaper times requests out.
+	// 0 (the default) disables it; the hot path then pays one nil check
+	// per hook.
+	FlightRecorder int
+	// FlightLabel names this connection in flight-recorder dumps (e.g.
+	// "conn3"). Empty is fine for single-connection setups.
+	FlightLabel string
+	// FlightSink, when non-nil, receives each flight-recorder dump as it
+	// fires. It may be shared across connections and is called from the
+	// connection's owner goroutine — it must be safe for concurrent use.
+	// Nil keeps dumps retrievable via ClientConn.LastFlightDump only.
+	FlightSink func(FlightDump)
 	// Tracer, when non-nil, enables span recording for traced requests.
 	// Trace IDs ride the deterministic request-ID replay of Sec. IV-D out
 	// of band (a shared table indexed by request ID, see Connect), so the

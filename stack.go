@@ -3,6 +3,7 @@ package dpurpc
 import (
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -72,6 +73,13 @@ type StackOptions struct {
 	// errors, request/response bytes, in-flight gauge) recorded at the
 	// xRPC admission layer. Expose it live with trace.NewDebugMux.
 	Registry *metrics.Registry
+	// Window, when non-nil, collects per-request end-to-end latency into
+	// sliding-window histograms: /metrics and /anatomy report the trailing
+	// window's req/s and p50/p90/p99, and /tail resolves the window's worst
+	// requests to full span anatomies (observations are tagged with trace
+	// IDs when a Tracer is also configured). Works for both offloaded and
+	// baseline stacks; baseline observations carry no trace ID.
+	Window *metrics.RPCWindow
 	// Tracer, when non-nil, stamps every admitted RPC with a trace ID and
 	// records per-stage spans along the whole datapath (DPU measure/build/
 	// commit, PCIe doorbells, host dispatch/handler/response build, DPU
@@ -118,6 +126,7 @@ type Stack struct {
 	// Observability (nil unless configured in StackOptions).
 	registry *metrics.Registry
 	tracer   *trace.Tracer
+	window   *metrics.RPCWindow
 }
 
 // NewOffloadedStack wires the paper's deployment: ADT handshake, DPU
@@ -125,7 +134,7 @@ type Stack struct {
 // dispatching to impls.
 func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions) (*Stack, error) {
 	opts.fill()
-	d, err := offload.NewDeploymentWith(schema.Table, impls, offload.DeployConfig{
+	dcfg := offload.DeployConfig{
 		Connections:                  opts.Connections,
 		ClientCfg:                    opts.ClientConfig,
 		ServerCfg:                    opts.ServerConfig,
@@ -138,14 +147,22 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		DPUWorkers:                   opts.DPUWorkers,
 		HostWorkers:                  opts.HostWorkers,
 		Tracer:                       opts.Tracer,
+		Window:                       opts.Window,
 		ClientFaults:                 opts.Faults,
 		ServerFaults:                 opts.Faults,
 		RequestTimeout:               opts.RequestTimeout,
-	})
+	}
+	if opts.Registry != nil && opts.DPUWorkers > 1 {
+		// Pipeline instrumentation rides the registry for free: queue depth,
+		// worker busy time, and commit latency, shared across connections.
+		dcfg.DPUPipeline = metrics.NewPipelineMetrics(opts.Registry, nil)
+		dcfg.DPURespPipeline = metrics.NewResponsePipelineMetrics(opts.Registry, nil)
+	}
+	d, err := offload.NewDeploymentWith(schema.Table, impls, dcfg)
 	if err != nil {
 		return nil, err
 	}
-	st := &Stack{deployment: d, registry: opts.Registry, tracer: opts.Tracer}
+	st := &Stack{deployment: d, registry: opts.Registry, tracer: opts.Tracer, window: opts.Window}
 	// One poller goroutine per DPU connection plus one host server poller.
 	for _, dpuSrv := range d.DPUs {
 		stop := make(chan struct{})
@@ -216,20 +233,25 @@ func NewBaselineStack(schema *Schema, impls map[string]Impl, opts StackOptions) 
 	if err != nil {
 		return nil, err
 	}
-	st := &Stack{handler: base.XRPCHandler(), registry: opts.Registry}
+	st := &Stack{handler: base.XRPCHandler(), registry: opts.Registry, window: opts.Window}
 	st.instrument()
 	return st, nil
 }
 
 // instrument wraps the xRPC entry points with per-method metrics when a
-// registry is configured. Must run before Serve.
+// registry is configured, and — on baseline stacks — with windowed latency
+// observation (offloaded stacks observe at the DPU poller instead, where the
+// trace ID is at hand). Must run before Serve.
 func (s *Stack) instrument() {
-	if s.registry == nil {
-		return
+	if s.registry != nil {
+		rm := newRPCMetrics(s.registry)
+		s.handler = rm.wrapHandler(s.handler)
+		s.stream = rm.wrapStream(s.stream)
 	}
-	rm := newRPCMetrics(s.registry)
-	s.handler = rm.wrapHandler(s.handler)
-	s.stream = rm.wrapStream(s.stream)
+	if s.window != nil && s.deployment == nil {
+		s.handler = wrapHandlerWindow(s.window, s.handler)
+		s.stream = wrapStreamWindow(s.window, s.stream)
+	}
 }
 
 // Metrics returns the registry configured in StackOptions (nil if none).
@@ -237,6 +259,45 @@ func (s *Stack) Metrics() *metrics.Registry { return s.registry }
 
 // Tracer returns the tracer configured in StackOptions (nil if none).
 func (s *Stack) Tracer() *trace.Tracer { return s.tracer }
+
+// Window returns the RPC window configured in StackOptions (nil if none).
+func (s *Stack) Window() *metrics.RPCWindow { return s.window }
+
+// RegisterGauges registers this stack's live resource sources on a sampler:
+// per-connection protocol-endpoint state (arena occupancy, send-queue and
+// partial-block depth, outstanding requests, credits) refreshed by each DPU
+// poller pass. The sampler polls them at its own low rate; the datapath only
+// ever writes a handful of per-pass atomics. No-op for baseline stacks.
+func (s *Stack) RegisterGauges(smp *metrics.Sampler) {
+	if smp == nil || s.deployment == nil {
+		return
+	}
+	for i, dpu := range s.deployment.DPUs {
+		g := dpu.Client().Gauges()
+		l := map[string]string{"conn": strconv.Itoa(i)}
+		smp.Register("conn_arena_in_use_bytes",
+			"Send-arena bytes in use on the DPU client endpoint.", l,
+			func() float64 { return float64(g.ArenaInUse.Load()) })
+		smp.Register("conn_arena_size_bytes",
+			"Send-arena capacity of the DPU client endpoint.", l,
+			func() float64 { return float64(g.ArenaSize.Load()) })
+		smp.Register("conn_send_queue_depth",
+			"Sealed request blocks waiting for credits or IDs.", l,
+			func() float64 { return float64(g.SendQueued.Load()) })
+		smp.Register("conn_partial_block_msgs",
+			"Messages buffered in the unsealed partial block.", l,
+			func() float64 { return float64(g.PartialMsgs.Load()) })
+		smp.Register("conn_unacked_blocks",
+			"Request blocks sent but not yet acknowledged.", l,
+			func() float64 { return float64(g.Unacked.Load()) })
+		smp.Register("conn_outstanding_requests",
+			"Requests in flight on the connection.", l,
+			func() float64 { return float64(g.Outstanding.Load()) })
+		smp.Register("conn_credits",
+			"Send credits remaining on the connection.", l,
+			func() float64 { return float64(g.Credits.Load()) })
+	}
+}
 
 // Handler exposes the raw xRPC handler (useful for in-process testing
 // without TCP).

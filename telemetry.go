@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dpurpc/internal/metrics"
+	"dpurpc/internal/trace"
 	"dpurpc/internal/xrpc"
 )
 
@@ -75,6 +76,35 @@ func (m *rpcMetrics) wrapHandler(h xrpc.ServerHandler) xrpc.ServerHandler {
 		}
 		mm.respBytes.Add(uint64(len(resp)))
 		return status, resp
+	}
+}
+
+// wrapHandlerWindow adds windowed latency observation to the synchronous
+// handler path (baseline stacks: no trace IDs, so exemplars stay unresolved).
+func wrapHandlerWindow(win *metrics.RPCWindow, h xrpc.ServerHandler) xrpc.ServerHandler {
+	if h == nil {
+		return nil
+	}
+	return func(method string, payload []byte) (uint16, []byte) {
+		start := trace.Now()
+		status, resp := h(method, payload)
+		win.Observe(trace.Now()-start, 0, status != xrpc.StatusOK)
+		return status, resp
+	}
+}
+
+// wrapStreamWindow is wrapHandlerWindow for the streaming path; the request
+// is observed when its respond callback fires.
+func wrapStreamWindow(win *metrics.RPCWindow, h xrpc.StreamHandler) xrpc.StreamHandler {
+	if h == nil {
+		return nil
+	}
+	return func(method string, payload []byte, respond xrpc.RespondFunc) {
+		start := trace.Now()
+		h(method, payload, func(status uint16, resp []byte) {
+			win.Observe(trace.Now()-start, 0, status != xrpc.StatusOK)
+			respond(status, resp)
+		})
 	}
 }
 
