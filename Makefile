@@ -55,6 +55,8 @@ bench:
 		| go run ./cmd/benchjson -out BENCH_batch.json
 	go test -bench 'WindowedMetrics|TraceOverhead' -benchmem -count 1 -run '^$$' ./internal/metrics ./internal/trace \
 		| go run ./cmd/benchjson -out BENCH_telemetry.json
+	go test -bench 'ConnScale' -benchmem -count 1 -run '^$$' ./internal/harness \
+		| go run ./cmd/benchjson -out BENCH_connscale.json
 
 # Scatter-gather payload snapshot: copy-fill vs SG-fill vs segment placement
 # at 4KiB..1MiB payloads, parsed into BENCH_payload.json (checked in).
@@ -75,6 +77,8 @@ bench-check:
 		| go run ./cmd/benchjson -compare BENCH_payload.json
 	go test -bench 'WindowedMetrics|TraceOverhead' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/metrics ./internal/trace \
 		| go run ./cmd/benchjson -compare BENCH_telemetry.json -tolerance 0.5
+	go test -bench 'ConnScale' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/harness \
+		| go run ./cmd/benchjson -compare BENCH_connscale.json -tolerance 0.5
 
 # Full benchmark sweep across every package (nothing written).
 bench-all:
@@ -86,10 +90,11 @@ experiments:
 
 # Fault-injection sweep: goodput and latency of the offloaded stack at
 # 0/1/5/10% injected fault rates, plus the race-detector chaos soak over
-# randomized fault plans. The deterministic-seed fault matrix runs in the
-# ordinary `make test` (TestDeterministicFaultMatrix, TestChaosSoak).
+# randomized fault plans and the connection-churn soak (faults x kills,
+# exactly-once at every rate). The deterministic-seed fault matrix runs in
+# the ordinary `make test` (TestDeterministicFaultMatrix, TestChaosSoak).
 chaos:
-	go test -race -run 'TestChaosSoak|TestDeterministicFaultMatrix|TestRunChaos' -count=1 -v \
+	go test -race -run 'TestChaosSoak|TestDeterministicFaultMatrix|TestRunChaos|TestChaosChurn' -count=1 -v \
 		./internal/offload ./internal/rpcrdma ./internal/harness
 	go run ./cmd/dpurpc-bench -experiment chaos
 

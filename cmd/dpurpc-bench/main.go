@@ -35,7 +35,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, tailscale, deserspeed")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, connscale, tailscale, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -233,6 +233,23 @@ func main() {
 			return printChaosCSV(rows)
 		}
 		return printChaos(rows)
+	})
+	run("connscale", func() error {
+		rows, err := harness.RunConnScale(opts, harness.DefaultConnScaleCounts())
+		if err != nil {
+			return err
+		}
+		overload, err := harness.RunOverload(opts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printConnScaleJSON(rows, overload)
+		}
+		if csv {
+			return printConnScaleCSV(rows, overload)
+		}
+		return printConnScale(rows, overload)
 	})
 	run("tailscale", func() error {
 		rep, err := harness.RunTailscale(opts)
@@ -644,6 +661,49 @@ func printChaosJSON(rows []harness.ChaosRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+func printConnScale(rows []harness.ConnScaleRow, overload harness.ConnScaleRow) error {
+	fmt.Println("== Connection scale-out (reconnect + churn + admission control) ==")
+	fmt.Println("   (Echo workload multiplexed over shared poller shards; the churn")
+	fmt.Println("    legs kill live connections mid-load — every kill must be absorbed")
+	fmt.Println("    by a transparent reconnect, every call resolves exactly once)")
+	w := tw()
+	fmt.Fprintln(w, "conns\tshards\tchurn\trequests\tok\ttyped fail\tretries\tkills\treconnects\tdead conns\tgoodput req/s\tp50 us\tp99 us")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3g\t%.0f\t%.0f\n",
+			r.Conns, r.Shards, r.Churn, r.Requests, r.Succeeded, r.Failed,
+			r.Retries, r.Kills, r.Reconnects, r.DeadConns,
+			r.GoodputRPS, r.P50US, r.P99US)
+	}
+	w.Flush()
+	fmt.Printf("   overload (admit<=%d, no client retries): %d ok, %d shed typed UNAVAILABLE (DPU %d / host %d) in %.3fs\n",
+		overload.AdmitMaxInflight, overload.Succeeded, overload.Failed,
+		overload.DPUSheds, overload.HostSheds, overload.WallSeconds)
+	fmt.Println()
+	return nil
+}
+
+func printConnScaleCSV(rows []harness.ConnScaleRow, overload harness.ConnScaleRow) error {
+	fmt.Println("conns,shards,churn,requests,succeeded,failed,retries,kills,reconnects,redial_fails,dpu_sheds,host_sheds,admit_max_inflight,dead_conns,goodput_rps,p50_us,p99_us,wall_seconds")
+	all := append(append([]harness.ConnScaleRow(nil), rows...), overload)
+	for _, r := range all {
+		fmt.Printf("%d,%d,%v,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.1f,%.3f\n",
+			r.Conns, r.Shards, r.Churn, r.Requests, r.Succeeded, r.Failed,
+			r.Retries, r.Kills, r.Reconnects, r.RedialFails,
+			r.DPUSheds, r.HostSheds, r.AdmitMaxInflight, r.DeadConns,
+			r.GoodputRPS, r.P50US, r.P99US, r.WallSeconds)
+	}
+	return nil
+}
+
+func printConnScaleJSON(rows []harness.ConnScaleRow, overload harness.ConnScaleRow) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Sweep    []harness.ConnScaleRow
+		Overload harness.ConnScaleRow
+	}{rows, overload})
 }
 
 func printTailscale(rep *harness.TailscaleReport) error {

@@ -168,6 +168,24 @@ type DeployConfig struct {
 	// of hanging. Zero disables deadlines — only enable under fault
 	// injection (see rpcrdma.Config.RequestTimeout).
 	RequestTimeout time.Duration
+	// ReconnectBudget > 0 arms transparent reconnect on every DPU server: a
+	// broken connection is redialed (fresh QP pair against the same host
+	// poller, same per-connection config) up to this many consecutive
+	// failures before the break becomes terminal. See
+	// DPUConfig.ReconnectBudget.
+	ReconnectBudget int
+	// ReconnectBackoff / ReconnectMaxBackoff tune the redial backoff
+	// schedule (0 = DPUConfig defaults: 200µs doubling to 50ms).
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+	// DPUAdmitMaxInflight > 0 enables the DPU-side admission gate on every
+	// DPU server (see DPUConfig.AdmitMaxInflight).
+	DPUAdmitMaxInflight int
+	// HostAdmitMaxInflight / HostAdmitArenaFrac enable the host-side
+	// admission gate on every server connection (see
+	// rpcrdma.Config.AdmitMaxInflight / AdmitArenaFrac).
+	HostAdmitMaxInflight int
+	HostAdmitArenaFrac   float64
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -197,6 +215,12 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 	scfg := cfg.ServerCfg.WithDefaults(false)
 	scfg.BackgroundWorkers = cfg.BackgroundWorkers
 	scfg.HostWorkers = cfg.HostWorkers
+	if cfg.HostAdmitMaxInflight > 0 {
+		scfg.AdmitMaxInflight = cfg.HostAdmitMaxInflight
+	}
+	if cfg.HostAdmitArenaFrac > 0 {
+		scfg.AdmitArenaFrac = cfg.HostAdmitArenaFrac
+	}
 	ccfg.Tracer = cfg.Tracer
 	scfg.Tracer = cfg.Tracer
 	if cfg.RequestTimeout > 0 {
@@ -262,14 +286,29 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 		if err != nil {
 			return nil, err
 		}
+		// Redial replays this connection's setup against the same host
+		// poller: a fresh QP pair under the identical per-connection config
+		// (fault schedule included), attached through the poller's
+		// synchronized admission — the dead connection's receive budget is
+		// returned when the poller reaps it, so churn does not leak CQ
+		// capacity. Runs on the DPU poller goroutine.
+		redial := func() (*rpcrdma.ClientConn, error) {
+			nc, _, err := rpcrdma.Connect(dpuDev, hostDev, ccfgi, scfgi, poller, host.Handler())
+			return nc, err
+		}
 		dpu, err := NewDPUServerWith(dpuTable, client, DPUConfig{
-			Workers:      cfg.DPUWorkers,
-			MaxInflight:  cfg.DPUMaxInflight,
-			Pipeline:     cfg.DPUPipeline,
-			RespPipeline: cfg.DPURespPipeline,
-			Tracer:       cfg.Tracer,
-			Window:       cfg.Window,
-			SGPayloadMin: cfg.SGPayloadMin,
+			Workers:             cfg.DPUWorkers,
+			MaxInflight:         cfg.DPUMaxInflight,
+			Pipeline:            cfg.DPUPipeline,
+			RespPipeline:        cfg.DPURespPipeline,
+			Tracer:              cfg.Tracer,
+			Window:              cfg.Window,
+			SGPayloadMin:        cfg.SGPayloadMin,
+			Redial:              redial,
+			ReconnectBudget:     cfg.ReconnectBudget,
+			ReconnectBackoff:    cfg.ReconnectBackoff,
+			ReconnectMaxBackoff: cfg.ReconnectMaxBackoff,
+			AdmitMaxInflight:    cfg.DPUAdmitMaxInflight,
 		})
 		if err != nil {
 			return nil, err

@@ -21,6 +21,17 @@ import (
 // ErrShuttingDown is returned to xRPC calls submitted after Close.
 var ErrShuttingDown = errors.New("offload: DPU server shutting down")
 
+// ErrAdmissionShed is the typed cause of requests rejected by the DPU-side
+// admission gate (DPUConfig.AdmitMaxInflight): the pipeline is at its
+// high-water mark and the request is shed with UNAVAILABLE before it can
+// enter the reserve-arena bounded wait.
+var ErrAdmissionShed = errors.New("offload: admission control shed")
+
+// ErrReconnectExhausted is the terminal cause when a broken connection's
+// redial budget runs out: the server shuts down and every pending request
+// fails typed.
+var ErrReconnectExhausted = errors.New("offload: reconnect budget exhausted")
+
 // DPUStats aggregates the DPU-side work.
 type DPUStats struct {
 	Requests      uint64
@@ -31,7 +42,15 @@ type DPUStats struct {
 	// SerializedBytes counts response bytes the DPU itself serialized
 	// (response-serialization offload mode).
 	SerializedBytes uint64
-	Deser           deser.Stats
+	// Reconnects counts broken connections successfully replaced via
+	// DPUConfig.Redial; RedialFails counts redial attempts that failed
+	// (each doubles the backoff toward the budget); Sheds counts requests
+	// rejected by the DPU-side admission gate (AdmitMaxInflight) with
+	// UNAVAILABLE.
+	Reconnects  uint64
+	RedialFails uint64
+	Sheds       uint64
+	Deser       deser.Stats
 }
 
 // Pipeline stages a task moves through when the worker pool is enabled.
@@ -68,6 +87,11 @@ type callTask struct {
 	finished bool  // poller-owned: result delivered, ignore later signals
 	reserved int64 // ns timestamp at reserve (commit-latency metric)
 	admit    int64 // ns timestamp at admission (windowed-latency metric)
+	// epoch tags the connection whose resources (reservation or response
+	// hold) this task carries; a reconnect bumps the server's epoch so
+	// completions for the dead connection are never applied to its
+	// replacement.
+	epoch uint64
 
 	// Response-pipeline fields (stageSerialize, pooled mode only). The
 	// rpayload view stays valid while hold defers the block's ack.
@@ -165,6 +189,33 @@ type DPUConfig struct {
 	// the object arena. 0 (the default) keeps every payload inline,
 	// byte-identical to pre-SG builds.
 	SGPayloadMin int
+
+	// Redial, when non-nil, establishes a replacement connection after the
+	// current one trips ErrConnBroken. It is called from the poller
+	// goroutine and must return a fresh ClientConn wired to a fresh
+	// server-side peer (see offload.NewDeploymentWith, which builds one per
+	// connection from connect.go). Requests in flight on the wire at break
+	// time fail typed (UNAVAILABLE, exactly once); queued and measured
+	// requests ride through and re-reserve on the replacement.
+	Redial func() (*rpcrdma.ClientConn, error)
+	// ReconnectBudget bounds consecutive failed redial attempts before the
+	// break becomes terminal (the server shuts down and pending requests
+	// fail typed), so a hard-down host still fails fast. 0 disables
+	// reconnect even when Redial is set. A successful redial refills the
+	// budget.
+	ReconnectBudget int
+	// ReconnectBackoff is the delay before the first redial attempt,
+	// doubling per consecutive failure up to ReconnectMaxBackoff.
+	// Defaults: 200µs initial, 50ms cap.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+
+	// AdmitMaxInflight > 0 enables DPU-side admission control: new requests
+	// are shed with UNAVAILABLE (never entering the reserve-arena bounded
+	// wait) while the server already has this many requests admitted —
+	// queued, in the pipeline, or outstanding on the wire. Requests already
+	// admitted are never shed. 0 admits everything.
+	AdmitMaxInflight int
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -214,6 +265,12 @@ type DPUServer struct {
 	runTail *callTask
 	runLen  int
 
+	// onWorkers counts tasks handed to queueWork and not yet returned
+	// through compQ (including run-buffered tasks not yet flushed), so
+	// enterReconnect can quiesce the worker stages before aborting the
+	// connection. Poller-owned.
+	onWorkers int
+
 	// Poller-owned response-pipeline state: serialize tasks in flight on
 	// the pool, and the overflow queue keeping workQ occupancy bounded.
 	respInflight int
@@ -224,12 +281,28 @@ type DPUServer struct {
 	statsMu    sync.Mutex
 	deserStats deser.Stats
 
-	requests   atomic.Uint64
-	responses  atomic.Uint64
-	errors     atomic.Uint64
-	measured   atomic.Uint64
-	respBytes  atomic.Uint64
-	serialized atomic.Uint64
+	requests    atomic.Uint64
+	responses   atomic.Uint64
+	errors      atomic.Uint64
+	measured    atomic.Uint64
+	respBytes   atomic.Uint64
+	serialized  atomic.Uint64
+	reconnects  atomic.Uint64
+	redialFails atomic.Uint64
+	sheds       atomic.Uint64
+
+	// Reconnect state machine (poller-owned). epoch counts adopted
+	// connections; tasks stamp it when they acquire connection-bound
+	// resources. While reconBroken is set the server neither reserves nor
+	// submits on the (dead) client: Progress attempts a redial once
+	// reconNextAt passes, backing off exponentially, until the budget runs
+	// out and the break becomes terminal.
+	epoch         uint64
+	reconBroken   bool
+	reconErr      error
+	reconNextAt   time.Time
+	reconBackoff  time.Duration
+	reconAttempts int
 }
 
 // NewDPUServer builds the DPU side from the table received at handshake and
@@ -258,6 +331,12 @@ func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfi
 		runDone: make(chan struct{}),
 	}
 	d.scanPool.New = func() any { return deser.New(dopts) }
+	if d.cfg.ReconnectBackoff <= 0 {
+		d.cfg.ReconnectBackoff = 200 * time.Microsecond
+	}
+	if d.cfg.ReconnectMaxBackoff <= 0 {
+		d.cfg.ReconnectMaxBackoff = 50 * time.Millisecond
+	}
 	if cfg.Workers > 1 {
 		if d.cfg.MaxInflight <= 0 {
 			d.cfg.MaxInflight = 4 * cfg.Workers
@@ -308,6 +387,9 @@ func (d *DPUServer) Stats() DPUStats {
 		MeasuredBytes:   d.measured.Load(),
 		RespBytes:       d.respBytes.Load(),
 		SerializedBytes: d.serialized.Load(),
+		Reconnects:      d.reconnects.Load(),
+		RedialFails:     d.redialFails.Load(),
+		Sheds:           d.sheds.Load(),
 		Deser:           merged,
 	}
 }
@@ -564,6 +646,14 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return fmt.Errorf("offload: unknown method %q", fullMethod)
 	}
 	e := d.procs.byID(id)
+	// The admission gate applies before any work is done on the request;
+	// a shed invokes cb inline (there is nothing to wait for).
+	if d.overAdmission() {
+		d.sheds.Add(1)
+		d.errors.Add(1)
+		cb(xrpc.StatusUnavailable, true, []byte("offload: admission control shed"))
+		return nil
+	}
 	// SubmitLocal runs on the poller goroutine, so the poller-owned
 	// deserializer scans here directly. The planned scan sizes exactly —
 	// required by the pipeline (interior commits cannot shrink) and a no-op
@@ -655,6 +745,7 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 		task.rregion = resp.RegionOff
 		task.rroot = resp.Root
 		task.hold = d.client.HoldResponseBlock()
+		task.epoch = d.epoch
 		task.reserved = time.Now().UnixNano()
 		d.dispatchResp(task)
 		return
@@ -717,6 +808,7 @@ const maxRunLen = 8
 // (flushRun), so batching never adds more than one pass of latency.
 // Poller-owned.
 func (d *DPUServer) queueWork(task *callTask) {
+	d.onWorkers++
 	if task.stage == stageSerialize || len(task.data) > deser.SmallFastPathMax {
 		d.flushRun()
 		if m := d.cfg.Pipeline; m != nil && task.stage != stageSerialize {
@@ -814,7 +906,9 @@ func (d *DPUServer) Progress() (int, error) {
 		return d.progressPooled()
 	}
 	// Re-admit tasks deferred by backpressure first, preserving order.
-	for len(d.retry) > 0 {
+	// While the connection is down, deferred tasks stay queued: they ride
+	// through the reconnect and enqueue on the replacement.
+	for !d.reconBroken && len(d.retry) > 0 {
 		if err := d.enqueue(d.retry[0]); err != nil {
 			if errors.Is(err, arena.ErrOutOfMemory) {
 				return d.progressClient()
@@ -828,6 +922,14 @@ func (d *DPUServer) Progress() (int, error) {
 	for {
 		select {
 		case task := <-d.submit:
+			if d.overAdmission() {
+				d.shedTask(task)
+				continue
+			}
+			if d.reconBroken {
+				d.retry = append(d.retry, task)
+				continue
+			}
 			if err := d.enqueue(task); err != nil {
 				if errors.Is(err, arena.ErrOutOfMemory) {
 					d.retry = append(d.retry, task)
@@ -869,10 +971,14 @@ func (d *DPUServer) progressPooled() (int, error) {
 		// is waiting on when GOMAXPROCS is small.
 		runtime.Gosched()
 	}
-	if d.inflight == 0 && len(d.retry) == 0 {
+	if d.inflight == 0 && len(d.retry) == 0 && !d.reconBroken {
 		// Pipeline drained: flush the partial block the event loop held
 		// back (holdPartial) while builds were in flight.
 		if ferr := d.client.Flush(); ferr != nil {
+			if d.reconnectEnabled() {
+				d.enterReconnect(ferr)
+				return n, nil
+			}
 			d.failAll(ferr)
 			return n, ferr
 		}
@@ -897,6 +1003,7 @@ func (d *DPUServer) collectCompletions() (drained int) {
 			for task := head; task != nil; {
 				next := task.next
 				task.next = nil
+				d.onWorkers--
 				drained++
 				d.completeTask(task)
 				task = next
@@ -917,6 +1024,14 @@ func (d *DPUServer) completeTask(task *callTask) {
 		d.measuredQ[task.seq] = task
 	case stageBuild:
 		d.inflight--
+		if task.epoch != d.epoch {
+			// Reserved on a connection replaced while the build was on a
+			// worker: the dead reservation is unusable and Abort already
+			// failed the task typed through its continuation. (The quiesce
+			// in enterReconnect makes this unreachable; guard anyway.)
+			d.failTask(task, rpcrdma.ErrConnBroken)
+			return
+		}
 		if task.err != nil {
 			d.client.Cancel(task.res)
 			d.failTask(task, task.err)
@@ -939,9 +1054,10 @@ func (d *DPUServer) completeTask(task *callTask) {
 	case stageSerialize:
 		d.respInflight--
 		// The block payload is no longer referenced: let its ack go
-		// out (FIFO with any earlier held blocks).
-		d.client.ReleaseResponseBlock(task.hold)
-		task.hold = nil
+		// out (FIFO with any earlier held blocks). The payload bytes
+		// themselves stay valid even when the block's connection died
+		// mid-serialize, so the real result is still delivered below.
+		d.releaseHold(task)
 		if task.err != nil {
 			// The worker already recycled its scratch buffer.
 			d.failTask(task, task.err)
@@ -966,7 +1082,7 @@ func (d *DPUServer) completeTask(task *callTask) {
 // and dispatches their build stage. Out-of-memory pauses the replay (the
 // protocol loop will free space); any other reserve error fails the task.
 func (d *DPUServer) reserveReady() {
-	for {
+	for !d.reconBroken {
 		task, ok := d.measuredQ[d.nextRes]
 		if !ok {
 			return
@@ -1004,6 +1120,7 @@ func (d *DPUServer) reserveReady() {
 		delete(d.measuredQ, d.nextRes)
 		d.nextRes++
 		task.res = res
+		task.epoch = d.epoch
 		task.stage = stageBuild
 		task.reserved = time.Now().UnixNano()
 		d.queueWork(task)
@@ -1022,7 +1139,21 @@ func (d *DPUServer) admit() {
 	for d.inflight < d.cfg.MaxInflight {
 		select {
 		case task := <-d.submit:
+			if d.overAdmission() {
+				d.shedTask(task)
+				continue
+			}
 			d.admitTask(task)
+		default:
+			return
+		}
+	}
+	// At pipeline capacity: shed everything beyond the admission high-water
+	// mark so callers back off instead of queueing toward a deadline.
+	for d.overAdmission() {
+		select {
+		case task := <-d.submit:
+			d.shedTask(task)
 		default:
 			return
 		}
@@ -1042,12 +1173,158 @@ func (d *DPUServer) admitTask(task *callTask) {
 }
 
 func (d *DPUServer) progressClient() (int, error) {
+	if d.reconBroken {
+		return 0, d.tryReconnect()
+	}
 	n, err := d.client.Progress()
 	d.foldStats(d.d)
 	if err != nil {
+		if d.reconnectEnabled() {
+			d.enterReconnect(err)
+			return n, d.tryReconnect()
+		}
 		d.failAll(err)
 	}
 	return n, err
+}
+
+// reconnectEnabled reports whether a broken connection is replaced rather
+// than becoming terminal.
+func (d *DPUServer) reconnectEnabled() bool {
+	return d.cfg.Redial != nil && d.cfg.ReconnectBudget > 0
+}
+
+// enterReconnect transitions to the reconnecting state after the protocol
+// client reported a break. The worker stages are quiesced first: dispatched
+// tasks return through compQ promptly (workers never touch protocol state)
+// and their completions apply normally — commits fail typed against the
+// already-broken connection — so the Abort below never races a worker over
+// task state. Abort then fails every request bound to the dead connection
+// exactly once through its registered continuation (UNAVAILABLE); queued
+// (retry) and measured (measuredQ) requests are untouched and re-reserve on
+// the replacement after adopt. Poller-owned.
+func (d *DPUServer) enterReconnect(err error) {
+	if d.reconBroken {
+		return
+	}
+	if d.pooled() {
+		d.flushRun()
+		for d.onWorkers > 0 {
+			head := <-d.compQ
+			for task := head; task != nil; {
+				next := task.next
+				task.next = nil
+				d.onWorkers--
+				d.completeTask(task)
+				task = next
+			}
+		}
+	}
+	d.reconBroken = true
+	d.reconErr = err
+	d.reconAttempts = 0
+	d.reconBackoff = d.cfg.ReconnectBackoff
+	d.reconNextAt = time.Now().Add(d.reconBackoff)
+	d.client.Abort(failStatus(err))
+}
+
+// tryReconnect attempts one redial once the backoff deadline passes.
+// Returns nil while waiting out the backoff or after a successful adopt;
+// when the budget of consecutive failures runs out the break is terminal:
+// pending requests fail typed and the error propagates so Run shuts down.
+// Poller-owned.
+func (d *DPUServer) tryReconnect() error {
+	if time.Now().Before(d.reconNextAt) {
+		return nil
+	}
+	nc, err := d.cfg.Redial()
+	if err != nil {
+		d.redialFails.Add(1)
+		d.reconAttempts++
+		if d.reconAttempts >= d.cfg.ReconnectBudget {
+			ferr := fmt.Errorf("%w: %d attempts (last: %v; broke: %v)",
+				ErrReconnectExhausted, d.reconAttempts, err, d.reconErr)
+			d.failAll(ferr)
+			return ferr
+		}
+		d.reconBackoff *= 2
+		if d.reconBackoff > d.cfg.ReconnectMaxBackoff {
+			d.reconBackoff = d.cfg.ReconnectMaxBackoff
+		}
+		d.reconNextAt = time.Now().Add(d.reconBackoff)
+		return nil
+	}
+	d.adopt(nc)
+	return nil
+}
+
+// adopt swaps the replacement connection in. State the replacement cannot
+// know rides over: pipelined owners re-arm hold-partial, and the flight
+// recorder's remaining dump budget carries so the per-server dump cap spans
+// reconnects. The epoch advances so completions still holding the dead
+// connection's resources (reservations, response holds) are never applied
+// to the replacement. Queued and measured requests re-reserve through the
+// normal admission path — the fresh connection pairs a fresh ID pool with
+// its fresh server-side peer, so the deterministic request-ID replay stays
+// aligned. Poller-owned.
+func (d *DPUServer) adopt(nc *rpcrdma.ClientConn) {
+	nc.SetFlightDumpBudget(d.client.FlightDumpBudget())
+	if d.pooled() {
+		nc.SetHoldPartial(true)
+	}
+	d.client = nc
+	d.epoch++
+	d.reconBroken = false
+	d.reconErr = nil
+	d.reconAttempts = 0
+	d.reconBackoff = d.cfg.ReconnectBackoff
+	d.reconnects.Add(1)
+}
+
+// Break force-fails the underlying connection — the churn-injection hook
+// for the connection-scale harness. Both sides observe the closed QP on
+// their next post, and when reconnect is configured the following Progress
+// passes redial. Poller-owned (it reads the swappable client pointer);
+// cross-goroutine kill requests go through the poller loop (see
+// PollerGroup.Kill).
+func (d *DPUServer) Break() {
+	d.client.Close()
+}
+
+// overAdmission reports whether the DPU-side admission gate
+// (DPUConfig.AdmitMaxInflight) is at its high-water mark, counting every
+// request already accepted: queued for (re-)admission, inside the pipeline,
+// spilled to the response overflow, or outstanding on the wire.
+// Poller-owned.
+func (d *DPUServer) overAdmission() bool {
+	hw := d.cfg.AdmitMaxInflight
+	if hw <= 0 {
+		return false
+	}
+	admitted := len(d.retry) + d.inflight + d.respInflight + len(d.respPending)
+	if !d.reconBroken {
+		admitted += d.client.Outstanding()
+	}
+	return admitted >= hw
+}
+
+// shedTask rejects one not-yet-admitted request: sheds surface as
+// UNAVAILABLE, which xrpc.Retryable treats as back-off-and-retry.
+// Poller-owned.
+func (d *DPUServer) shedTask(task *callTask) {
+	d.sheds.Add(1)
+	d.failTask(task, ErrAdmissionShed)
+}
+
+// releaseHold lets the task's response-block acknowledgment go out — unless
+// the hold belongs to a connection that has since been replaced: the dead
+// connection's acks are moot and its hold is unknown to the replacement.
+// Poller-owned.
+func (d *DPUServer) releaseHold(task *callTask) {
+	if task.hold != nil && task.epoch == d.epoch {
+		d.client.ReleaseResponseBlock(task.hold)
+	}
+	task.hold = nil
 }
 
 // failStatus classifies a datapath error into the xRPC status the caller
@@ -1058,7 +1335,13 @@ func (d *DPUServer) progressClient() (int, error) {
 func failStatus(err error) uint16 {
 	switch {
 	case errors.Is(err, ErrShuttingDown),
-		errors.Is(err, rpcrdma.ErrConnBroken):
+		errors.Is(err, ErrAdmissionShed),
+		errors.Is(err, ErrReconnectExhausted),
+		errors.Is(err, rpcrdma.ErrConnBroken),
+		// A full send arena is a transient overload condition, the same
+		// class as an admission-control shed: the caller should back off
+		// and retry, not treat it as a server bug.
+		errors.Is(err, rpcrdma.ErrSendBufferFull):
 		return xrpc.StatusUnavailable
 	case errors.Is(err, rpcrdma.ErrRequestTimeout):
 		return xrpc.StatusDeadlineExceeded
@@ -1080,8 +1363,7 @@ func (d *DPUServer) failAll(err error) {
 	for len(d.respPending) > 0 {
 		task := d.respPending[0]
 		d.respPending = d.respPending[1:]
-		d.client.ReleaseResponseBlock(task.hold)
-		task.hold = nil
+		d.releaseHold(task)
 		d.failTask(task, err)
 	}
 	d.drainSubmit(err)
@@ -1111,14 +1393,16 @@ func (d *DPUServer) stopPool(err error) {
 	for task := d.runHead; task != nil; {
 		next := task.next
 		task.next = nil
+		d.onWorkers--
 		switch task.stage {
 		case stageSerialize:
 			d.respInflight--
-			d.client.ReleaseResponseBlock(task.hold)
-			task.hold = nil
+			d.releaseHold(task)
 		case stageBuild:
 			d.inflight--
-			d.client.Cancel(task.res)
+			if task.epoch == d.epoch {
+				d.client.Cancel(task.res)
+			}
 		default:
 			d.inflight--
 		}
@@ -1135,13 +1419,13 @@ func (d *DPUServer) stopPool(err error) {
 			for task := head; task != nil; {
 				next := task.next
 				task.next = nil
+				d.onWorkers--
 				switch task.stage {
 				case stageBuild:
 					d.inflight--
 				case stageSerialize:
 					d.respInflight--
-					d.client.ReleaseResponseBlock(task.hold)
-					task.hold = nil
+					d.releaseHold(task)
 					if task.outRelease != nil {
 						// Recycle the worker's scratch before failing the task.
 						task.outRelease()

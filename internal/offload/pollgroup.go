@@ -1,0 +1,148 @@
+package offload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PollerGroup multiplexes many DPU-server pollers onto a small fixed set of
+// shard goroutines, the connection scale-out of Sec. III-C taken past one
+// goroutine per connection: each shard owns a static subset of the servers
+// and sweeps their Progress loops, so thousands of connections cost a
+// handful of cores. Ownership is preserved — a connection's protocol state
+// is only ever touched by its shard goroutine — which is also how churn
+// injection works: Kill sets a flag that the owning shard executes as
+// DPUServer.Break on its next sweep.
+type PollerGroup struct {
+	dpus []*DPUServer
+	// kill[i] requests a churn break of connection i, executed owner-side;
+	// dead[i] marks a terminal Progress failure (reconnect exhausted or
+	// disabled) — the shard stops sweeping that server and records the
+	// error in errs[i].
+	kill   []atomic.Bool
+	dead   []atomic.Bool
+	errs   []atomic.Pointer[error]
+	shards [][]int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// NewPollerGroup distributes dpus round-robin across shards goroutines
+// (clamped to [1, len(dpus)]). Call Start to begin sweeping.
+func NewPollerGroup(dpus []*DPUServer, shards int) *PollerGroup {
+	if shards < 1 {
+		shards = 1
+	}
+	if len(dpus) > 0 && shards > len(dpus) {
+		shards = len(dpus)
+	}
+	g := &PollerGroup{
+		dpus:   dpus,
+		kill:   make([]atomic.Bool, len(dpus)),
+		dead:   make([]atomic.Bool, len(dpus)),
+		errs:   make([]atomic.Pointer[error], len(dpus)),
+		shards: make([][]int, shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range dpus {
+		s := i % shards
+		g.shards[s] = append(g.shards[s], i)
+	}
+	return g
+}
+
+// Start launches the shard goroutines. Each becomes the owning poller of
+// its subset; no other goroutine may call Progress (or any poller-owned
+// method) on those servers until Stop returns.
+func (g *PollerGroup) Start() {
+	if g.started.Swap(true) {
+		return
+	}
+	for _, idxs := range g.shards {
+		g.wg.Add(1)
+		go g.run(idxs)
+	}
+}
+
+func (g *PollerGroup) run(idxs []int) {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stop:
+			return
+		default:
+		}
+		work := 0
+		for _, i := range idxs {
+			if g.dead[i].Load() {
+				continue
+			}
+			d := g.dpus[i]
+			if g.kill[i].CompareAndSwap(true, false) {
+				d.Break()
+			}
+			n, err := d.Progress()
+			work += n
+			if err != nil {
+				e := err
+				g.errs[i].Store(&e)
+				g.dead[i].Store(true)
+				// Teardown runs here, on the owner: after this the server is
+				// closed, so late submitters see UNAVAILABLE instead of
+				// queueing toward a server nobody sweeps anymore.
+				d.Close()
+			}
+		}
+		if work == 0 {
+			// Nothing moved anywhere in the shard: yield so co-scheduled
+			// shards, workers, and the host pollers get the core.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Kill requests a churn break of connection i: its owning shard closes the
+// QP on its next sweep, and the reconnect machinery (when configured)
+// redials. Safe from any goroutine; a no-op for dead or out-of-range i.
+func (g *PollerGroup) Kill(i int) {
+	if i < 0 || i >= len(g.kill) || g.dead[i].Load() {
+		return
+	}
+	g.kill[i].Store(true)
+}
+
+// Dead reports whether connection i failed terminally.
+func (g *PollerGroup) Dead(i int) bool { return g.dead[i].Load() }
+
+// DeadCount returns the number of terminally failed connections.
+func (g *PollerGroup) DeadCount() int {
+	n := 0
+	for i := range g.dead {
+		if g.dead[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns connection i's terminal error, nil while it is healthy.
+func (g *PollerGroup) Err(i int) error {
+	if e := g.errs[i].Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Stop halts every shard goroutine and waits them out. After Stop returns
+// the servers have no owner; Deployment.Close (or DPUServer.Close) may run
+// their teardown inline. Idempotent.
+func (g *PollerGroup) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	if g.started.Load() {
+		g.wg.Wait()
+	}
+}

@@ -278,6 +278,18 @@ func Connect(a, b *QP) {
 // RNRCount returns how many inbound operations failed receiver-not-ready.
 func (qp *QP) RNRCount() uint64 { return qp.rnrCount.Load() }
 
+// Dead reports whether this QP or its connected peer has been closed: the
+// reliable connection can never carry traffic again. Pollers use it to
+// notice peers that died while this side was idle (nothing to post means no
+// ErrClosed would ever surface). Safe from any goroutine.
+func (qp *QP) Dead() bool {
+	if qp.closed.Load() {
+		return true
+	}
+	p := qp.peer.Load()
+	return p != nil && p.closed.Load()
+}
+
 // MarkSharedRecvCQ tells Close to leave the receive CQ running because
 // other QPs complete into it (a server poller's shared CQ).
 func (qp *QP) MarkSharedRecvCQ() { qp.sharedRecvCQ = true }

@@ -211,7 +211,12 @@ type ClientConn struct {
 	reclaiming bool
 
 	outstanding int
-	broken      error
+	// broken is the sticky connection error: fail() is its only writer and
+	// runs on the owner goroutine, which reads the field bare. brokenMirror
+	// republishes it for cross-goroutine readers (Broken) — debug gauges,
+	// harnesses, and the reconnect monitor.
+	broken       error
+	brokenMirror atomic.Pointer[error]
 	// Response-block ack deferral (see HoldResponseBlock): inDispatch is
 	// true while continuations for one response block run; curHold is the
 	// hold lazily created for that block; heldAcks is the FIFO of blocks
@@ -318,8 +323,14 @@ func (c *ClientConn) Credits() int { return c.credits }
 // Outstanding returns the number of requests awaiting responses.
 func (c *ClientConn) Outstanding() int { return c.outstanding }
 
-// Broken returns the sticky connection error, if any.
-func (c *ClientConn) Broken() error { return c.broken }
+// Broken returns the sticky connection error, if any. Safe from any
+// goroutine: it reads an atomic mirror of the owner-written field.
+func (c *ClientConn) Broken() error {
+	if e := c.brokenMirror.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
 
 // newBlock allocates a block sized for at least firstSlot payload-slot
 // bytes.
@@ -756,6 +767,7 @@ func (c *ClientConn) trySend() {
 func (c *ClientConn) fail(err error) {
 	if c.broken == nil {
 		c.broken = fmt.Errorf("%w: %w", ErrConnBroken, err)
+		c.brokenMirror.Store(&c.broken)
 		c.fr.Record(FlightBroken, 0, 0)
 		c.dumpFlight("connection broken: " + err.Error())
 		// Close the QP so the peer observes the failure on its next post
@@ -781,6 +793,32 @@ func (c *ClientConn) dumpFlight(reason string) {
 	c.lastDump.Store(&d)
 	if c.cfg.FlightSink != nil {
 		c.cfg.FlightSink(d)
+	}
+}
+
+// FlightDumpBudget returns the remaining automatic flight-dump budget
+// (maxFlightDumps on a fresh connection, 0 when recording is disabled).
+// Owner-only.
+func (c *ClientConn) FlightDumpBudget() int {
+	if c.fr == nil {
+		return 0
+	}
+	return c.dumpsLeft
+}
+
+// SetFlightDumpBudget clamps the automatic dump budget. Reconnect adoption
+// carries the old connection's remaining budget onto its replacement so a
+// flapping endpoint cannot flood the sink by redialing back to a fresh cap.
+// Owner-only; no-op when recording is disabled.
+func (c *ClientConn) SetFlightDumpBudget(n int) {
+	if c.fr == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n < c.dumpsLeft {
+		c.dumpsLeft = n
 	}
 }
 
@@ -994,6 +1032,16 @@ func (c *ClientConn) releaseHeldAcks() {
 // processed.
 func (c *ClientConn) Progress() (int, error) {
 	if c.broken != nil {
+		return 0, c.broken
+	}
+	// A dead QP (ours closed, or the peer's) can strand in-flight requests
+	// silently: the requests posted fine, but the response can never be
+	// delivered and an idle connection has nothing left to post that would
+	// trip an error. Without this probe such requests sit until the request
+	// deadline fires; with it the connection fails on the next poll pass
+	// and the in-flight requests abort typed immediately.
+	if c.qp.Dead() {
+		c.fail(fmt.Errorf("QP dead"))
 		return 0, c.broken
 	}
 	// Drain send completions (local buffer bookkeeping only; block memory

@@ -126,6 +126,18 @@ type Config struct {
 	// handler too). A failed build is committed as an error tombstone
 	// (status 13, error flag set) instead of breaking the connection.
 	HostWorkers int
+	// AdmitMaxInflight (server side) > 0 enables admission control on the
+	// in-flight axis: once more than this many requests are in flight
+	// (received but not yet fully answered and acknowledged), new requests
+	// are rejected immediately with StatusUnavailable — before they reach
+	// any handler or the response-arena reserve path — so overload degrades
+	// into retryable sheds instead of bounded-wait timeouts. 0 (the
+	// default) admits everything.
+	AdmitMaxInflight int
+	// AdmitArenaFrac (server side) > 0 enables admission control on the
+	// memory axis: new requests shed with StatusUnavailable while more than
+	// this fraction of the response send-arena is in use. 0 disables.
+	AdmitArenaFrac float64
 	// LatencyObserver, when non-nil, receives the enqueue-to-response
 	// latency of every request in nanoseconds (client side). The paper
 	// instruments the library itself with a Prometheus client (Sec. VI);
@@ -263,6 +275,11 @@ type Counters struct {
 	FlushBatch    uint64 // batch reached CommitBatch messages
 	FlushTimer    uint64 // CommitFlushTimeout expired on a partial batch
 	FlushExplicit uint64 // Flush/Drain/teardown, or every-pass flush at CommitBatch <= 1
+
+	// AdmissionSheds counts requests rejected by server-side admission
+	// control (AdmitMaxInflight / AdmitArenaFrac) with StatusUnavailable
+	// before reaching a handler.
+	AdmissionSheds uint64
 
 	// Failure-path counters (all zero unless faults are injected or
 	// deadlines enabled).

@@ -32,7 +32,8 @@ func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *Serve
 			ccfg.CQDepth, scfg.Credits)
 	}
 	// The poller's shared CQ must absorb this client's in-flight blocks on
-	// top of already-attached connections.
+	// top of already-attached connections. This early check fails fast; the
+	// authoritative (synchronized) admission happens in poller.attach below.
 	needed := ccfg.Credits + recvSlack
 	if poller.posted()+needed > poller.cfg.CQDepth {
 		return nil, nil, fmt.Errorf("%w: need %d more, %d of %d in use",
@@ -86,7 +87,10 @@ func Connect(clientDev, serverDev *rdma.Device, ccfg, scfg Config, poller *Serve
 		cc.traceTab = tab
 		sc.traceTab = tab
 	}
-	poller.conns[serverQP.Num] = sc
-	poller.postedWRs += needed
+	if err := poller.attach(serverQP.Num, sc, needed); err != nil {
+		clientQP.Close()
+		serverQP.Close()
+		return nil, nil, err
+	}
 	return cc, sc, nil
 }

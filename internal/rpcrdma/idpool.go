@@ -13,49 +13,91 @@ const IDPoolSize = 1 << 16
 // an identical pool and replay the same alloc/free sequence (allocations in
 // block order, frees in response-block order), so IDs never travel with
 // requests. Determinism is property-tested in idpool_test.go.
+//
+// A fresh pool is the identity sequence 0..IDPoolSize-1, so never-allocated
+// IDs are represented by the virgin counter instead of materialized: the
+// ring only ever holds freed IDs and grows on demand. That makes
+// construction O(1) — it is on the reconnect redial path, where an eager
+// 128 KiB fill per replacement connection dominated the churn cost — while
+// preserving the exact FIFO order of the materialized pool (virgin IDs
+// drain in order first; frees queue behind them).
 type idPool struct {
-	free []uint16 // ring buffer
+	ring []uint16 // freed IDs, FIFO ring, grown on demand
 	head int
-	n    int
+	size int
+	// virgin is the next never-allocated ID; [virgin, IDPoolSize) have not
+	// been handed out yet and logically precede the ring in the queue.
+	virgin int
+	// popsSinceVirgin counts ring pops since the virgin range drained —
+	// Unalloc needs it to split a rewind that straddles the boundary.
+	popsSinceVirgin int
 }
 
-func newIDPool() *idPool {
-	p := &idPool{free: make([]uint16, IDPoolSize), n: IDPoolSize}
-	for i := range p.free {
-		p.free[i] = uint16(i)
-	}
-	return p
-}
+func newIDPool() *idPool { return &idPool{} }
 
 // Available returns the number of allocatable IDs.
-func (p *idPool) Available() int { return p.n }
+func (p *idPool) Available() int { return (IDPoolSize - p.virgin) + p.size }
 
 // Alloc pops the oldest free ID.
 func (p *idPool) Alloc() (uint16, error) {
-	if p.n == 0 {
+	if p.virgin < IDPoolSize {
+		id := uint16(p.virgin)
+		p.virgin++
+		return id, nil
+	}
+	if p.size == 0 {
 		return 0, ErrIDsExhausted
 	}
-	id := p.free[p.head]
-	p.head = (p.head + 1) % len(p.free)
-	p.n--
+	id := p.ring[p.head]
+	p.head = (p.head + 1) % len(p.ring)
+	p.size--
+	p.popsSinceVirgin++
 	return id, nil
 }
 
 // Free returns an ID to the tail of the pool.
 func (p *idPool) Free(id uint16) {
-	tail := (p.head + p.n) % len(p.free)
-	p.free[tail] = id
-	p.n++
+	if p.size == len(p.ring) {
+		p.grow()
+	}
+	tail := (p.head + p.size) % len(p.ring)
+	p.ring[tail] = id
+	p.size++
+}
+
+// grow doubles the ring, linearizing the queued IDs at the front. Capacity
+// tops out at IDPoolSize (only distinct IDs are ever queued).
+func (p *idPool) grow() {
+	n := 2 * len(p.ring)
+	if n == 0 {
+		n = 64
+	}
+	next := make([]uint16, n)
+	for i := 0; i < p.size; i++ {
+		next[i] = p.ring[(p.head+i)%len(p.ring)]
+	}
+	p.ring = next
+	p.head = 0
 }
 
 // Unalloc exactly reverses the k most recent Alloc calls, provided no Free
 // ran since them: Alloc only reads ring slots (Free is what overwrites
-// them), so the popped IDs are still in place and rewinding the head
-// restores the pool bit-for-bit. The send path uses this to roll back a
-// block whose post failed before transmission — the peer never observed the
+// them), so popped IDs are still in place and rewinding the head restores
+// the pool bit-for-bit. The send path uses this to roll back a block whose
+// post failed before transmission — the peer never observed the
 // allocations, so rewinding keeps the replayed ID sequence of Sec. IV-D
-// identical on both sides.
+// identical on both sides. Ring pops only start once the virgin range
+// drains, so the last k allocs are (k-j) virgin draws followed by j pops,
+// with j bounded by the pops since the drain.
 func (p *idPool) Unalloc(k int) {
-	p.head = (p.head - k%len(p.free) + len(p.free)) % len(p.free)
-	p.n += k
+	j := k
+	if j > p.popsSinceVirgin {
+		j = p.popsSinceVirgin
+	}
+	if j > 0 {
+		p.head = (p.head - j%len(p.ring) + len(p.ring)) % len(p.ring)
+		p.size += j
+		p.popsSinceVirgin -= j
+	}
+	p.virgin -= k - j
 }

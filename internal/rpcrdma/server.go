@@ -3,6 +3,7 @@ package rpcrdma
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -162,7 +163,16 @@ type ServerConn struct {
 	// injector is this side's outbound fault injector (nil when disabled).
 	injector *fault.Injector
 
-	broken error
+	// broken is the sticky connection error: fail() is its only writer and
+	// runs on the owner (poller) goroutine, which reads the field bare.
+	// brokenMirror republishes it for cross-goroutine readers (Broken).
+	broken       error
+	brokenMirror atomic.Pointer[error]
+
+	// recvPosts is the number of receive WRs this connection committed
+	// against the poller's shared CQ; the poller reclaims that budget when
+	// it reaps the connection after a break.
+	recvPosts int
 
 	// Counters instrument the endpoint.
 	Counters Counters
@@ -171,10 +181,11 @@ type ServerConn struct {
 func newServerConn(cfg Config, qp *rdma.QP, sendCQ *rdma.CQ, sbuf []byte, rbuf *rdma.MR, h Handler, recvPosts int) (*ServerConn, error) {
 	s := &ServerConn{
 		cfg: cfg, qp: qp, sendCQ: sendCQ, sbuf: sbuf, rbuf: rbuf,
-		alloc:   arena.NewAllocator(uint64(len(sbuf))),
-		pool:    newIDPool(),
-		credits: cfg.Credits,
-		handler: h,
+		alloc:     arena.NewAllocator(uint64(len(sbuf))),
+		pool:      newIDPool(),
+		credits:   cfg.Credits,
+		handler:   h,
+		recvPosts: recvPosts,
 	}
 	s.Counters.MinCreditsSeen = uint64(cfg.Credits)
 	s.reqBlockOf = make(map[uint16]*reqBlockState)
@@ -199,8 +210,14 @@ func newServerConn(cfg Config, qp *rdma.QP, sendCQ *rdma.CQ, sbuf []byte, rbuf *
 	return s, nil
 }
 
-// Broken returns the sticky connection error, if any.
-func (s *ServerConn) Broken() error { return s.broken }
+// Broken returns the sticky connection error, if any. Safe from any
+// goroutine: it reads an atomic mirror of the owner-written field.
+func (s *ServerConn) Broken() error {
+	if e := s.brokenMirror.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
 
 // Credits returns the current response-credit count.
 func (s *ServerConn) Credits() int { return s.credits }
@@ -208,6 +225,7 @@ func (s *ServerConn) Credits() int { return s.credits }
 func (s *ServerConn) fail(err error) {
 	if s.broken == nil {
 		s.broken = fmt.Errorf("%w: %w", ErrConnBroken, err)
+		s.brokenMirror.Store(&s.broken)
 		// Close the QP so the peer observes the failure on its next post
 		// (ErrClosed) instead of waiting out its own timeouts. The shared
 		// poller CQ survives (MarkSharedRecvCQ); only this connection dies.
@@ -632,6 +650,18 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 			s.Counters.SGMessagesReceived++
 		}
 		s.Counters.RequestsReceived++
+		if s.shouldShed() {
+			// Admission control: reject before the request reaches any
+			// handler or response-arena wait, with the retryable status, so
+			// overload degrades into immediate UNAVAILABLE sheds instead of
+			// bounded-wait timeouts downstream.
+			s.Counters.AdmissionSheds++
+			if err := s.appendResponse(ids[i], ResponseSpec{Status: StatusUnavailable, Err: true}); err != nil {
+				return err
+			}
+			pos = pos + HeaderSize + alignUp(int(h.payloadLen)) + int(h.pad)
+			continue
+		}
 		req := Request{
 			Method:    h.method,
 			ID:        ids[i],
@@ -675,6 +705,21 @@ func (s *ServerConn) handleRequestBlock(imm uint32, byteLen uint32) error {
 	return nil
 }
 
+// shouldShed reports whether admission control rejects a new request: the
+// in-flight request count or response-arena occupancy crossed its
+// configured high-water mark (Config.AdmitMaxInflight / AdmitArenaFrac).
+// Both knobs zero (the default) never sheds.
+func (s *ServerConn) shouldShed() bool {
+	if hw := s.cfg.AdmitMaxInflight; hw > 0 && len(s.reqBlockOf) > hw {
+		return true
+	}
+	if f := s.cfg.AdmitArenaFrac; f > 0 &&
+		float64(s.alloc.InUse()) > f*float64(s.alloc.Size()) {
+		return true
+	}
+	return false
+}
+
 // drainSendCQ consumes local send completions.
 func (s *ServerConn) drainSendCQ(cqes []rdma.CQE) {
 	for {
@@ -692,17 +737,88 @@ func (s *ServerConn) drainSendCQ(cqes []rdma.CQE) {
 
 // ServerPoller drives one or more server connections over a shared receive
 // completion queue — the paper's server threading model where "a single
-// poller can share multiple connections" (Sec. III-C).
+// poller can share multiple connections" (Sec. III-C). Connections may
+// attach while the poller runs (redialing clients establish replacements
+// from their own goroutines) and broken connections are reaped, returning
+// their receive-WR budget to the shared CQ.
 type ServerPoller struct {
-	cfg       Config
-	recvCQ    *rdma.CQ
-	conns     map[uint32]*ServerConn
-	cqes      []rdma.CQE
+	cfg    Config
+	recvCQ *rdma.CQ
+	conns  map[uint32]*ServerConn
+	cqes   []rdma.CQE
+
+	// mu guards the attach-side state: Connect registers new connections
+	// (possibly from a redialing client's goroutine) into pending; the
+	// owner admits them into conns at the top of its next Progress pass.
+	// postedWRs accounts the shared CQ budget of admitted and pending
+	// connections together, so concurrent attaches cannot oversubscribe.
+	mu        sync.Mutex
+	pending   []pendingConn
 	postedWRs int
+
+	// Owner-only reap state: stale completions for a reaped QP are dropped
+	// (the QP died mid-flight), and the reaped connections' counters
+	// accumulate in dead so aggregate accounting survives churn.
+	reaped map[uint32]struct{}
+	dead   []Counters
+}
+
+type pendingConn struct {
+	qpNum uint32
+	conn  *ServerConn
 }
 
 // posted returns the receive WRs committed against the shared CQ.
-func (sp *ServerPoller) posted() int { return sp.postedWRs }
+func (sp *ServerPoller) posted() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.postedWRs
+}
+
+// attach reserves posted receive WRs of shared-CQ budget and queues the
+// connection for admission by the owner. Safe from any goroutine; fails
+// with ErrPollerFull when the CQ cannot absorb the connection's worst-case
+// inbound block count.
+func (sp *ServerPoller) attach(qpNum uint32, sc *ServerConn, posted int) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.postedWRs+posted > sp.cfg.CQDepth {
+		return fmt.Errorf("%w: need %d more, %d of %d in use",
+			ErrPollerFull, posted, sp.postedWRs, sp.cfg.CQDepth)
+	}
+	sp.postedWRs += posted
+	sp.pending = append(sp.pending, pendingConn{qpNum: qpNum, conn: sc})
+	return nil
+}
+
+// admitPending moves attached connections into the owner's map. Owner-only.
+func (sp *ServerPoller) admitPending() {
+	sp.mu.Lock()
+	for _, pc := range sp.pending {
+		sp.conns[pc.qpNum] = pc.conn
+	}
+	sp.pending = sp.pending[:0]
+	sp.mu.Unlock()
+}
+
+// reap detaches a broken connection: its receive-WR budget returns to the
+// shared CQ (making room for a redialed replacement), its counters fold
+// into the dead aggregate, its worker pools stop, and later completions
+// for its QP are ignored. Owner-only.
+func (sp *ServerPoller) reap(qpNum uint32, conn *ServerConn) {
+	delete(sp.conns, qpNum)
+	sp.reaped[qpNum] = struct{}{}
+	sp.dead = append(sp.dead, conn.Counters)
+	sp.mu.Lock()
+	sp.postedWRs -= conn.recvPosts
+	sp.mu.Unlock()
+	if conn.bg != nil {
+		conn.bg.close()
+	}
+	if conn.duplex != nil {
+		conn.duplex.close()
+	}
+}
 
 // NewServerPoller returns a poller whose shared CQ can absorb depth
 // completions.
@@ -713,23 +829,39 @@ func NewServerPoller(cfg Config) *ServerPoller {
 		recvCQ: rdma.NewCQ(cfg.CQDepth),
 		conns:  make(map[uint32]*ServerConn),
 		cqes:   make([]rdma.CQE, 256),
+		reaped: make(map[uint32]struct{}),
 	}
 }
 
-// Conns returns the attached connections.
+// Conns returns the attached connections (admitted and pending).
 func (sp *ServerPoller) Conns() []*ServerConn {
 	out := make([]*ServerConn, 0, len(sp.conns))
 	for _, c := range sp.conns {
 		out = append(out, c)
 	}
+	sp.mu.Lock()
+	for _, pc := range sp.pending {
+		out = append(out, pc.conn)
+	}
+	sp.mu.Unlock()
 	return out
 }
+
+// ReapedConns returns the number of broken connections the poller has
+// detached, and DeadCounters their final endpoint counters — churn-safe
+// aggregation hooks for the harnesses. Owner-only (call after the poller
+// goroutine has stopped, or from it).
+func (sp *ServerPoller) ReapedConns() int { return len(sp.dead) }
+
+// DeadCounters returns the endpoint counters of every reaped connection.
+func (sp *ServerPoller) DeadCounters() []Counters { return sp.dead }
 
 // Progress is the server event-loop update: it dispatches inbound blocks to
 // their connections, runs handlers foreground, and flushes responses. It
 // returns the number of request blocks processed.
 func (sp *ServerPoller) Progress() (int, error) {
 	events := 0
+	sp.admitPending()
 	n := sp.recvCQ.Poll(sp.cqes)
 	if n == 0 && !sp.cfg.BusyPoll && !sp.duplexBusy() {
 		n = sp.recvCQ.Wait(sp.cqes, sp.waitBudget())
@@ -738,6 +870,17 @@ func (sp *ServerPoller) Progress() (int, error) {
 	for _, e := range sp.cqes[:n] {
 		conn := sp.conns[e.QPNum]
 		if conn == nil {
+			// The connection may have attached after this pass's admit but
+			// before its client's first block landed; admit again before
+			// declaring the completion orphaned.
+			sp.admitPending()
+			conn = sp.conns[e.QPNum]
+		}
+		if conn == nil {
+			if _, wasReaped := sp.reaped[e.QPNum]; wasReaped {
+				// Stale completion for a connection reaped mid-flight.
+				continue
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%w: completion for unknown QP %d", ErrBlockCorrupt, e.QPNum)
 			}
@@ -760,8 +903,17 @@ func (sp *ServerPoller) Progress() (int, error) {
 		}
 	}
 	// Flush all connections: collect completed background responses, seal
-	// partial response blocks, and transmit.
-	for _, conn := range sp.conns {
+	// partial response blocks, and transmit. Broken connections are reaped
+	// after reporting their sticky error once — the poller and its other
+	// connections keep running.
+	for qpNum, conn := range sp.conns {
+		if conn.broken == nil && conn.qp.Dead() {
+			// The peer's QP died while this side was idle: with nothing to
+			// post, no ErrClosed would ever surface, and the connection (and
+			// its share of the poller's CQ budget) would leak. Fail it so
+			// the reap below reclaims it.
+			conn.fail(fmt.Errorf("peer QP closed"))
+		}
 		conn.drainSendCQ(sp.cqes)
 		if conn.bg != nil {
 			conn.bgScratch = conn.bg.drain(conn.bgScratch[:0])
@@ -777,8 +929,11 @@ func (sp *ServerPoller) Progress() (int, error) {
 		}
 		conn.flushPartial()
 		conn.trySendResponses()
-		if conn.broken != nil && firstErr == nil {
-			firstErr = conn.broken
+		if conn.broken != nil {
+			if firstErr == nil {
+				firstErr = conn.broken
+			}
+			sp.reap(qpNum, conn)
 		}
 	}
 	return events, firstErr
@@ -889,6 +1044,7 @@ func (sp *ServerPoller) Drain(timeout time.Duration) error {
 // immediately instead of finishing its timeout.
 func (sp *ServerPoller) Close() {
 	sp.recvCQ.Shutdown()
+	sp.admitPending()
 	for _, conn := range sp.conns {
 		if conn.bg != nil {
 			conn.bg.close()
