@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test fmt-check race cover bench bench-payload bench-check bench-all experiments chaos fuzz clean
+.PHONY: all build test fmt-check race cover bench bench-payload bench-cache bench-check bench-all experiments chaos fuzz clean
 
 all: build test
 
@@ -28,7 +28,7 @@ fmt-check:
 # delay lines, injector, link staller), plus the windowed-metrics shard
 # rotation and the gauge sampler.
 race:
-	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/... ./internal/rdma/... ./internal/fault/... ./internal/fabric/... ./internal/metrics/...
+	go test -race ./internal/offload/... ./internal/rpcrdma/... ./internal/xrpc/... ./internal/gentest/... ./internal/trace/... ./internal/rdma/... ./internal/fault/... ./internal/fabric/... ./internal/metrics/... ./internal/rpccache/... ./internal/workload/...
 
 # Aggregate coverage over every package, with a summary and an HTML-ready
 # profile at cover.out.
@@ -64,6 +64,14 @@ bench-payload:
 	go test -bench 'Payload' -benchmem -count 1 -run '^$$' ./internal/deser \
 		| go run ./cmd/benchjson -out BENCH_payload.json
 
+# Response-cache snapshot: the zero-alloc hit probe and the zipf-driven
+# steady-state hit rate (a custom hit_rate metric), parsed into
+# BENCH_cache.json (checked in). bench-check gates the hit rate at its own
+# ±5% tolerance via -metric-tolerance, independent of the ns/op tolerance.
+bench-cache:
+	go test -bench 'BenchmarkCache' -benchmem -count 1 -run '^$$' ./internal/rpccache \
+		| go run ./cmd/benchjson -out BENCH_cache.json
+
 # Compare a fresh benchmark run against the checked-in snapshots; fails on
 # >10% ns/op regressions. BENCHTIME shortens the pass (e.g. make bench-check
 # BENCHTIME=20000x) at the price of noisier numbers.
@@ -79,6 +87,8 @@ bench-check:
 		| go run ./cmd/benchjson -compare BENCH_telemetry.json -tolerance 0.5
 	go test -bench 'ConnScale' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/harness \
 		| go run ./cmd/benchjson -compare BENCH_connscale.json -tolerance 0.5
+	go test -bench 'BenchmarkCache' -benchmem -count 1 -benchtime $(BENCHTIME) -run '^$$' ./internal/rpccache \
+		| go run ./cmd/benchjson -compare BENCH_cache.json -tolerance 0.5 -metric-tolerance hit_rate=0.05
 
 # Full benchmark sweep across every package (nothing written).
 bench-all:

@@ -5,13 +5,18 @@
 //
 // With -compare BASELINE.json the fresh results are diffed against a
 // checked-in snapshot instead: benchmarks whose ns/op regressed more than
-// -tolerance fail the run (exit 1). Unless -out is given explicitly,
-// compare mode writes nothing.
+// -tolerance fail the run (exit 1). Custom metrics (b.ReportMetric units
+// like hit_rate) are captured into the JSON and gated only when named by a
+// -metric-tolerance flag, each at its own two-sided tolerance — so a
+// hit-rate gate can be tight without loosening the ns/op tolerance, and
+// vice versa. Unless -out is given explicitly, compare mode writes nothing.
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/deser | go run ./cmd/benchjson -out BENCH_deser.json
 //	go test -bench . -benchmem ./internal/deser | go run ./cmd/benchjson -compare BENCH_deser.json
+//	go test -bench . -benchmem ./internal/rpccache \
+//		| go run ./cmd/benchjson -compare BENCH_cache.json -metric-tolerance hit_rate=0.05
 package main
 
 import (
@@ -19,26 +24,93 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
-	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // Result is one benchmark line. MBs, BOp, and AllocsOp are present only
-// when the run reported them (-benchmem, b.SetBytes).
+// when the run reported them (-benchmem, b.SetBytes); Metrics holds any
+// custom b.ReportMetric units.
 type Result struct {
-	Name       string   `json:"name"`
-	Package    string   `json:"package,omitempty"`
-	Iterations int64    `json:"iterations"`
-	NsOp       float64  `json:"ns_op"`
-	MBs        *float64 `json:"mb_s,omitempty"`
-	BOp        *int64   `json:"b_op,omitempty"`
-	AllocsOp   *int64   `json:"allocs_op,omitempty"`
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsOp       float64            `json:"ns_op"`
+	MBs        *float64           `json:"mb_s,omitempty"`
+	BOp        *int64             `json:"b_op,omitempty"`
+	AllocsOp   *int64             `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// parseBenchLine parses one `BenchmarkX-8  N  v unit  v unit ...` line.
+// The testing package emits ns/op first, MB/s and custom metrics next, and
+// the -benchmem pair last; parsing generic value/unit pairs covers every
+// ordering.
+func parseBenchLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Package: pkg, Iterations: iters}
+	sawNsOp := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsOp = v
+			sawNsOp = true
+		case "MB/s":
+			r.MBs = &v
+		case "B/op":
+			b := int64(v)
+			r.BOp = &b
+		case "allocs/op":
+			a := int64(v)
+			r.AllocsOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, sawNsOp
+}
+
+// metricTolerances is the repeatable -metric-tolerance name=frac flag.
+type metricTolerances map[string]float64
+
+func (m metricTolerances) String() string {
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m metricTolerances) Set(s string) error {
+	name, frac, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=frac, got %q", s)
+	}
+	v, err := strconv.ParseFloat(frac, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("bad tolerance in %q", s)
+	}
+	m[name] = v
+	return nil
+}
 
 func main() {
 	out := flag.String("out", "BENCH.json", "file to write the JSON array to")
@@ -46,6 +118,9 @@ func main() {
 		"baseline JSON to diff the fresh results against; regressions beyond -tolerance exit 1")
 	tolerance := flag.Float64("tolerance", 0.10,
 		"fractional ns/op regression allowed by -compare")
+	metricTol := metricTolerances{}
+	flag.Var(metricTol, "metric-tolerance",
+		"name=frac: gate the named custom metric (b.ReportMetric unit) within ±frac of the baseline; repeatable")
 	flag.Parse()
 	outSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -65,26 +140,9 @@ func main() {
 			pkg = strings.TrimSpace(rest)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if r, ok := parseBenchLine(line, pkg); ok {
+			results = append(results, r)
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		nsOp, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsOp: nsOp}
-		if m[4] != "" {
-			v, _ := strconv.ParseFloat(m[4], 64)
-			r.MBs = &v
-		}
-		if m[5] != "" {
-			v, _ := strconv.ParseInt(m[5], 10, 64)
-			r.BOp = &v
-		}
-		if m[6] != "" {
-			v, _ := strconv.ParseInt(m[6], 10, 64)
-			r.AllocsOp = &v
-		}
-		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -104,18 +162,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 	}
 	if *compare != "" {
-		if !compareResults(results, *compare, *tolerance) {
+		if !compareResults(results, *compare, *tolerance, metricTol) {
 			os.Exit(1)
 		}
 	}
 }
 
 // compareResults diffs fresh ns/op against the baseline file and reports
-// every matched benchmark to stderr. Returns false if any benchmark
-// regressed beyond tol. Benchmarks present on only one side are reported
-// but never fail the comparison — adding a benchmark must not break the
-// check before the snapshot is regenerated.
-func compareResults(fresh []Result, baselinePath string, tol float64) bool {
+// every matched benchmark to stderr. Custom metrics named in metricTol are
+// additionally gated two-sided at their own tolerance (a hit rate that
+// *rose* 20% is as suspicious a snapshot drift as one that fell). Returns
+// false if any benchmark regressed beyond its tolerance. Benchmarks (or
+// metrics) present on only one side are reported but never fail the
+// comparison — adding a benchmark must not break the check before the
+// snapshot is regenerated.
+func compareResults(fresh []Result, baselinePath string, tol float64, metricTol metricTolerances) bool {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -140,17 +201,32 @@ func compareResults(fresh []Result, baselinePath string, tol float64) bool {
 		}
 		matched++
 		delete(base, key)
-		if b.NsOp <= 0 {
-			continue
+		if b.NsOp > 0 {
+			delta := (r.NsOp - b.NsOp) / b.NsOp
+			mark := ""
+			if delta > tol {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %-60s %10.2f -> %10.2f ns/op  %+6.1f%%%s\n",
+				key, b.NsOp, r.NsOp, 100*delta, mark)
 		}
-		delta := (r.NsOp - b.NsOp) / b.NsOp
-		mark := ""
-		if delta > tol {
-			mark = "  REGRESSION"
-			regressions++
+		for _, name := range sortedKeys(metricTol) {
+			mt := metricTol[name]
+			bv, inBase := b.Metrics[name]
+			rv, inFresh := r.Metrics[name]
+			if !inBase || !inFresh || bv == 0 {
+				continue
+			}
+			delta := (rv - bv) / bv
+			mark := ""
+			if math.Abs(delta) > mt {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %-60s %10.4f -> %10.4f %s  %+6.1f%%%s\n",
+				key, bv, rv, name, 100*delta, mark)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-60s %10.2f -> %10.2f ns/op  %+6.1f%%%s\n",
-			key, b.NsOp, r.NsOp, 100*delta, mark)
 	}
 	for key := range base {
 		fmt.Fprintf(os.Stderr, "benchjson: missing from this run: %s\n", key)
@@ -160,11 +236,20 @@ func compareResults(fresh []Result, baselinePath string, tol float64) bool {
 		return false
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% vs %s\n",
-			regressions, matched, 100*tol, baselinePath)
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed beyond tolerance vs %s\n",
+			regressions, matched, baselinePath)
 		return false
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
-		matched, 100*tol, baselinePath)
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within tolerance of %s\n",
+		matched, baselinePath)
 	return true
+}
+
+func sortedKeys(m metricTolerances) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

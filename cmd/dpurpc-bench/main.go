@@ -35,7 +35,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, anatomy, chaos, connscale, tailscale, deserspeed")
+		"one of: all, fig7, fig8a, fig8b, fig8c, table1, blocksweep, busypoll, allocator, latency, llc, respscale, batchscale, payloadscale, cachescale, anatomy, chaos, connscale, tailscale, deserspeed")
 	requests := flag.Int("requests", 20000, "requests per scenario per mode")
 	wallIters := flag.Int("fig7-wall-iters", 200, "wall-clock iterations per Fig. 7 point (0 disables)")
 	connections := flag.Int("connections", 1, "host<->DPU connections (one DPU poller each)")
@@ -207,6 +207,19 @@ func main() {
 			return printPayloadScaleCSV(rows)
 		}
 		return printPayloadScale(rows)
+	})
+	run("cachescale", func() error {
+		rows, err := harness.CacheScale(opts, harness.DefaultCacheSkews(), harness.DefaultCacheEntries())
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return printCacheScaleJSON(rows)
+		}
+		if csv {
+			return printCacheScaleCSV(rows)
+		}
+		return printCacheScale(rows)
 	})
 	run("anatomy", func() error {
 		rep, err := harness.RunAnatomy(opts)
@@ -472,6 +485,42 @@ func printBatchScaleJSON(rows []harness.BatchScaleRow) error {
 }
 
 func printRespScaleJSON(rows []harness.RespScaleRow) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+func printCacheScale(rows []harness.CacheScaleRow) error {
+	fmt.Println("== Response-cache sweep (zipf skew x capacity, Ints workload) ==")
+	fmt.Println("   (steady-state window after warmup; entries=0 rows are the uncached")
+	fmt.Println("    reference per skew — hits skip deserialization AND the host, so")
+	fmt.Println("    host ns/req collapses toward (1 - hit rate) of the reference)")
+	w := tw()
+	fmt.Fprintln(w, "skew\tentries\thit rate\tresident\tRPS\thost ns/req\tDPU ns/req\thost reduction\twall req/s (this machine)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.1f\t%d\t%.3f\t%d\t%.3g\t%.0f\t%.0f\t%.2fx\t%.3g\n",
+			r.Skew, r.CacheEntries, r.HitRate, r.ResidentEntries,
+			r.Result.RPS, r.HostNSPerReq, r.DPUNSPerReq, r.HostReduction, r.WallRPS)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func printCacheScaleCSV(rows []harness.CacheScaleRow) error {
+	fmt.Println("scenario,skew,keys,cache_entries,hit_rate,cache_hits,cache_misses,resident_entries,resident_bytes,rps,pcie_gbps,host_cores,dpu_cores,bottleneck,host_ns_per_req,dpu_ns_per_req,host_reduction,wall_rps")
+	for _, r := range rows {
+		fmt.Printf("%s,%.2f,%d,%d,%.4f,%d,%d,%d,%d,%.0f,%.2f,%.3f,%.3f,%s,%.1f,%.1f,%.3f,%.0f\n",
+			r.Scenario, r.Skew, r.Keys, r.CacheEntries, r.HitRate,
+			r.CacheHits, r.CacheMisses, r.ResidentEntries, r.ResidentBytes,
+			r.Result.RPS, r.Result.BandwidthGbps, r.Result.HostCores,
+			r.Result.DPUCores, r.Result.Bottleneck,
+			r.HostNSPerReq, r.DPUNSPerReq, r.HostReduction, r.WallRPS)
+	}
+	return nil
+}
+
+func printCacheScaleJSON(rows []harness.CacheScaleRow) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +45,8 @@ func main() {
 	payloadSize := flag.Int("payload-size", 64<<10, "blob scenario payload bytes")
 	sgMin := flag.Int("sg-min", 0,
 		"scatter-gather payload threshold in bytes for the offload server (0 disables SG framing)")
+	cacheMethods := flag.String("cache-methods", "",
+		"comma-separated full method names (/benchpb.Bench/CallSmall,...) opted into the DPU-resident response cache; empty disables")
 	debugAddr := flag.String("debug-addr", "",
 		"serve live telemetry on this address while serving (/metrics, /trace, /anatomy, /tail, /gauges, /healthz); empty disables")
 	pprofFlag := flag.Bool("pprof", false,
@@ -51,7 +54,7 @@ func main() {
 	flag.Parse()
 
 	if *serve {
-		runServer(*mode, *addr, *debugAddr, *sgMin, *pprofFlag)
+		runServer(*mode, *addr, *debugAddr, *sgMin, *cacheMethods, *pprofFlag)
 		return
 	}
 	runClient(*addr, *scenario, *n, *pipeline, *conns, *payloadSize)
@@ -72,11 +75,14 @@ func emptyImpls(schema *dpurpc.Schema) map[string]dpurpc.Impl {
 	}
 }
 
-func runServer(mode, addr, debugAddr string, sgMin int, pprofEnabled bool) {
+func runServer(mode, addr, debugAddr string, sgMin int, cacheMethods string, pprofEnabled bool) {
 	schema := benchSchema()
 	var opts dpurpc.StackOptions
 	var tracer *trace.Tracer
 	opts.SGPayloadMin = sgMin
+	if cacheMethods != "" {
+		opts.CacheMethods = strings.Split(cacheMethods, ",")
+	}
 	if debugAddr != "" {
 		opts.Registry = metrics.NewRegistry()
 		opts.Window = metrics.NewRPCWindow()
@@ -113,11 +119,26 @@ func runServer(mode, addr, debugAddr string, sgMin int, pprofEnabled bool) {
 					reffed += st.Deser.RefBytes
 					reqs += st.Requests
 				}
-				if reqs == 0 {
-					return
+				if reqs > 0 {
+					fmt.Fprintf(w, "payload bytes/req (sg_min=%d): copied=%.1f referenced=%.1f\n",
+						sgMin, float64(copied)/float64(reqs), float64(reffed)/float64(reqs))
 				}
-				fmt.Fprintf(w, "payload bytes/req (sg_min=%d): copied=%.1f referenced=%.1f\n",
-					sgMin, float64(copied)/float64(reqs), float64(reffed)/float64(reqs))
+				// Response-cache hit rate: hits never appear in the stage
+				// table (they skip every stage), so without this row
+				// /anatomy would silently describe only the misses.
+				if d.Cache != nil {
+					var hits, misses uint64
+					for _, dpuSrv := range d.DPUs {
+						st := dpuSrv.Stats()
+						hits += st.CacheHits
+						misses += st.CacheMisses
+					}
+					if probes := hits + misses; probes > 0 {
+						fmt.Fprintf(w, "rpc cache: hit-rate=%.3f (%d hits / %d probes), resident=%d entries %d bytes\n",
+							float64(hits)/float64(probes), hits, probes,
+							d.Cache.Len(), d.Cache.Bytes())
+					}
+				}
 			}
 		}
 		// Resource gauges: poll the per-connection occupancy numbers (arena

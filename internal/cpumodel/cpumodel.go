@@ -71,6 +71,15 @@ type Platform struct {
 	// the cache-friendly block size (SweetBlockBytes); it reproduces the
 	// 8 KiB optimum of the paper's block-size sweep (Sec. VI-A).
 	CacheByteNS float64
+
+	// Response-cache costs (internal/rpccache, probed on the terminating
+	// side). RespCacheProbeNS is the fixed per-probe cost — bucket index,
+	// chain walk, segment bookkeeping (calibrated against the measured
+	// ~80 ns zero-alloc hit on the reference core); RespCacheHashByteNS is
+	// the per-byte cost of the FNV-1a pass plus the key compare over the
+	// raw request bytes.
+	RespCacheProbeNS    float64
+	RespCacheHashByteNS float64
 }
 
 // EffectiveCores caps the platform's core count at the configured worker
@@ -118,6 +127,9 @@ func HostX86() *Platform {
 		NetByteNS:   0.05,
 		WakeupNS:    800.0,
 		CacheByteNS: 0.12,
+
+		RespCacheProbeNS:    40.0,
+		RespCacheHashByteNS: 0.5,
 	}
 }
 
@@ -149,6 +161,9 @@ func DPUBlueField3() *Platform {
 		NetByteNS:   0.10,
 		WakeupNS:    2000.0,
 		CacheByteNS: 0.25,
+
+		RespCacheProbeNS:    80.0,
+		RespCacheHashByteNS: 1.0,
 	}
 }
 
@@ -179,6 +194,15 @@ func (p *Platform) DeserNS(s deser.Stats) float64 {
 		p.PayloadRefNS*float64(s.RefBytes) +
 		p.FieldNS*float64(s.Fields) +
 		p.MessageNS*float64(s.Messages)
+}
+
+// RespCacheProbeCost returns the core time of one response-cache probe over
+// a request of the given size: the fixed lookup plus the hash-and-compare
+// pass over the raw request bytes. Hits and misses cost the same probe —
+// a hit then skips the entire deserialization and RPC stack, which is
+// where the saving comes from.
+func (p *Platform) RespCacheProbeCost(reqBytes int) float64 {
+	return p.RespCacheProbeNS + p.RespCacheHashByteNS*float64(reqBytes)
 }
 
 // SerializeNS models the cost of serializing an object with the given

@@ -309,6 +309,87 @@ func TestGeneratedBindingsBaseline(t *testing.T) {
 	runMirror(t, dpurpc.NewBaselineStack)
 }
 
+// TestCacheHitByteIdentical pins the response cache's wire contract: a hit
+// is delivered from the stored bytes without any re-serialization, so
+// repeat calls of the same request must return responses byte-identical to
+// the first (host-computed) one — and identical to what an uncached stack
+// returns for that request. A different request must not alias into the
+// same entry.
+func TestCacheHitByteIdentical(t *testing.T) {
+	s, err := LoadSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBytes := buildAll(t, s).M.Marshal(nil)
+	other := buildAll(t, s)
+	other.SetU32(123) // different request, different response checksum
+	otherBytes := other.M.Marshal(nil)
+
+	call := func(stack *dpurpc.Stack, payload []byte) []byte {
+		t.Helper()
+		addr, err := stack.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := dpurpc.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		status, resp, err := conn.Raw().Call("/at.Mirror/Echo", payload)
+		if err != nil || status != 0 {
+			t.Fatalf("status=%d err=%v", status, err)
+		}
+		return append([]byte(nil), resp...)
+	}
+
+	// Uncached reference bytes.
+	plain, err := dpurpc.NewOffloadedStack(s, RegisterMirror(&mirror{s: s, t: t}), dpurpc.StackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := call(plain, reqBytes)
+	plain.Close()
+
+	stack, err := dpurpc.NewOffloadedStack(s, RegisterMirror(&mirror{s: s, t: t}),
+		dpurpc.StackOptions{CacheMethods: []string{"/at.Mirror/Echo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	addr, err := stack.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := dpurpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		status, resp, err := conn.Raw().Call("/at.Mirror/Echo", reqBytes)
+		if err != nil || status != 0 {
+			t.Fatalf("call %d: status=%d err=%v", i, status, err)
+		}
+		if !bytes.Equal(resp, want) {
+			t.Fatalf("call %d diverges from the uncached response:\n want %x\n got  %x",
+				i, want, resp)
+		}
+	}
+	st := stack.Cache().Stats()
+	if st.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2 (calls 2 and 3 repeat call 1)", st.Hits)
+	}
+	// A different request must miss and get its own (different) response.
+	status, resp, err := conn.Raw().Call("/at.Mirror/Echo", otherBytes)
+	if err != nil || status != 0 {
+		t.Fatalf("other: status=%d err=%v", status, err)
+	}
+	if bytes.Equal(resp, want) {
+		t.Error("different request returned the cached response of another key")
+	}
+}
+
 func TestSchemaFingerprintPinned(t *testing.T) {
 	s, err := LoadSchema()
 	if err != nil {

@@ -1,0 +1,67 @@
+package harness
+
+import "testing"
+
+// TestCacheScaleWins pins the headline acceptance of the response cache: at
+// zipf s=1.1 with a warm near-key-population cache, modeled host core time
+// per request drops at least 5x versus the uncached reference, because hits
+// are answered on the DPU without ever crossing to the host.
+func TestCacheScaleWins(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Requests = 6000
+	rows, err := CacheScale(opts, []float64{1.1}, []int{64, 768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One uncached reference leg plus the two cached legs.
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+
+	find := func(entries int) *CacheScaleRow {
+		for i := range rows {
+			if rows[i].CacheEntries == entries {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("row entries=%d missing", entries)
+		return nil
+	}
+	base := find(0)
+	small := find(64)
+	big := find(768)
+
+	if base.HitRate != 0 || base.CacheHits != 0 {
+		t.Errorf("uncached leg saw cache traffic: hits=%d rate=%.3f",
+			base.CacheHits, base.HitRate)
+	}
+	if base.HostReduction != 1 {
+		t.Errorf("uncached HostReduction = %.2f, want 1", base.HostReduction)
+	}
+
+	// The warm big cache must absorb the bulk of the zipf head...
+	if big.HitRate < 0.8 {
+		t.Errorf("768-entry hit rate = %.3f, want >= 0.8", big.HitRate)
+	}
+	// ...and the acceptance headline: >= 5x less host core time per request.
+	if big.HostReduction < 5 {
+		t.Errorf("768-entry host reduction = %.2fx, want >= 5x", big.HostReduction)
+	}
+	// Capacity matters: the 64-entry cache helps, but far less.
+	if small.HitRate >= big.HitRate {
+		t.Errorf("64-entry hit rate %.3f >= 768-entry %.3f", small.HitRate, big.HitRate)
+	}
+	if small.HostReduction <= 1 || small.HostReduction >= big.HostReduction {
+		t.Errorf("64-entry reduction %.2fx, want in (1, %.2f)",
+			small.HostReduction, big.HostReduction)
+	}
+	// Hits are completed requests: modeled throughput must beat the
+	// reference, not just shift work around.
+	if big.Result.RPS <= base.Result.RPS {
+		t.Errorf("768-entry RPS %.0f <= uncached %.0f", big.Result.RPS, base.Result.RPS)
+	}
+	// The cache stayed within its capacity bound.
+	if big.ResidentEntries > 768 {
+		t.Errorf("resident entries %d > capacity 768", big.ResidentEntries)
+	}
+}

@@ -156,6 +156,12 @@ type Fig8Row struct {
 	FlushBatch    uint64
 	FlushTimer    uint64
 	FlushExplicit uint64
+	// Response-cache activity (offload mode with CacheMethods; zero
+	// otherwise). CacheHitRate is hits over probes within the measured
+	// window — the cachescale experiment's primary axis.
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheHitRate float64
 }
 
 // emptyImpls returns benchmark service implementations with empty business
@@ -382,46 +388,114 @@ func RunOffload(s workload.Scenario, opts Options) (Fig8Row, error) {
 	return row, nil
 }
 
+// runCounters is one instant's aggregate of every counter the usage model
+// reads. Pricing a whole run reads one snapshot; pricing a steady-state
+// window (cachescale: warm the cache first, then measure) subtracts a
+// snapshot taken at the window's start from one taken at its end.
+type runCounters struct {
+	st         offload.DPUStats
+	cc, sc     rpcrdma.Counters
+	minCredits uint64
+	hs         offload.HostStats
+	linkBytes  uint64
+}
+
+// snapshotCounters aggregates the deployment's counters over every
+// connection (and every host poller) at this instant.
+func snapshotCounters(d *offload.Deployment) runCounters {
+	rc := runCounters{minCredits: ^uint64(0)}
+	for _, dpuSrv := range d.DPUs {
+		s := dpuSrv.Stats()
+		rc.st.Requests += s.Requests
+		rc.st.Responses += s.Responses
+		rc.st.MeasuredBytes += s.MeasuredBytes
+		rc.st.RespBytes += s.RespBytes
+		rc.st.SerializedBytes += s.SerializedBytes
+		rc.st.CacheHits += s.CacheHits
+		rc.st.CacheMisses += s.CacheMisses
+		rc.st.CacheProbeBytes += s.CacheProbeBytes
+		rc.st.CacheHitReqBytes += s.CacheHitReqBytes
+		rc.st.CacheHitRespBytes += s.CacheHitRespBytes
+		rc.st.CacheInsertBytes += s.CacheInsertBytes
+		rc.st.Deser.Add(s.Deser)
+		c := dpuSrv.Client().Counters
+		rc.cc.BlocksSent += c.BlocksSent
+		rc.cc.BlocksReceived += c.BlocksReceived
+		rc.cc.PayloadBytesSent += c.PayloadBytesSent
+		rc.cc.FlushFull += c.FlushFull
+		rc.cc.FlushBatch += c.FlushBatch
+		rc.cc.FlushTimer += c.FlushTimer
+		rc.cc.FlushExplicit += c.FlushExplicit
+		if c.MinCreditsSeen < rc.minCredits {
+			rc.minCredits = c.MinCreditsSeen
+		}
+	}
+	for _, p := range d.Pollers {
+		for _, conn := range p.Conns() {
+			c := conn.Counters
+			rc.sc.BlocksSent += c.BlocksSent
+			rc.sc.BlocksReceived += c.BlocksReceived
+			rc.sc.PayloadBytesSent += c.PayloadBytesSent
+			rc.sc.FlushFull += c.FlushFull
+			rc.sc.FlushBatch += c.FlushBatch
+			rc.sc.FlushTimer += c.FlushTimer
+			rc.sc.FlushExplicit += c.FlushExplicit
+			if c.MinCreditsSeen < rc.minCredits {
+				rc.minCredits = c.MinCreditsSeen
+			}
+		}
+	}
+	rc.hs = d.Host.Stats()
+	rc.linkBytes = d.Link.TotalBytes()
+	return rc
+}
+
+// sub returns the counter movement from before to rc (the receiver is the
+// later snapshot). minCredits is a low-water mark, not a count: the later
+// snapshot's value carries over as-is.
+func (rc runCounters) sub(before runCounters) runCounters {
+	out := rc
+	out.st.Requests -= before.st.Requests
+	out.st.Responses -= before.st.Responses
+	out.st.MeasuredBytes -= before.st.MeasuredBytes
+	out.st.RespBytes -= before.st.RespBytes
+	out.st.SerializedBytes -= before.st.SerializedBytes
+	out.st.CacheHits -= before.st.CacheHits
+	out.st.CacheMisses -= before.st.CacheMisses
+	out.st.CacheProbeBytes -= before.st.CacheProbeBytes
+	out.st.CacheHitReqBytes -= before.st.CacheHitReqBytes
+	out.st.CacheHitRespBytes -= before.st.CacheHitRespBytes
+	out.st.CacheInsertBytes -= before.st.CacheInsertBytes
+	out.st.Deser.Sub(before.st.Deser)
+	subCounters := func(a *rpcrdma.Counters, b rpcrdma.Counters) {
+		a.BlocksSent -= b.BlocksSent
+		a.BlocksReceived -= b.BlocksReceived
+		a.PayloadBytesSent -= b.PayloadBytesSent
+		a.FlushFull -= b.FlushFull
+		a.FlushBatch -= b.FlushBatch
+		a.FlushTimer -= b.FlushTimer
+		a.FlushExplicit -= b.FlushExplicit
+	}
+	subCounters(&out.cc, before.cc)
+	subCounters(&out.sc, before.sc)
+	out.hs.Requests -= before.hs.Requests
+	out.hs.ResponseBytes -= before.hs.ResponseBytes
+	out.hs.ResponseMsgs -= before.hs.ResponseMsgs
+	out.linkBytes -= before.linkBytes
+	return out
+}
+
 // offloadUsage converts the run's counters into modeled core time,
 // aggregated over all connections.
 func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage, Fig8Row) {
-	var st offload.DPUStats
-	var cc, sc rpcrdma.Counters
-	minCredits := ^uint64(0)
-	for _, dpuSrv := range d.DPUs {
-		s := dpuSrv.Stats()
-		st.Requests += s.Requests
-		st.Responses += s.Responses
-		st.MeasuredBytes += s.MeasuredBytes
-		st.RespBytes += s.RespBytes
-		st.SerializedBytes += s.SerializedBytes
-		st.Deser.Add(s.Deser)
-		c := dpuSrv.Client().Counters
-		cc.BlocksSent += c.BlocksSent
-		cc.BlocksReceived += c.BlocksReceived
-		cc.PayloadBytesSent += c.PayloadBytesSent
-		cc.FlushFull += c.FlushFull
-		cc.FlushBatch += c.FlushBatch
-		cc.FlushTimer += c.FlushTimer
-		cc.FlushExplicit += c.FlushExplicit
-		if c.MinCreditsSeen < minCredits {
-			minCredits = c.MinCreditsSeen
-		}
-	}
-	for _, conn := range d.Poller.Conns() {
-		c := conn.Counters
-		sc.BlocksSent += c.BlocksSent
-		sc.BlocksReceived += c.BlocksReceived
-		sc.PayloadBytesSent += c.PayloadBytesSent
-		sc.FlushFull += c.FlushFull
-		sc.FlushBatch += c.FlushBatch
-		sc.FlushTimer += c.FlushTimer
-		sc.FlushExplicit += c.FlushExplicit
-		if c.MinCreditsSeen < minCredits {
-			minCredits = c.MinCreditsSeen
-		}
-	}
-	hs := d.Host.Stats()
+	return usageFromCounters(snapshotCounters(d), method, opts)
+}
+
+// usageFromCounters prices one window of counter movement with the machine
+// model.
+func usageFromCounters(rc runCounters, method string, opts Options) (dpu.Usage, Fig8Row) {
+	st, cc, sc, hs := rc.st, rc.cc, rc.sc, rc.hs
+	minCredits := rc.minCredits
 	host := opts.Machine.Host
 	dpuP := opts.Machine.DPU
 	n := float64(st.Responses)
@@ -455,6 +529,22 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 	if !opts.BusyPoll {
 		dpuNS += dpuP.WakeupNS * float64(cc.BlocksSent+cc.BlocksReceived)
 	}
+	// Response cache (internal/rpccache). Every probe pays the fixed lookup
+	// plus the hash-and-compare pass over the raw request bytes; hits
+	// additionally pay xRPC termination and the socket bytes of their
+	// frames — and nothing else: no scan, no block, no host dispatch.
+	// Inserts pay the key+value copy into the cache. All of it lands on the
+	// DPU; the host never sees a hit, which is the entire point.
+	if probes := st.CacheHits + st.CacheMisses; probes > 0 {
+		h := float64(st.CacheHits)
+		dpuNS += float64(probes) * dpuP.RespCacheProbeNS
+		dpuNS += dpuP.RespCacheHashByteNS * float64(st.CacheProbeBytes)
+		hitFrameBytes := st.CacheHitReqBytes + st.CacheHitRespBytes +
+			uint64(float64(xrpcFrameBytes(method, 0, 0))*h)
+		dpuNS += h * dpuP.ReqNS
+		dpuNS += dpuP.NetByteNS * float64(hitFrameBytes)
+		dpuNS += dpuP.CopyByteNS * float64(st.CacheInsertBytes)
+	}
 
 	// Host: the RPC-over-RDMA server side only — no deserialization, no
 	// socket bytes (the NIC DMAs blocks directly into the receive buffer).
@@ -470,7 +560,7 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		hostNS += host.WakeupNS * float64(sc.BlocksSent+sc.BlocksReceived)
 	}
 
-	linkBytes := d.Link.TotalBytes()
+	linkBytes := rc.linkBytes
 	row := Fig8Row{
 		MinCredits:      minCredits,
 		WireBytesPerReq: safeDiv(float64(st.MeasuredBytes), n),
@@ -481,9 +571,15 @@ func offloadUsage(d *offload.Deployment, method string, opts Options) (dpu.Usage
 		FlushBatch:      cc.FlushBatch + sc.FlushBatch,
 		FlushTimer:      cc.FlushTimer + sc.FlushTimer,
 		FlushExplicit:   cc.FlushExplicit + sc.FlushExplicit,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		CacheHitRate:    safeDiv(float64(st.CacheHits), float64(st.CacheHits+st.CacheMisses)),
 	}
 	return dpu.Usage{
-		Requests:  st.Responses,
+		// A cache hit is a completed request every bit as much as a
+		// host-answered one: throughput counts both, while the host/DPU core
+		// time above charges each path its own cost.
+		Requests:  st.Responses + st.CacheHits,
 		HostNS:    hostNS,
 		DPUNS:     dpuNS,
 		LinkBytes: linkBytes,

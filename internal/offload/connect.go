@@ -9,6 +9,7 @@ import (
 	"dpurpc/internal/fault"
 	"dpurpc/internal/metrics"
 	"dpurpc/internal/rdma"
+	"dpurpc/internal/rpccache"
 	"dpurpc/internal/rpcrdma"
 	"dpurpc/internal/trace"
 )
@@ -63,6 +64,10 @@ type Deployment struct {
 	// them round-robin.
 	Pollers []*rpcrdma.ServerPoller
 	DPUs    []*DPUServer
+	// Cache is the DPU-resident response cache shared by every connection's
+	// server (nil unless DeployConfig.CacheMethods is set). Shared state
+	// lives here — not on any connection — so it survives redials.
+	Cache *rpccache.Cache
 }
 
 // ProgressHost advances every host poller once and returns the total number
@@ -186,6 +191,15 @@ type DeployConfig struct {
 	// rpcrdma.Config.AdmitMaxInflight / AdmitArenaFrac).
 	HostAdmitMaxInflight int
 	HostAdmitArenaFrac   float64
+	// CacheMethods opts full method names into the DPU-resident response
+	// cache, shared by every connection's DPU server (see
+	// DPUConfig.CacheMethods). Empty disables caching entirely.
+	CacheMethods []string
+	// CacheMaxBytes / CacheMaxEntries / CacheTTL bound the shared cache
+	// (0 = rpccache defaults: 8 MiB, unbounded count, no expiry).
+	CacheMaxBytes   int
+	CacheMaxEntries int
+	CacheTTL        time.Duration
 }
 
 // NewDeployment performs the handshake and wires conns connections between
@@ -262,6 +276,18 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 		pollerCfg.CQDepth = perPoller * (ccfg.Credits + 16)
 	}
 	d := &Deployment{Link: link, Host: host}
+	if len(cfg.CacheMethods) > 0 {
+		// One cache for the whole deployment: every connection's server
+		// probes and populates it, so a hot key warmed through any
+		// connection serves hits on all of them — and a redial (which swaps
+		// a connection, not the deployment) keeps the warm set.
+		d.Cache = rpccache.New(rpccache.Config{
+			MaxBytes:   cfg.CacheMaxBytes,
+			MaxEntries: cfg.CacheMaxEntries,
+			TTL:        cfg.CacheTTL,
+			Methods:    len(MethodNames(dpuTable)),
+		})
+	}
 	for i := 0; i < hostPollers; i++ {
 		d.Pollers = append(d.Pollers, rpcrdma.NewServerPoller(pollerCfg))
 	}
@@ -309,6 +335,8 @@ func NewDeploymentWith(hostTable *adt.Table, impls map[string]Impl, cfg DeployCo
 			ReconnectBackoff:    cfg.ReconnectBackoff,
 			ReconnectMaxBackoff: cfg.ReconnectMaxBackoff,
 			AdmitMaxInflight:    cfg.DPUAdmitMaxInflight,
+			CacheMethods:        cfg.CacheMethods,
+			Cache:               d.Cache,
 		})
 		if err != nil {
 			return nil, err

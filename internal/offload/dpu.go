@@ -13,6 +13,7 @@ import (
 	"dpurpc/internal/arena"
 	"dpurpc/internal/deser"
 	"dpurpc/internal/metrics"
+	"dpurpc/internal/rpccache"
 	"dpurpc/internal/rpcrdma"
 	"dpurpc/internal/trace"
 	"dpurpc/internal/xrpc"
@@ -50,7 +51,19 @@ type DPUStats struct {
 	Reconnects  uint64
 	RedialFails uint64
 	Sheds       uint64
-	Deser       deser.Stats
+	// Response-cache activity on this server (DPUConfig.Cache). Hits are
+	// served entirely on the DPU: no scan, no block, no host dispatch.
+	// CacheProbeBytes counts request bytes hashed by every probe (hit or
+	// miss); CacheHitReqBytes/CacheHitRespBytes count the request and
+	// response bytes of hits alone; CacheInsertBytes counts key+value bytes
+	// copied into the cache on the way out of the datapath.
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheProbeBytes   uint64
+	CacheHitReqBytes  uint64
+	CacheHitRespBytes uint64
+	CacheInsertBytes  uint64
+	Deser             deser.Stats
 }
 
 // Pipeline stages a task moves through when the worker pool is enabled.
@@ -216,6 +229,18 @@ type DPUConfig struct {
 	// queued, in the pipeline, or outstanding on the wire. Requests already
 	// admitted are never shed. 0 admits everything.
 	AdmitMaxInflight int
+
+	// CacheMethods opts full method names ("/pkg.Service/Method") into the
+	// DPU-resident response cache: repeated byte-identical requests to these
+	// methods are answered from stored response bytes before the scan, the
+	// admission gate, and the host dispatch. Only methods whose responses
+	// depend solely on the request bytes (idempotent, read-mostly) belong
+	// here. Unknown names fail construction.
+	CacheMethods []string
+	// Cache is the response cache backing CacheMethods. Deployments share
+	// one cache across every connection's server (and across reconnects);
+	// nil with CacheMethods set builds a private cache with default bounds.
+	Cache *rpccache.Cache
 }
 
 // DPUServer is the DPU middleman for one RPC-over-RDMA connection: it
@@ -291,6 +316,17 @@ type DPUServer struct {
 	redialFails atomic.Uint64
 	sheds       atomic.Uint64
 
+	// Response-cache counters. Per-server (not per-cache) so a deployment
+	// sharing one cache across connections can still attribute probe work
+	// and hit savings to each server, and so the harness can delta them
+	// across a measurement window.
+	cacheHits         atomic.Uint64
+	cacheMisses       atomic.Uint64
+	cacheProbeBytes   atomic.Uint64
+	cacheHitReqBytes  atomic.Uint64
+	cacheHitRespBytes atomic.Uint64
+	cacheInsertBytes  atomic.Uint64
+
 	// Reconnect state machine (poller-owned). epoch counts adopted
 	// connections; tasks stamp it when they acquire connection-bound
 	// resources. While reconBroken is set the server neither reserves nor
@@ -331,6 +367,16 @@ func NewDPUServerWith(table *adt.Table, client *rpcrdma.ClientConn, cfg DPUConfi
 		runDone: make(chan struct{}),
 	}
 	d.scanPool.New = func() any { return deser.New(dopts) }
+	for _, name := range cfg.CacheMethods {
+		mid, ok := procs.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("offload: cache method %q not in table", name)
+		}
+		procs.entries[mid].cache = true
+	}
+	if len(cfg.CacheMethods) > 0 && d.cfg.Cache == nil {
+		d.cfg.Cache = rpccache.New(rpccache.Config{Methods: len(procs.entries)})
+	}
 	if d.cfg.ReconnectBackoff <= 0 {
 		d.cfg.ReconnectBackoff = 200 * time.Microsecond
 	}
@@ -373,6 +419,62 @@ func (d *DPUServer) Workers() int {
 
 func (d *DPUServer) pooled() bool { return d.workQ != nil }
 
+// cacheable reports whether the entry is opted into the response cache and
+// a cache is attached.
+func (d *DPUServer) cacheable(e *procEntry) bool {
+	return e.cache && d.cfg.Cache != nil
+}
+
+// cacheProbe consults the response cache for one request before it enters
+// the datapath. On a hit it records the full telemetry of a completed
+// request — the StageCacheHit span, the finished trace, the windowed
+// latency observation — and returns the stored response bytes; the caller
+// delivers them directly, skipping the scan, the admission gate, the block
+// pipeline, and the host. Safe from any goroutine: the cache and every
+// recorder touched here are internally synchronized or lock-free.
+func (d *DPUServer) cacheProbe(id uint16, e *procEntry, payload []byte, tr *trace.Active, admit int64) ([]byte, uint16, bool) {
+	if !d.cacheable(e) {
+		return nil, 0, false
+	}
+	var t0 int64
+	if tr != nil {
+		t0 = trace.Now()
+	}
+	resp, status, ok := d.cfg.Cache.Get(id, payload)
+	d.cacheProbeBytes.Add(uint64(len(payload)))
+	if !ok {
+		d.cacheMisses.Add(1)
+		return nil, 0, false
+	}
+	d.cacheHits.Add(1)
+	d.cacheHitReqBytes.Add(uint64(len(payload)))
+	d.cacheHitRespBytes.Add(uint64(len(resp)))
+	tr.Span(trace.StageCacheHit, trace.ProcDPU, 0, t0, trace.Now())
+	d.cfg.Tracer.Finish(tr, false)
+	if d.cfg.Window != nil && admit != 0 {
+		d.cfg.Window.Observe(trace.Now()-admit, tr.ID(), false)
+	}
+	return resp, status, true
+}
+
+// cacheInsert stores one committed host response on the way out of the
+// datapath, so the next byte-identical request hits. Error results never
+// insert (and host-flagged errors invalidated the method in respond);
+// responses whose task predates the current connection epoch are dropped —
+// a redial may mean the world changed while the response was in flight.
+// Poller-owned (reads d.epoch).
+func (d *DPUServer) cacheInsert(task *callTask, r callResult) {
+	if r.err || r.status != xrpc.StatusOK {
+		return
+	}
+	if task.entry == nil || !d.cacheable(task.entry) || task.epoch != d.epoch {
+		return
+	}
+	if d.cfg.Cache.Put(task.procID, task.data, r.resp, r.status) {
+		d.cacheInsertBytes.Add(uint64(len(task.data) + len(r.resp)))
+	}
+}
+
 // Stats returns a snapshot of the DPU-side counters. Safe to call from any
 // goroutine: per-worker (and poller) deserializer stats are folded into one
 // merged accumulator under a lock.
@@ -390,7 +492,15 @@ func (d *DPUServer) Stats() DPUStats {
 		Reconnects:      d.reconnects.Load(),
 		RedialFails:     d.redialFails.Load(),
 		Sheds:           d.sheds.Load(),
-		Deser:           merged,
+
+		CacheHits:         d.cacheHits.Load(),
+		CacheMisses:       d.cacheMisses.Load(),
+		CacheProbeBytes:   d.cacheProbeBytes.Load(),
+		CacheHitReqBytes:  d.cacheHitReqBytes.Load(),
+		CacheHitRespBytes: d.cacheHitRespBytes.Load(),
+		CacheInsertBytes:  d.cacheInsertBytes.Load(),
+
+		Deser: merged,
 	}
 }
 
@@ -580,11 +690,19 @@ func (d *DPUServer) handleCall(method string, payload []byte) (uint16, []byte, f
 		return xrpc.StatusUnimplemented, nil, nil
 	}
 	e := d.procs.byID(id)
-	task := &callTask{procID: id, entry: e, data: payload}
-	task.tr = d.cfg.Tracer.Begin(method)
+	tr := d.cfg.Tracer.Begin(method)
+	var admit int64
 	if d.cfg.Window != nil {
-		task.admit = trace.Now()
+		admit = trace.Now()
 	}
+	// Response-cache probe: a hit is answered here on the connection
+	// goroutine — no scan, no poller handoff, no host round trip. The
+	// returned bytes alias an immutable cache entry, so no release is
+	// needed (or possible).
+	if resp, status, ok := d.cacheProbe(id, e, payload, tr, admit); ok {
+		return status, resp, nil
+	}
+	task := &callTask{procID: id, entry: e, data: payload, tr: tr, admit: admit}
 	if d.pooled() {
 		// The planned scan runs on a pipeline worker; a failure surfaces as
 		// StatusInvalidArgument below, exactly like the inline path.
@@ -646,11 +764,25 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return fmt.Errorf("offload: unknown method %q", fullMethod)
 	}
 	e := d.procs.byID(id)
-	// The admission gate applies before any work is done on the request;
-	// a shed invokes cb inline (there is nothing to wait for).
+	tr := d.cfg.Tracer.Begin(fullMethod)
+	var admit int64
+	if d.cfg.Window != nil {
+		admit = trace.Now()
+	}
+	// Response-cache probe first: a hit completes entirely on the DPU and
+	// therefore never counts against the admission gate — shedding cached
+	// reads while the host-bound pipeline is saturated would throw away
+	// exactly the capacity the cache adds.
+	if resp, status, ok := d.cacheProbe(id, e, payload, tr, admit); ok {
+		cb(status, false, resp)
+		return nil
+	}
+	// The admission gate applies before any further work is done on the
+	// request; a shed invokes cb inline (there is nothing to wait for).
 	if d.overAdmission() {
 		d.sheds.Add(1)
 		d.errors.Add(1)
+		d.cfg.Tracer.Finish(tr, true)
 		cb(xrpc.StatusUnavailable, true, []byte("offload: admission control shed"))
 		return nil
 	}
@@ -659,7 +791,6 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 	// required by the pipeline (interior commits cannot shrink) and a no-op
 	// tail shrink on the serial path — and its notes ride the task so the
 	// fill never re-decodes the structure.
-	tr := d.cfg.Tracer.Begin(fullMethod)
 	var mT0 int64
 	if tr != nil {
 		mT0 = trace.Now()
@@ -670,10 +801,6 @@ func (d *DPUServer) SubmitLocal(fullMethod string, payload []byte, cb func(statu
 		return err
 	}
 	tr.Span(trace.StageMeasure, trace.ProcDPU, 0, mT0, trace.Now())
-	var admit int64
-	if d.cfg.Window != nil {
-		admit = trace.Now()
-	}
 	d.retry = append(d.retry, &callTask{
 		procID:   id,
 		entry:    e,
@@ -721,6 +848,10 @@ func (d *DPUServer) finish(task *callTask, r callResult) {
 		// can already resolve the exemplar's trace from the completed rings.
 		d.cfg.Window.Observe(trace.Now()-task.admit, task.tr.ID(), r.err)
 	}
+	// Committed OK responses of cache-opted methods populate the cache on
+	// the way out (Put copies both key and value, so recycling r.resp after
+	// deliver is safe).
+	d.cacheInsert(task, r)
 	task.deliver(r)
 }
 
@@ -732,6 +863,13 @@ func (d *DPUServer) respond(task *callTask, resp rpcrdma.Response) {
 	}
 	d.responses.Add(1)
 	d.respBytes.Add(uint64(len(resp.Payload)))
+	if resp.Err && task.entry != nil && d.cacheable(task.entry) {
+		// A cache-opted method just failed on the host: whatever the cache
+		// holds for it may describe state the failure mutated or revealed to
+		// be stale. Drop the method's entries; subsequent requests bypass to
+		// the host until fresh OK responses repopulate.
+		d.cfg.Cache.InvalidateMethod(task.procID)
+	}
 	if d.pooled() && (resp.Object || len(resp.Payload) > 0) {
 		// Response pipeline: the serialization (or the copy out of the
 		// block) runs on a worker. The block's acknowledgment is deferred
@@ -872,6 +1010,9 @@ func (d *DPUServer) admitResponses() {
 // the object graph directly into the outgoing block — the in-place
 // deserialization of Sec. V.
 func (d *DPUServer) enqueue(task *callTask) error {
+	// Tag the connection whose response will answer this task, so a cache
+	// insert after an intervening reconnect is recognized as stale.
+	task.epoch = d.epoch
 	return d.client.Enqueue(rpcrdma.CallSpec{
 		Method:  task.procID,
 		Size:    sgSlotSize(task.need, task.segs, task.segBytes),

@@ -47,6 +47,10 @@ type procEntry struct {
 	out      *abi.Layout
 	plan     *deser.Plan
 	handler  ViewHandler
+	// cache marks the method as idempotent and opted into the DPU-resident
+	// response cache (DPUConfig.CacheMethods): repeated requests are served
+	// from stored response bytes without scanning or crossing to the host.
+	cache bool
 }
 
 // procTable assigns global procedure IDs across all services of an ADT
@@ -97,6 +101,21 @@ func (pt *procTable) byID(id uint16) *procEntry {
 		return nil
 	}
 	return &pt.entries[id]
+}
+
+// MethodNames returns every full method name of the table in procedure-ID
+// order — the same deterministic (service order, then method order)
+// assignment buildProcTable uses, so index i names procedure ID i. The
+// response cache's per-method telemetry and Stack.InvalidateMethod resolve
+// names through it.
+func MethodNames(table *adt.Table) []string {
+	var names []string
+	for _, svc := range table.Services {
+		for _, m := range svc.Methods {
+			names = append(names, xrpc.FullMethodName(svc.Name, m.Name))
+		}
+	}
+	return names
 }
 
 // scratch is a pooled per-call deserialization arena used by the baseline

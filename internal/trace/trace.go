@@ -50,6 +50,7 @@ const (
 	StageRespDoorbell  = "pcie.resp_doorbell" // response block RDMA write + doorbell
 	StageRespSerialize = "dpu.resp_serialize" // DPU serialization for the TCP wire
 	StageDeliver       = "dpu.deliver"        // response handed back to the xRPC client
+	StageCacheHit      = "dpu.cache_hit"      // response served from the DPU-resident cache
 )
 
 // Processor identifiers for exporters (Chrome trace pid).

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+
+	"dpurpc/internal/mt19937"
+)
+
+// Zipf draws ranks 0..n-1 with P(k) ∝ (k+1)^-s — the popularity curve of a
+// realistic millions-of-users key space (s ≈ 0.9–1.3 for web traffic;
+// s = 0 degenerates to uniform). Sampling is rejection-free: the
+// distribution is compiled once into Vose's alias table, so every draw is
+// exactly two generator outputs and O(1) work regardless of skew — no
+// retry loop whose iteration count would depend on s and desynchronize
+// deterministic replays.
+//
+// All randomness comes from the caller's Mersenne Twister source, so a
+// fixed seed reproduces the exact key sequence (the same property every
+// other workload generator in this package has). Not safe for concurrent
+// use (neither is the underlying source).
+type Zipf struct {
+	rng   *mt19937.Source
+	n     uint32
+	prob  []uint64 // acceptance threshold per column, fixed-point /2^32
+	alias []uint32
+}
+
+// NewZipf compiles the alias table for n ranks at skew s. n must be >= 1;
+// s < 0 is treated as 0 (uniform).
+func NewZipf(rng *mt19937.Source, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	// Normalized weights scaled by n: column k holds p_k * n, so columns
+	// average exactly 1.0 and split into donors (>1) and receivers (<1).
+	w := make([]float64, n)
+	sum := 0.0
+	for k := range w {
+		w[k] = math.Pow(float64(k+1), -s)
+		sum += w[k]
+	}
+	scaled := make([]float64, n)
+	for k := range w {
+		scaled[k] = w[k] / sum * float64(n)
+	}
+	z := &Zipf{
+		rng:   rng,
+		n:     uint32(n),
+		prob:  make([]uint64, n),
+		alias: make([]uint32, n),
+	}
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	for k := n - 1; k >= 0; k-- {
+		if scaled[k] < 1 {
+			small = append(small, uint32(k))
+		} else {
+			large = append(large, uint32(k))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s32 := small[len(small)-1]
+		small = small[:len(small)-1]
+		l32 := large[len(large)-1]
+		large = large[:len(large)-1]
+		z.prob[s32] = uint64(scaled[s32] * (1 << 32))
+		z.alias[s32] = l32
+		scaled[l32] -= 1 - scaled[s32]
+		if scaled[l32] < 1 {
+			small = append(small, l32)
+		} else {
+			large = append(large, l32)
+		}
+	}
+	// Leftovers (either list) have probability 1 up to float rounding.
+	for _, k := range large {
+		z.prob[k] = 1 << 32
+	}
+	for _, k := range small {
+		z.prob[k] = 1 << 32
+	}
+	return z
+}
+
+// N returns the rank count.
+func (z *Zipf) N() int { return int(z.n) }
+
+// Next draws one rank: column by one uniform draw, then accept-or-alias by
+// a second. Exactly two generator outputs per call.
+func (z *Zipf) Next() int {
+	k := z.rng.Uint32n(z.n)
+	if uint64(z.rng.Uint32()) < z.prob[k] {
+		return int(k)
+	}
+	return int(z.alias[k])
+}

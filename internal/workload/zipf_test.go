@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dpurpc/internal/mt19937"
+)
+
+// TestZipfShape verifies the sampler reproduces the analytic zipf
+// rank-frequency curve: empirical frequencies of the top ranks match
+// (k+1)^-s / H within a few percent, and mass is monotonically
+// non-increasing across coarse rank buckets.
+func TestZipfShape(t *testing.T) {
+	const n = 1024
+	const draws = 400000
+	for _, s := range []float64{0, 0.9, 1.1, 1.3} {
+		z := NewZipf(mt19937.New(7), n, s)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			k := z.Next()
+			if k < 0 || k >= n {
+				t.Fatalf("s=%v: rank %d out of range", s, k)
+			}
+			counts[k]++
+		}
+		// Analytic normalization.
+		h := 0.0
+		for k := 0; k < n; k++ {
+			h += math.Pow(float64(k+1), -s)
+		}
+		for k := 0; k < 8; k++ {
+			want := math.Pow(float64(k+1), -s) / h
+			got := float64(counts[k]) / draws
+			if math.Abs(got-want) > 0.05*want+0.002 {
+				t.Errorf("s=%v rank %d: frequency %.5f, want %.5f", s, k, got, want)
+			}
+		}
+		// Coarse buckets must be non-increasing (strictly decreasing for
+		// skewed curves, flat within noise for uniform).
+		buckets := make([]int, 8)
+		for k, c := range counts {
+			buckets[k*8/n] += c
+		}
+		for b := 1; b < len(buckets); b++ {
+			slack := draws / 200
+			if buckets[b] > buckets[b-1]+slack {
+				t.Errorf("s=%v: bucket %d (%d) above bucket %d (%d)",
+					s, b, buckets[b], b-1, buckets[b-1])
+			}
+		}
+		if s >= 1.1 {
+			// Heavy skew: the top 1% of ranks carries a large share of the
+			// mass (analytically ~48% at s=1.1, ~68% at s=1.3 for n=1024).
+			top := 0
+			for k := 0; k < n/100; k++ {
+				top += counts[k]
+			}
+			if float64(top)/draws < 0.4 {
+				t.Errorf("s=%v: top 1%% of ranks carries only %.1f%% of draws",
+					s, 100*float64(top)/draws)
+			}
+		}
+	}
+}
+
+// TestZipfDeterministic pins the generator to its seed: the same seed
+// replays the same rank sequence, different seeds diverge.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(mt19937.New(42), 512, 1.1)
+	b := NewZipf(mt19937.New(42), 512, 1.1)
+	c := NewZipf(mt19937.New(43), 512, 1.1)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		ka, kb, kc := a.Next(), b.Next(), c.Next()
+		if ka != kb {
+			same = false
+		}
+		if ka != kc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfUniform checks the s=0 edge: every rank is (approximately)
+// equally likely.
+func TestZipfUniform(t *testing.T) {
+	const n = 64
+	const draws = 128000
+	z := NewZipf(mt19937.New(1), n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := draws / n
+	for k, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("uniform rank %d: %d draws, want ~%d", k, c, want)
+		}
+	}
+}

@@ -310,6 +310,12 @@ type Client struct {
 	retryTokens float64
 	retries     uint64
 
+	// Hedging state (see retry.go): the cumulative hedge count and the ring
+	// of recent successful-call latencies backing the trailing-p99 delay.
+	hedges   uint64
+	latRing  [hedgeLatencyWindow]int64
+	latCount uint64
+
 	readerDone chan struct{}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"dpurpc/internal/metrics"
 	"dpurpc/internal/offload"
+	"dpurpc/internal/rpccache"
 	"dpurpc/internal/rpcrdma"
 	"dpurpc/internal/trace"
 	"dpurpc/internal/xrpc"
@@ -97,6 +98,20 @@ type StackOptions struct {
 	// instead of hanging. Zero disables deadlines — enable it whenever
 	// Faults is set. Offloaded stacks only.
 	RequestTimeout time.Duration
+	// CacheMethods opts full method names ("/pkg.Service/Method") into the
+	// DPU-resident response cache: repeated byte-identical requests are
+	// answered from stored response bytes on the DPU — no deserialization,
+	// no host round trip. Only list methods whose response depends solely
+	// on the request bytes (idempotent, read-mostly); invalidate with
+	// Stack.InvalidateMethod when the backing state changes. One cache is
+	// shared across all connections and survives reconnects. Offloaded
+	// stacks only.
+	CacheMethods []string
+	// CacheMaxBytes / CacheMaxEntries / CacheTTL bound the response cache
+	// (0 = defaults: 8 MiB, unbounded count, no expiry).
+	CacheMaxBytes   int
+	CacheMaxEntries int
+	CacheTTL        time.Duration
 }
 
 func (o *StackOptions) fill() {
@@ -122,6 +137,7 @@ type Stack struct {
 
 	// Offloaded-only internals (nil for the baseline).
 	deployment *offload.Deployment
+	schema     *Schema // method-name resolution for InvalidateMethod
 
 	// Observability (nil unless configured in StackOptions).
 	registry *metrics.Registry
@@ -151,6 +167,10 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 		ClientFaults:                 opts.Faults,
 		ServerFaults:                 opts.Faults,
 		RequestTimeout:               opts.RequestTimeout,
+		CacheMethods:                 opts.CacheMethods,
+		CacheMaxBytes:                opts.CacheMaxBytes,
+		CacheMaxEntries:              opts.CacheMaxEntries,
+		CacheTTL:                     opts.CacheTTL,
 	}
 	if opts.Registry != nil && opts.DPUWorkers > 1 {
 		// Pipeline instrumentation rides the registry for free: queue depth,
@@ -162,7 +182,10 @@ func NewOffloadedStack(schema *Schema, impls map[string]Impl, opts StackOptions)
 	if err != nil {
 		return nil, err
 	}
-	st := &Stack{deployment: d, registry: opts.Registry, tracer: opts.Tracer, window: opts.Window}
+	if d.Cache != nil && opts.Registry != nil {
+		d.Cache.EnableMetrics(opts.Registry, offload.MethodNames(schema.Table))
+	}
+	st := &Stack{deployment: d, schema: schema, registry: opts.Registry, tracer: opts.Tracer, window: opts.Window}
 	// One poller goroutine per DPU connection plus one host server poller.
 	for _, dpuSrv := range d.DPUs {
 		stop := make(chan struct{})
@@ -297,6 +320,33 @@ func (s *Stack) RegisterGauges(smp *metrics.Sampler) {
 			"Send credits remaining on the connection.", l,
 			func() float64 { return float64(g.Credits.Load()) })
 	}
+}
+
+// Cache returns the deployment's shared response cache (nil unless
+// StackOptions.CacheMethods was set, and always nil for baseline stacks).
+func (s *Stack) Cache() *rpccache.Cache {
+	if s.deployment == nil {
+		return nil
+	}
+	return s.deployment.Cache
+}
+
+// InvalidateMethod drops every cached response of one method — the explicit
+// hook for the application to call when the state backing an idempotent
+// method changes. Returns the number of entries dropped (0 when the method
+// is unknown, uncached, or the stack has no cache).
+func (s *Stack) InvalidateMethod(service, method string) int {
+	c := s.Cache()
+	if c == nil {
+		return 0
+	}
+	full := xrpc.FullMethodName(service, method)
+	for id, name := range offload.MethodNames(s.schema.Table) {
+		if name == full {
+			return c.InvalidateMethod(uint16(id))
+		}
+	}
+	return 0
 }
 
 // Handler exposes the raw xRPC handler (useful for in-process testing
